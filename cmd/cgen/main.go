@@ -1,0 +1,27 @@
+// Command cgen emits a synthetic C benchmark program on stdout.
+//
+// Usage:
+//
+//	cgen [-seed N] [-stmts N] [-scc N] > bench.c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sparrow/internal/cgen"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "generation seed")
+	stmts := flag.Int("stmts", 2000, "approximate statement count")
+	scc := flag.Int("scc", 2, "mutual-recursion cluster size (maxSCC)")
+	flag.Parse()
+	cfg := cgen.Default(*seed, *stmts)
+	cfg.SCCSize = *scc
+	if _, err := fmt.Fprint(os.Stdout, cgen.Generate(cfg)); err != nil {
+		fmt.Fprintln(os.Stderr, "cgen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,98 @@
+// Command exptables regenerates the paper's evaluation tables on the
+// synthetic benchmark suite.
+//
+// Usage:
+//
+//	exptables -table 1          # Table 1: benchmark characteristics
+//	exptables -table 2          # Table 2: interval analyzers
+//	exptables -table 3          # Table 3: octagon analyzers
+//	exptables -table bdd        # Section 5: dependency storage (set vs BDD)
+//	exptables -table bypass     # Section 5: chain-bypass ablation
+//	exptables -table all
+//
+// -scale multiplies benchmark sizes; -timeout is the per-analyzer budget
+// (the analogue of the paper's 24-hour limit); -n limits the suite to its
+// first n programs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sparrow/internal/core"
+	"sparrow/internal/exp"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table: 1, 2, 3, bdd, bypass, precision, all")
+	scale := flag.Int("scale", 1, "benchmark size multiplier")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-analyzer budget")
+	n := flag.Int("n", 0, "limit suite to first n benchmarks (0 = all)")
+	vanCap := flag.Int("vancap", 6000, "skip vanilla above this many statements (reported as ∞)")
+	baseCap := flag.Int("basecap", 30000, "skip base above this many statements (reported as ∞)")
+	octN := flag.Int("octn", 0, "limit octagon suite (0 = default subset)")
+	flag.Parse()
+
+	suite := exp.Suite(*scale)
+	if *n > 0 && *n < len(suite) {
+		suite = suite[:*n]
+	}
+	octSuite := exp.OctSuite(*scale)
+	if *octN > 0 && *octN < len(octSuite) {
+		octSuite = octSuite[:*octN]
+	}
+
+	run := func(name string, f func() error) {
+		fmt.Printf("== %s ==\n", name)
+		if err := f(); err != nil {
+			fmt.Fprintln(os.Stderr, "exptables:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	want := func(t string) bool { return *table == "all" || *table == t }
+
+	if want("1") {
+		run("Table 1: benchmark characteristics", func() error {
+			return exp.Table1(os.Stdout, suite)
+		})
+	}
+	if want("2") {
+		run("Table 2: interval analysis performance", func() error {
+			return exp.PerfTable(os.Stdout, suite, exp.PerfOptions{
+				Domain: core.Interval, Timeout: *timeout,
+				VanillaCap: *vanCap, BaseCap: *baseCap,
+			})
+		})
+	}
+	if want("3") {
+		run("Table 3: octagon analysis performance", func() error {
+			return exp.PerfTable(os.Stdout, octSuite, exp.PerfOptions{
+				Domain: core.Octagon, Timeout: *timeout,
+				VanillaCap: *vanCap / 4, BaseCap: *baseCap / 4,
+			})
+		})
+	}
+	if want("bdd") {
+		run("Section 5: dependency storage, set vs BDD", func() error {
+			return exp.TableBDD(os.Stdout, suite)
+		})
+	}
+	if want("bypass") {
+		run("Section 5: chain-bypass ablation", func() error {
+			return exp.TableBypass(os.Stdout, suite)
+		})
+	}
+	if want("precision") {
+		n := 5
+		if len(suite) < n {
+			n = len(suite)
+		}
+		run("Example 5: alarms with data dependencies vs def-use chains", func() error {
+			return exp.TablePrecision(os.Stdout, suite[:n], *timeout)
+		})
+	}
+}

@@ -1,0 +1,136 @@
+// Command sparrow analyzes a C-like source file and reports invariants and
+// alarms.
+//
+// Usage:
+//
+//	sparrow [-domain interval|octagon] [-mode vanilla|base|sparse]
+//	        [-duchains] [-nobypass] [-narrow N] [-timeout D]
+//	        [-globals] [-stats] file.c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sparrow"
+	"sparrow/internal/ir"
+)
+
+func main() {
+	domain := flag.String("domain", "interval", "abstract domain: interval or octagon")
+	mode := flag.String("mode", "sparse", "fixpoint mode: vanilla, base, or sparse")
+	duchains := flag.Bool("duchains", false, "use conventional def-use chains (less precise; sparse interval only)")
+	nobypass := flag.Bool("nobypass", false, "disable the chain-bypass optimization")
+	narrow := flag.Int("narrow", 0, "descending (narrowing) sweeps after the ascending fixpoint (dense and sparse interval modes)")
+	timeout := flag.Duration("timeout", 0, "analysis time budget (0 = none)")
+	globals := flag.Bool("globals", false, "print the final interval of every global variable")
+	stats := flag.Bool("stats", true, "print analysis statistics")
+	dumpDug := flag.String("dump-dug", "", "write the def-use graph in Graphviz dot syntax to this file (sparse modes)")
+	dumpIR := flag.Bool("dump-ir", false, "print the lowered IR")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sparrow [flags] file.c")
+		flag.Usage()
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+
+	opt := sparrow.Options{
+		NoBypass:     *nobypass,
+		DefUseChains: *duchains,
+		Narrow:       *narrow,
+		Timeout:      *timeout,
+	}
+	switch *domain {
+	case "interval":
+		opt.Domain = sparrow.Interval
+	case "octagon":
+		opt.Domain = sparrow.Octagon
+	default:
+		fatal(fmt.Errorf("unknown domain %q", *domain))
+	}
+	switch *mode {
+	case "vanilla":
+		opt.Mode = sparrow.Vanilla
+	case "base":
+		opt.Mode = sparrow.Base
+	case "sparse":
+		opt.Mode = sparrow.Sparse
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	res, err := sparrow.AnalyzeSource(path, string(src), opt)
+	if err != nil {
+		fatal(err)
+	}
+	if *dumpIR {
+		fmt.Print(res.Prog.Dump())
+	}
+	if *dumpDug != "" {
+		g := res.Graph()
+		if g == nil {
+			fatal(fmt.Errorf("-dump-dug requires -mode sparse"))
+		}
+		f, err := os.Create(*dumpDug)
+		if err != nil {
+			fatal(err)
+		}
+		if err := g.WriteDot(f, 5000); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote def-use graph to %s\n", *dumpDug)
+	}
+	if res.Stats.TimedOut {
+		fmt.Println("analysis timed out (partial results below)")
+	}
+	if *stats {
+		s := res.Stats
+		fmt.Printf("%s/%s: LOC=%d functions=%d statements=%d blocks=%d maxSCC=%d abslocs=%d\n",
+			opt.Domain, opt.Mode, s.LOC, s.Functions, s.Statements, s.Blocks, s.MaxSCC, s.AbsLocs)
+		fmt.Printf("times: pre=%v dep=%v fix=%v total=%v steps=%d\n",
+			s.PreTime, s.DepTime, s.FixTime, s.TotalTime, s.Steps)
+		if opt.Mode == sparrow.Sparse {
+			fmt.Printf("sparse: edges=%d phis=%d avg|D̂(c)|=%.2f avg|Û(c)|=%.2f\n",
+				s.DepEdges, s.Phis, s.AvgDefs, s.AvgUses)
+		}
+		if opt.Domain == sparrow.Octagon {
+			fmt.Printf("packs: %d (avg non-singleton size %.1f)\n", s.PackCount, s.PackAvg)
+		}
+	}
+	if *globals {
+		fmt.Println("final global invariants:")
+		locs := res.Prog.Locs
+		for id := 0; id < locs.Len(); id++ {
+			l := locs.Get(ir.LocID(id))
+			if l.Kind != ir.LVar || l.Proc != ir.None {
+				continue
+			}
+			if desc, ok := res.GlobalValueAtExit(l.Name); ok {
+				fmt.Printf("  %-20s %s\n", l.Name, desc)
+			}
+		}
+	}
+	alarms := res.Alarms()
+	if len(alarms) > 0 {
+		fmt.Printf("%d alarm(s):\n", len(alarms))
+		for _, a := range alarms {
+			fmt.Printf("  %s\n", a)
+		}
+	} else if opt.Domain == sparrow.Interval {
+		fmt.Println("no alarms")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sparrow:", err)
+	os.Exit(1)
+}

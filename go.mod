@@ -1,0 +1,3 @@
+module sparrow
+
+go 1.24

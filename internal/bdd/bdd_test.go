@@ -1,0 +1,214 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTerminals(t *testing.T) {
+	b := New(4)
+	if b.And(True, False) != False || b.Or(True, False) != True {
+		t.Fatal("terminal ops wrong")
+	}
+	if b.Not(True) != False || b.Not(False) != True {
+		t.Fatal("Not wrong on terminals")
+	}
+}
+
+func TestVarSemantics(t *testing.T) {
+	b := New(3)
+	x := b.Var(0)
+	if !b.Contains(x, []bool{true, false, false}) {
+		t.Error("x should hold when x=1")
+	}
+	if b.Contains(x, []bool{false, true, true}) {
+		t.Error("x should not hold when x=0")
+	}
+	nx := b.NVar(0)
+	if b.And(x, nx) != False {
+		t.Error("x ∧ ¬x != false")
+	}
+	if b.Or(x, nx) != True {
+		t.Error("x ∨ ¬x != true")
+	}
+}
+
+func TestHashConsing(t *testing.T) {
+	b := New(4)
+	f1 := b.And(b.Var(0), b.Var(1))
+	f2 := b.And(b.Var(1), b.Var(0))
+	if f1 != f2 {
+		t.Error("equivalent functions got different refs (no canonicity)")
+	}
+	g1 := b.Or(b.And(b.Var(0), b.Var(1)), b.Var(2))
+	g2 := b.Or(b.Var(2), b.And(b.Var(0), b.Var(1)))
+	if g1 != g2 {
+		t.Error("Or not canonical")
+	}
+}
+
+// eval computes the truth value of the reference under an assignment by
+// brute force via Contains.
+func evalAll(b *BDD, f Ref, n int, want func(bits []bool) bool, t *testing.T, name string) {
+	t.Helper()
+	bits := make([]bool, n)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			if got := b.Contains(f, bits); got != want(bits) {
+				t.Fatalf("%s: wrong value at %v: got %v", name, bits, got)
+			}
+			return
+		}
+		bits[i] = false
+		rec(i + 1)
+		bits[i] = true
+		rec(i + 1)
+	}
+	rec(0)
+}
+
+func TestOpsTruthTables(t *testing.T) {
+	const n = 4
+	b := New(n)
+	x0, x1, x2 := b.Var(0), b.Var(1), b.Var(2)
+	f := b.Or(b.And(x0, x1), b.Diff(x2, x0)) // (x0∧x1) ∨ (x2∧¬x0)
+	evalAll(b, f, n, func(v []bool) bool {
+		return (v[0] && v[1]) || (v[2] && !v[0])
+	}, t, "mixed")
+	g := b.Not(f)
+	evalAll(b, g, n, func(v []bool) bool {
+		return !((v[0] && v[1]) || (v[2] && !v[0]))
+	}, t, "not")
+}
+
+func TestRandomEquivalence(t *testing.T) {
+	// Random boolean expressions: BDD evaluation must match direct
+	// evaluation on all assignments.
+	const n = 6
+	r := rand.New(rand.NewSource(5))
+	type fn struct {
+		ref  Ref
+		eval func([]bool) bool
+	}
+	b := New(n)
+	var gen func(depth int) fn
+	gen = func(depth int) fn {
+		if depth == 0 || r.Intn(3) == 0 {
+			i := r.Intn(n)
+			if r.Intn(2) == 0 {
+				return fn{b.Var(i), func(v []bool) bool { return v[i] }}
+			}
+			return fn{b.NVar(i), func(v []bool) bool { return !v[i] }}
+		}
+		a, c := gen(depth-1), gen(depth-1)
+		switch r.Intn(3) {
+		case 0:
+			return fn{b.And(a.ref, c.ref), func(v []bool) bool { return a.eval(v) && c.eval(v) }}
+		case 1:
+			return fn{b.Or(a.ref, c.ref), func(v []bool) bool { return a.eval(v) || c.eval(v) }}
+		default:
+			return fn{b.Diff(a.ref, c.ref), func(v []bool) bool { return a.eval(v) && !c.eval(v) }}
+		}
+	}
+	for trial := 0; trial < 50; trial++ {
+		f := gen(4)
+		evalAll(b, f.ref, n, f.eval, t, "random")
+	}
+}
+
+func TestSatCount(t *testing.T) {
+	b := New(4)
+	if got := b.SatCount(True); got != 16 {
+		t.Errorf("SatCount(True) = %v want 16", got)
+	}
+	if got := b.SatCount(False); got != 0 {
+		t.Errorf("SatCount(False) = %v want 0", got)
+	}
+	if got := b.SatCount(b.Var(0)); got != 8 {
+		t.Errorf("SatCount(x0) = %v want 8", got)
+	}
+	f := b.And(b.Var(0), b.Var(3))
+	if got := b.SatCount(f); got != 4 {
+		t.Errorf("SatCount(x0∧x3) = %v want 4", got)
+	}
+}
+
+func TestCube(t *testing.T) {
+	b := New(5)
+	f := b.Cube([]int{0, 2, 4}, []bool{true, false, true})
+	if got := b.SatCount(f); got != 4 { // two free vars
+		t.Errorf("SatCount(cube) = %v want 4", got)
+	}
+	if !b.Contains(f, []bool{true, false, false, true, true}) {
+		t.Error("cube must contain its defining assignment")
+	}
+	if b.Contains(f, []bool{true, false, true, true, true}) {
+		t.Error("cube must reject flipped fixed bit")
+	}
+}
+
+func TestAllSat(t *testing.T) {
+	b := New(3)
+	f := b.Or(b.Cube([]int{0, 1, 2}, []bool{true, false, true}),
+		b.Cube([]int{0, 1, 2}, []bool{false, true, false}))
+	var got [][]int8
+	b.AllSat(f, func(a []int8) bool {
+		cp := append([]int8(nil), a...)
+		got = append(got, cp)
+		return true
+	})
+	if len(got) != 2 {
+		t.Fatalf("AllSat found %d cubes want 2: %v", len(got), got)
+	}
+	// Early stop.
+	n := 0
+	b.AllSat(f, func(a []int8) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("AllSat early stop visited %d", n)
+	}
+}
+
+func TestNodeCountSharing(t *testing.T) {
+	b := New(8)
+	// A function with massive sharing: parity of 8 variables has 2 nodes
+	// per level.
+	f := False
+	for i := 0; i < 8; i++ {
+		x := b.Var(i)
+		// f = f XOR x = (f ∧ ¬x) ∨ (¬f ∧ x)
+		f = b.Or(b.Diff(f, x), b.And(b.Not(f), x))
+	}
+	if nc := b.NodeCount(f); nc > 2*8 {
+		t.Errorf("parity BDD has %d nodes, expected <= 16 (sharing broken)", nc)
+	}
+	if got := b.SatCount(f); got != 128 {
+		t.Errorf("parity SatCount = %v want 128", got)
+	}
+}
+
+func TestVarOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Var(99) did not panic")
+		}
+	}()
+	New(2).Var(99)
+}
+
+func BenchmarkApply(b *testing.B) {
+	m := New(32)
+	r := rand.New(rand.NewSource(1))
+	refs := make([]Ref, 64)
+	for i := range refs {
+		refs[i] = m.Cube([]int{r.Intn(10), 10 + r.Intn(10), 20 + r.Intn(10)},
+			[]bool{r.Intn(2) == 0, r.Intn(2) == 0, r.Intn(2) == 0})
+	}
+	b.ResetTimer()
+	for b.Loop() {
+		f := False
+		for _, r := range refs {
+			f = m.Or(f, r)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+// Package callgraph builds the procedure call graph from resolved call
+// targets and computes its strongly connected components (Tarjan), which the
+// analyzers use for widening at recursion and for the maxSCC statistic of
+// Table 1 (large SCCs are the paper's explanation for emacs/vim analysis
+// cost).
+package callgraph
+
+import "sparrow/internal/ir"
+
+// Graph is a procedure call graph.
+type Graph struct {
+	prog *ir.Program
+	// Succs[p] lists the procedures p may call (deduplicated).
+	Succs [][]ir.ProcID
+	// SCCOf[p] is the SCC index of p; SCCs are numbered in reverse
+	// topological order of the condensation (callees before callers).
+	SCCOf []int
+	// SCCs lists members per SCC index.
+	SCCs [][]ir.ProcID
+	// selfLoop[p] reports a direct self-call.
+	selfLoop []bool
+}
+
+// Build constructs the call graph of prog given the resolved callees of
+// every call point.
+func Build(prog *ir.Program, callees func(ir.PointID) []ir.ProcID) *Graph {
+	n := len(prog.Procs)
+	g := &Graph{
+		prog:     prog,
+		Succs:    make([][]ir.ProcID, n),
+		selfLoop: make([]bool, n),
+	}
+	for _, pr := range prog.Procs {
+		seen := map[ir.ProcID]bool{}
+		for _, cp := range pr.Calls {
+			for _, q := range callees(cp) {
+				if q == pr.ID {
+					g.selfLoop[pr.ID] = true
+				}
+				if !seen[q] {
+					seen[q] = true
+					g.Succs[pr.ID] = append(g.Succs[pr.ID], q)
+				}
+			}
+		}
+	}
+	g.tarjan()
+	return g
+}
+
+// tarjan computes SCCs iteratively (explicit stack; programs can have deep
+// call chains).
+func (g *Graph) tarjan() {
+	n := len(g.Succs)
+	g.SCCOf = make([]int, n)
+	for i := range g.SCCOf {
+		g.SCCOf[i] = -1
+	}
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []ir.ProcID
+	next := 0
+
+	type frame struct {
+		v  ir.ProcID
+		ei int
+	}
+	var dfs []frame
+	for root := 0; root < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		dfs = append(dfs[:0], frame{v: ir.ProcID(root)})
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, ir.ProcID(root))
+		onStack[root] = true
+		for len(dfs) > 0 {
+			f := &dfs[len(dfs)-1]
+			v := f.v
+			if f.ei < len(g.Succs[v]) {
+				w := g.Succs[v][f.ei]
+				f.ei++
+				if index[w] == -1 {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					dfs = append(dfs, frame{v: w})
+				} else if onStack[w] {
+					if index[w] < low[v] {
+						low[v] = index[w]
+					}
+				}
+				continue
+			}
+			// v finished.
+			if low[v] == index[v] {
+				id := len(g.SCCs)
+				var comp []ir.ProcID
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					g.SCCOf[w] = id
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				g.SCCs = append(g.SCCs, comp)
+			}
+			dfs = dfs[:len(dfs)-1]
+			if len(dfs) > 0 {
+				u := dfs[len(dfs)-1].v
+				if low[v] < low[u] {
+					low[u] = low[v]
+				}
+			}
+		}
+	}
+}
+
+// InCycle reports whether p participates in recursion (a nontrivial SCC or
+// a direct self-call).
+func (g *Graph) InCycle(p ir.ProcID) bool {
+	return len(g.SCCs[g.SCCOf[p]]) > 1 || g.selfLoop[p]
+}
+
+// MaxSCC returns the size of the largest SCC (Table 1's maxSCC).
+func (g *Graph) MaxSCC() int {
+	max := 0
+	for _, c := range g.SCCs {
+		if len(c) > max {
+			max = len(c)
+		}
+	}
+	return max
+}
+
+// BottomUp returns the procedures in reverse topological order of the
+// condensation: callees before callers (SCC members in arbitrary order).
+// Tarjan emits SCCs in that order already.
+func (g *Graph) BottomUp() []ir.ProcID {
+	var out []ir.ProcID
+	for _, comp := range g.SCCs {
+		out = append(out, comp...)
+	}
+	return out
+}

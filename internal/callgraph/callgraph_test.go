@@ -1,0 +1,110 @@
+package callgraph
+
+import (
+	"testing"
+
+	"sparrow/internal/frontend/lower"
+	"sparrow/internal/frontend/parser"
+	"sparrow/internal/ir"
+)
+
+// buildCG lowers src and builds its call graph with syntactic resolution
+// (direct calls only, which suffices for these tests).
+func buildCG(t *testing.T, src string) (*ir.Program, *Graph) {
+	t.Helper()
+	f, err := parser.Parse("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := lower.File(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	callees := func(pt ir.PointID) []ir.ProcID {
+		c, ok := prog.Point(pt).Cmd.(ir.Call)
+		if !ok {
+			return nil
+		}
+		if fa, ok := c.F.(ir.FuncAddr); ok {
+			return []ir.ProcID{fa.F}
+		}
+		return nil
+	}
+	return prog, Build(prog, callees)
+}
+
+func TestDAG(t *testing.T) {
+	prog, g := buildCG(t, `
+int c() { return 1; }
+int b() { return c(); }
+int a() { return b() + c(); }
+int main() { return a(); }
+`)
+	if g.MaxSCC() != 1 {
+		t.Errorf("maxSCC = %d want 1 for a DAG", g.MaxSCC())
+	}
+	for _, pr := range prog.Procs {
+		if g.InCycle(pr.ID) {
+			t.Errorf("%s wrongly in cycle", pr.Name)
+		}
+	}
+	// Bottom-up order: callees before callers.
+	pos := map[ir.ProcID]int{}
+	for i, p := range g.BottomUp() {
+		pos[p] = i
+	}
+	a, b, c := prog.ProcByName("a"), prog.ProcByName("b"), prog.ProcByName("c")
+	if !(pos[c.ID] < pos[b.ID] && pos[b.ID] < pos[a.ID]) {
+		t.Errorf("bottom-up order wrong: c=%d b=%d a=%d", pos[c.ID], pos[b.ID], pos[a.ID])
+	}
+}
+
+func TestSelfRecursion(t *testing.T) {
+	prog, g := buildCG(t, `
+int f(int n) { if (n <= 0) { return 0; } return f(n-1); }
+int main() { return f(3); }
+`)
+	f := prog.ProcByName("f")
+	if !g.InCycle(f.ID) {
+		t.Error("self-recursive f not in cycle")
+	}
+	if g.InCycle(prog.ProcByName("main").ID) {
+		t.Error("main wrongly in cycle")
+	}
+	if g.MaxSCC() != 1 {
+		t.Errorf("maxSCC = %d (self loops are size-1 SCCs)", g.MaxSCC())
+	}
+}
+
+func TestMutualRecursion(t *testing.T) {
+	prog, g := buildCG(t, `
+int odd(int n);
+int even(int n) { if (n == 0) { return 1; } return odd(n-1); }
+int odd(int n) { if (n == 0) { return 0; } return even(n-1); }
+int main() { return even(10); }
+`)
+	if g.MaxSCC() != 2 {
+		t.Errorf("maxSCC = %d want 2", g.MaxSCC())
+	}
+	ev, od := prog.ProcByName("even"), prog.ProcByName("odd")
+	if g.SCCOf[ev.ID] != g.SCCOf[od.ID] {
+		t.Error("even and odd in different SCCs")
+	}
+	if !g.InCycle(ev.ID) || !g.InCycle(od.ID) {
+		t.Error("mutual recursion not detected")
+	}
+}
+
+func TestLargeCycle(t *testing.T) {
+	src := "int s4(int n);\n"
+	for i := 0; i < 5; i++ {
+		next := (i + 1) % 5
+		src += "int s" + string(rune('0'+i)) + "(int n) { if (n <= 0) { return 0; } return s" +
+			string(rune('0'+next)) + "(n-1); }\n"
+	}
+	src += "int main() { return s0(9); }\n"
+	_, g := buildCG(t, src)
+	if g.MaxSCC() != 5 {
+		t.Errorf("maxSCC = %d want 5", g.MaxSCC())
+	}
+}

@@ -1,0 +1,382 @@
+// Package cgen deterministically generates synthetic C benchmark programs
+// for the experiment harness.
+//
+// Real GNU sources (the paper's gzip … ghostscript) are not available to an
+// offline reproduction, so the harness substitutes programs whose structure
+// it can control along exactly the axes the paper identifies as cost
+// drivers: program size (statements), number of procedures, global/pointer
+// density, loop structure, function-pointer dispatch, and — crucially for
+// the paper's discussion of emacs/vim — the size of the largest call-graph
+// SCC (mutual recursion clusters). See DESIGN.md § Substitutions.
+package cgen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Config parameterizes one synthetic program.
+type Config struct {
+	// Seed makes generation deterministic.
+	Seed uint64
+	// Funcs is the number of ordinary (non-recursive-cluster) functions.
+	Funcs int
+	// StmtsPerFunc approximates the body size of each function.
+	StmtsPerFunc int
+	// GlobalInts, GlobalArrays, GlobalPtrs size the global state.
+	GlobalInts   int
+	GlobalArrays int
+	GlobalPtrs   int
+	// SCCSize > 1 adds a mutual-recursion cluster of that size (maxSCC).
+	SCCSize int
+	// CallsPerFunc is the number of call statements per function body.
+	CallsPerFunc int
+	// PtrOps makes roughly one in PtrOps statements a pointer operation
+	// (0 disables pointer statements).
+	PtrOps int
+	// LoopEvery makes roughly one in LoopEvery statements open a loop.
+	LoopEvery int
+	// FuncPtrs adds a function-pointer dispatch global.
+	FuncPtrs bool
+	// SwitchEvery makes roughly one in SwitchEvery statements a switch
+	// over a local (0 disables; off in Default so published tables stay
+	// reproducible).
+	SwitchEvery int
+	// Gotos adds a guarded backward goto loop per function (off in
+	// Default).
+	Gotos bool
+}
+
+// Default returns a balanced configuration scaled to roughly the given
+// number of statements.
+func Default(seed uint64, stmts int) Config {
+	funcs := stmts / 40
+	if funcs < 3 {
+		funcs = 3
+	}
+	return Config{
+		Seed:         seed,
+		Funcs:        funcs,
+		StmtsPerFunc: 30,
+		GlobalInts:   4 + funcs/2,
+		GlobalArrays: 2 + funcs/8,
+		GlobalPtrs:   2 + funcs/8,
+		SCCSize:      2,
+		CallsPerFunc: 3,
+		PtrOps:       8,
+		LoopEvery:    10,
+		FuncPtrs:     true,
+	}
+}
+
+// rng is splitmix64: tiny, deterministic, good enough for shaping programs.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+func (r *rng) oneIn(n int) bool { return n > 0 && r.intn(n) == 0 }
+
+// Generate emits the C source of one synthetic program.
+func Generate(cfg Config) string {
+	g := &gen{cfg: cfg, r: rng{s: cfg.Seed*2654435761 + 1}}
+	return g.program()
+}
+
+type gen struct {
+	cfg Config
+	r   rng
+	b   strings.Builder
+	ind int
+}
+
+func (g *gen) line(format string, args ...any) {
+	g.b.WriteString(strings.Repeat("\t", g.ind))
+	fmt.Fprintf(&g.b, format, args...)
+	g.b.WriteByte('\n')
+}
+
+func (g *gen) program() string {
+	c := g.cfg
+	g.line("/* synthetic benchmark: seed=%d funcs=%d scc=%d */", c.Seed, c.Funcs, c.SCCSize)
+	for i := 0; i < c.GlobalInts; i++ {
+		g.line("int g%d;", i)
+	}
+	for i := 0; i < c.GlobalArrays; i++ {
+		g.line("int arr%d[%d];", i, 8+g.r.intn(57))
+	}
+	for i := 0; i < c.GlobalPtrs; i++ {
+		g.line("int *ptr%d;", i)
+	}
+	// Prototypes are unnecessary: generated calls only target
+	// lower-numbered callees or the recursion cluster defined first.
+	if c.SCCSize > 1 {
+		g.cluster()
+	}
+	for i := 0; i < c.Funcs; i++ {
+		g.function(i)
+	}
+	g.main()
+	return g.b.String()
+}
+
+// cluster emits the mutual-recursion SCC: s0 → s1 → … → s0.
+func (g *gen) cluster() {
+	m := g.cfg.SCCSize
+	// Forward declarations for the cycle.
+	for i := 0; i < m; i++ {
+		g.line("int scc%d(int n);", i)
+	}
+	for i := 0; i < m; i++ {
+		g.line("int scc%d(int n) {", i)
+		g.ind++
+		g.line("if (n <= 0) { return 0; }")
+		if g.cfg.GlobalInts > 0 {
+			gi := g.r.intn(2) % g.cfg.GlobalInts
+			g.line("g%d = g%d + %d;", gi, gi, 1+g.r.intn(3))
+		}
+		g.line("return scc%d(n - 1) + 1;", (i+1)%m)
+		g.ind--
+		g.line("}")
+	}
+}
+
+// expr builds a small arithmetic expression over the given readable names.
+func (g *gen) expr(vars []string, depth int) string {
+	if depth <= 0 || g.r.oneIn(3) {
+		switch g.r.intn(3) {
+		case 0:
+			return fmt.Sprintf("%d", g.r.intn(100))
+		default:
+			if len(vars) == 0 {
+				return fmt.Sprintf("%d", g.r.intn(100))
+			}
+			return vars[g.r.intn(len(vars))]
+		}
+	}
+	op := []string{"+", "-", "*", "+"}[g.r.intn(4)]
+	return fmt.Sprintf("(%s %s %s)", g.expr(vars, depth-1), op, g.expr(vars, depth-1))
+}
+
+// cond builds a branch condition.
+func (g *gen) cond(vars []string) string {
+	ops := []string{"<", "<=", ">", ">=", "==", "!="}
+	lhs := "0"
+	if len(vars) > 0 {
+		lhs = vars[g.r.intn(len(vars))]
+	}
+	return fmt.Sprintf("%s %s %s", lhs, ops[g.r.intn(len(ops))], g.expr(vars, 1))
+}
+
+// function emits function f<i>, which may call lower-numbered functions,
+// the recursion cluster, and the function-pointer dispatcher.
+func (g *gen) function(i int) {
+	c := g.cfg
+	g.line("int f%d(int a0, int a1) {", i)
+	g.ind++
+	locals := []string{"a0", "a1"}
+	nloc := 3 + g.r.intn(4)
+	for j := 0; j < nloc; j++ {
+		name := fmt.Sprintf("v%d", j)
+		g.line("int %s = %d;", name, g.r.intn(50))
+		locals = append(locals, name)
+	}
+	reads := append([]string{}, locals...)
+	for _, gi := range g.globalWindow(i) {
+		reads = append(reads, fmt.Sprintf("g%d", gi))
+	}
+	budget := c.StmtsPerFunc
+	calls := c.CallsPerFunc
+	if c.Gotos {
+		gl := locals[g.r.intn(len(locals))]
+		g.line("%s = 0;", gl)
+		g.line("retry%d:", i)
+		inner := 3
+		if inner > budget {
+			inner = budget
+		}
+		budget -= inner
+		g.stmts(&inner, &calls, i, locals, reads, 1)
+		g.line("%s = %s + 1;", gl, gl)
+		g.line("if (%s < %d) { goto retry%d; }", gl, 2+g.r.intn(6), i)
+	}
+	g.stmts(&budget, &calls, i, locals, reads, 0)
+	g.line("return %s;", g.expr(reads, 1))
+	g.ind--
+	g.line("}")
+}
+
+// stmts emits statements until the budget runs out.
+func (g *gen) stmts(budget, calls *int, fidx int, locals, reads []string, depth int) {
+	c := g.cfg
+	for *budget > 0 {
+		*budget--
+		switch {
+		case c.LoopEvery > 0 && g.r.oneIn(c.LoopEvery) && depth < 2 && *budget > 4:
+			lv := locals[g.r.intn(len(locals))]
+			bound := 2 + g.r.intn(30)
+			g.line("for (%s = 0; %s < %d; %s++) {", lv, lv, bound, lv)
+			g.ind++
+			inner := 2 + g.r.intn(4)
+			if inner > *budget {
+				inner = *budget
+			}
+			*budget -= inner
+			g.stmts(&inner, calls, fidx, locals, reads, depth+1)
+			g.ind--
+			g.line("}")
+		case g.r.oneIn(6) && depth < 3 && *budget > 3:
+			g.line("if (%s) {", g.cond(reads))
+			g.ind++
+			inner := 1 + g.r.intn(3)
+			if inner > *budget {
+				inner = *budget
+			}
+			*budget -= inner
+			g.stmts(&inner, calls, fidx, locals, reads, depth+1)
+			g.ind--
+			g.line("} else {")
+			g.ind++
+			g.line("%s = %s;", locals[g.r.intn(len(locals))], g.expr(reads, 1))
+			g.ind--
+			g.line("}")
+		case c.PtrOps > 0 && g.r.oneIn(c.PtrOps) && c.GlobalPtrs > 0:
+			p := g.r.intn(c.GlobalPtrs)
+			switch g.r.intn(3) {
+			case 0:
+				if c.GlobalInts > 0 {
+					win := g.globalWindow(fidx)
+					g.line("ptr%d = &g%d;", p, win[g.r.intn(len(win))])
+				}
+			case 1:
+				g.line("if (ptr%d != 0) { *ptr%d = %s; }", p, p, g.expr(reads, 1))
+			default:
+				g.line("if (ptr%d != 0) { %s = *ptr%d; }", p, locals[g.r.intn(len(locals))], p)
+			}
+		case c.GlobalArrays > 0 && g.r.oneIn(5):
+			a := (fidx + g.r.intn(3)) % c.GlobalArrays
+			idx := locals[g.r.intn(len(locals))]
+			if g.r.oneIn(2) {
+				g.line("if (%s >= 0 && %s < 8) { arr%d[%s] = %s; }", idx, idx, a, idx, g.expr(reads, 1))
+			} else {
+				g.line("if (%s >= 0 && %s < 8) { %s = arr%d[%s]; }", idx, idx, locals[g.r.intn(len(locals))], a, idx)
+			}
+		case c.SwitchEvery > 0 && g.r.oneIn(c.SwitchEvery) && *budget > 4:
+			sv := locals[g.r.intn(len(locals))]
+			g.line("switch (%s %% 4) {", sv)
+			g.line("case 0:")
+			g.ind++
+			g.line("%s = %s;", locals[g.r.intn(len(locals))], g.expr(reads, 1))
+			g.line("break;")
+			g.ind--
+			g.line("case 1:")
+			g.line("case 2:")
+			g.ind++
+			g.line("%s = %s;", locals[g.r.intn(len(locals))], g.expr(reads, 1))
+			g.ind--
+			g.line("default:")
+			g.ind++
+			g.line("%s = 0;", locals[g.r.intn(len(locals))])
+			g.ind--
+			g.line("}")
+			*budget -= 4
+		case *calls > 0 && g.r.oneIn(4):
+			*calls--
+			g.call(fidx, locals, reads)
+		case c.GlobalInts > 0 && g.r.oneIn(3):
+			win := g.globalWindow(fidx)
+			g.line("g%d = %s;", win[g.r.intn(len(win))], g.expr(reads, 2))
+		default:
+			g.line("%s = %s;", locals[g.r.intn(len(locals))], g.expr(reads, 2))
+		}
+	}
+}
+
+// globalWindow returns the globals function fidx may touch. Real programs
+// exhibit locality — a procedure works on a handful of globals, not all of
+// them — and that locality is exactly what keeps accessed-location
+// summaries (and hence interprocedural dependencies) sparse. A few shared
+// globals (the first ones) model program-wide state like errno.
+func (g *gen) globalWindow(fidx int) []int {
+	n := g.cfg.GlobalInts
+	if n == 0 {
+		return nil
+	}
+	w := 4
+	if w > n {
+		w = n
+	}
+	out := make([]int, 0, w+2)
+	base := (fidx * 3) % n
+	for j := 0; j < w; j++ {
+		out = append(out, (base+j)%n)
+	}
+	// Two program-wide globals shared by everyone.
+	if n > 0 {
+		out = append(out, 0)
+	}
+	if n > 1 {
+		out = append(out, 1)
+	}
+	return out
+}
+
+// call emits a call statement from f<fidx> to a lower-numbered function,
+// the cluster, or the function-pointer dispatcher.
+func (g *gen) call(fidx int, locals, reads []string) {
+	c := g.cfg
+	dst := locals[g.r.intn(len(locals))]
+	switch {
+	case c.SCCSize > 1 && g.r.oneIn(4):
+		g.line("%s = scc%d(%d);", dst, g.r.intn(c.SCCSize), 1+g.r.intn(12))
+	case c.FuncPtrs && fidx > 1 && g.r.oneIn(5):
+		g.line("%s = dispatch(%s, %s);", dst, g.expr(reads, 1), g.expr(reads, 1))
+	case fidx > 0:
+		g.line("%s = f%d(%s, %s);", dst, g.r.intn(fidx), g.expr(reads, 1), g.expr(reads, 1))
+	default:
+		g.line("%s = %s;", dst, g.expr(reads, 1))
+	}
+}
+
+// main emits the dispatcher (if enabled) and the main driver.
+func (g *gen) main() {
+	c := g.cfg
+	if c.FuncPtrs && c.Funcs >= 2 {
+		g.line("int (*fp)(int, int);")
+		g.line("int dispatch(int x, int y) {")
+		g.ind++
+		g.line("if (x > y) { fp = f0; } else { fp = f1; }")
+		g.line("return fp(x, y);")
+		g.ind--
+		g.line("}")
+	}
+	g.line("int main() {")
+	g.ind++
+	g.line("int r = 0;")
+	for i := 0; i < c.GlobalPtrs && c.GlobalInts > 0; i++ {
+		g.line("ptr%d = &g%d;", i, g.r.intn(c.GlobalInts))
+	}
+	for i := 0; i < c.Funcs; i++ {
+		if g.r.oneIn(2) || i == c.Funcs-1 {
+			g.line("r = r + f%d(input(), %d);", i, g.r.intn(20))
+		}
+	}
+	if c.SCCSize > 1 {
+		g.line("r = r + scc0(input());")
+	}
+	g.line("return r;")
+	g.ind--
+	g.line("}")
+}

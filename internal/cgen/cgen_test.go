@@ -1,0 +1,121 @@
+package cgen
+
+import (
+	"strings"
+	"testing"
+
+	"sparrow/internal/frontend/lower"
+	"sparrow/internal/frontend/parser"
+	"sparrow/internal/prean"
+)
+
+func TestDeterministic(t *testing.T) {
+	a := Generate(Default(42, 2000))
+	b := Generate(Default(42, 2000))
+	if a != b {
+		t.Fatal("generation is not deterministic")
+	}
+	c := Generate(Default(43, 2000))
+	if a == c {
+		t.Fatal("different seeds produced identical programs")
+	}
+}
+
+func TestGeneratedParsesAndLowers(t *testing.T) {
+	for _, stmts := range []int{200, 1000, 5000} {
+		src := Generate(Default(7, stmts))
+		f, err := parser.Parse("gen.c", src)
+		if err != nil {
+			t.Fatalf("stmts=%d: parse: %v\n%s", stmts, err, firstLines(src, 40))
+		}
+		prog, err := lower.File(f)
+		if err != nil {
+			t.Fatalf("stmts=%d: lower: %v", stmts, err)
+		}
+		if prog.NumStatements() < stmts/4 {
+			t.Errorf("stmts=%d: only %d IR statements generated", stmts, prog.NumStatements())
+		}
+	}
+}
+
+func TestSCCSizeRealized(t *testing.T) {
+	cfg := Default(3, 1000)
+	cfg.SCCSize = 5
+	src := Generate(cfg)
+	f, err := parser.Parse("gen.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := lower.File(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := prean.Run(prog)
+	if got := pre.CG.MaxSCC(); got < 5 {
+		t.Errorf("maxSCC = %d want >= 5", got)
+	}
+}
+
+func TestFuncPtrsResolve(t *testing.T) {
+	cfg := Default(9, 800)
+	cfg.FuncPtrs = true
+	src := Generate(cfg)
+	if !strings.Contains(src, "fp = f0") {
+		t.Skip("this seed produced no dispatcher use")
+	}
+	f, err := parser.Parse("gen.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := lower.File(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := prean.Run(prog)
+	// The dispatcher's indirect call must resolve to >= 2 callees.
+	disp := prog.ProcByName("dispatch")
+	if disp == nil {
+		t.Fatal("no dispatch function")
+	}
+	resolved := 0
+	for _, cp := range disp.Calls {
+		resolved += len(pre.CalleesOf(cp))
+	}
+	if resolved < 2 {
+		t.Errorf("function-pointer call resolved to %d callees", resolved)
+	}
+}
+
+func firstLines(s string, n int) string {
+	lines := strings.SplitN(s, "\n", n+1)
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}
+
+func TestSwitchAndGotoGeneration(t *testing.T) {
+	cfg := Default(13, 800)
+	cfg.SwitchEvery = 4
+	cfg.Gotos = true
+	src := Generate(cfg)
+	if !strings.Contains(src, "switch (") || !strings.Contains(src, "goto retry") {
+		t.Fatalf("switch/goto not emitted")
+	}
+	f, err := parser.Parse("gen.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, firstLines(src, 60))
+	}
+	prog, err := lower.File(f)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	pre := prean.Run(prog)
+	if pre.Passes == 0 {
+		t.Fatal("pre-analysis did not run")
+	}
+	// Defaults must be unchanged by the new knobs (published tables).
+	if strings.Contains(Generate(Default(13, 800)), "switch (") {
+		t.Error("Default unexpectedly emits switches")
+	}
+}

@@ -1,0 +1,285 @@
+// Package check implements the alarm checkers that consume analysis
+// results — buffer-overrun, null-dereference, and division-by-zero
+// detectors (the paper's analyzers are the engine of such an error
+// detection tool; Sparrow reports these classes).
+//
+// The checkers are result-representation agnostic: they evaluate the
+// pointer expressions of each reachable command under a caller-supplied
+// "memory at point" function, so the dense and sparse analyzers share them.
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"sparrow/internal/frontend/token"
+	"sparrow/internal/ir"
+	"sparrow/internal/lattice/itv"
+	"sparrow/internal/mem"
+	"sparrow/internal/sem"
+)
+
+// Kind classifies alarms.
+type Kind uint8
+
+// Alarm kinds.
+const (
+	// BufferOverrun: a dereference whose offset may fall outside [0, size).
+	BufferOverrun Kind = iota
+	// NullDeref: a dereference of a possibly-null (or target-less) pointer.
+	NullDeref
+	// DivByZero: a division or remainder whose divisor may be zero.
+	DivByZero
+)
+
+func (k Kind) String() string {
+	switch k {
+	case BufferOverrun:
+		return "buffer-overrun"
+	case NullDeref:
+		return "null-dereference"
+	case DivByZero:
+		return "division-by-zero"
+	default:
+		return "alarm"
+	}
+}
+
+// Alarm is one report.
+type Alarm struct {
+	Kind  Kind
+	Point ir.PointID
+	Pos   token.Pos
+	// Off and Size describe the offending access for overruns.
+	Off, Size itv.Itv
+	Msg       string
+}
+
+func (a Alarm) String() string {
+	return fmt.Sprintf("%s: %s: %s", a.Pos, a.Kind, a.Msg)
+}
+
+// MemAt supplies the abstract memory before a control point.
+type MemAt func(pt ir.PointID) mem.Mem
+
+// Run checks every reachable point of prog and returns the alarms sorted by
+// source position.
+func Run(prog *ir.Program, s *sem.Sem, reached []bool, memAt MemAt) []Alarm {
+	var alarms []Alarm
+	for _, pt := range prog.Points {
+		if reached != nil && !reached[pt.ID] {
+			continue
+		}
+		m := memAt(pt.ID)
+		for _, d := range derefsOf(pt.Cmd) {
+			alarms = append(alarms, checkDeref(prog, s, pt, d, m)...)
+		}
+		for _, dv := range divisorsOf(pt.Cmd) {
+			alarms = append(alarms, checkDiv(prog, s, pt, dv, m)...)
+		}
+	}
+	sort.Slice(alarms, func(i, j int) bool {
+		a, b := alarms[i], alarms[j]
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Col != b.Pos.Col {
+			return a.Pos.Col < b.Pos.Col
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Msg < b.Msg
+	})
+	// Deduplicate: complementary assume pairs (and other lowering
+	// duplicates) evaluate the same source-level dereference at several
+	// control points.
+	out := alarms[:0]
+	for i, a := range alarms {
+		if i > 0 {
+			p := alarms[i-1]
+			if p.Pos == a.Pos && p.Kind == a.Kind && p.Msg == a.Msg {
+				continue
+			}
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// deref is one pointer use inside a command.
+type deref struct {
+	ptr   ir.Expr
+	write bool
+}
+
+// derefsOf collects the dereferenced pointer expressions of a command,
+// including loads nested in pure expressions.
+func derefsOf(cmd ir.Cmd) []deref {
+	var out []deref
+	var walkExpr func(e ir.Expr)
+	walkExpr = func(e ir.Expr) {
+		switch e := e.(type) {
+		case ir.Load:
+			out = append(out, deref{ptr: e.P})
+			walkExpr(e.P)
+		case ir.LoadField:
+			out = append(out, deref{ptr: e.P})
+			walkExpr(e.P)
+		case ir.FieldAddr:
+			walkExpr(e.P)
+		case ir.Bin:
+			walkExpr(e.X)
+			walkExpr(e.Y)
+		case ir.Neg:
+			walkExpr(e.X)
+		case ir.Not:
+			walkExpr(e.X)
+		}
+	}
+	switch c := cmd.(type) {
+	case ir.Set:
+		walkExpr(c.E)
+	case ir.Store:
+		out = append(out, deref{ptr: c.P, write: true})
+		walkExpr(c.P)
+		walkExpr(c.E)
+	case ir.StoreField:
+		out = append(out, deref{ptr: c.P, write: true})
+		walkExpr(c.P)
+		walkExpr(c.E)
+	case ir.Alloc:
+		walkExpr(c.N)
+	case ir.Assume:
+		walkExpr(c.E)
+	case ir.Call:
+		walkExpr(c.F)
+		for _, a := range c.Args {
+			walkExpr(a)
+		}
+	case ir.Return:
+		if c.E != nil {
+			walkExpr(c.E)
+		}
+	}
+	return out
+}
+
+// divisorsOf collects the divisor expressions of a command.
+func divisorsOf(cmd ir.Cmd) []ir.Expr {
+	var out []ir.Expr
+	var walk func(e ir.Expr)
+	walk = func(e ir.Expr) {
+		switch e := e.(type) {
+		case ir.Bin:
+			if e.Op == ir.Div || e.Op == ir.Rem {
+				out = append(out, e.Y)
+			}
+			walk(e.X)
+			walk(e.Y)
+		case ir.Load:
+			walk(e.P)
+		case ir.LoadField:
+			walk(e.P)
+		case ir.FieldAddr:
+			walk(e.P)
+		case ir.Neg:
+			walk(e.X)
+		case ir.Not:
+			walk(e.X)
+		}
+	}
+	switch c := cmd.(type) {
+	case ir.Set:
+		walk(c.E)
+	case ir.Store:
+		walk(c.P)
+		walk(c.E)
+	case ir.StoreField:
+		walk(c.P)
+		walk(c.E)
+	case ir.Alloc:
+		walk(c.N)
+	case ir.Assume:
+		walk(c.E)
+	case ir.Call:
+		walk(c.F)
+		for _, a := range c.Args {
+			walk(a)
+		}
+	case ir.Return:
+		if c.E != nil {
+			walk(c.E)
+		}
+	}
+	return out
+}
+
+// checkDiv reports divisors whose abstract value may be zero.
+func checkDiv(prog *ir.Program, s *sem.Sem, pt *ir.Point, divisor ir.Expr, m mem.Mem) []Alarm {
+	dv := s.Eval(divisor, m)
+	iv := dv.Itv()
+	if iv.IsBot() {
+		return nil // dead
+	}
+	if iv.Truth()&itv.MaybeFalse == 0 {
+		return nil // provably nonzero
+	}
+	return []Alarm{{
+		Kind:  DivByZero,
+		Point: pt.ID,
+		Pos:   pt.Pos,
+		Msg:   fmt.Sprintf("divisor %s may be zero (value %s)", prog.ExprString(divisor), iv),
+	}}
+}
+
+func checkDeref(prog *ir.Program, s *sem.Sem, pt *ir.Point, d deref, m mem.Mem) []Alarm {
+	pv := s.Eval(d.ptr, m)
+	if pv.IsBot() {
+		return nil // dead value: nothing concrete reaches this dereference
+	}
+	var out []Alarm
+	access := "read through"
+	if d.write {
+		access = "write through"
+	}
+	// Null / wild pointer: integer component containing 0 with no valid
+	// target, or no targets at all while being a "pointer-shaped" value.
+	if len(pv.Ptr()) == 0 {
+		if pv.Itv().Truth()&itv.MaybeFalse != 0 || pv.Itv().IsTop() {
+			out = append(out, Alarm{
+				Kind:  NullDeref,
+				Point: pt.ID,
+				Pos:   pt.Pos,
+				Msg:   fmt.Sprintf("%s %s: pointer has no valid target (value %s)", access, prog.ExprString(d.ptr), pv.Itv()),
+			})
+		}
+		return out
+	}
+	// Buffer overrun: offset must stay within [0, size-1] for every target.
+	for _, t := range pv.Ptr() {
+		off, sz := t.R.Off, t.R.Sz
+		if off.IsBot() || sz.IsBot() {
+			continue
+		}
+		okLo := off.Lo().Cmp(itv.Fin(0)) >= 0
+		// off.Hi must be < sz.Lo to be provably in bounds.
+		okHi := false
+		if sz.Lo().IsFinite() && off.Hi().IsFinite() {
+			okHi = off.Hi().Int() < sz.Lo().Int()
+		}
+		if okLo && okHi {
+			continue
+		}
+		out = append(out, Alarm{
+			Kind:  BufferOverrun,
+			Point: pt.ID,
+			Pos:   pt.Pos,
+			Off:   off,
+			Size:  sz,
+			Msg: fmt.Sprintf("%s %s: offset %s may exceed block %s of size %s",
+				access, prog.ExprString(d.ptr), off, prog.Locs.String(t.Loc), sz),
+		})
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"sparrow/internal/frontend/lower"
+	"sparrow/internal/frontend/parser"
+	"sparrow/internal/ir"
+	"sparrow/internal/mem"
+	"sparrow/internal/prean"
+	"sparrow/internal/sem"
+	"sparrow/internal/solver/dense"
+)
+
+func alarmsOf(t *testing.T, src string) []Alarm {
+	t.Helper()
+	f, err := parser.Parse("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := lower.File(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := prean.Run(prog)
+	res := dense.Analyze(prog, pre, dense.Options{Localize: true})
+	s := &sem.Sem{Prog: prog, Callees: pre.CalleesOf, InCycle: pre.CG.InCycle}
+	return Run(prog, s, res.Reached, func(pt ir.PointID) mem.Mem { return res.In[pt] })
+}
+
+func kinds(alarms []Alarm) map[Kind]int {
+	out := map[Kind]int{}
+	for _, a := range alarms {
+		out[a.Kind]++
+	}
+	return out
+}
+
+func TestSafeProgramSilent(t *testing.T) {
+	alarms := alarmsOf(t, `
+int a[4];
+int main() {
+	int i;
+	int *p;
+	for (i = 0; i < 4; i++) { a[i] = i; }
+	p = &i;
+	*p = 3;
+	return a[2];
+}
+`)
+	if len(alarms) != 0 {
+		t.Errorf("false alarms on safe program: %v", alarms)
+	}
+}
+
+func TestConstantOverrun(t *testing.T) {
+	alarms := alarmsOf(t, `
+int a[4];
+int main() {
+	a[7] = 1;
+	return 0;
+}
+`)
+	k := kinds(alarms)
+	if k[BufferOverrun] == 0 {
+		t.Errorf("constant out-of-bounds write not reported: %v", alarms)
+	}
+}
+
+func TestNegativeIndex(t *testing.T) {
+	alarms := alarmsOf(t, `
+int a[4];
+int main() {
+	int i;
+	i = input();
+	if (i < 4) { a[i] = 1; }   /* lower bound unchecked */
+	return 0;
+}
+`)
+	if kinds(alarms)[BufferOverrun] == 0 {
+		t.Errorf("negative index not reported: %v", alarms)
+	}
+}
+
+func TestNullAndWildPointers(t *testing.T) {
+	alarms := alarmsOf(t, `
+int main() {
+	int *p;
+	int *q;
+	int x;
+	p = 0;
+	*p = 1;       /* null write */
+	q = p;
+	x = *q;       /* null read */
+	return x;
+}
+`)
+	if kinds(alarms)[NullDeref] < 2 {
+		t.Errorf("null derefs not reported: %v", alarms)
+	}
+}
+
+func TestMallocBounds(t *testing.T) {
+	alarms := alarmsOf(t, `
+int main() {
+	int *p;
+	int i;
+	p = malloc(8);
+	for (i = 0; i < 8; i++) { p[i] = i; }   /* safe */
+	p[9] = 1;                                /* overrun */
+	return 0;
+}
+`)
+	k := kinds(alarms)
+	if k[BufferOverrun] != 1 {
+		t.Errorf("want exactly 1 overrun, got %v", alarms)
+	}
+}
+
+func TestAlarmRendering(t *testing.T) {
+	alarms := alarmsOf(t, `
+int a[2];
+int main() { a[5] = 1; return 0; }
+`)
+	if len(alarms) == 0 {
+		t.Fatal("no alarms")
+	}
+	s := alarms[0].String()
+	if !strings.Contains(s, "buffer-overrun") || !strings.Contains(s, "arr(a)") {
+		t.Errorf("alarm rendering: %q", s)
+	}
+	if alarms[0].Pos.Line == 0 {
+		t.Error("alarm has no source position")
+	}
+}
+
+func TestUnreachableNotChecked(t *testing.T) {
+	alarms := alarmsOf(t, `
+int a[2];
+int main() {
+	int i;
+	i = 5;
+	if (i < 3) { a[9] = 1; }   /* dead */
+	return 0;
+}
+`)
+	if len(alarms) != 0 {
+		t.Errorf("alarms from dead code: %v", alarms)
+	}
+}
+
+func TestDivByZero(t *testing.T) {
+	alarms := alarmsOf(t, `
+int g;
+int main() {
+	int x; int y;
+	x = input();
+	g = 10 / x;              /* BUG: x may be 0 */
+	if (x > 0) { g = g / x; }   /* refined to [1,+oo): safe */
+	y = 4;
+	g = g % y;               /* constant nonzero: safe */
+	return g;
+}
+`)
+	n := kinds(alarms)[DivByZero]
+	if n != 1 {
+		t.Errorf("want exactly 1 div-by-zero alarm, got %d: %v", n, alarms)
+	}
+	// An x != 0 guard cannot refine an interval's interior point, so the
+	// guarded division still alarms (a known interval-domain limit).
+	alarms2 := alarmsOf(t, `
+int g;
+int main() {
+	int x;
+	x = input();
+	if (x != 0) { g = 10 / x; }
+	return g;
+}
+`)
+	if kinds(alarms2)[DivByZero] != 1 {
+		t.Errorf("interior-point guard: got %v", alarms2)
+	}
+}

@@ -1,0 +1,456 @@
+// Package core wires the frontend, pre-analysis, def-use-graph construction
+// and the fixpoint solvers into the analyzers the paper evaluates:
+//
+//	Interval_vanilla  dense, whole-state propagation
+//	Interval_base     dense + access-based localization
+//	Interval_sparse   the sparse framework (the paper's contribution)
+//	Octagon_vanilla / Octagon_base / Octagon_sparse
+//
+// The root package sparrow re-exports this API.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"sparrow/internal/check"
+	"sparrow/internal/dug"
+	"sparrow/internal/frontend/lower"
+	"sparrow/internal/frontend/parser"
+	"sparrow/internal/ir"
+	"sparrow/internal/lattice/itv"
+	"sparrow/internal/lattice/val"
+	"sparrow/internal/mem"
+	"sparrow/internal/octsem"
+	"sparrow/internal/pack"
+	"sparrow/internal/prean"
+	"sparrow/internal/sem"
+	"sparrow/internal/solver/dense"
+	"sparrow/internal/solver/octdense"
+	"sparrow/internal/solver/octsparse"
+	"sparrow/internal/solver/sparse"
+)
+
+// Domain selects the abstract domain.
+type Domain uint8
+
+// Domains.
+const (
+	Interval Domain = iota
+	Octagon
+)
+
+func (d Domain) String() string {
+	if d == Octagon {
+		return "octagon"
+	}
+	return "interval"
+}
+
+// Mode selects the fixpoint strategy.
+type Mode uint8
+
+// Modes.
+const (
+	// Vanilla propagates whole abstract states along control flow.
+	Vanilla Mode = iota
+	// Base adds access-based localization at procedure boundaries.
+	Base
+	// Sparse propagates along data dependencies (the paper's framework).
+	Sparse
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Vanilla:
+		return "vanilla"
+	case Base:
+		return "base"
+	default:
+		return "sparse"
+	}
+}
+
+// Options configures an analysis.
+type Options struct {
+	Domain Domain
+	Mode   Mode
+	// NoBypass disables the interprocedural chain-bypass optimization of
+	// the sparse analyzers (Section 5); on by default.
+	NoBypass bool
+	// DefUseChains propagates along conventional def-use chains instead of
+	// the paper's data dependencies (sparse interval only; strictly less
+	// precise — Example 5).
+	DefUseChains bool
+	// Narrow runs descending (narrowing) sweeps after the ascending phase
+	// (dense and sparse interval modes; octagon sparse has no descending
+	// phase).
+	Narrow int
+	// Timeout bounds the fixpoint wall-clock time (0 = none).
+	Timeout time.Duration
+	// MaxSteps bounds the number of transfer applications (0 = none).
+	MaxSteps int
+	// PackCap bounds octagon pack sizes (0 = the paper's 10).
+	PackCap int
+}
+
+// Stats summarizes an analysis run (the Table 1–3 columns).
+type Stats struct {
+	LOC        int
+	Functions  int
+	Statements int
+	Blocks     int
+	MaxSCC     int
+	AbsLocs    int
+
+	PreTime   time.Duration // pre-analysis (included in DepTime for sparse)
+	DepTime   time.Duration // pre-analysis + dependency generation
+	FixTime   time.Duration // fixpoint computation
+	TotalTime time.Duration
+
+	Steps     int
+	TimedOut  bool
+	DepEdges  int // dependency triples (sparse)
+	Phis      int
+	AvgDefs   float64 // avg |D̂(c)| per statement (sparse)
+	AvgUses   float64
+	PackCount int     // octagon only
+	PackAvg   float64 // octagon only: avg non-singleton pack size
+}
+
+// Result is a completed analysis.
+type Result struct {
+	Prog  *ir.Program
+	Opts  Options
+	Stats Stats
+
+	pre   *prean.Result
+	isem  *sem.Sem
+	graph *dug.Graph // sparse only
+
+	dres  *dense.Result
+	sres  *sparse.Result
+	osem  *octsem.Sem
+	packs *pack.Set
+	odres *octdense.Result
+	osres *octsparse.Result
+}
+
+// AnalyzeSource parses, lowers and analyzes a C-like translation unit.
+func AnalyzeSource(name, src string, opt Options) (*Result, error) {
+	f, err := parser.Parse(name, src)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := lower.File(f)
+	if err != nil {
+		return nil, err
+	}
+	prog.SourceLOC = countLines(src)
+	return AnalyzeProgram(prog, opt)
+}
+
+func countLines(src string) int {
+	n := 1
+	for i := 0; i < len(src); i++ {
+		if src[i] == '\n' {
+			n++
+		}
+	}
+	return n
+}
+
+// AnalyzeProgram analyzes an already-lowered program.
+func AnalyzeProgram(prog *ir.Program, opt Options) (*Result, error) {
+	r := &Result{Prog: prog, Opts: opt}
+	t0 := time.Now()
+
+	pre := prean.Run(prog)
+	r.pre = pre
+	r.isem = &sem.Sem{Prog: prog, Callees: pre.CalleesOf, InCycle: pre.CG.InCycle}
+	r.Stats.PreTime = time.Since(t0)
+
+	switch opt.Domain {
+	case Interval:
+		if err := r.runInterval(opt); err != nil {
+			return nil, err
+		}
+	case Octagon:
+		if err := r.runOctagon(opt); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown domain %d", opt.Domain)
+	}
+
+	r.Stats.TotalTime = time.Since(t0)
+	r.Stats.LOC = prog.SourceLOC
+	r.Stats.Functions = len(prog.Procs) - 1 // __start is synthetic
+	r.Stats.Statements = prog.NumStatements()
+	r.Stats.Blocks = prog.NumBlocks()
+	r.Stats.MaxSCC = pre.CG.MaxSCC()
+	r.Stats.AbsLocs = prog.Locs.Len()
+	return r, nil
+}
+
+func (r *Result) runInterval(opt Options) error {
+	prog, pre := r.Prog, r.pre
+	switch opt.Mode {
+	case Vanilla, Base:
+		t := time.Now()
+		r.dres = dense.Analyze(prog, pre, dense.Options{
+			Localize: opt.Mode == Base,
+			Timeout:  opt.Timeout,
+			MaxSteps: opt.MaxSteps,
+			Narrow:   opt.Narrow,
+		})
+		r.Stats.FixTime = time.Since(t)
+		r.Stats.DepTime = r.Stats.PreTime
+		r.Stats.Steps = r.dres.Steps
+		r.Stats.TimedOut = r.dres.TimedOut
+	case Sparse:
+		t := time.Now()
+		dopt := dug.Options{Bypass: !opt.NoBypass}
+		if opt.DefUseChains {
+			r.graph = dug.BuildDefUseChains(prog, pre, dopt)
+		} else {
+			r.graph = dug.Build(prog, pre, dopt)
+		}
+		r.Stats.DepTime = r.Stats.PreTime + time.Since(t)
+		t = time.Now()
+		r.sres = sparse.Analyze(prog, pre, r.graph, sparse.Options{
+			Timeout:  opt.Timeout,
+			MaxSteps: opt.MaxSteps,
+			Narrow:   opt.Narrow,
+		})
+		r.Stats.FixTime = time.Since(t)
+		r.Stats.Steps = r.sres.Steps
+		r.Stats.TimedOut = r.sres.TimedOut
+		r.Stats.DepEdges = r.graph.EdgeCount
+		r.Stats.Phis = len(r.graph.Phis)
+		r.Stats.AvgDefs, r.Stats.AvgUses = r.graph.AvgDefUse()
+	default:
+		return fmt.Errorf("core: unknown mode %d", opt.Mode)
+	}
+	return nil
+}
+
+func (r *Result) runOctagon(opt Options) error {
+	prog, pre := r.Prog, r.pre
+	if opt.DefUseChains {
+		return fmt.Errorf("core: def-use-chain mode is interval-only")
+	}
+	r.packs = pack.Build(prog, opt.PackCap)
+	osem, src := octsem.Source(prog, pre, r.packs)
+	r.osem = osem
+	r.Stats.PackCount = r.packs.NumPacks()
+	r.Stats.PackAvg = r.packs.AvgSize()
+	switch opt.Mode {
+	case Vanilla, Base:
+		t := time.Now()
+		r.odres = octdense.Analyze(prog, pre, osem, src, octdense.Options{
+			Localize: opt.Mode == Base,
+			Timeout:  opt.Timeout,
+			MaxSteps: opt.MaxSteps,
+			Narrow:   opt.Narrow,
+		})
+		r.Stats.FixTime = time.Since(t)
+		r.Stats.DepTime = r.Stats.PreTime
+		r.Stats.Steps = r.odres.Steps
+		r.Stats.TimedOut = r.odres.TimedOut
+	case Sparse:
+		t := time.Now()
+		r.graph = dug.BuildFrom(src, dug.Options{Bypass: !opt.NoBypass})
+		r.Stats.DepTime = r.Stats.PreTime + time.Since(t)
+		t = time.Now()
+		r.osres = octsparse.Analyze(prog, pre, osem, r.graph, octsparse.Options{
+			Timeout:  opt.Timeout,
+			MaxSteps: opt.MaxSteps,
+		})
+		r.Stats.FixTime = time.Since(t)
+		r.Stats.Steps = r.osres.Steps
+		r.Stats.TimedOut = r.osres.TimedOut
+		r.Stats.DepEdges = r.graph.EdgeCount
+		r.Stats.Phis = len(r.graph.Phis)
+		r.Stats.AvgDefs, r.Stats.AvgUses = r.graph.AvgDefUse()
+	default:
+		return fmt.Errorf("core: unknown mode %d", opt.Mode)
+	}
+	return nil
+}
+
+// Graph exposes the def-use graph of a sparse run (nil otherwise).
+func (r *Result) Graph() *dug.Graph { return r.graph }
+
+// Pre exposes the pre-analysis result.
+func (r *Result) Pre() *prean.Result { return r.pre }
+
+// Packs exposes the octagon packing (nil for interval runs).
+func (r *Result) Packs() *pack.Set { return r.packs }
+
+// Reached reports control reachability of a point.
+func (r *Result) Reached(pt ir.PointID) bool {
+	switch {
+	case r.dres != nil:
+		return r.dres.Reached[pt]
+	case r.sres != nil:
+		return r.sres.Reached[pt]
+	case r.odres != nil:
+		return r.odres.Reached[pt]
+	case r.osres != nil:
+		return r.osres.Reached[pt]
+	}
+	return false
+}
+
+// reachedSlice returns the solver's reachability vector.
+func (r *Result) reachedSlice() []bool {
+	switch {
+	case r.dres != nil:
+		return r.dres.Reached
+	case r.sres != nil:
+		return r.sres.Reached
+	case r.odres != nil:
+		return r.odres.Reached
+	case r.osres != nil:
+		return r.osres.Reached
+	}
+	return nil
+}
+
+// MemAt returns the abstract memory before pt for interval runs. For sparse
+// runs this is the partial memory over Û(pt) ∪ D̂(pt) — exactly the entries
+// Lemma 2 guarantees (everything the command at pt reads or writes).
+func (r *Result) MemAt(pt ir.PointID) mem.Mem {
+	switch {
+	case r.dres != nil:
+		return r.dres.In[pt]
+	case r.sres != nil:
+		return r.sres.Acc[pt]
+	}
+	return mem.Bot
+}
+
+// ValueAt returns the abstract value of location l at point pt (interval
+// domain). For the sparse analyzer the value is tracked only at points
+// where l ∈ D̂ ∪ Û; tracked reports that.
+func (r *Result) ValueAt(pt ir.PointID, l ir.LocID) (v val.Val, tracked bool) {
+	switch {
+	case r.dres != nil:
+		return r.dres.In[pt].Get(l), true
+	case r.sres != nil:
+		m, ok := r.sres.ValueAt(r.graph, pt, l)
+		return m.Get(l), ok
+	}
+	return val.Bot, false
+}
+
+// IntervalAt returns the numeric interval of location l at point pt,
+// uniformly across domains (octagon runs project the singleton pack).
+func (r *Result) IntervalAt(pt ir.PointID, l ir.LocID) (itv.Itv, bool) {
+	switch {
+	case r.dres != nil || r.sres != nil:
+		v, ok := r.ValueAt(pt, l)
+		return v.Itv(), ok
+	case r.odres != nil:
+		sp, ok := r.packs.Singleton(l)
+		if !ok {
+			return itv.Top, false
+		}
+		o := r.odres.In[pt].Get(sp)
+		if o == nil {
+			return itv.Bot, true
+		}
+		return o.Interval(0), true
+	case r.osres != nil:
+		sp, ok := r.packs.Singleton(l)
+		if !ok {
+			return itv.Top, false
+		}
+		m, tracked := r.osres.ValueAt(r.graph, pt, sp)
+		if !tracked {
+			return itv.Bot, false
+		}
+		o := m.Get(sp)
+		if o == nil {
+			return itv.Bot, true
+		}
+		return o.Interval(0), true
+	}
+	return itv.Bot, false
+}
+
+// LookupGlobal resolves a global variable name to its location.
+func (r *Result) LookupGlobal(name string) (ir.LocID, bool) {
+	return r.Prog.Locs.Lookup(ir.Loc{Kind: ir.LVar, Proc: ir.None, Name: name})
+}
+
+// GlobalAtExit returns the interval of a global at the program's final
+// point (the root exit).
+func (r *Result) GlobalAtExit(name string) (itv.Itv, bool) {
+	l, ok := r.LookupGlobal(name)
+	if !ok {
+		return itv.Bot, false
+	}
+	root := r.Prog.ProcByID(r.Prog.Main)
+	return r.IntervalAt(root.Exit, l)
+}
+
+// GlobalValueAtExit returns the full abstract value (interval, points-to
+// targets, function set) of a global at the root exit, rendered as a
+// string. Octagon runs render the projected interval.
+func (r *Result) GlobalValueAtExit(name string) (string, bool) {
+	l, ok := r.LookupGlobal(name)
+	if !ok {
+		return "", false
+	}
+	root := r.Prog.ProcByID(r.Prog.Main)
+	if r.dres != nil || r.sres != nil {
+		v, tracked := r.ValueAt(root.Exit, l)
+		if !tracked {
+			return "", false
+		}
+		return r.describeVal(v), true
+	}
+	iv, tracked := r.IntervalAt(root.Exit, l)
+	if !tracked {
+		return "", false
+	}
+	return iv.String(), true
+}
+
+// describeVal renders a value with location names instead of raw IDs.
+func (r *Result) describeVal(v val.Val) string {
+	if v.IsBot() {
+		return "bot"
+	}
+	out := ""
+	if !v.Itv().IsBot() {
+		out = v.Itv().String()
+	}
+	for _, e := range v.Ptr() {
+		if out != "" {
+			out += " "
+		}
+		out += fmt.Sprintf("&%s[off=%s,sz=%s]", r.Prog.Locs.String(e.Loc), e.R.Off, e.R.Sz)
+	}
+	for _, f := range v.Fns() {
+		if out != "" {
+			out += " "
+		}
+		out += "fn:" + r.Prog.ProcByID(f).Name
+	}
+	return out
+}
+
+// Alarms runs the buffer-overrun, null-dereference, and division-by-zero
+// checkers over the result (interval domains; octagon runs report no
+// alarms since pointer values live in the interval analysis).
+func (r *Result) Alarms() []check.Alarm {
+	switch {
+	case r.dres != nil, r.sres != nil:
+		return check.Run(r.Prog, r.isem, r.reachedSlice(), r.MemAt)
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,612 @@
+// Package dug builds the data-dependency graph (def-use graph) that drives
+// the sparse analysis: the relation ↝ ⊆ C × L# × C of Definition 3/4,
+// approximated by D̂/Û from the pre-analysis (Definition 5) and generated
+// with the standard SSA algorithm as Section 5 describes.
+//
+// Construction is per-procedure: a call is a definition (resp. use) of the
+// locations its callees may define (resp. use), the entry of a procedure
+// defines every location the body uses, and the exit uses every location the
+// body defines; dependencies then link call sites to entries and exits to
+// return sites. The chain-bypass optimization of Section 5 splices nodes
+// that neither define nor use a location out of its dependency chains, which
+// the paper reports is what makes the interprocedural analysis actually
+// sparse.
+package dug
+
+import (
+	"sort"
+
+	"sparrow/internal/callgraph"
+	"sparrow/internal/cfg"
+	"sparrow/internal/ir"
+	"sparrow/internal/prean"
+	"sparrow/internal/sem"
+	"sparrow/internal/ssa"
+)
+
+// NodeID identifies a node of the def-use graph: IDs below PointCount are
+// control points, the rest are phi nodes.
+type NodeID int32
+
+// Phi is an SSA join node for one location, placed at a control point.
+type Phi struct {
+	At  ir.PointID
+	Loc ir.LocID
+}
+
+// Options configures graph construction.
+type Options struct {
+	// Bypass enables the interprocedural chain-bypass optimization.
+	Bypass bool
+	// MaxSpliceFanout bounds |preds|×|succs| of a splice to avoid edge
+	// blowup (0 uses the default of 256).
+	MaxSpliceFanout int
+}
+
+// Graph is the def-use graph.
+type Graph struct {
+	Prog       *ir.Program
+	PointCount int
+	Phis       []Phi
+	// Defs[n]/Uses[n] are D̂/Û per node (post-bypass), sorted.
+	Defs [][]ir.LocID
+	Uses [][]ir.LocID
+	// Widen[n] marks per-location widening nodes: phis at loop heads and
+	// entries of recursive procedures.
+	Widen []bool
+	// Prio[n] is the worklist priority.
+	Prio []int
+	// EdgeCount is the number of ⟨from, loc, to⟩ triples.
+	EdgeCount int
+	// SplicedEdges counts edges removed+added by the bypass optimization.
+	SplicedTriples int
+
+	out []map[ir.LocID][]NodeID
+}
+
+// NumNodes returns the node count (points + phis).
+func (g *Graph) NumNodes() int { return g.PointCount + len(g.Phis) }
+
+// IsPhi reports whether n is a phi node.
+func (g *Graph) IsPhi(n NodeID) bool { return int(n) >= g.PointCount }
+
+// PhiOf returns the phi descriptor of a phi node.
+func (g *Graph) PhiOf(n NodeID) Phi { return g.Phis[int(n)-g.PointCount] }
+
+// PointOf returns the control point of a point node.
+func (g *Graph) PointOf(n NodeID) ir.PointID { return ir.PointID(n) }
+
+// Succs returns the dependency successors of n on location l.
+func (g *Graph) Succs(n NodeID, l ir.LocID) []NodeID { return g.out[n][l] }
+
+// Range visits every dependency triple until f returns false.
+func (g *Graph) Range(f func(from NodeID, l ir.LocID, to NodeID) bool) {
+	for n := range g.out {
+		for l, succs := range g.out[n] {
+			for _, t := range succs {
+				if !f(NodeID(n), l, t) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// AvgDefUse returns the average |D̂(c)| and |Û(c)| over statement points
+// (Table 2/3's D̂(c) and Û(c) columns).
+func (g *Graph) AvgDefUse() (avgD, avgU float64) {
+	n := 0
+	var sd, su int
+	for id := 0; id < g.PointCount; id++ {
+		switch g.Prog.Point(ir.PointID(id)).Cmd.(type) {
+		case ir.Entry, ir.Exit, ir.Skip:
+			continue
+		}
+		n++
+		sd += len(g.Defs[id])
+		su += len(g.Uses[id])
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return float64(sd) / float64(n), float64(su) / float64(n)
+}
+
+// Source abstracts what graph construction needs from an analysis design,
+// so the same builder serves the non-relational (locations) and relational
+// (packs) instantiations. The ID space of "locations" is whatever the
+// DefsUses/summaries speak — ir.LocID for intervals, pack IDs for octagons.
+type Source struct {
+	Prog     *ir.Program
+	CG       *callgraph.Graph
+	Callees  func(ir.PointID) []ir.ProcID
+	RetSites [][]ir.PointID
+	// DefsUses returns the command-local D̂(c)/Û(c).
+	DefsUses func(pt *ir.Point) (defs, uses sem.LocSet)
+	// AlwaysKills returns D_always(c); required only by BuildDefUseChains.
+	AlwaysKills func(pt *ir.Point) sem.LocSet
+	// DefSummary/UseSummary are the transitive per-procedure summaries.
+	DefSummary []map[ir.LocID]bool
+	UseSummary []map[ir.LocID]bool
+	// RetChan maps a procedure to its return-channel ID (ir.None if void).
+	RetChan func(p ir.ProcID) ir.LocID
+}
+
+// IntervalSource adapts the non-relational pre-analysis to a Source.
+func IntervalSource(prog *ir.Program, pre *prean.Result) *Source {
+	s := &sem.Sem{Prog: prog, Callees: pre.CalleesOf, InCycle: pre.CG.InCycle}
+	return &Source{
+		Prog:     prog,
+		CG:       pre.CG,
+		Callees:  pre.CalleesOf,
+		RetSites: pre.RetSites,
+		DefsUses: func(pt *ir.Point) (sem.LocSet, sem.LocSet) {
+			return s.DefsUses(pt, pre.Mem)
+		},
+		AlwaysKills: func(pt *ir.Point) sem.LocSet {
+			return s.AlwaysKills(pt, pre.Mem)
+		},
+		DefSummary: pre.DefSummary,
+		UseSummary: pre.UseSummary,
+		RetChan:    func(p ir.ProcID) ir.LocID { return prog.ProcByID(p).RetLoc },
+	}
+}
+
+// builder carries construction state.
+type builder struct {
+	prog *ir.Program
+	src  *Source
+	opt  Options
+
+	g        *Graph
+	defSets  []map[ir.LocID]bool // per node
+	useSets  []map[ir.LocID]bool
+	passSets []map[ir.LocID]bool // linkage-only locations (bypass candidates)
+	outSet   []map[ir.LocID]map[NodeID]bool
+	inSet    []map[ir.LocID]map[NodeID]bool
+}
+
+// Build constructs the def-use graph of prog from the non-relational
+// pre-analysis result.
+func Build(prog *ir.Program, pre *prean.Result, opt Options) *Graph {
+	return BuildFrom(IntervalSource(prog, pre), opt)
+}
+
+// BuildFrom constructs the def-use graph from an arbitrary Source.
+func BuildFrom(src *Source, opt Options) *Graph {
+	prog := src.Prog
+	if opt.MaxSpliceFanout == 0 {
+		opt.MaxSpliceFanout = 256
+	}
+	b := &builder{
+		prog:   prog,
+		src:    src,
+		opt:    opt,
+		g:      &Graph{Prog: prog, PointCount: len(prog.Points)},
+	}
+	b.initNodes()
+	info := cfg.Compute(prog, src.CG, src.Callees)
+	// Point nodes inherit the solver widening points (loop heads, recursive
+	// entries and return sites); phis get theirs during placement. Widening
+	// nodes are also pinned by the bypass optimization so that every
+	// dependency cycle keeps a widening point.
+	for i := range prog.Points {
+		if info.Widen[i] {
+			b.g.Widen[i] = true
+		}
+	}
+	for _, pr := range prog.Procs {
+		b.buildProc(pr, info)
+	}
+	b.linkInterproc()
+	if opt.Bypass {
+		b.bypass()
+	}
+	b.finalize(info)
+	return b.g
+}
+
+// ensureNode grows the per-node tables to cover node n.
+func (b *builder) ensureNode(n NodeID) {
+	for len(b.defSets) <= int(n) {
+		b.defSets = append(b.defSets, nil)
+		b.useSets = append(b.useSets, nil)
+		b.passSets = append(b.passSets, nil)
+		b.outSet = append(b.outSet, nil)
+		b.inSet = append(b.inSet, nil)
+		b.g.Widen = append(b.g.Widen, false)
+	}
+}
+
+func addTo(sets []map[ir.LocID]bool, n NodeID, l ir.LocID) {
+	if sets[n] == nil {
+		sets[n] = map[ir.LocID]bool{}
+	}
+	sets[n][l] = true
+}
+
+// initNodes computes the per-point D̂/Û including interprocedural linkage
+// sets, and records which memberships are linkage-only (bypassable).
+func (b *builder) initNodes() {
+	for i := 0; i < len(b.prog.Points); i++ {
+		b.ensureNode(NodeID(i))
+	}
+	for _, pt := range b.prog.Points {
+		n := NodeID(pt.ID)
+		ownD, ownU := b.src.DefsUses(pt)
+		for l := range ownD {
+			addTo(b.defSets, n, l)
+		}
+		for l := range ownU {
+			addTo(b.useSets, n, l)
+		}
+		// Interprocedural linkage (Section 5): a call uses everything its
+		// callees access — including the locations they may (weakly or
+		// spuriously) define, so that stale caller values flow *through*
+		// the callee and are killed by its strong definitions rather than
+		// rejoined at the return site. Entries define what flows in, exits
+		// use what the body defined, return sites define the callee-final
+		// values they receive from the exit.
+		switch c := pt.Cmd.(type) {
+		case ir.Call:
+			// The call both uses and defines (relays) everything its
+			// callees access: its definition values are the identity on the
+			// caller's reaching values (plus the formal bindings), carried
+			// into the callee entry by the call→entry edges.
+			for _, p := range b.src.Callees(pt.ID) {
+				for _, summ := range []map[ir.LocID]bool{b.src.UseSummary[p], b.src.DefSummary[p]} {
+					for l := range summ {
+						if !ownU[l] && !ownD[l] {
+							addTo(b.passSets, n, l)
+						}
+						addTo(b.useSets, n, l)
+						addTo(b.defSets, n, l)
+					}
+				}
+			}
+		case ir.Entry:
+			pr := b.prog.ProcByID(pt.Proc)
+			if pr.Entry == pt.ID {
+				for _, summ := range []map[ir.LocID]bool{b.src.UseSummary[pt.Proc], b.src.DefSummary[pt.Proc]} {
+					for l := range summ {
+						addTo(b.defSets, n, l)
+						addTo(b.passSets, n, l)
+					}
+				}
+			}
+		case ir.Exit:
+			// The exit both uses and defines (relays) what the body defined:
+			// its "definition" values are the identity on its accumulated
+			// inputs, which the return-site edges then carry to callers.
+			for l := range b.src.DefSummary[pt.Proc] {
+				if !ownU[l] {
+					addTo(b.passSets, n, l)
+				}
+				addTo(b.useSets, n, l)
+				addTo(b.defSets, n, l)
+			}
+			if rl := b.src.RetChan(pt.Proc); rl != ir.None {
+				addTo(b.useSets, n, rl)
+				addTo(b.defSets, n, rl)
+			}
+		case ir.RetBind:
+			for _, p := range b.src.Callees(c.CallPt) {
+				rl := b.src.RetChan(p)
+				for l := range b.src.DefSummary[p] {
+					if !ownD[l] && !ownU[l] && l != rl {
+						addTo(b.passSets, n, l)
+					}
+					addTo(b.defSets, n, l)
+				}
+				// The return channel must arrive exclusively over the
+				// exit→return-site edge; caller-side SSA wiring of it would
+				// join stale pre-call values into the delivered result.
+				if rl != ir.None && b.useSets[n] != nil {
+					delete(b.useSets[n], rl)
+				}
+			}
+		}
+	}
+}
+
+// buildProc runs per-location SSA over one procedure: phi placement at
+// iterated dominance frontiers of definition sites, then a single renaming
+// walk over the dominator tree adding def→use dependency edges.
+func (b *builder) buildProc(pr *ir.Proc, info *cfg.Info) {
+	if len(pr.Points) == 0 || pr.Entry == ir.None {
+		return
+	}
+	dom := ssa.Compute(b.prog, pr)
+	heads := cfg.LoopHeads(b.prog, pr)
+	recursive := b.src.CG.InCycle(pr.ID)
+	if recursive {
+		b.g.Widen[pr.Entry] = true
+	}
+
+	// Collect tracked locations and their definition sites (RPO indices).
+	defSites := map[ir.LocID][]int{}
+	for i, id := range dom.Order {
+		for l := range b.defSets[id] {
+			defSites[l] = append(defSites[l], i)
+		}
+	}
+	// Deterministic iteration order over locations.
+	locs := make([]ir.LocID, 0, len(defSites))
+	for l := range defSites {
+		locs = append(locs, l)
+	}
+	sort.Slice(locs, func(i, j int) bool { return locs[i] < locs[j] })
+
+	// Phi placement.
+	phiAt := make([]map[ir.LocID]NodeID, len(dom.Order))
+	for _, l := range locs {
+		for _, i := range dom.IteratedFrontier(defSites[l]) {
+			pid := dom.Order[i]
+			ph := Phi{At: pid, Loc: l}
+			n := NodeID(b.g.PointCount + len(b.g.Phis))
+			b.g.Phis = append(b.g.Phis, ph)
+			b.ensureNode(n)
+			addTo(b.defSets, n, l)
+			addTo(b.useSets, n, l)
+			if heads[pid] {
+				b.g.Widen[n] = true
+			}
+			if phiAt[i] == nil {
+				phiAt[i] = map[ir.LocID]NodeID{}
+			}
+			phiAt[i][l] = n
+		}
+	}
+
+	// Renaming: one preorder walk of the dominator tree with a stack per
+	// location.
+	stacks := map[ir.LocID][]NodeID{}
+	top := func(l ir.LocID) (NodeID, bool) {
+		s := stacks[l]
+		if len(s) == 0 {
+			return 0, false
+		}
+		return s[len(s)-1], true
+	}
+	var visit func(i int)
+	visit = func(i int) {
+		pid := dom.Order[i]
+		n := NodeID(pid)
+		var pushed []ir.LocID
+		// Phis first: they join the incoming paths and dominate the point's
+		// own use/def.
+		phiLocs := make([]ir.LocID, 0, len(phiAt[i]))
+		for l := range phiAt[i] {
+			phiLocs = append(phiLocs, l)
+		}
+		sort.Slice(phiLocs, func(a, c int) bool { return phiLocs[a] < phiLocs[c] })
+		for _, l := range phiLocs {
+			stacks[l] = append(stacks[l], phiAt[i][l])
+			pushed = append(pushed, l)
+		}
+		// Uses read the value reaching the point (after phis).
+		for l := range b.useSets[n] {
+			if d, ok := top(l); ok {
+				b.addEdge(d, l, n)
+			}
+		}
+		// Defs kill for dominated points. (Weak definitions are also uses,
+		// so their incoming value still flows — Definition 3's treatment of
+		// may-kills.)
+		for l := range b.defSets[n] {
+			stacks[l] = append(stacks[l], n)
+			pushed = append(pushed, l)
+		}
+		// Feed phi inputs of CFG successors.
+		for _, s := range b.prog.Point(pid).Succs {
+			si, ok := dom.Index[s]
+			if !ok {
+				continue
+			}
+			for l, ph := range phiAt[si] {
+				if d, ok := top(l); ok {
+					b.addEdge(d, l, ph)
+				}
+			}
+		}
+		for _, c := range dom.Children[i] {
+			visit(c)
+		}
+		for _, l := range pushed {
+			stacks[l] = stacks[l][:len(stacks[l])-1]
+		}
+	}
+	visit(0)
+}
+
+// addEdge records the dependency triple ⟨from, l, to⟩. Self-edges are kept:
+// SSA renaming never produces them, but the bypass optimization can collapse
+// a spurious interprocedural feedback cycle (callee effect → return site →
+// another call site → callee) onto a single transfer node, and the solver
+// must keep iterating that cycle exactly as the dense analysis does.
+func (b *builder) addEdge(from NodeID, l ir.LocID, to NodeID) {
+	if b.outSet[from] == nil {
+		b.outSet[from] = map[ir.LocID]map[NodeID]bool{}
+	}
+	m := b.outSet[from][l]
+	if m == nil {
+		m = map[NodeID]bool{}
+		b.outSet[from][l] = m
+	}
+	if m[to] {
+		return
+	}
+	m[to] = true
+	if b.inSet[to] == nil {
+		b.inSet[to] = map[ir.LocID]map[NodeID]bool{}
+	}
+	im := b.inSet[to][l]
+	if im == nil {
+		im = map[NodeID]bool{}
+		b.inSet[to][l] = im
+	}
+	im[from] = true
+}
+
+func (b *builder) delEdge(from NodeID, l ir.LocID, to NodeID) {
+	delete(b.outSet[from][l], to)
+	delete(b.inSet[to][l], from)
+}
+
+// linkInterproc adds the call→entry and exit→return-site dependencies.
+func (b *builder) linkInterproc() {
+	for _, pt := range b.prog.Points {
+		if _, ok := pt.Cmd.(ir.Call); !ok {
+			continue
+		}
+		for _, p := range b.src.Callees(pt.ID) {
+			callee := b.prog.ProcByID(p)
+			for l := range b.src.UseSummary[p] {
+				b.addEdge(NodeID(pt.ID), l, NodeID(callee.Entry))
+			}
+			// Def-summary locations flow in too: stale caller values pass
+			// through the callee and are killed by its strong definitions.
+			for l := range b.src.DefSummary[p] {
+				b.addEdge(NodeID(pt.ID), l, NodeID(callee.Entry))
+			}
+		}
+	}
+	for p, sites := range b.src.RetSites {
+		callee := b.prog.Procs[p]
+		exit := NodeID(callee.Exit)
+		for _, rs := range sites {
+			for l := range b.src.DefSummary[p] {
+				b.addEdge(exit, l, NodeID(rs))
+			}
+			if rl := b.src.RetChan(ir.ProcID(p)); rl != ir.None {
+				b.addEdge(exit, rl, NodeID(rs))
+			}
+		}
+	}
+}
+
+// bypass applies the Section 5 optimization until convergence: a node that
+// merely relays a location l (it is in l's dependency chains through
+// linkage only, neither defining nor using l itself) is spliced out,
+// connecting its predecessors directly to its successors.
+func (b *builder) bypass() {
+	work := make([]NodeID, 0, len(b.passSets))
+	inWork := make([]bool, len(b.passSets))
+	for n := range b.passSets {
+		if len(b.passSets[n]) > 0 {
+			work = append(work, NodeID(n))
+			inWork[n] = true
+		}
+	}
+	rootProc := b.prog.ProcByID(b.prog.Main)
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[n] = false
+		if b.g.Widen[n] {
+			continue // widening nodes must stay on their cycles
+		}
+		if n == NodeID(rootProc.Exit) {
+			continue // the root exit stays observable (final program state)
+		}
+		if n == NodeID(rootProc.Entry) {
+			continue // the root entry injects the initial state
+		}
+		for l := range b.passSets[n] {
+			var preds, succs []NodeID
+			if b.inSet[n] != nil {
+				for p := range b.inSet[n][l] {
+					if p != n {
+						preds = append(preds, p)
+					}
+				}
+			}
+			if b.outSet[n] != nil {
+				for s := range b.outSet[n][l] {
+					if s != n {
+						succs = append(succs, s)
+					}
+				}
+			}
+			if len(preds)*len(succs) > b.opt.MaxSpliceFanout {
+				continue
+			}
+			// Remove the relay (including any self-loop, which is an
+			// identity cycle at a pure relay) and reconnect; a pred that is
+			// also a succ becomes a self-edge carrying the collapsed cycle.
+			for _, p := range preds {
+				b.delEdge(p, l, n)
+			}
+			for _, s := range succs {
+				b.delEdge(n, l, s)
+			}
+			if b.outSet[n] != nil && b.outSet[n][l] != nil {
+				b.delEdge(n, l, n)
+			}
+			requeue := func(m NodeID) {
+				if !inWork[m] && b.passSets[m][l] {
+					work = append(work, m)
+					inWork[m] = true
+				}
+			}
+			for _, p := range preds {
+				for _, s := range succs {
+					b.addEdge(p, l, s)
+					requeue(s)
+				}
+				requeue(p)
+			}
+			b.g.SplicedTriples += len(preds) + len(succs)
+			delete(b.passSets[n], l)
+			delete(b.defSets[n], l)
+			delete(b.useSets[n], l)
+		}
+	}
+}
+
+// finalize converts edge sets to slices and fills the solver-facing tables.
+func (b *builder) finalize(info *cfg.Info) {
+	g := b.g
+	n := g.NumNodes()
+	g.Defs = make([][]ir.LocID, n)
+	g.Uses = make([][]ir.LocID, n)
+	g.Prio = make([]int, n)
+	g.out = make([]map[ir.LocID][]NodeID, n)
+	for i := 0; i < n; i++ {
+		g.Defs[i] = sortedLocs(b.defSets[i])
+		g.Uses[i] = sortedLocs(b.useSets[i])
+		if i < g.PointCount {
+			g.Prio[i] = info.Prio[i] * 2
+		} else {
+			g.Prio[i] = info.Prio[g.Phis[i-g.PointCount].At]*2 - 1
+		}
+		if b.outSet[i] == nil {
+			continue
+		}
+		g.out[i] = make(map[ir.LocID][]NodeID, len(b.outSet[i]))
+		for l, set := range b.outSet[i] {
+			if len(set) == 0 {
+				continue
+			}
+			succs := make([]NodeID, 0, len(set))
+			for t := range set {
+				succs = append(succs, t)
+			}
+			sort.Slice(succs, func(a, c int) bool { return succs[a] < succs[c] })
+			g.out[i][l] = succs
+			g.EdgeCount += len(succs)
+		}
+	}
+}
+
+func sortedLocs(set map[ir.LocID]bool) []ir.LocID {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]ir.LocID, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,28 @@
+package exp
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"sparrow/internal/core"
+)
+
+func TestSmokeTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table smoke runs analyzers")
+	}
+	suite := Suite(1)[:2]
+	if err := Table1(os.Stdout, suite); err != nil {
+		t.Fatal(err)
+	}
+	if err := PerfTable(os.Stdout, suite, PerfOptions{Domain: core.Interval, Timeout: 30 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	if err := TableBDD(os.Stdout, suite); err != nil {
+		t.Fatal(err)
+	}
+	if err := TableBypass(os.Stdout, suite); err != nil {
+		t.Fatal(err)
+	}
+}

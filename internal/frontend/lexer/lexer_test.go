@@ -1,0 +1,155 @@
+package lexer
+
+import (
+	"testing"
+
+	"sparrow/internal/frontend/token"
+)
+
+func kinds(toks []token.Token) []token.Kind {
+	out := make([]token.Kind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestBasicTokens(t *testing.T) {
+	toks, errs := Tokenize("int x = 42;")
+	if len(errs) != 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	want := []token.Kind{token.KwInt, token.Ident, token.Assign, token.Number, token.Semi, token.EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s want %s", i, got[i], want[i])
+		}
+	}
+	if toks[3].Val != 42 {
+		t.Errorf("number value = %d want 42", toks[3].Val)
+	}
+}
+
+func TestOperators(t *testing.T) {
+	src := "a <= b >= c == d != e && f || g -> h . i ++ -- += -= *= /= << >>"
+	toks, errs := Tokenize(src)
+	if len(errs) != 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	want := []token.Kind{
+		token.Ident, token.Le, token.Ident, token.Ge, token.Ident, token.EqEq,
+		token.Ident, token.NotEq, token.Ident, token.AmpAmp, token.Ident,
+		token.PipePipe, token.Ident, token.Arrow, token.Ident, token.Dot,
+		token.Ident, token.PlusPlus, token.MinusMinus, token.PlusAssign,
+		token.MinusAssign, token.StarAssign, token.SlashAssign, token.Shl,
+		token.Shr, token.EOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNumberBases(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"0", 0},
+		{"123", 123},
+		{"0x1F", 31},
+		{"0xff", 255},
+		{"010", 8},
+		{"42u", 42},
+		{"42L", 42},
+		{"42UL", 42},
+		{"'a'", 97},
+		{"'\\n'", 10},
+		{"'\\0'", 0},
+	}
+	for _, c := range cases {
+		toks, errs := Tokenize(c.src)
+		if len(errs) != 0 {
+			t.Errorf("%q: errors %v", c.src, errs)
+			continue
+		}
+		if toks[0].Kind != token.Number || toks[0].Val != c.want {
+			t.Errorf("%q: got %v val=%d want %d", c.src, toks[0].Kind, toks[0].Val, c.want)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := `
+// line comment
+int /* block
+spanning lines */ x;
+#include <stdio.h>
+int y;
+`
+	toks, errs := Tokenize(src)
+	if len(errs) != 0 {
+		t.Fatalf("errors: %v", errs)
+	}
+	want := []token.Kind{token.KwInt, token.Ident, token.Semi, token.KwInt, token.Ident, token.Semi, token.EOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, _ := Tokenize("int\n  x;")
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("int at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("x at %v want 2:3", toks[1].Pos)
+	}
+}
+
+func TestKeywords(t *testing.T) {
+	toks, _ := Tokenize("while if else for do break continue return struct")
+	want := []token.Kind{
+		token.KwWhile, token.KwIf, token.KwElse, token.KwFor, token.KwDo,
+		token.KwBreak, token.KwContinue, token.KwReturn, token.KwStruct, token.EOF,
+	}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %s want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	_, errs := Tokenize("int x @ y;")
+	if len(errs) == 0 {
+		t.Error("expected error for '@'")
+	}
+	_, errs = Tokenize("/* unterminated")
+	if len(errs) == 0 {
+		t.Error("expected error for unterminated comment")
+	}
+	_, errs = Tokenize("'a")
+	if len(errs) == 0 {
+		t.Error("expected error for unterminated char constant")
+	}
+}
+
+func TestUnterminatedRecovers(t *testing.T) {
+	// Errors must not prevent reaching EOF.
+	toks, _ := Tokenize("@@@")
+	if toks[len(toks)-1].Kind != token.EOF {
+		t.Error("did not reach EOF")
+	}
+}

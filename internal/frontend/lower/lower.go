@@ -1,0 +1,1067 @@
+// Package lower translates the AST into the IR of control points and small
+// commands (Section 2.2's program model).
+//
+// The translation:
+//   - hoists calls out of expressions into Call/RetBind point pairs,
+//   - decomposes short-circuit conditions into Assume points on branch edges,
+//   - decays arrays to pointers to a smashed contents location,
+//   - resolves struct field accesses to field locations (field-sensitive),
+//   - synthesizes a root procedure __start that zero-initializes globals and
+//     calls main, so the analyzers have a single entry point.
+package lower
+
+import (
+	"fmt"
+
+	"sparrow/internal/frontend/ast"
+	"sparrow/internal/frontend/token"
+	"sparrow/internal/ir"
+)
+
+// Error is a lowering error with a source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+type varInfo struct {
+	loc ir.LocID
+	typ ast.Type
+}
+
+type lowerer struct {
+	prog    *ir.Program
+	file    *ast.File
+	structs map[string]*ast.StructDef
+	funcIDs map[string]ir.ProcID
+	globals map[string]varInfo
+}
+
+// File lowers a parsed translation unit to an IR program. The program's
+// Main is the synthesized __start procedure.
+func File(f *ast.File) (prog *ir.Program, err error) {
+	l := &lowerer{
+		prog:    ir.NewProgram(),
+		file:    f,
+		structs: make(map[string]*ast.StructDef),
+		funcIDs: make(map[string]ir.ProcID),
+		globals: make(map[string]varInfo),
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			le, ok := r.(*Error)
+			if !ok {
+				panic(r)
+			}
+			prog, err = nil, fmt.Errorf("%s: %w", f.Name, le)
+		}
+	}()
+	for _, s := range f.Structs {
+		l.structs[s.Name] = s
+	}
+	// Procedures are created up front so function names resolve everywhere.
+	start := l.prog.NewProc("__start")
+	for _, fn := range f.Funcs {
+		if _, dup := l.funcIDs[fn.Name]; dup {
+			panic(&Error{Pos: fn.P, Msg: "duplicate function " + fn.Name})
+		}
+		l.funcIDs[fn.Name] = l.prog.NewProc(fn.Name).ID
+	}
+	for _, g := range f.Globals {
+		if _, dup := l.globals[g.Name]; dup {
+			panic(&Error{Pos: g.P, Msg: "duplicate global " + g.Name})
+		}
+		l.globals[g.Name] = varInfo{loc: l.prog.Locs.Var(ir.None, g.Name), typ: g.Type}
+	}
+	for _, fn := range f.Funcs {
+		l.lowerFunc(fn)
+	}
+	l.lowerStart(start)
+	l.prog.Main = start.ID
+	return l.prog, nil
+}
+
+func (l *lowerer) structDef(name string, pos token.Pos) *ast.StructDef {
+	s, ok := l.structs[name]
+	if !ok {
+		panic(&Error{Pos: pos, Msg: "unknown struct " + name})
+	}
+	return s
+}
+
+// flatCount returns the number of scalar cells an array type spans when
+// smashed (multi-dimensional arrays are flattened).
+func flatCount(t ast.Type) int64 {
+	if a, ok := t.(ast.ArrayT); ok {
+		return a.Len * flatCount(a.Elem)
+	}
+	return 1
+}
+
+// stride returns the index multiplier for subscripting a value of element
+// type t (1 for scalars and structs, the flattened inner size for arrays).
+func stride(t ast.Type) int64 { return flatCount(t) }
+
+// ---------- per-procedure lowering ----------
+
+type procLowerer struct {
+	*lowerer
+	proc   *ir.Proc
+	scopes []map[string]varInfo
+	cur    ir.PointID // frontier: last emitted point
+	tempN  int
+	// Loop targets for break/continue, innermost last.
+	breaks []ir.PointID
+	conts  []ir.PointID
+	// goto labels: target points created on demand, and which were defined.
+	labels       map[string]ir.PointID
+	labelDefined map[string]token.Pos
+	labelUsed    map[string]token.Pos
+}
+
+func (l *lowerer) lowerFunc(fn *ast.FuncDef) {
+	proc := l.prog.ProcByName(fn.Name)
+	p := &procLowerer{
+		lowerer:      l,
+		proc:         proc,
+		labels:       map[string]ir.PointID{},
+		labelDefined: map[string]token.Pos{},
+		labelUsed:    map[string]token.Pos{},
+	}
+	p.pushScope()
+	entry := l.prog.NewPoint(proc.ID, ir.Entry{}, fn.P)
+	proc.Entry = entry.ID
+	p.cur = entry.ID
+	if _, ok := fn.Ret.(ast.VoidT); !ok {
+		proc.RetLoc = l.prog.Locs.Ret(proc.ID)
+	}
+	for _, prm := range fn.Params {
+		loc := l.prog.Locs.Var(proc.ID, prm.Name)
+		p.scopes[0][prm.Name] = varInfo{loc: loc, typ: prm.Type}
+		proc.Formals = append(proc.Formals, loc)
+	}
+	exit := l.prog.NewPoint(proc.ID, ir.Exit{}, fn.P)
+	proc.Exit = exit.ID
+	p.lowerBlock(fn.Body)
+	// Fall off the end: void return.
+	l.prog.AddEdge(p.cur, exit.ID)
+	for name, pos := range p.labelUsed {
+		if _, ok := p.labelDefined[name]; !ok {
+			panic(&Error{Pos: pos, Msg: "goto to undefined label " + name})
+		}
+	}
+	p.popScope()
+	p.pruneUnreachable()
+}
+
+// labelPoint returns (creating on demand) the target point of a label.
+func (p *procLowerer) labelPoint(name string, pos token.Pos) ir.PointID {
+	if pt, ok := p.labels[name]; ok {
+		return pt
+	}
+	pt := p.prog.NewPoint(p.proc.ID, ir.Skip{}, pos)
+	p.labels[name] = pt.ID
+	return pt.ID
+}
+
+// lowerStart builds the synthetic root: zero-initialize globals in
+// declaration order (running their initializers), then call main.
+func (l *lowerer) lowerStart(start *ir.Proc) {
+	p := &procLowerer{lowerer: l, proc: start}
+	p.pushScope()
+	entry := l.prog.NewPoint(start.ID, ir.Entry{}, token.Pos{})
+	start.Entry = entry.ID
+	p.cur = entry.ID
+	exit := l.prog.NewPoint(start.ID, ir.Exit{}, token.Pos{})
+	start.Exit = exit.ID
+	for _, g := range l.file.Globals {
+		p.initVar(l.globals[g.Name], g.Init, g.P, true)
+	}
+	if mainID, ok := l.funcIDs["main"]; ok {
+		mainProc := l.prog.ProcByID(mainID)
+		args := make([]ir.Expr, len(mainProc.Formals))
+		for i := range args {
+			args[i] = ir.Unknown{}
+		}
+		call := p.emit(ir.Call{F: ir.FuncAddr{F: mainID}, Args: args}, token.Pos{})
+		p.emit(ir.RetBind{L: ir.None, CallPt: call}, token.Pos{})
+	}
+	l.prog.AddEdge(p.cur, exit.ID)
+	p.popScope()
+	p.pruneUnreachable()
+}
+
+func (p *procLowerer) pushScope() { p.scopes = append(p.scopes, map[string]varInfo{}) }
+func (p *procLowerer) popScope()  { p.scopes = p.scopes[:len(p.scopes)-1] }
+
+func (p *procLowerer) lookup(name string) (varInfo, bool) {
+	for i := len(p.scopes) - 1; i >= 0; i-- {
+		if v, ok := p.scopes[i][name]; ok {
+			return v, true
+		}
+	}
+	v, ok := p.globals[name]
+	return v, ok
+}
+
+func (p *procLowerer) fail(pos token.Pos, format string, args ...any) {
+	panic(&Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// emit appends a point with cmd, linked from the frontier, and advances the
+// frontier to it.
+func (p *procLowerer) emit(cmd ir.Cmd, pos token.Pos) ir.PointID {
+	pt := p.prog.NewPoint(p.proc.ID, cmd, pos)
+	p.prog.AddEdge(p.cur, pt.ID)
+	p.cur = pt.ID
+	return pt.ID
+}
+
+// orphan starts a fresh unreachable frontier (after break/continue/return).
+func (p *procLowerer) orphan(pos token.Pos) {
+	pt := p.prog.NewPoint(p.proc.ID, ir.Skip{}, pos)
+	p.cur = pt.ID
+}
+
+// newTemp declares a fresh scalar temporary.
+func (p *procLowerer) newTemp(typ ast.Type) varInfo {
+	p.tempN++
+	name := fmt.Sprintf("$t%d", p.tempN)
+	v := varInfo{loc: p.prog.Locs.Var(p.proc.ID, name), typ: typ}
+	p.scopes[0][name] = v
+	return v
+}
+
+// pruneUnreachable disconnects points not reachable from the entry so
+// later phases (dominators, SSA) see a rooted graph.
+func (p *procLowerer) pruneUnreachable() {
+	reach := map[ir.PointID]bool{}
+	var stack []ir.PointID
+	stack = append(stack, p.proc.Entry)
+	reach[p.proc.Entry] = true
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range p.prog.Point(n).Succs {
+			if !reach[s] {
+				reach[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	for _, id := range p.proc.Points {
+		if reach[id] {
+			// Drop predecessors that are unreachable.
+			pt := p.prog.Point(id)
+			kept := pt.Preds[:0]
+			for _, pr := range pt.Preds {
+				if reach[pr] {
+					kept = append(kept, pr)
+				}
+			}
+			pt.Preds = kept
+			continue
+		}
+		pt := p.prog.Point(id)
+		pt.Cmd = ir.Skip{}
+		pt.Succs = nil
+		pt.Preds = nil
+	}
+}
+
+// ---------- statements ----------
+
+func (p *procLowerer) lowerBlock(b *ast.Block) {
+	p.pushScope()
+	for _, s := range b.Stmts {
+		p.lowerStmt(s)
+	}
+	p.popScope()
+}
+
+func (p *procLowerer) lowerStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.Block:
+		p.lowerBlock(s)
+	case *ast.DeclStmt:
+		if _, dup := p.scopes[len(p.scopes)-1][s.Name]; dup {
+			p.fail(s.P, "redeclared variable %s", s.Name)
+		}
+		v := varInfo{loc: p.prog.Locs.Var(p.proc.ID, s.Name), typ: s.Type}
+		p.scopes[len(p.scopes)-1][s.Name] = v
+		p.initVar(v, s.Init, s.P, false)
+	case *ast.AssignStmt:
+		p.lowerAssign(s)
+	case *ast.IncDecStmt:
+		op := token.PlusAssign
+		if s.Dec {
+			op = token.MinusAssign
+		}
+		p.lowerAssign(&ast.AssignStmt{Op: op, LHS: s.X, RHS: &ast.IntLit{Val: 1, P: s.P}, P: s.P})
+	case *ast.ExprStmt:
+		if c, ok := s.X.(*ast.Call); ok {
+			p.lowerCall(c, ir.None)
+			return
+		}
+		p.lowerExpr(s.X) // pure beyond calls; evaluated for any nested calls
+	case *ast.IfStmt:
+		t, f := p.lowerCond(s.Cond, p.cur)
+		join := p.prog.NewPoint(p.proc.ID, ir.Skip{}, s.P)
+		p.cur = t
+		p.lowerStmt(s.Then)
+		p.prog.AddEdge(p.cur, join.ID)
+		p.cur = f
+		if s.Else != nil {
+			p.lowerStmt(s.Else)
+		}
+		p.prog.AddEdge(p.cur, join.ID)
+		p.cur = join.ID
+	case *ast.WhileStmt:
+		head := p.emit(ir.Skip{}, s.P) // loop head (widening point)
+		exitPt := p.prog.NewPoint(p.proc.ID, ir.Skip{}, s.P)
+		t, f := p.lowerCond(s.Cond, head)
+		p.prog.AddEdge(f, exitPt.ID)
+		p.breaks = append(p.breaks, exitPt.ID)
+		p.conts = append(p.conts, head)
+		p.cur = t
+		p.lowerStmt(s.Body)
+		p.prog.AddEdge(p.cur, head)
+		p.breaks = p.breaks[:len(p.breaks)-1]
+		p.conts = p.conts[:len(p.conts)-1]
+		p.cur = exitPt.ID
+	case *ast.DoWhileStmt:
+		head := p.emit(ir.Skip{}, s.P)
+		exitPt := p.prog.NewPoint(p.proc.ID, ir.Skip{}, s.P)
+		condEntry := p.prog.NewPoint(p.proc.ID, ir.Skip{}, s.P)
+		p.breaks = append(p.breaks, exitPt.ID)
+		p.conts = append(p.conts, condEntry.ID)
+		p.lowerStmt(s.Body)
+		p.prog.AddEdge(p.cur, condEntry.ID)
+		t, f := p.lowerCond(s.Cond, condEntry.ID)
+		p.prog.AddEdge(t, head)
+		p.prog.AddEdge(f, exitPt.ID)
+		p.breaks = p.breaks[:len(p.breaks)-1]
+		p.conts = p.conts[:len(p.conts)-1]
+		p.cur = exitPt.ID
+	case *ast.ForStmt:
+		p.pushScope() // for-init declarations scope over the loop
+		if s.Init != nil {
+			p.lowerStmt(s.Init)
+		}
+		head := p.emit(ir.Skip{}, s.P)
+		exitPt := p.prog.NewPoint(p.proc.ID, ir.Skip{}, s.P)
+		postEntry := p.prog.NewPoint(p.proc.ID, ir.Skip{}, s.P)
+		var t ir.PointID
+		if s.Cond != nil {
+			var f ir.PointID
+			t, f = p.lowerCond(s.Cond, head)
+			p.prog.AddEdge(f, exitPt.ID)
+		} else {
+			t = head
+		}
+		p.breaks = append(p.breaks, exitPt.ID)
+		p.conts = append(p.conts, postEntry.ID)
+		p.cur = t
+		p.lowerStmt(s.Body)
+		p.prog.AddEdge(p.cur, postEntry.ID)
+		p.cur = postEntry.ID
+		if s.Post != nil {
+			p.lowerStmt(s.Post)
+		}
+		p.prog.AddEdge(p.cur, head)
+		p.breaks = p.breaks[:len(p.breaks)-1]
+		p.conts = p.conts[:len(p.conts)-1]
+		p.cur = exitPt.ID
+		p.popScope()
+	case *ast.BreakStmt:
+		if len(p.breaks) == 0 {
+			p.fail(s.P, "break outside loop")
+		}
+		p.prog.AddEdge(p.cur, p.breaks[len(p.breaks)-1])
+		p.orphan(s.P)
+	case *ast.ContinueStmt:
+		if len(p.conts) == 0 {
+			p.fail(s.P, "continue outside loop")
+		}
+		p.prog.AddEdge(p.cur, p.conts[len(p.conts)-1])
+		p.orphan(s.P)
+	case *ast.GotoStmt:
+		p.labelUsed[s.Label] = s.P
+		p.prog.AddEdge(p.cur, p.labelPoint(s.Label, s.P))
+		p.orphan(s.P)
+	case *ast.LabelStmt:
+		if _, dup := p.labelDefined[s.Name]; dup {
+			p.fail(s.P, "duplicate label %s", s.Name)
+		}
+		p.labelDefined[s.Name] = s.P
+		pt := p.labelPoint(s.Name, s.P)
+		p.prog.AddEdge(p.cur, pt)
+		p.cur = pt
+		p.lowerStmt(s.Stmt)
+	case *ast.SwitchStmt:
+		p.lowerSwitch(s)
+	case *ast.ReturnStmt:
+		if s.X != nil && p.proc.RetLoc != ir.None {
+			e, _ := p.lowerExpr(s.X)
+			p.emit(ir.Set{L: p.proc.RetLoc, E: e}, s.P)
+		}
+		p.prog.AddEdge(p.cur, p.proc.Exit)
+		p.orphan(s.P)
+	default:
+		p.fail(s.Pos(), "unsupported statement %T", s)
+	}
+}
+
+// lowerSwitch lowers a C switch: the scrutinee is materialized into a
+// temporary, the case labels become a chain of equality assumes, and the
+// bodies fall through to each other unless they break to the exit point.
+func (p *procLowerer) lowerSwitch(s *ast.SwitchStmt) {
+	tv := p.newTemp(ast.IntT{})
+	cond, _ := p.lowerExpr(s.Cond)
+	p.emit(ir.Set{L: tv.loc, E: cond}, s.P)
+	exitPt := p.prog.NewPoint(p.proc.ID, ir.Skip{}, s.P)
+
+	// One body entry point per arm; fallthrough chains them.
+	entries := make([]ir.PointID, len(s.Cases))
+	defaultArm := -1
+	for i, arm := range s.Cases {
+		entries[i] = p.prog.NewPoint(p.proc.ID, ir.Skip{}, arm.P).ID
+		if arm.Vals == nil {
+			defaultArm = i
+		}
+	}
+
+	// Dispatch chain from the frontier.
+	read := ir.VarE{L: tv.loc}
+	for i, arm := range s.Cases {
+		for _, v := range arm.Vals {
+			eq := p.prog.NewPoint(p.proc.ID, ir.Assume{E: ir.Bin{Op: ir.Eq, X: read, Y: ir.Const{V: v}}}, arm.P)
+			ne := p.prog.NewPoint(p.proc.ID, ir.Assume{E: ir.Bin{Op: ir.Ne, X: read, Y: ir.Const{V: v}}}, arm.P)
+			p.prog.AddEdge(p.cur, eq.ID)
+			p.prog.AddEdge(p.cur, ne.ID)
+			p.prog.AddEdge(eq.ID, entries[i])
+			p.cur = ne.ID
+		}
+	}
+	if defaultArm >= 0 {
+		p.prog.AddEdge(p.cur, entries[defaultArm])
+	} else {
+		p.prog.AddEdge(p.cur, exitPt.ID)
+	}
+
+	// Bodies with fallthrough; break exits the switch.
+	p.breaks = append(p.breaks, exitPt.ID)
+	for i, arm := range s.Cases {
+		p.cur = entries[i]
+		p.pushScope()
+		for _, st := range arm.Stmts {
+			p.lowerStmt(st)
+		}
+		p.popScope()
+		if i+1 < len(s.Cases) {
+			p.prog.AddEdge(p.cur, entries[i+1])
+		} else {
+			p.prog.AddEdge(p.cur, exitPt.ID)
+		}
+	}
+	p.breaks = p.breaks[:len(p.breaks)-1]
+	p.cur = exitPt.ID
+}
+
+// initVar emits initialization for a declared variable: the array decay
+// binding, zero-initialization for globals, and Unknown for uninitialized
+// locals (modeling C's indeterminate locals soundly).
+func (p *procLowerer) initVar(v varInfo, init ast.Expr, pos token.Pos, global bool) {
+	switch t := v.typ.(type) {
+	case ast.ArrayT:
+		if init != nil {
+			p.fail(pos, "array initializers are not supported")
+		}
+		arr := p.prog.Locs.Arr(v.loc)
+		p.emit(ir.Set{L: v.loc, E: ir.AddrOf{L: arr, Count: flatCount(t)}}, pos)
+		if global {
+			p.emit(ir.Set{L: arr, E: ir.Const{V: 0}}, pos)
+		} else {
+			p.emit(ir.Set{L: arr, E: ir.Unknown{}}, pos)
+		}
+	case ast.StructT:
+		if init != nil {
+			p.fail(pos, "struct initializers are not supported")
+		}
+		def := p.structDef(t.Name, pos)
+		for _, f := range def.Fields {
+			fl := p.fieldLoc(v.loc, t, f.Name, pos)
+			if global {
+				p.emit(ir.Set{L: fl, E: ir.Const{V: 0}}, pos)
+			} else {
+				p.emit(ir.Set{L: fl, E: ir.Unknown{}}, pos)
+			}
+		}
+	default:
+		if init != nil {
+			if c, ok := init.(*ast.Call); ok {
+				p.lowerCall(c, v.loc)
+				return
+			}
+			e, _ := p.lowerExpr(init)
+			p.emit(ir.Set{L: v.loc, E: e}, pos)
+			return
+		}
+		if global {
+			p.emit(ir.Set{L: v.loc, E: ir.Const{V: 0}}, pos)
+		} else {
+			p.emit(ir.Set{L: v.loc, E: ir.Unknown{}}, pos)
+		}
+	}
+}
+
+// fieldLoc interns the field location base.name, checking the field exists.
+func (p *procLowerer) fieldLoc(base ir.LocID, st ast.StructT, name string, pos token.Pos) ir.LocID {
+	def := p.structDef(st.Name, pos)
+	for _, f := range def.Fields {
+		if f.Name == name {
+			if _, isArr := f.Type.(ast.ArrayT); isArr {
+				p.fail(pos, "array-typed struct fields are not supported")
+			}
+			return p.prog.Locs.Field(base, name)
+		}
+	}
+	p.fail(pos, "struct %s has no field %s", st.Name, name)
+	return ir.None
+}
+
+func (p *procLowerer) fieldType(st ast.StructT, name string, pos token.Pos) ast.Type {
+	def := p.structDef(st.Name, pos)
+	for _, f := range def.Fields {
+		if f.Name == name {
+			return f.Type
+		}
+	}
+	p.fail(pos, "struct %s has no field %s", st.Name, name)
+	return nil
+}
+
+// ---------- assignments ----------
+
+func (p *procLowerer) lowerAssign(s *ast.AssignStmt) {
+	// Compute the RHS first (C's order is unspecified; RHS-first keeps call
+	// hoisting simple). Op-assigns read the LHS as part of the RHS.
+	var rhs ir.Expr
+	if c, ok := s.RHS.(*ast.Call); ok && s.Op == token.Assign {
+		// Direct call into a simple variable avoids a temp.
+		if id, isIdent := s.LHS.(*ast.Ident); isIdent {
+			if v, found := p.lookup(id.Name); found {
+				if _, isArr := v.typ.(ast.ArrayT); !isArr {
+					if _, isStruct := v.typ.(ast.StructT); !isStruct {
+						p.lowerCall(c, v.loc)
+						return
+					}
+				}
+			}
+		}
+		rhs, _ = p.lowerExpr(s.RHS)
+	} else {
+		rhs, _ = p.lowerExpr(s.RHS)
+	}
+	if s.Op != token.Assign {
+		read, _ := p.lowerExpr(s.LHS)
+		var op ir.BinOp
+		switch s.Op {
+		case token.PlusAssign:
+			op = ir.Add
+		case token.MinusAssign:
+			op = ir.Sub
+		case token.StarAssign:
+			op = ir.Mul
+		case token.SlashAssign:
+			op = ir.Div
+		default:
+			p.fail(s.P, "unsupported assignment operator %s", s.Op)
+		}
+		rhs = ir.Bin{Op: op, X: read, Y: rhs}
+	}
+	p.storeTo(s.LHS, rhs, s.P)
+}
+
+// storeTo emits the command writing rhs into the lvalue lhs.
+func (p *procLowerer) storeTo(lhs ast.Expr, rhs ir.Expr, pos token.Pos) {
+	// Direct location (variable or var.field chain): a Set.
+	if loc, typ, ok := p.directLoc(lhs); ok {
+		if st, isStruct := typ.(ast.StructT); isStruct {
+			p.structCopy(loc, st, rhs, pos)
+			return
+		}
+		p.emit(ir.Set{L: loc, E: rhs}, pos)
+		return
+	}
+	switch e := lhs.(type) {
+	case *ast.Unary:
+		if e.Op == token.Star {
+			ptr, _ := p.lowerExpr(e.X)
+			p.emit(ir.Store{P: ptr, E: rhs}, pos)
+			return
+		}
+	case *ast.Index:
+		addr, _ := p.indexAddr(e)
+		p.emit(ir.Store{P: addr, E: rhs}, pos)
+		return
+	case *ast.Field:
+		ptr := p.fieldBasePtr(e)
+		p.emit(ir.StoreField{P: ptr, F: e.Name, E: rhs}, pos)
+		return
+	}
+	p.fail(pos, "expression is not assignable")
+}
+
+// structCopy lowers struct assignment s1 = s2 field-wise. The destination
+// is a direct struct location; the source must be direct or a pointer
+// dereference.
+func (p *procLowerer) structCopy(dst ir.LocID, st ast.StructT, rhs ir.Expr, pos token.Pos) {
+	var srcDirect ir.LocID
+	var srcPtr ir.Expr
+	def := p.structDef(st.Name, pos)
+	panicBad := func() { p.fail(pos, "unsupported struct assignment source") }
+	switch src := rhs.(type) {
+	case ir.VarE:
+		// Source lowered to a VarE means the frontend saw a direct struct
+		// variable; its "value" location is the struct base.
+		srcDirect = src.L
+	case ir.Load:
+		srcPtr = src.P
+	case ir.LoadField:
+		// (*q).inner — nested struct copy via pointer: address of the field.
+		srcPtr = ir.FieldAddr{P: src.P, F: src.F}
+	default:
+		panicBad()
+	}
+	for _, f := range def.Fields {
+		dfl := p.fieldLoc(dst, st, f.Name, pos)
+		if srcPtr == nil {
+			sfl := p.fieldLoc(srcDirect, st, f.Name, pos)
+			p.emit(ir.Set{L: dfl, E: ir.VarE{L: sfl}}, pos)
+		} else {
+			p.emit(ir.Set{L: dfl, E: ir.LoadField{P: srcPtr, F: f.Name}}, pos)
+		}
+	}
+}
+
+// directLoc resolves an lvalue made only of variables and non-arrow field
+// selections to a concrete location. Arrays are not direct (they decay).
+func (p *procLowerer) directLoc(e ast.Expr) (ir.LocID, ast.Type, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		v, ok := p.lookup(e.Name)
+		if !ok {
+			return ir.None, nil, false
+		}
+		if _, isArr := v.typ.(ast.ArrayT); isArr {
+			return ir.None, nil, false
+		}
+		return v.loc, v.typ, true
+	case *ast.Field:
+		if e.Arrow {
+			return ir.None, nil, false
+		}
+		base, btyp, ok := p.directLoc(e.X)
+		if !ok {
+			return ir.None, nil, false
+		}
+		st, isStruct := btyp.(ast.StructT)
+		if !isStruct {
+			p.fail(e.P, "field access on non-struct")
+		}
+		return p.fieldLoc(base, st, e.Name, e.P), p.fieldType(st, e.Name, e.P), true
+	default:
+		return ir.None, nil, false
+	}
+}
+
+// ---------- expressions ----------
+
+// lowerExpr lowers an expression to a pure IR expression plus its type,
+// emitting Call points for any calls inside it.
+func (p *procLowerer) lowerExpr(e ast.Expr) (ir.Expr, ast.Type) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return ir.Const{V: e.Val}, ast.IntT{}
+	case *ast.Ident:
+		if v, ok := p.lookup(e.Name); ok {
+			if st, isStruct := v.typ.(ast.StructT); isStruct {
+				// Struct rvalue: only meaningful for struct copy; expose the
+				// base location so structCopy can decompose it.
+				return ir.VarE{L: v.loc}, st
+			}
+			return ir.VarE{L: v.loc}, decay(v.typ)
+		}
+		if fid, ok := p.funcIDs[e.Name]; ok {
+			return ir.FuncAddr{F: fid}, ast.PtrT{Elem: ast.FuncT{}}
+		}
+		p.fail(e.P, "undefined identifier %s", e.Name)
+	case *ast.Unary:
+		switch e.Op {
+		case token.Minus:
+			x, _ := p.lowerExpr(e.X)
+			return ir.Neg{X: x}, ast.IntT{}
+		case token.Not:
+			x, _ := p.lowerExpr(e.X)
+			return ir.Not{X: x}, ast.IntT{}
+		case token.Star:
+			x, t := p.lowerExpr(e.X)
+			pt, ok := t.(ast.PtrT)
+			if !ok {
+				// Dereference of int-typed expressions (from unknown sources)
+				// is treated as loading from wherever it may point.
+				return ir.Load{P: x}, ast.IntT{}
+			}
+			if st, isStruct := pt.Elem.(ast.StructT); isStruct {
+				// *(struct ptr) as an rvalue: struct copy source.
+				return ir.Load{P: x}, st
+			}
+			return ir.Load{P: x}, decay(pt.Elem)
+		case token.Amp:
+			return p.addrOf(e.X)
+		}
+		p.fail(e.P, "unsupported unary operator %s", e.Op)
+	case *ast.Binary:
+		x, tx := p.lowerExpr(e.X)
+		y, _ := p.lowerExpr(e.Y)
+		op, ok := binOpOf(e.Op)
+		if !ok {
+			p.fail(e.P, "unsupported binary operator %s", e.Op)
+		}
+		// Pointer arithmetic keeps the pointer type.
+		rt := ast.Type(ast.IntT{})
+		if _, isPtr := tx.(ast.PtrT); isPtr && (op == ir.Add || op == ir.Sub) {
+			rt = tx
+		}
+		return ir.Bin{Op: op, X: x, Y: y}, rt
+	case *ast.Index:
+		addr, elem := p.indexAddr(e)
+		if at, isArr := elem.(ast.ArrayT); isArr {
+			// Partial indexing of a multi-dimensional array: no load, the
+			// result is a pointer to the inner array.
+			return addr, ast.PtrT{Elem: at.Elem}
+		}
+		if st, isStruct := elem.(ast.StructT); isStruct {
+			// arr[i] with struct elements: a struct lvalue. Return its
+			// address-as-load for struct copy or field selection.
+			return ir.Load{P: addr}, st
+		}
+		return ir.Load{P: addr}, decay(elem)
+	case *ast.Field:
+		if loc, typ, ok := p.directLoc(e); ok {
+			return ir.VarE{L: loc}, decay(typ)
+		}
+		ptr := p.fieldBasePtr(e)
+		st := p.structTypeOfBase(e)
+		ft := p.fieldType(st, e.Name, e.P)
+		return ir.LoadField{P: ptr, F: e.Name}, decay(ft)
+	case *ast.Call:
+		tmp := p.newTemp(ast.IntT{})
+		p.lowerCall(e, tmp.loc)
+		return ir.VarE{L: tmp.loc}, ast.IntT{}
+	}
+	p.fail(e.Pos(), "unsupported expression %T", e)
+	return nil, nil
+}
+
+// decay converts array types to pointers (the value stored at an array
+// variable's location is the decayed pointer).
+func decay(t ast.Type) ast.Type {
+	if a, ok := t.(ast.ArrayT); ok {
+		return ast.PtrT{Elem: a.Elem}
+	}
+	return t
+}
+
+func binOpOf(k token.Kind) (ir.BinOp, bool) {
+	switch k {
+	case token.Plus:
+		return ir.Add, true
+	case token.Minus:
+		return ir.Sub, true
+	case token.Star:
+		return ir.Mul, true
+	case token.Slash:
+		return ir.Div, true
+	case token.Percent:
+		return ir.Rem, true
+	case token.Lt:
+		return ir.Lt, true
+	case token.Le:
+		return ir.Le, true
+	case token.Gt:
+		return ir.Gt, true
+	case token.Ge:
+		return ir.Ge, true
+	case token.EqEq:
+		return ir.Eq, true
+	case token.NotEq:
+		return ir.Ne, true
+	case token.Amp:
+		return ir.BitAnd, true
+	case token.Pipe:
+		return ir.BitOr, true
+	case token.Caret:
+		return ir.BitXor, true
+	case token.Shl:
+		return ir.Shl, true
+	case token.Shr:
+		return ir.Shr, true
+	case token.AmpAmp:
+		return ir.LAnd, true
+	case token.PipePipe:
+		return ir.LOr, true
+	}
+	return 0, false
+}
+
+// indexAddr lowers x[i] to the address expression base + i*stride and the
+// element type.
+func (p *procLowerer) indexAddr(e *ast.Index) (ir.Expr, ast.Type) {
+	base, bt := p.lowerExpr(e.X)
+	idx, _ := p.lowerExpr(e.I)
+	var elem ast.Type
+	switch t := bt.(type) {
+	case ast.PtrT:
+		elem = t.Elem
+	default:
+		// Indexing an int (from an unknown pointer source): element int.
+		elem = ast.IntT{}
+	}
+	s := stride(elem)
+	if s != 1 {
+		idx = ir.Bin{Op: ir.Mul, X: idx, Y: ir.Const{V: s}}
+	}
+	return ir.Bin{Op: ir.Add, X: base, Y: idx}, elem
+}
+
+// fieldBasePtr lowers the base of a field access to a pointer expression
+// aimed at the struct.
+func (p *procLowerer) fieldBasePtr(e *ast.Field) ir.Expr {
+	if e.Arrow {
+		ptr, _ := p.lowerExpr(e.X)
+		return ptr
+	}
+	// value.field where value is not a direct chain: arr[i].f, (*q).f, f().f
+	switch x := e.X.(type) {
+	case *ast.Index:
+		addr, _ := p.indexAddr(x)
+		return addr
+	case *ast.Unary:
+		if x.Op == token.Star {
+			ptr, _ := p.lowerExpr(x.X)
+			return ptr
+		}
+	}
+	p.fail(e.P, "unsupported struct field base")
+	return nil
+}
+
+// structTypeOfBase computes the struct type of the base of a field access.
+func (p *procLowerer) structTypeOfBase(e *ast.Field) ast.StructT {
+	var t ast.Type
+	if e.Arrow {
+		_, bt := p.lowerExpr(e.X) // re-lowering is pure for non-call bases
+		pt, ok := bt.(ast.PtrT)
+		if !ok {
+			p.fail(e.P, "-> on non-pointer")
+		}
+		t = pt.Elem
+	} else {
+		switch x := e.X.(type) {
+		case *ast.Index:
+			_, elem := p.indexAddr(x)
+			t = elem
+		case *ast.Unary:
+			_, bt := p.lowerExpr(x.X)
+			pt, ok := bt.(ast.PtrT)
+			if !ok {
+				p.fail(e.P, "* on non-pointer")
+			}
+			t = pt.Elem
+		default:
+			p.fail(e.P, "unsupported struct field base")
+		}
+	}
+	st, ok := t.(ast.StructT)
+	if !ok {
+		p.fail(e.P, "field access on non-struct")
+	}
+	return st
+}
+
+// addrOf lowers &e.
+func (p *procLowerer) addrOf(e ast.Expr) (ir.Expr, ast.Type) {
+	if loc, typ, ok := p.directLoc(e); ok {
+		return ir.AddrOf{L: loc, Count: 1}, ast.PtrT{Elem: typ}
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		// &array: the decayed pointer itself (points at the contents).
+		if v, ok := p.lookup(x.Name); ok {
+			if at, isArr := v.typ.(ast.ArrayT); isArr {
+				return ir.VarE{L: v.loc}, ast.PtrT{Elem: at.Elem}
+			}
+		}
+	case *ast.Index:
+		addr, elem := p.indexAddr(x)
+		return addr, ast.PtrT{Elem: elem}
+	case *ast.Unary:
+		if x.Op == token.Star {
+			ptr, t := p.lowerExpr(x.X)
+			return ptr, t
+		}
+	case *ast.Field:
+		ptr := p.fieldBasePtr(x)
+		st := p.structTypeOfBase(x)
+		ft := p.fieldType(st, x.Name, x.P)
+		return ir.FieldAddr{P: ptr, F: x.Name}, ast.PtrT{Elem: ft}
+	}
+	p.fail(e.Pos(), "cannot take the address of this expression")
+	return nil, nil
+}
+
+// ---------- calls ----------
+
+// Builtin external models: these names are analyzed specially rather than
+// as calls (the paper's hand-crafted stubs for library functions).
+func isUnknownBuiltin(name string) bool {
+	switch name {
+	case "input", "rand", "nondet", "unknown", "getc", "read_int":
+		return true
+	}
+	return false
+}
+
+// lowerCall emits the Call/RetBind pair (or a builtin model) delivering the
+// result to dst (None to discard).
+func (p *procLowerer) lowerCall(c *ast.Call, dst ir.LocID) {
+	// malloc(n): allocation command.
+	if id, ok := c.Fun.(*ast.Ident); ok {
+		_, isVar := p.lookup(id.Name)
+		_, isFunc := p.funcIDs[id.Name]
+		if !isVar && !isFunc {
+			switch {
+			case id.Name == "malloc" || id.Name == "calloc" || id.Name == "alloca":
+				var n ir.Expr = ir.Const{V: 1}
+				if len(c.Args) > 0 {
+					n, _ = p.lowerExpr(c.Args[0])
+				}
+				if id.Name == "calloc" && len(c.Args) == 2 {
+					m, _ := p.lowerExpr(c.Args[1])
+					n = ir.Bin{Op: ir.Mul, X: n, Y: m}
+				}
+				if dst == ir.None {
+					dst = p.newTemp(ast.PtrT{Elem: ast.IntT{}}).loc
+				}
+				site := p.prog.NewPoint(p.proc.ID, ir.Skip{}, c.P) // placeholder ID for the site
+				// Reuse the point we just made as the Alloc itself.
+				pt := p.prog.Point(site.ID)
+				pt.Cmd = ir.Alloc{L: dst, N: n, Site: site.ID}
+				p.prog.AddEdge(p.cur, site.ID)
+				p.cur = site.ID
+				return
+			case isUnknownBuiltin(id.Name):
+				if dst != ir.None {
+					p.emit(ir.Set{L: dst, E: ir.Unknown{}}, c.P)
+				}
+				return
+			case p.isExternal(id.Name):
+				// Unknown external procedure: arbitrary return value, no
+				// side effects (the paper's conservative default model).
+				for _, a := range c.Args {
+					p.lowerExpr(a) // still lower for nested calls
+				}
+				if dst != ir.None {
+					p.emit(ir.Set{L: dst, E: ir.Unknown{}}, c.P)
+				}
+				return
+			}
+		}
+	}
+	f, _ := p.lowerFunExpr(c.Fun)
+	args := make([]ir.Expr, len(c.Args))
+	for i, a := range c.Args {
+		args[i], _ = p.lowerExpr(a)
+	}
+	call := p.emit(ir.Call{F: f, Args: args}, c.P)
+	p.emit(ir.RetBind{L: dst, CallPt: call}, c.P)
+}
+
+// isExternal reports whether the name resolves to nothing in this unit.
+func (p *procLowerer) isExternal(name string) bool {
+	if _, ok := p.funcIDs[name]; ok {
+		return false
+	}
+	if _, ok := p.lookup(name); ok {
+		return false
+	}
+	return true
+}
+
+// lowerFunExpr lowers the callee expression of a call: a function name, a
+// function-pointer variable, or (*fp).
+func (p *procLowerer) lowerFunExpr(e ast.Expr) (ir.Expr, ast.Type) {
+	if u, ok := e.(*ast.Unary); ok && u.Op == token.Star {
+		return p.lowerExpr(u.X) // (*fp)(...) ≡ fp(...)
+	}
+	return p.lowerExpr(e)
+}
+
+// ---------- conditions ----------
+
+// lowerCond lowers a condition into Assume points hanging off the point
+// `from`, decomposing short-circuit operators into control flow. It returns
+// the points at which execution continues when the condition is true and
+// when it is false.
+func (p *procLowerer) lowerCond(e ast.Expr, from ir.PointID) (truePt, falsePt ir.PointID) {
+	switch x := e.(type) {
+	case *ast.Binary:
+		switch x.Op {
+		case token.AmpAmp:
+			t1, f1 := p.lowerCond(x.X, from)
+			t2, f2 := p.lowerCond(x.Y, t1)
+			fj := p.prog.NewPoint(p.proc.ID, ir.Skip{}, x.P)
+			p.prog.AddEdge(f1, fj.ID)
+			p.prog.AddEdge(f2, fj.ID)
+			return t2, fj.ID
+		case token.PipePipe:
+			t1, f1 := p.lowerCond(x.X, from)
+			t2, f2 := p.lowerCond(x.Y, f1)
+			tj := p.prog.NewPoint(p.proc.ID, ir.Skip{}, x.P)
+			p.prog.AddEdge(t1, tj.ID)
+			p.prog.AddEdge(t2, tj.ID)
+			return tj.ID, f2
+		}
+	case *ast.Unary:
+		if x.Op == token.Not {
+			t, f := p.lowerCond(x.X, from)
+			return f, t
+		}
+	}
+	// Leaf: evaluate (emitting any calls) then branch on truthiness.
+	p.cur = from
+	cond, _ := p.lowerExpr(e)
+	leafFrom := p.cur
+	tpt := p.prog.NewPoint(p.proc.ID, ir.Assume{E: cond}, e.Pos())
+	fpt := p.prog.NewPoint(p.proc.ID, ir.Assume{E: negateIR(cond)}, e.Pos())
+	p.prog.AddEdge(leafFrom, tpt.ID)
+	p.prog.AddEdge(leafFrom, fpt.ID)
+	return tpt.ID, fpt.ID
+}
+
+// negateIR builds the complement of a condition expression, pushing the
+// negation into comparisons where possible so Assume transfer functions can
+// refine operands.
+func negateIR(e ir.Expr) ir.Expr {
+	if b, ok := e.(ir.Bin); ok && b.Op.IsCmp() {
+		return ir.Bin{Op: b.Op.Negate(), X: b.X, Y: b.Y}
+	}
+	if n, ok := e.(ir.Not); ok {
+		return n.X
+	}
+	return ir.Not{X: e}
+}

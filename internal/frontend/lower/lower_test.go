@@ -1,0 +1,438 @@
+package lower
+
+import (
+	"strings"
+	"testing"
+
+	"sparrow/internal/frontend/parser"
+	"sparrow/internal/ir"
+)
+
+func mustLower(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	f, err := parser.Parse("test.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	prog, err := File(f)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return prog
+}
+
+func TestSimpleFunction(t *testing.T) {
+	prog := mustLower(t, `
+int g;
+int main() {
+	int x;
+	x = 1;
+	g = x + 2;
+	return g;
+}
+`)
+	if prog.ProcByName("__start") == nil || prog.ProcByName("main") == nil {
+		t.Fatal("missing procs")
+	}
+	main := prog.ProcByName("main")
+	if main.RetLoc == ir.None {
+		t.Error("main has no return location")
+	}
+	dump := prog.Dump()
+	for _, want := range []string{"x := 1", "g := ", "ret(", "entry", "exit"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+func TestGlobalZeroInit(t *testing.T) {
+	prog := mustLower(t, "int g; int *p; int main() { return 0; }")
+	dump := prog.Dump()
+	if !strings.Contains(dump, "g := 0") {
+		t.Errorf("global g not zero-initialized:\n%s", dump)
+	}
+	if !strings.Contains(dump, "p := 0") {
+		t.Errorf("global p not zero-initialized:\n%s", dump)
+	}
+	if !strings.Contains(dump, "call main") {
+		t.Errorf("__start does not call main:\n%s", dump)
+	}
+}
+
+func TestArrayDecay(t *testing.T) {
+	prog := mustLower(t, `
+int a[10];
+int main() {
+	int i;
+	i = 2;
+	a[i] = 7;
+	return a[0];
+}
+`)
+	dump := prog.Dump()
+	if !strings.Contains(dump, "a := &arr(a)[10]") {
+		t.Errorf("array decay init missing:\n%s", dump)
+	}
+	if !strings.Contains(dump, "*((a + ") && !strings.Contains(dump, "*((a +") {
+		t.Errorf("indexed store missing:\n%s", dump)
+	}
+}
+
+func TestMultiDimStride(t *testing.T) {
+	prog := mustLower(t, `
+int m[4][5];
+int main() {
+	m[1][2] = 3;
+	return 0;
+}
+`)
+	dump := prog.Dump()
+	// m[1][2] should multiply the first index by stride 5.
+	if !strings.Contains(dump, "(1 * 5)") {
+		t.Errorf("stride multiplication missing:\n%s", dump)
+	}
+	if !strings.Contains(dump, "&arr(m)[20]") {
+		t.Errorf("flattened array size missing:\n%s", dump)
+	}
+}
+
+func TestPointers(t *testing.T) {
+	prog := mustLower(t, `
+int main() {
+	int x;
+	int *p;
+	p = &x;
+	*p = 3;
+	x = *p;
+	return x;
+}
+`)
+	dump := prog.Dump()
+	for _, want := range []string{":= &", "*(", " := 3"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+func TestStructFields(t *testing.T) {
+	prog := mustLower(t, `
+struct S { int a; int b; };
+struct S s;
+int main() {
+	struct S *p;
+	s.a = 1;
+	p = &s;
+	p->b = 2;
+	return s.a + p->b;
+}
+`)
+	dump := prog.Dump()
+	if !strings.Contains(dump, "s.a := 1") {
+		t.Errorf("direct field store missing:\n%s", dump)
+	}
+	if !strings.Contains(dump, "->b := 2") {
+		t.Errorf("indirect field store missing:\n%s", dump)
+	}
+}
+
+func TestStructCopy(t *testing.T) {
+	prog := mustLower(t, `
+struct S { int a; int b; };
+int main() {
+	struct S x;
+	struct S y;
+	y = x;
+	return y.a;
+}
+`)
+	dump := prog.Dump()
+	if !strings.Contains(dump, "y.a := ") || !strings.Contains(dump, "y.b := ") {
+		t.Errorf("field-wise struct copy missing:\n%s", dump)
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	prog := mustLower(t, `
+int main() {
+	int x; int y;
+	x = 1; y = 2;
+	if (x < 3 && y > 0) { x = 10; }
+	else { x = 20; }
+	return x;
+}
+`)
+	dump := prog.Dump()
+	if !strings.Contains(dump, "assume((") {
+		t.Errorf("assume points missing:\n%s", dump)
+	}
+	// Both the condition and its negation must appear.
+	if !strings.Contains(dump, "<") || !strings.Contains(dump, ">=") {
+		t.Errorf("negated comparisons missing:\n%s", dump)
+	}
+}
+
+func TestLoops(t *testing.T) {
+	prog := mustLower(t, `
+int main() {
+	int i; int s;
+	s = 0;
+	for (i = 0; i < 10; i++) { s += i; }
+	while (s > 0) { s--; }
+	do { s++; } while (s < 5);
+	return s;
+}
+`)
+	main := prog.ProcByName("main")
+	// The CFG must contain back edges (a successor with smaller ID).
+	back := 0
+	for _, id := range main.Points {
+		for _, s := range prog.Point(id).Succs {
+			if s < id {
+				back++
+			}
+		}
+	}
+	if back < 3 {
+		t.Errorf("expected >=3 back edges, got %d\n%s", back, prog.Dump())
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	prog := mustLower(t, `
+int main() {
+	int i;
+	for (i = 0; i < 10; i++) {
+		if (i == 3) continue;
+		if (i == 7) break;
+	}
+	return i;
+}
+`)
+	if prog == nil {
+		t.Fatal("nil program")
+	}
+}
+
+func TestCalls(t *testing.T) {
+	prog := mustLower(t, `
+int add(int a, int b) { return a + b; }
+int main() {
+	int r;
+	r = add(1, 2);
+	r = add(r, add(3, 4));
+	return r;
+}
+`)
+	main := prog.ProcByName("main")
+	if len(main.Calls) != 3 {
+		t.Errorf("got %d call points want 3", len(main.Calls))
+	}
+	dump := prog.Dump()
+	if !strings.Contains(dump, "retbind@") {
+		t.Errorf("retbind missing:\n%s", dump)
+	}
+}
+
+func TestFunctionPointers(t *testing.T) {
+	prog := mustLower(t, `
+int f(int x) { return x; }
+int g(int x) { return x + 1; }
+int main() {
+	int (*fp)(int);
+	int r;
+	fp = f;
+	if (r) fp = g;
+	r = fp(5);
+	r = (*fp)(6);
+	return r;
+}
+`)
+	dump := prog.Dump()
+	if !strings.Contains(dump, "fp := f") || !strings.Contains(dump, "fp := g") {
+		t.Errorf("function address assignment missing:\n%s", dump)
+	}
+	if strings.Count(dump, "call ") < 3 { // main+2 fp calls from __start's view
+		t.Errorf("function-pointer calls missing:\n%s", dump)
+	}
+}
+
+func TestMalloc(t *testing.T) {
+	prog := mustLower(t, `
+int main() {
+	int *p;
+	int *q;
+	p = malloc(10);
+	q = calloc(4, 8);
+	*p = 1;
+	return *q;
+}
+`)
+	dump := prog.Dump()
+	if !strings.Contains(dump, "malloc(10)") {
+		t.Errorf("malloc missing:\n%s", dump)
+	}
+	if !strings.Contains(dump, "(4 * 8)") {
+		t.Errorf("calloc size missing:\n%s", dump)
+	}
+}
+
+func TestExternalCall(t *testing.T) {
+	prog := mustLower(t, `
+int main() {
+	int x;
+	x = external_thing(1, 2);
+	x = input();
+	return x;
+}
+`)
+	dump := prog.Dump()
+	if !strings.Contains(dump, "unknown()") {
+		t.Errorf("external call not modeled as unknown:\n%s", dump)
+	}
+	if strings.Contains(dump, "call external_thing") {
+		t.Errorf("external call should not be a Call point:\n%s", dump)
+	}
+}
+
+func TestUninitializedLocals(t *testing.T) {
+	prog := mustLower(t, "int main() { int x; return x; }")
+	dump := prog.Dump()
+	if !strings.Contains(dump, ":= unknown()") {
+		t.Errorf("uninitialized local not set to unknown:\n%s", dump)
+	}
+}
+
+func TestStatsCounts(t *testing.T) {
+	prog := mustLower(t, `
+int main() {
+	int x;
+	x = 1;
+	if (x) { x = 2; } else { x = 3; }
+	return x;
+}
+`)
+	if prog.NumStatements() == 0 {
+		t.Error("no statements counted")
+	}
+	if prog.NumBlocks() == 0 {
+		t.Error("no blocks counted")
+	}
+	if prog.NumBlocks() > len(prog.Points) {
+		t.Error("more blocks than points")
+	}
+}
+
+func TestLowerErrors(t *testing.T) {
+	cases := []string{
+		"int main() { undefined_var = 3; return 0; }",
+		"int main() { break; }",
+		"struct S { int a[3]; }; struct S s; int main() { s.a; return 0; }",
+	}
+	for _, src := range cases {
+		f, err := parser.Parse("t.c", src)
+		if err != nil {
+			continue // parse error also acceptable for these
+		}
+		if _, err := File(f); err == nil {
+			t.Errorf("no lowering error for %q", src)
+		}
+	}
+}
+
+func TestRecursion(t *testing.T) {
+	prog := mustLower(t, `
+int fib(int n) {
+	if (n < 2) return n;
+	return fib(n-1) + fib(n-2);
+}
+int main() { return fib(10); }
+`)
+	fib := prog.ProcByName("fib")
+	if len(fib.Calls) != 2 {
+		t.Errorf("fib has %d call points want 2", len(fib.Calls))
+	}
+}
+
+func TestSwitchLowering(t *testing.T) {
+	prog := mustLower(t, `
+int g;
+int main() {
+	int x;
+	x = input();
+	switch (x) {
+	case 1:
+		g = 10;
+		break;
+	case 2:
+	case 3:
+		g = 23;       /* falls through to default */
+	default:
+		g = g + 1;
+		break;
+	}
+	return g;
+}
+`)
+	dump := prog.Dump()
+	for _, want := range []string{"== 1", "== 2", "== 3", "!= 1", "g := 10", "g := 23"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("switch dump missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+func TestGotoLowering(t *testing.T) {
+	prog := mustLower(t, `
+int g;
+int main() {
+	int i;
+	i = 0;
+again:
+	i = i + 1;
+	if (i < 10) { goto again; }
+	g = i;
+	return g;
+}
+`)
+	main := prog.ProcByName("main")
+	// The backward goto must create a back edge.
+	back := 0
+	for _, id := range main.Points {
+		for _, s := range prog.Point(id).Succs {
+			if s < id {
+				back++
+			}
+		}
+	}
+	if back == 0 {
+		t.Errorf("no back edge from backward goto:\n%s", prog.Dump())
+	}
+}
+
+func TestGotoUndefinedLabel(t *testing.T) {
+	f, err := parser.Parse("t.c", "int main() { goto nowhere; return 0; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := File(f); err == nil {
+		t.Error("goto to undefined label not rejected")
+	}
+}
+
+func TestDuplicateLabel(t *testing.T) {
+	f, err := parser.Parse("t.c", `
+int main() {
+l: ;
+l: ;
+	return 0;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := File(f); err == nil {
+		t.Error("duplicate label not rejected")
+	}
+}

@@ -1,0 +1,642 @@
+// Package parser implements a recursive-descent parser for the C-like
+// source language: integers, pointers, fixed-size arrays, structs,
+// functions and function pointers, and structured control flow.
+//
+// The accepted grammar is a strict C subset; programs in the subset mean
+// the same thing to a C compiler. Unsupported C features (preprocessor
+// conditionals, varargs, casts, string literals, switch, goto) are
+// rejected with positioned errors.
+package parser
+
+import (
+	"fmt"
+
+	"sparrow/internal/frontend/ast"
+	"sparrow/internal/frontend/lexer"
+	"sparrow/internal/frontend/token"
+)
+
+// Error is a parse error with a source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+type parser struct {
+	toks []token.Token
+	pos  int
+	file *ast.File
+}
+
+// Parse parses a translation unit. name is used for diagnostics only.
+func Parse(name, src string) (*ast.File, error) {
+	toks, lerrs := lexer.Tokenize(src)
+	if len(lerrs) > 0 {
+		return nil, fmt.Errorf("%s: %w", name, lerrs[0])
+	}
+	p := &parser{toks: toks, file: &ast.File{Name: name}}
+	var err error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				pe, ok := r.(*Error)
+				if !ok {
+					panic(r)
+				}
+				err = fmt.Errorf("%s: %w", name, pe)
+			}
+		}()
+		p.parseFile()
+	}()
+	if err != nil {
+		return nil, err
+	}
+	return p.file, nil
+}
+
+func (p *parser) peek() token.Token { return p.toks[p.pos] }
+func (p *parser) peekN(n int) token.Token {
+	if p.pos+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos+n]
+}
+
+func (p *parser) next() token.Token {
+	t := p.toks[p.pos]
+	if t.Kind != token.EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) at(k token.Kind) bool { return p.peek().Kind == k }
+
+func (p *parser) accept(k token.Kind) bool {
+	if p.at(k) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k token.Kind) token.Token {
+	if !p.at(k) {
+		p.fail("expected %s, found %s", k, p.peek())
+	}
+	return p.next()
+}
+
+func (p *parser) fail(format string, args ...any) {
+	panic(&Error{Pos: p.peek().Pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// ---------- top level ----------
+
+func (p *parser) parseFile() {
+	for !p.at(token.EOF) {
+		p.parseTopDecl()
+	}
+}
+
+func (p *parser) parseTopDecl() {
+	// struct definition: "struct Name { ... };"
+	if p.at(token.KwStruct) && p.peekN(1).Kind == token.Ident && p.peekN(2).Kind == token.LBrace {
+		p.parseStructDef()
+		return
+	}
+	base := p.parseTypeSpec()
+	name, typ, isFuncPtr := p.parseDeclarator(base)
+	if p.at(token.LParen) && !isFuncPtr {
+		p.parseFuncRest(name, typ)
+		return
+	}
+	p.parseGlobalRest(name, typ)
+}
+
+func (p *parser) parseStructDef() {
+	pos := p.peek().Pos
+	p.expect(token.KwStruct)
+	name := p.expect(token.Ident).Lexeme
+	p.expect(token.LBrace)
+	def := &ast.StructDef{Name: name, P: pos}
+	for !p.at(token.RBrace) {
+		base := p.parseTypeSpec()
+		for {
+			fname, ftyp, _ := p.parseDeclarator(base)
+			def.Fields = append(def.Fields, ast.FieldDecl{Name: fname, Type: ftyp})
+			if !p.accept(token.Comma) {
+				break
+			}
+		}
+		p.expect(token.Semi)
+	}
+	p.expect(token.RBrace)
+	p.expect(token.Semi)
+	p.file.Structs = append(p.file.Structs, def)
+}
+
+// parseGlobalRest finishes a global variable declaration (first declarator
+// already parsed), handling initializers and comma-separated declarators.
+func (p *parser) parseGlobalRest(name string, typ ast.Type) {
+	for {
+		var init ast.Expr
+		if p.accept(token.Assign) {
+			init = p.parseExpr()
+		}
+		p.file.Globals = append(p.file.Globals, &ast.VarDecl{Name: name, Type: typ, Init: init, P: p.peek().Pos})
+		if !p.accept(token.Comma) {
+			break
+		}
+		// Further declarators reuse the base type of the first; re-deriving
+		// the base from the (possibly pointered) first type is ambiguous, so
+		// require plain comma lists to share the declared type shape.
+		name2, typ2, _ := p.parseDeclarator(baseOf(typ))
+		name, typ = name2, typ2
+	}
+	p.expect(token.Semi)
+}
+
+// baseOf strips pointer/array layers added by declarators so chained
+// declarators ("int a, *b, c[3];") rebuild from the base type.
+func baseOf(t ast.Type) ast.Type {
+	for {
+		switch tt := t.(type) {
+		case ast.PtrT:
+			t = tt.Elem
+		case ast.ArrayT:
+			t = tt.Elem
+		default:
+			return t
+		}
+	}
+}
+
+func (p *parser) parseFuncRest(name string, ret ast.Type) {
+	pos := p.peek().Pos
+	p.expect(token.LParen)
+	var params []ast.Param
+	if !p.at(token.RParen) {
+		if p.at(token.KwVoid) && p.peekN(1).Kind == token.RParen {
+			p.next() // f(void)
+		} else {
+			for {
+				base := p.parseTypeSpec()
+				pname, ptyp, _ := p.parseDeclarator(base)
+				params = append(params, ast.Param{Name: pname, Type: ptyp})
+				if !p.accept(token.Comma) {
+					break
+				}
+			}
+		}
+	}
+	p.expect(token.RParen)
+	if p.accept(token.Semi) {
+		return // prototype: ignored, definitions carry the meaning
+	}
+	body := p.parseBlock()
+	p.file.Funcs = append(p.file.Funcs, &ast.FuncDef{Name: name, Params: params, Ret: ret, Body: body, P: pos})
+}
+
+// ---------- types ----------
+
+// parseTypeSpec parses qualifiers and a base type specifier.
+func (p *parser) parseTypeSpec() ast.Type {
+	for p.at(token.KwStatic) || p.at(token.KwConst) || p.at(token.KwExtern) {
+		p.next()
+	}
+	switch p.peek().Kind {
+	case token.KwInt, token.KwChar:
+		p.next()
+		return ast.IntT{}
+	case token.KwLong:
+		p.next()
+		p.accept(token.KwLong)
+		p.accept(token.KwInt)
+		return ast.IntT{}
+	case token.KwUnsigned:
+		p.next()
+		p.accept(token.KwInt)
+		p.accept(token.KwChar)
+		p.accept(token.KwLong)
+		return ast.IntT{}
+	case token.KwVoid:
+		p.next()
+		return ast.VoidT{}
+	case token.KwStruct:
+		p.next()
+		name := p.expect(token.Ident).Lexeme
+		return ast.StructT{Name: name}
+	default:
+		p.fail("expected type, found %s", p.peek())
+		return nil
+	}
+}
+
+// parseDeclarator parses '*'* (ident | '(' '*' ident ')' '(' params ')')
+// '[' n ']'* and returns the declared name and full type. isFuncPtr reports
+// whether the declarator used function-pointer syntax (so a following '('
+// belongs to a call/params of the pointer type, not a function definition).
+func (p *parser) parseDeclarator(base ast.Type) (string, ast.Type, bool) {
+	typ := base
+	for p.accept(token.Star) {
+		typ = ast.PtrT{Elem: typ}
+	}
+	// Function-pointer declarator: ( * name ) ( paramtypes )
+	if p.at(token.LParen) && p.peekN(1).Kind == token.Star {
+		p.expect(token.LParen)
+		p.expect(token.Star)
+		name := p.expect(token.Ident).Lexeme
+		p.expect(token.RParen)
+		p.expect(token.LParen)
+		ft := ast.FuncT{Ret: typ}
+		if !p.at(token.RParen) {
+			if p.at(token.KwVoid) && p.peekN(1).Kind == token.RParen {
+				p.next()
+			} else {
+				for {
+					pb := p.parseTypeSpec()
+					// Parameter names in function-pointer types are optional.
+					pt := pb
+					for p.accept(token.Star) {
+						pt = ast.PtrT{Elem: pt}
+					}
+					if p.at(token.Ident) {
+						p.next()
+					}
+					ft.Params = append(ft.Params, pt)
+					if !p.accept(token.Comma) {
+						break
+					}
+				}
+			}
+		}
+		p.expect(token.RParen)
+		return name, ast.PtrT{Elem: ft}, true
+	}
+	name := p.expect(token.Ident).Lexeme
+	// Array suffixes bind outside-in: int a[2][3] is array(2, array(3,int)).
+	var dims []int64
+	for p.accept(token.LBracket) {
+		n := p.expect(token.Number)
+		p.expect(token.RBracket)
+		dims = append(dims, n.Val)
+	}
+	for i := len(dims) - 1; i >= 0; i-- {
+		typ = ast.ArrayT{Elem: typ, Len: dims[i]}
+	}
+	return name, typ, false
+}
+
+// ---------- statements ----------
+
+func (p *parser) parseBlock() *ast.Block {
+	pos := p.peek().Pos
+	p.expect(token.LBrace)
+	b := &ast.Block{P: pos}
+	for !p.at(token.RBrace) {
+		b.Stmts = append(b.Stmts, p.parseStmt())
+	}
+	p.expect(token.RBrace)
+	return b
+}
+
+func (p *parser) parseStmt() ast.Stmt {
+	pos := p.peek().Pos
+	switch p.peek().Kind {
+	case token.LBrace:
+		return p.parseBlock()
+	case token.KwIf:
+		p.next()
+		p.expect(token.LParen)
+		cond := p.parseExpr()
+		p.expect(token.RParen)
+		then := p.parseStmt()
+		var els ast.Stmt
+		if p.accept(token.KwElse) {
+			els = p.parseStmt()
+		}
+		return &ast.IfStmt{Cond: cond, Then: then, Else: els, P: pos}
+	case token.KwWhile:
+		p.next()
+		p.expect(token.LParen)
+		cond := p.parseExpr()
+		p.expect(token.RParen)
+		body := p.parseStmt()
+		return &ast.WhileStmt{Cond: cond, Body: body, P: pos}
+	case token.KwDo:
+		p.next()
+		body := p.parseStmt()
+		p.expect(token.KwWhile)
+		p.expect(token.LParen)
+		cond := p.parseExpr()
+		p.expect(token.RParen)
+		p.expect(token.Semi)
+		return &ast.DoWhileStmt{Body: body, Cond: cond, P: pos}
+	case token.KwFor:
+		return p.parseFor()
+	case token.KwBreak:
+		p.next()
+		p.expect(token.Semi)
+		return &ast.BreakStmt{P: pos}
+	case token.KwContinue:
+		p.next()
+		p.expect(token.Semi)
+		return &ast.ContinueStmt{P: pos}
+	case token.KwReturn:
+		p.next()
+		var x ast.Expr
+		if !p.at(token.Semi) {
+			x = p.parseExpr()
+		}
+		p.expect(token.Semi)
+		return &ast.ReturnStmt{X: x, P: pos}
+	case token.Semi:
+		p.next()
+		return &ast.Block{P: pos} // empty statement
+	case token.KwGoto:
+		p.next()
+		label := p.expect(token.Ident).Lexeme
+		p.expect(token.Semi)
+		return &ast.GotoStmt{Label: label, P: pos}
+	case token.KwSwitch:
+		return p.parseSwitch()
+	}
+	// Labeled statement: "ident : stmt".
+	if p.at(token.Ident) && p.peekN(1).Kind == token.Colon {
+		name := p.next().Lexeme
+		p.next() // colon
+		return &ast.LabelStmt{Name: name, Stmt: p.parseStmt(), P: pos}
+	}
+	if p.peek().Kind.IsTypeStart() {
+		s := p.parseDecl()
+		p.expect(token.Semi)
+		return s
+	}
+	s := p.parseSimpleStmt()
+	p.expect(token.Semi)
+	return s
+}
+
+// parseSwitch parses a C switch statement with fallthrough semantics.
+func (p *parser) parseSwitch() ast.Stmt {
+	pos := p.peek().Pos
+	p.expect(token.KwSwitch)
+	p.expect(token.LParen)
+	cond := p.parseExpr()
+	p.expect(token.RParen)
+	p.expect(token.LBrace)
+	sw := &ast.SwitchStmt{Cond: cond, P: pos}
+	seenDefault := false
+	for !p.at(token.RBrace) {
+		cpos := p.peek().Pos
+		var arm ast.SwitchCase
+		arm.P = cpos
+		// Collect consecutive case/default labels sharing one body.
+		labeled, isDefault := false, false
+		for {
+			if p.at(token.KwCase) {
+				p.next()
+				neg := p.accept(token.Minus)
+				n := p.expect(token.Number)
+				v := n.Val
+				if neg {
+					v = -v
+				}
+				p.expect(token.Colon)
+				arm.Vals = append(arm.Vals, v)
+				labeled = true
+				continue
+			}
+			if p.at(token.KwDefault) {
+				p.next()
+				p.expect(token.Colon)
+				if seenDefault {
+					p.fail("duplicate default case")
+				}
+				seenDefault = true
+				isDefault = true
+				labeled = true
+				continue
+			}
+			break
+		}
+		if !labeled {
+			p.fail("expected case or default inside switch")
+		}
+		if isDefault {
+			// A default merged with case labels catches everything, which
+			// subsumes the listed constants.
+			arm.Vals = nil
+		}
+		for !p.at(token.KwCase) && !p.at(token.KwDefault) && !p.at(token.RBrace) {
+			arm.Stmts = append(arm.Stmts, p.parseStmt())
+		}
+		sw.Cases = append(sw.Cases, arm)
+	}
+	p.expect(token.RBrace)
+	return sw
+}
+
+// parseDecl parses a local declaration "type declarator (= init)?" without
+// the trailing semicolon (shared with for-init).
+func (p *parser) parseDecl() ast.Stmt {
+	pos := p.peek().Pos
+	base := p.parseTypeSpec()
+	name, typ, _ := p.parseDeclarator(base)
+	var init ast.Expr
+	if p.accept(token.Assign) {
+		init = p.parseExpr()
+	}
+	return &ast.DeclStmt{Name: name, Type: typ, Init: init, P: pos}
+}
+
+// parseSimpleStmt parses an assignment, inc/dec, or expression statement,
+// without the trailing semicolon (shared with for-init and for-post).
+func (p *parser) parseSimpleStmt() ast.Stmt {
+	pos := p.peek().Pos
+	lhs := p.parseExpr()
+	switch {
+	case p.peek().Kind.IsAssignOp():
+		op := p.next().Kind
+		rhs := p.parseExpr()
+		return &ast.AssignStmt{Op: op, LHS: lhs, RHS: rhs, P: pos}
+	case p.at(token.PlusPlus):
+		p.next()
+		return &ast.IncDecStmt{X: lhs, P: pos}
+	case p.at(token.MinusMinus):
+		p.next()
+		return &ast.IncDecStmt{X: lhs, Dec: true, P: pos}
+	default:
+		return &ast.ExprStmt{X: lhs, P: pos}
+	}
+}
+
+func (p *parser) parseFor() ast.Stmt {
+	pos := p.peek().Pos
+	p.expect(token.KwFor)
+	p.expect(token.LParen)
+	var init ast.Stmt
+	if !p.at(token.Semi) {
+		if p.peek().Kind.IsTypeStart() {
+			init = p.parseDecl()
+		} else {
+			init = p.parseSimpleStmt()
+		}
+	}
+	p.expect(token.Semi)
+	var cond ast.Expr
+	if !p.at(token.Semi) {
+		cond = p.parseExpr()
+	}
+	p.expect(token.Semi)
+	var post ast.Stmt
+	if !p.at(token.RParen) {
+		post = p.parseSimpleStmt()
+	}
+	p.expect(token.RParen)
+	body := p.parseStmt()
+	return &ast.ForStmt{Init: init, Cond: cond, Post: post, Body: body, P: pos}
+}
+
+// ---------- expressions ----------
+
+// Binary operator precedence, higher binds tighter. Mirrors C.
+func precOf(k token.Kind) int {
+	switch k {
+	case token.PipePipe:
+		return 1
+	case token.AmpAmp:
+		return 2
+	case token.Pipe:
+		return 3
+	case token.Caret:
+		return 4
+	case token.Amp:
+		return 5
+	case token.EqEq, token.NotEq:
+		return 6
+	case token.Lt, token.Le, token.Gt, token.Ge:
+		return 7
+	case token.Shl, token.Shr:
+		return 8
+	case token.Plus, token.Minus:
+		return 9
+	case token.Star, token.Slash, token.Percent:
+		return 10
+	default:
+		return 0
+	}
+}
+
+func (p *parser) parseExpr() ast.Expr { return p.parseBinary(1) }
+
+func (p *parser) parseBinary(minPrec int) ast.Expr {
+	lhs := p.parseUnary()
+	for {
+		op := p.peek().Kind
+		prec := precOf(op)
+		if prec < minPrec || prec == 0 {
+			return lhs
+		}
+		pos := p.next().Pos
+		rhs := p.parseBinary(prec + 1)
+		lhs = &ast.Binary{Op: op, X: lhs, Y: rhs, P: pos}
+	}
+}
+
+func (p *parser) parseUnary() ast.Expr {
+	pos := p.peek().Pos
+	switch p.peek().Kind {
+	case token.Minus:
+		p.next()
+		return &ast.Unary{Op: token.Minus, X: p.parseUnary(), P: pos}
+	case token.Not:
+		p.next()
+		return &ast.Unary{Op: token.Not, X: p.parseUnary(), P: pos}
+	case token.Star:
+		p.next()
+		return &ast.Unary{Op: token.Star, X: p.parseUnary(), P: pos}
+	case token.Amp:
+		p.next()
+		return &ast.Unary{Op: token.Amp, X: p.parseUnary(), P: pos}
+	case token.KwSizeof:
+		p.next()
+		// sizeof(anything) abstracts to an unknown positive constant; the
+		// analyzer treats it as the literal 1 to keep allocation sizes in
+		// element units.
+		p.expect(token.LParen)
+		depth := 1
+		for depth > 0 {
+			switch p.next().Kind {
+			case token.LParen:
+				depth++
+			case token.RParen:
+				depth--
+			case token.EOF:
+				p.fail("unterminated sizeof")
+			}
+		}
+		return &ast.IntLit{Val: 1, P: pos}
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() ast.Expr {
+	x := p.parsePrimary()
+	for {
+		pos := p.peek().Pos
+		switch p.peek().Kind {
+		case token.LBracket:
+			p.next()
+			idx := p.parseExpr()
+			p.expect(token.RBracket)
+			x = &ast.Index{X: x, I: idx, P: pos}
+		case token.Dot:
+			p.next()
+			name := p.expect(token.Ident).Lexeme
+			x = &ast.Field{X: x, Name: name, P: pos}
+		case token.Arrow:
+			p.next()
+			name := p.expect(token.Ident).Lexeme
+			x = &ast.Field{X: x, Name: name, Arrow: true, P: pos}
+		case token.LParen:
+			p.next()
+			call := &ast.Call{Fun: x, P: pos}
+			if !p.at(token.RParen) {
+				for {
+					call.Args = append(call.Args, p.parseExpr())
+					if !p.accept(token.Comma) {
+						break
+					}
+				}
+			}
+			p.expect(token.RParen)
+			x = call
+		default:
+			return x
+		}
+	}
+}
+
+func (p *parser) parsePrimary() ast.Expr {
+	pos := p.peek().Pos
+	switch p.peek().Kind {
+	case token.Number:
+		t := p.next()
+		return &ast.IntLit{Val: t.Val, P: pos}
+	case token.Ident:
+		t := p.next()
+		return &ast.Ident{Name: t.Lexeme, P: pos}
+	case token.LParen:
+		p.next()
+		x := p.parseExpr()
+		p.expect(token.RParen)
+		return x
+	default:
+		p.fail("expected expression, found %s", p.peek())
+		return nil
+	}
+}

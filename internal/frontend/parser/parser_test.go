@@ -1,0 +1,362 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"sparrow/internal/frontend/ast"
+	"sparrow/internal/frontend/token"
+)
+
+func mustParse(t *testing.T, src string) *ast.File {
+	t.Helper()
+	f, err := Parse("test.c", src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return f
+}
+
+func TestGlobals(t *testing.T) {
+	f := mustParse(t, `
+int g;
+int *p;
+int a[10];
+int m[2][3];
+int init = 5;
+struct S { int x; int *y; };
+struct S s;
+struct S *sp;
+int (*fp)(int, int);
+`)
+	if len(f.Globals) != 8 {
+		t.Fatalf("got %d globals want 8", len(f.Globals))
+	}
+	types := map[string]string{
+		"g": "int", "p": "int*", "a": "int[10]", "m": "int[2][3]",
+		"init": "int", "s": "struct S", "sp": "struct S*",
+		"fp": "int(*)(int,int)*",
+	}
+	for _, g := range f.Globals {
+		want, ok := types[g.Name]
+		if !ok {
+			t.Errorf("unexpected global %q", g.Name)
+			continue
+		}
+		if got := g.Type.String(); got != want {
+			t.Errorf("global %s: type %s want %s", g.Name, got, want)
+		}
+	}
+	if f.Globals[4].Init == nil {
+		t.Error("init missing initializer")
+	}
+	if len(f.Structs) != 1 || f.Structs[0].Name != "S" || len(f.Structs[0].Fields) != 2 {
+		t.Errorf("struct S parsed wrong: %+v", f.Structs)
+	}
+}
+
+func TestCommaDeclarators(t *testing.T) {
+	f := mustParse(t, "int a, *b, c[4];")
+	if len(f.Globals) != 3 {
+		t.Fatalf("got %d globals", len(f.Globals))
+	}
+	if f.Globals[1].Type.String() != "int*" {
+		t.Errorf("b: %s", f.Globals[1].Type)
+	}
+	if f.Globals[2].Type.String() != "int[4]" {
+		t.Errorf("c: %s", f.Globals[2].Type)
+	}
+}
+
+func TestFunction(t *testing.T) {
+	f := mustParse(t, `
+int add(int a, int b) {
+	return a + b;
+}
+void nop(void) { }
+int id(int x);
+`)
+	if len(f.Funcs) != 2 {
+		t.Fatalf("got %d funcs want 2 (prototype skipped)", len(f.Funcs))
+	}
+	add := f.Funcs[0]
+	if add.Name != "add" || len(add.Params) != 2 || add.Ret.String() != "int" {
+		t.Errorf("add signature wrong: %+v", add)
+	}
+	ret, ok := add.Body.Stmts[0].(*ast.ReturnStmt)
+	if !ok {
+		t.Fatalf("body[0] is %T", add.Body.Stmts[0])
+	}
+	bin, ok := ret.X.(*ast.Binary)
+	if !ok || bin.Op != token.Plus {
+		t.Errorf("return expr is %T", ret.X)
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	f := mustParse(t, "int main() { int x; x = 1 + 2 * 3 < 4 && 5 == 6; return x; }")
+	assign := f.Funcs[0].Body.Stmts[1].(*ast.AssignStmt)
+	// Expect ((1 + (2*3)) < 4) && (5 == 6)
+	and := assign.RHS.(*ast.Binary)
+	if and.Op != token.AmpAmp {
+		t.Fatalf("top op = %s want &&", and.Op)
+	}
+	lt := and.X.(*ast.Binary)
+	if lt.Op != token.Lt {
+		t.Fatalf("left of && = %s want <", lt.Op)
+	}
+	add := lt.X.(*ast.Binary)
+	if add.Op != token.Plus {
+		t.Fatalf("left of < = %s want +", add.Op)
+	}
+	mul := add.Y.(*ast.Binary)
+	if mul.Op != token.Star {
+		t.Fatalf("right of + = %s want *", mul.Op)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	f := mustParse(t, `
+int main() {
+	int i;
+	for (i = 0; i < 10; i++) {
+		if (i == 5) break;
+		else continue;
+	}
+	while (i > 0) { i--; }
+	do { i++; } while (i < 3);
+	return i;
+}
+`)
+	body := f.Funcs[0].Body.Stmts
+	if _, ok := body[1].(*ast.ForStmt); !ok {
+		t.Errorf("stmt 1 is %T want ForStmt", body[1])
+	}
+	if _, ok := body[2].(*ast.WhileStmt); !ok {
+		t.Errorf("stmt 2 is %T want WhileStmt", body[2])
+	}
+	if _, ok := body[3].(*ast.DoWhileStmt); !ok {
+		t.Errorf("stmt 3 is %T want DoWhileStmt", body[3])
+	}
+	forStmt := body[1].(*ast.ForStmt)
+	ifStmt, ok := forStmt.Body.(*ast.Block).Stmts[0].(*ast.IfStmt)
+	if !ok {
+		t.Fatalf("for body[0] is %T", forStmt.Body.(*ast.Block).Stmts[0])
+	}
+	if _, ok := ifStmt.Then.(*ast.BreakStmt); !ok {
+		t.Errorf("then is %T", ifStmt.Then)
+	}
+	if _, ok := ifStmt.Else.(*ast.ContinueStmt); !ok {
+		t.Errorf("else is %T", ifStmt.Else)
+	}
+}
+
+func TestPointerExprs(t *testing.T) {
+	f := mustParse(t, `
+int main() {
+	int x;
+	int *p;
+	p = &x;
+	*p = 3;
+	x = *p + 1;
+	return x;
+}
+`)
+	body := f.Funcs[0].Body.Stmts
+	as1 := body[2].(*ast.AssignStmt)
+	if u, ok := as1.RHS.(*ast.Unary); !ok || u.Op != token.Amp {
+		t.Errorf("p = &x rhs is %T", as1.RHS)
+	}
+	as2 := body[3].(*ast.AssignStmt)
+	if u, ok := as2.LHS.(*ast.Unary); !ok || u.Op != token.Star {
+		t.Errorf("*p = 3 lhs is %T", as2.LHS)
+	}
+}
+
+func TestStructAndArrayAccess(t *testing.T) {
+	f := mustParse(t, `
+struct Pt { int x; int y; };
+int main() {
+	struct Pt p;
+	struct Pt *q;
+	int a[5];
+	p.x = 1;
+	q->y = 2;
+	a[3] = p.x + q->y;
+	return a[3];
+}
+`)
+	body := f.Funcs[0].Body.Stmts
+	dot := body[3].(*ast.AssignStmt).LHS.(*ast.Field)
+	if dot.Arrow || dot.Name != "x" {
+		t.Errorf("p.x parsed wrong: %+v", dot)
+	}
+	arrow := body[4].(*ast.AssignStmt).LHS.(*ast.Field)
+	if !arrow.Arrow || arrow.Name != "y" {
+		t.Errorf("q->y parsed wrong: %+v", arrow)
+	}
+	idx := body[5].(*ast.AssignStmt).LHS.(*ast.Index)
+	if _, ok := idx.I.(*ast.IntLit); !ok {
+		t.Errorf("a[3] index is %T", idx.I)
+	}
+}
+
+func TestCalls(t *testing.T) {
+	f := mustParse(t, `
+int f(int x) { return x; }
+int main() {
+	int (*fp)(int);
+	int r;
+	fp = f;
+	r = f(1);
+	r = fp(2);
+	r = (*fp)(3);
+	f(r);
+	return r;
+}
+`)
+	body := f.Funcs[1].Body.Stmts
+	call1 := body[3].(*ast.AssignStmt).RHS.(*ast.Call)
+	if id, ok := call1.Fun.(*ast.Ident); !ok || id.Name != "f" {
+		t.Errorf("call fun is %v", call1.Fun)
+	}
+	call3 := body[5].(*ast.AssignStmt).RHS.(*ast.Call)
+	if u, ok := call3.Fun.(*ast.Unary); !ok || u.Op != token.Star {
+		t.Errorf("(*fp)(3) fun is %T", call3.Fun)
+	}
+	if _, ok := body[6].(*ast.ExprStmt); !ok {
+		t.Errorf("f(r); is %T", body[6])
+	}
+}
+
+func TestSizeof(t *testing.T) {
+	f := mustParse(t, "int main() { int x; x = sizeof(int); return x; }")
+	as := f.Funcs[0].Body.Stmts[1].(*ast.AssignStmt)
+	if lit, ok := as.RHS.(*ast.IntLit); !ok || lit.Val != 1 {
+		t.Errorf("sizeof lowered to %v", as.RHS)
+	}
+}
+
+func TestOpAssign(t *testing.T) {
+	f := mustParse(t, "int main() { int x; x += 2; x -= 1; x *= 3; x /= 2; return x; }")
+	ops := []token.Kind{token.PlusAssign, token.MinusAssign, token.StarAssign, token.SlashAssign}
+	for i, want := range ops {
+		as := f.Funcs[0].Body.Stmts[i+1].(*ast.AssignStmt)
+		if as.Op != want {
+			t.Errorf("stmt %d op = %s want %s", i+1, as.Op, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantSub string
+	}{
+		{"int main() { return 1 +; }", "expected expression"},
+		{"int 5x;", "expected"},
+		{"int main() { if x { } }", "expected ("},
+		{"int main() { switch (1) { x = 2; } }", "expected case or default"},
+		{"int main() { switch (1) { default: ; default: ; } }", "duplicate default"},
+	}
+	for _, c := range cases {
+		_, err := Parse("t.c", c.src)
+		if err == nil {
+			t.Errorf("%q: no error", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%q: error %q does not mention %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestEmptyStatement(t *testing.T) {
+	f := mustParse(t, "int main() { ;; return 0; }")
+	if len(f.Funcs[0].Body.Stmts) != 3 {
+		t.Errorf("got %d stmts", len(f.Funcs[0].Body.Stmts))
+	}
+}
+
+func TestForVariants(t *testing.T) {
+	f := mustParse(t, `
+int main() {
+	int i;
+	for (;;) { break; }
+	for (i = 0; ; i++) { break; }
+	for (int j = 0; j < 3; j++) { }
+	return 0;
+}
+`)
+	loops := f.Funcs[0].Body.Stmts
+	f1 := loops[1].(*ast.ForStmt)
+	if f1.Init != nil || f1.Cond != nil || f1.Post != nil {
+		t.Error("for(;;) should have nil clauses")
+	}
+	f3 := loops[3].(*ast.ForStmt)
+	if _, ok := f3.Init.(*ast.DeclStmt); !ok {
+		t.Errorf("for-decl init is %T", f3.Init)
+	}
+}
+
+func TestSwitchParsing(t *testing.T) {
+	f := mustParse(t, `
+int main() {
+	int x;
+	x = 2;
+	switch (x + 1) {
+	case 1:
+		x = 10;
+		break;
+	case 2:
+	case -3:
+		x = 23;
+	default:
+		x = 99;
+	}
+	return x;
+}
+`)
+	sw, ok := f.Funcs[0].Body.Stmts[2].(*ast.SwitchStmt)
+	if !ok {
+		t.Fatalf("stmt 2 is %T", f.Funcs[0].Body.Stmts[2])
+	}
+	if len(sw.Cases) != 3 {
+		t.Fatalf("got %d cases want 3", len(sw.Cases))
+	}
+	if len(sw.Cases[0].Vals) != 1 || sw.Cases[0].Vals[0] != 1 {
+		t.Errorf("case 0 vals = %v", sw.Cases[0].Vals)
+	}
+	if len(sw.Cases[1].Vals) != 2 || sw.Cases[1].Vals[1] != -3 {
+		t.Errorf("case 1 vals = %v", sw.Cases[1].Vals)
+	}
+	if sw.Cases[2].Vals != nil {
+		t.Errorf("default arm has vals %v", sw.Cases[2].Vals)
+	}
+}
+
+func TestGotoAndLabels(t *testing.T) {
+	f := mustParse(t, `
+int main() {
+	int i;
+	i = 0;
+top:
+	i++;
+	if (i < 3) { goto top; }
+	return i;
+}
+`)
+	body := f.Funcs[0].Body.Stmts
+	lbl, ok := body[2].(*ast.LabelStmt)
+	if !ok {
+		t.Fatalf("stmt 2 is %T", body[2])
+	}
+	if lbl.Name != "top" {
+		t.Errorf("label name %q", lbl.Name)
+	}
+	ifs := body[3].(*ast.IfStmt)
+	g, ok := ifs.Then.(*ast.Block).Stmts[0].(*ast.GotoStmt)
+	if !ok || g.Label != "top" {
+		t.Errorf("goto parsed wrong: %#v", ifs.Then)
+	}
+}

@@ -1,0 +1,102 @@
+package parser
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sparrow/internal/frontend/lower"
+)
+
+// TestNoPanicsOnMutatedInput hammers the frontend with corrupted programs:
+// Parse and lower.File must return errors (or succeed), never panic.
+func TestNoPanicsOnMutatedInput(t *testing.T) {
+	seed := `
+struct S { int a; int *b; };
+int g; int arr[8]; struct S s;
+int helper(int x, int y) {
+	int i;
+	for (i = 0; i < x; i++) {
+		if (i % 2 == 0 && y > 0) { g += i; }
+		switch (i) {
+		case 0: g = 1; break;
+		default: g = g + arr[i % 8];
+		}
+	}
+	return g;
+}
+int main() {
+	int *p;
+	p = &g;
+	*p = helper(3, 4);
+	s.a = *p;
+	goto end;
+end:
+	return s.a;
+}
+`
+	junk := []string{
+		"{", "}", "(", ")", ";", "*", "&", "int", "case", "goto", "0x",
+		"'", "/*", "[", "]", "->", "==", "++", "struct", "default:", ",",
+	}
+	r := rand.New(rand.NewSource(20))
+	for i := 0; i < 3000; i++ {
+		b := []byte(seed)
+		// Apply 1-4 mutations: delete a span, insert junk, or flip bytes.
+		for m := 0; m < 1+r.Intn(4); m++ {
+			switch r.Intn(3) {
+			case 0: // delete
+				if len(b) > 10 {
+					at := r.Intn(len(b) - 8)
+					n := 1 + r.Intn(7)
+					b = append(b[:at], b[at+n:]...)
+				}
+			case 1: // insert junk token
+				at := r.Intn(len(b))
+				j := junk[r.Intn(len(junk))]
+				b = append(b[:at], append([]byte(j), b[at:]...)...)
+			default: // flip a byte to printable ASCII
+				at := r.Intn(len(b))
+				b[at] = byte(32 + r.Intn(95))
+			}
+		}
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("panic on mutated input: %v\n---\n%s", rec, b)
+				}
+			}()
+			f, err := Parse("fuzz.c", string(b))
+			if err != nil {
+				return
+			}
+			// Lowering must be panic-free too.
+			_, _ = lower.File(f)
+		}()
+	}
+}
+
+// TestNoPanicsOnRandomBytes feeds raw noise.
+func TestNoPanicsOnRandomBytes(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	alphabet := "intvoid{}()[];*&=+-<>!%,./\\'\"0123456789 \n\tabcxyz_:#"
+	for i := 0; i < 2000; i++ {
+		var sb strings.Builder
+		n := r.Intn(400)
+		for j := 0; j < n; j++ {
+			sb.WriteByte(alphabet[r.Intn(len(alphabet))])
+		}
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("panic on random input: %v\n---\n%s", rec, sb.String())
+				}
+			}()
+			f, err := Parse("noise.c", sb.String())
+			if err != nil {
+				return
+			}
+			_, _ = lower.File(f)
+		}()
+	}
+}

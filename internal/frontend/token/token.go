@@ -1,0 +1,238 @@
+// Package token defines lexical tokens of the C-like source language
+// accepted by the frontend.
+//
+// The language is the C subset used throughout the paper: integers,
+// pointers, arrays, structs, functions (including function pointers),
+// and structured control flow. Tokens carry their source position so the
+// parser and later phases can report precise diagnostics.
+package token
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind uint8
+
+// Token kinds. Keyword kinds follow the punctuation block.
+const (
+	EOF Kind = iota
+	Ident
+	Number // integer literal (decimal, hex, octal, or char constant)
+
+	// Punctuation and operators.
+	LParen   // (
+	RParen   // )
+	LBrace   // {
+	RBrace   // }
+	LBracket // [
+	RBracket // ]
+	Comma    // ,
+	Semi     // ;
+	Colon    // :
+	Assign   // =
+	Plus     // +
+	Minus    // -
+	Star     // *
+	Slash    // /
+	Percent  // %
+	Amp      // &
+	AmpAmp   // &&
+	PipePipe // ||
+	Pipe     // |
+	Caret    // ^
+	Shl      // <<
+	Shr      // >>
+	Not      // !
+	Lt       // <
+	Gt       // >
+	Le       // <=
+	Ge       // >=
+	EqEq     // ==
+	NotEq    // !=
+	Arrow    // ->
+	Dot      // .
+	PlusPlus // ++
+	MinusMinus
+	PlusAssign  // +=
+	MinusAssign // -=
+	StarAssign  // *=
+	SlashAssign // /=
+
+	// Keywords.
+	KwInt
+	KwVoid
+	KwChar
+	KwLong
+	KwUnsigned
+	KwStruct
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwDo
+	KwBreak
+	KwContinue
+	KwReturn
+	KwGoto
+	KwSwitch
+	KwCase
+	KwDefault
+	KwSizeof
+	KwStatic
+	KwConst
+	KwExtern
+
+	numKinds
+)
+
+var kindNames = [...]string{
+	EOF:         "EOF",
+	Ident:       "identifier",
+	Number:      "number",
+	LParen:      "(",
+	RParen:      ")",
+	LBrace:      "{",
+	RBrace:      "}",
+	LBracket:    "[",
+	RBracket:    "]",
+	Comma:       ",",
+	Semi:        ";",
+	Colon:       ":",
+	Assign:      "=",
+	Plus:        "+",
+	Minus:       "-",
+	Star:        "*",
+	Slash:       "/",
+	Percent:     "%",
+	Amp:         "&",
+	AmpAmp:      "&&",
+	PipePipe:    "||",
+	Pipe:        "|",
+	Caret:       "^",
+	Shl:         "<<",
+	Shr:         ">>",
+	Not:         "!",
+	Lt:          "<",
+	Gt:          ">",
+	Le:          "<=",
+	Ge:          ">=",
+	EqEq:        "==",
+	NotEq:       "!=",
+	Arrow:       "->",
+	Dot:         ".",
+	PlusPlus:    "++",
+	MinusMinus:  "--",
+	PlusAssign:  "+=",
+	MinusAssign: "-=",
+	StarAssign:  "*=",
+	SlashAssign: "/=",
+	KwInt:       "int",
+	KwVoid:      "void",
+	KwChar:      "char",
+	KwLong:      "long",
+	KwUnsigned:  "unsigned",
+	KwStruct:    "struct",
+	KwIf:        "if",
+	KwElse:      "else",
+	KwWhile:     "while",
+	KwFor:       "for",
+	KwDo:        "do",
+	KwBreak:     "break",
+	KwContinue:  "continue",
+	KwReturn:    "return",
+	KwGoto:      "goto",
+	KwSwitch:    "switch",
+	KwCase:      "case",
+	KwDefault:   "default",
+	KwSizeof:    "sizeof",
+	KwStatic:    "static",
+	KwConst:     "const",
+	KwExtern:    "extern",
+}
+
+// String returns the canonical spelling of the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+var keywords = map[string]Kind{
+	"int":      KwInt,
+	"void":     KwVoid,
+	"char":     KwChar,
+	"long":     KwLong,
+	"unsigned": KwUnsigned,
+	"struct":   KwStruct,
+	"if":       KwIf,
+	"else":     KwElse,
+	"while":    KwWhile,
+	"for":      KwFor,
+	"do":       KwDo,
+	"break":    KwBreak,
+	"continue": KwContinue,
+	"return":   KwReturn,
+	"goto":     KwGoto,
+	"switch":   KwSwitch,
+	"case":     KwCase,
+	"default":  KwDefault,
+	"sizeof":   KwSizeof,
+	"static":   KwStatic,
+	"const":    KwConst,
+	"extern":   KwExtern,
+}
+
+// Lookup maps an identifier spelling to its keyword kind, or Ident if the
+// spelling is not a keyword.
+func Lookup(ident string) Kind {
+	if k, ok := keywords[ident]; ok {
+		return k
+	}
+	return Ident
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is a single lexeme with its kind and position.
+type Token struct {
+	Kind   Kind
+	Lexeme string // spelling for Ident and Number; empty otherwise
+	Val    int64  // numeric value for Number tokens
+	Pos    Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case Ident, Number:
+		return fmt.Sprintf("%s %q", t.Kind, t.Lexeme)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// IsAssignOp reports whether the kind is one of the assignment operators
+// (=, +=, -=, *=, /=).
+func (k Kind) IsAssignOp() bool {
+	switch k {
+	case Assign, PlusAssign, MinusAssign, StarAssign, SlashAssign:
+		return true
+	}
+	return false
+}
+
+// IsTypeStart reports whether the kind can begin a type specifier.
+func (k Kind) IsTypeStart() bool {
+	switch k {
+	case KwInt, KwVoid, KwChar, KwLong, KwUnsigned, KwStruct, KwStatic, KwConst, KwExtern:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,580 @@
+// Package interp is a concrete interpreter for the IR — the executable
+// semantics the abstract analyses over-approximate. Its purpose is
+// differential soundness testing: run real executions of a program,
+// record the concrete value of every location at every control point
+// visited, and check that each analyzer's abstract value contains it
+// (see the soundness tests in internal/core).
+package interp
+
+import (
+	"fmt"
+	"math"
+
+	"sparrow/internal/ir"
+)
+
+// Value is a concrete value: an integer, a pointer, or a function.
+type Value struct {
+	// Kind discriminates the payload.
+	Kind Kind
+	// N is the integer payload (and the offset for pointers).
+	N int64
+	// Base is the pointed-to block for pointers.
+	Base ir.LocID
+	// Size is the block size for pointers.
+	Size int64
+	// Fn is the function payload.
+	Fn ir.ProcID
+}
+
+// Kind of a concrete value.
+type Kind uint8
+
+// Value kinds.
+const (
+	Int Kind = iota
+	Ptr
+	Fn
+)
+
+// IntV makes an integer value.
+func IntV(n int64) Value { return Value{Kind: Int, N: n} }
+
+// PtrV makes a pointer to cell (base, off) of a block of the given size.
+func PtrV(base ir.LocID, off, size int64) Value {
+	return Value{Kind: Ptr, Base: base, N: off, Size: size}
+}
+
+// FnV makes a function value.
+func FnV(f ir.ProcID) Value { return Value{Kind: Fn, Fn: f} }
+
+// String renders the value.
+func (v Value) String() string {
+	switch v.Kind {
+	case Ptr:
+		return fmt.Sprintf("&%d+%d/%d", v.Base, v.N, v.Size)
+	case Fn:
+		return fmt.Sprintf("fn%d", v.Fn)
+	default:
+		return fmt.Sprintf("%d", v.N)
+	}
+}
+
+// cell is one concrete memory cell: element Idx of the block rooted at a
+// location (scalars are Idx 0 of a size-1 block).
+type cell struct {
+	loc ir.LocID
+	idx int64
+}
+
+// Trap describes why an execution stopped abnormally.
+type Trap struct {
+	Point ir.PointID
+	Msg   string
+}
+
+func (t *Trap) Error() string { return fmt.Sprintf("trap at %d: %s", t.Point, t.Msg) }
+
+// Options configures a run.
+type Options struct {
+	// MaxSteps bounds execution length (default 200000).
+	MaxSteps int
+	// Inputs supplies the stream of input() / Unknown values (cycled;
+	// empty means zeros).
+	Inputs []int64
+	// Observe is called before executing each point with the concrete
+	// frame-visible value of every location bound in memory. It may be
+	// nil. Only scalar cells (idx 0) are reported.
+	Observe func(pt ir.PointID, get func(ir.LocID) (Value, bool))
+}
+
+// Machine executes one program.
+type Machine struct {
+	prog *ir.Program
+	opt  Options
+	// mem holds globals, heap blocks, and their fields; frames hold
+	// procedure-local cells, innermost last.
+	mem    map[cell]Value
+	frames []map[cell]Value
+	// callees tracks the resolved target of each active call so RetBind
+	// reads the right return channel even if a function pointer was
+	// reassigned inside the callee.
+	callees []ir.ProcID
+	isLocal map[ir.LocID]bool
+	in      int
+	step    int
+}
+
+// localRoot reports whether loc lives in a procedure frame (its base chain
+// is rooted at a procedure-local variable).
+func (m *Machine) localRoot(loc ir.LocID) bool {
+	if v, ok := m.isLocal[loc]; ok {
+		return v
+	}
+	l := loc
+	for {
+		d := m.prog.Locs.Get(l)
+		switch d.Kind {
+		case ir.LFld, ir.LArr:
+			l = d.Base
+		case ir.LVar:
+			v := d.Proc != ir.None
+			m.isLocal[loc] = v
+			return v
+		default:
+			m.isLocal[loc] = false
+			return false
+		}
+	}
+}
+
+// read accesses a cell named directly by the executing code: locals live
+// in the current frame, everything else in the shared memory.
+func (m *Machine) read(c cell) (Value, bool) {
+	if m.localRoot(c.loc) {
+		v, ok := m.frames[len(m.frames)-1][c]
+		return v, ok
+	}
+	v, ok := m.mem[c]
+	return v, ok
+}
+
+// write binds a directly-named cell: locals in the current frame (formal
+// binding and assignments under recursion must not clobber the caller's
+// activation), everything else in the shared memory.
+func (m *Machine) write(c cell, v Value) {
+	if m.localRoot(c.loc) {
+		m.frames[len(m.frames)-1][c] = v
+		return
+	}
+	m.mem[c] = v
+}
+
+// readThrough resolves a pointer dereference: a pointer may aim at a local
+// of an enclosing activation (&x passed down), so frames are searched
+// innermost-first.
+func (m *Machine) readThrough(c cell) (Value, bool) {
+	if m.localRoot(c.loc) {
+		for i := len(m.frames) - 1; i >= 0; i-- {
+			if v, ok := m.frames[i][c]; ok {
+				return v, true
+			}
+		}
+		return Value{}, false
+	}
+	v, ok := m.mem[c]
+	return v, ok
+}
+
+// writeThrough updates the closest live binding of a dereferenced cell, or
+// binds it in the current frame.
+func (m *Machine) writeThrough(c cell, v Value) {
+	if m.localRoot(c.loc) {
+		for i := len(m.frames) - 1; i >= 0; i-- {
+			if _, ok := m.frames[i][c]; ok {
+				m.frames[i][c] = v
+				return
+			}
+		}
+		m.frames[len(m.frames)-1][c] = v
+		return
+	}
+	m.mem[c] = v
+}
+
+// Run executes prog from its root procedure. It returns the number of
+// executed steps; a *Trap error reports abnormal stops (out-of-bounds or
+// null dereferences, step exhaustion).
+func Run(prog *ir.Program, opt Options) (int, error) {
+	if opt.MaxSteps == 0 {
+		opt.MaxSteps = 200000
+	}
+	m := &Machine{prog: prog, opt: opt, mem: map[cell]Value{}, isLocal: map[ir.LocID]bool{}}
+	root := prog.ProcByID(prog.Main)
+	err := m.call(root, nil)
+	return m.step, err
+}
+
+func (m *Machine) nextInput() int64 {
+	if len(m.opt.Inputs) == 0 {
+		return 0
+	}
+	v := m.opt.Inputs[m.in%len(m.opt.Inputs)]
+	m.in++
+	return v
+}
+
+// call runs one procedure activation to its exit in a fresh frame.
+func (m *Machine) call(proc *ir.Proc, args []Value) error {
+	m.frames = append(m.frames, map[cell]Value{})
+	defer func() { m.frames = m.frames[:len(m.frames)-1] }()
+	for i, f := range proc.Formals {
+		if i < len(args) {
+			m.write(cell{f, 0}, args[i])
+		} else {
+			m.write(cell{f, 0}, IntV(m.nextInput()))
+		}
+	}
+	pc := proc.Entry
+	for {
+		m.step++
+		if m.step > m.opt.MaxSteps {
+			return &Trap{Point: pc, Msg: "step budget exhausted"}
+		}
+		pt := m.prog.Point(pc)
+		if m.opt.Observe != nil {
+			m.opt.Observe(pc, func(l ir.LocID) (Value, bool) {
+				return m.read(cell{l, 0})
+			})
+		}
+		done, err := m.exec(proc, pt)
+		if err != nil || done {
+			return err
+		}
+		next, done, err := m.choose(pt)
+		if err != nil || done {
+			return err
+		}
+		pc = next
+	}
+}
+
+// choose selects the control successor of an executed point. Lowering
+// guarantees the only multi-successor points are branch leaves whose
+// successors are a complementary pair of Assumes: the one whose condition
+// holds is taken.
+func (m *Machine) choose(pt *ir.Point) (ir.PointID, bool, error) {
+	switch len(pt.Succs) {
+	case 0:
+		return 0, true, nil // exit (or dangling): activation ends
+	case 1:
+		return pt.Succs[0], false, nil
+	}
+	for _, s := range pt.Succs {
+		a, ok := m.prog.Point(s).Cmd.(ir.Assume)
+		if !ok {
+			return 0, false, &Trap{Point: pt.ID, Msg: "non-assume branch successor"}
+		}
+		v, err := m.eval(a.E, m.prog.Point(s))
+		if err != nil {
+			return 0, false, err
+		}
+		if truthy(v) {
+			return s, false, nil
+		}
+	}
+	return 0, false, &Trap{Point: pt.ID, Msg: "no branch taken (complementary assumes both false)"}
+}
+
+// exec performs the effects of one point; done reports that the current
+// activation finished (its exit was reached).
+func (m *Machine) exec(proc *ir.Proc, pt *ir.Point) (bool, error) {
+	switch c := pt.Cmd.(type) {
+	case ir.Entry, ir.Skip, ir.Assume:
+		// Assume conditions are checked at branch selection (choose).
+		return false, nil
+	case ir.Exit:
+		return true, nil
+	case ir.Set:
+		v, err := m.eval(c.E, pt)
+		if err != nil {
+			return false, err
+		}
+		m.write(cell{c.L, 0}, v)
+		return false, nil
+	case ir.Store:
+		return false, m.store(pt, c.P, "", c.E)
+	case ir.StoreField:
+		return false, m.store(pt, c.P, c.F, c.E)
+	case ir.Alloc:
+		n, err := m.eval(c.N, pt)
+		if err != nil {
+			return false, err
+		}
+		size := n.N
+		if size < 1 {
+			size = 1
+		}
+		al := m.prog.Locs.Alloc(c.Site)
+		// Fresh allocations are zeroed here (the analyzer assumes arbitrary
+		// contents, which over-approximates this choice).
+		for i := int64(0); i < size && i < 4096; i++ {
+			m.mem[cell{al, i}] = IntV(0)
+		}
+		m.write(cell{c.L, 0}, PtrV(al, 0, size))
+		return false, nil
+	case ir.Call:
+		fv, err := m.eval(c.F, pt)
+		if err != nil {
+			return false, err
+		}
+		if fv.Kind != Fn {
+			return false, &Trap{Point: pt.ID, Msg: "call through non-function value"}
+		}
+		callee := m.prog.ProcByID(fv.Fn)
+		args := make([]Value, len(c.Args))
+		for i, a := range c.Args {
+			if args[i], err = m.eval(a, pt); err != nil {
+				return false, err
+			}
+		}
+		m.callees = append(m.callees, fv.Fn)
+		return false, m.call(callee, args)
+	case ir.RetBind:
+		if len(m.callees) == 0 {
+			return false, &Trap{Point: pt.ID, Msg: "return binding without a call"}
+		}
+		target := m.callees[len(m.callees)-1]
+		m.callees = m.callees[:len(m.callees)-1]
+		if c.L != ir.None {
+			rl := m.prog.ProcByID(target).RetLoc
+			v := IntV(0)
+			if rl != ir.None {
+				if rv, ok := m.read(cell{rl, 0}); ok {
+					v = rv
+				}
+			}
+			m.write(cell{c.L, 0}, v)
+		}
+		return false, nil
+	case ir.Return:
+		if c.E != nil && proc.RetLoc != ir.None {
+			v, err := m.eval(c.E, pt)
+			if err != nil {
+				return false, err
+			}
+			m.write(cell{proc.RetLoc, 0}, v)
+		}
+		return false, nil
+	default:
+		return false, &Trap{Point: pt.ID, Msg: fmt.Sprintf("unknown command %T", pt.Cmd)}
+	}
+}
+
+func (m *Machine) store(pt *ir.Point, pe ir.Expr, field string, ve ir.Expr) error {
+	pv, err := m.eval(pe, pt)
+	if err != nil {
+		return err
+	}
+	v, err := m.eval(ve, pt)
+	if err != nil {
+		return err
+	}
+	target, err := m.deref(pt, pv, field)
+	if err != nil {
+		return err
+	}
+	m.writeThrough(target, v)
+	return nil
+}
+
+// deref resolves a pointer value to a concrete cell, trapping on null and
+// out-of-bounds.
+func (m *Machine) deref(pt *ir.Point, pv Value, field string) (cell, error) {
+	if pv.Kind != Ptr {
+		return cell{}, &Trap{Point: pt.ID, Msg: fmt.Sprintf("dereference of non-pointer %s", pv)}
+	}
+	if pv.N < 0 || pv.N >= pv.Size {
+		return cell{}, &Trap{Point: pt.ID, Msg: fmt.Sprintf("out-of-bounds access %s", pv)}
+	}
+	loc := pv.Base
+	if field != "" {
+		loc = m.prog.Locs.Field(loc, field)
+	}
+	return cell{loc, pv.N}, nil
+}
+
+func truthy(v Value) bool {
+	switch v.Kind {
+	case Int:
+		return v.N != 0
+	default:
+		return true // pointers and functions are non-null here
+	}
+}
+
+// eval computes a pure expression.
+func (m *Machine) eval(e ir.Expr, pt *ir.Point) (Value, error) {
+	switch e := e.(type) {
+	case ir.Const:
+		return IntV(e.V), nil
+	case ir.Unknown:
+		return IntV(m.nextInput()), nil
+	case ir.VarE:
+		if v, ok := m.read(cell{e.L, 0}); ok {
+			return v, nil
+		}
+		return IntV(0), nil // uninitialized reads as zero (within Unknown's abstraction)
+	case ir.Load:
+		pv, err := m.eval(e.P, pt)
+		if err != nil {
+			return Value{}, err
+		}
+		target, err := m.deref(pt, pv, "")
+		if err != nil {
+			return Value{}, err
+		}
+		if v, ok := m.readThrough(target); ok {
+			return v, nil
+		}
+		return IntV(0), nil
+	case ir.LoadField:
+		pv, err := m.eval(e.P, pt)
+		if err != nil {
+			return Value{}, err
+		}
+		target, err := m.deref(pt, pv, e.F)
+		if err != nil {
+			return Value{}, err
+		}
+		if v, ok := m.readThrough(target); ok {
+			return v, nil
+		}
+		return IntV(0), nil
+	case ir.AddrOf:
+		return PtrV(e.L, 0, e.Count), nil
+	case ir.FieldAddr:
+		pv, err := m.eval(e.P, pt)
+		if err != nil {
+			return Value{}, err
+		}
+		if pv.Kind != Ptr {
+			return Value{}, &Trap{Point: pt.ID, Msg: "field address of non-pointer"}
+		}
+		return PtrV(m.prog.Locs.Field(pv.Base, e.F), 0, 1), nil
+	case ir.FuncAddr:
+		return FnV(e.F), nil
+	case ir.Neg:
+		v, err := m.eval(e.X, pt)
+		if err != nil {
+			return Value{}, err
+		}
+		return IntV(-v.N), nil
+	case ir.Not:
+		v, err := m.eval(e.X, pt)
+		if err != nil {
+			return Value{}, err
+		}
+		if truthy(v) {
+			return IntV(0), nil
+		}
+		return IntV(1), nil
+	case ir.Bin:
+		return m.evalBin(e, pt)
+	default:
+		return Value{}, &Trap{Point: pt.ID, Msg: fmt.Sprintf("unknown expression %T", e)}
+	}
+}
+
+func (m *Machine) evalBin(e ir.Bin, pt *ir.Point) (Value, error) {
+	x, err := m.eval(e.X, pt)
+	if err != nil {
+		return Value{}, err
+	}
+	y, err := m.eval(e.Y, pt)
+	if err != nil {
+		return Value{}, err
+	}
+	// Pointer arithmetic.
+	if x.Kind == Ptr && y.Kind == Int && (e.Op == ir.Add || e.Op == ir.Sub) {
+		d := y.N
+		if e.Op == ir.Sub {
+			d = -d
+		}
+		return PtrV(x.Base, x.N+d, x.Size), nil
+	}
+	if y.Kind == Ptr && x.Kind == Int && e.Op == ir.Add {
+		return PtrV(y.Base, y.N+x.N, y.Size), nil
+	}
+	b2i := func(b bool) Value {
+		if b {
+			return IntV(1)
+		}
+		return IntV(0)
+	}
+	a, b := x.N, y.N
+	switch e.Op {
+	case ir.Add:
+		return IntV(a + b), nil
+	case ir.Sub:
+		return IntV(a - b), nil
+	case ir.Mul:
+		return IntV(a * b), nil
+	case ir.Div:
+		if b == 0 {
+			return Value{}, &Trap{Point: pt.ID, Msg: "division by zero"}
+		}
+		if a == math.MinInt64 && b == -1 {
+			return IntV(math.MinInt64), nil
+		}
+		return IntV(a / b), nil
+	case ir.Rem:
+		if b == 0 {
+			return Value{}, &Trap{Point: pt.ID, Msg: "remainder by zero"}
+		}
+		if a == math.MinInt64 && b == -1 {
+			return IntV(0), nil
+		}
+		return IntV(a % b), nil
+	case ir.Lt:
+		return b2i(cmpV(x, y) < 0), nil
+	case ir.Le:
+		return b2i(cmpV(x, y) <= 0), nil
+	case ir.Gt:
+		return b2i(cmpV(x, y) > 0), nil
+	case ir.Ge:
+		return b2i(cmpV(x, y) >= 0), nil
+	case ir.Eq:
+		return b2i(x == y), nil
+	case ir.Ne:
+		return b2i(x != y), nil
+	case ir.BitAnd:
+		return IntV(a & b), nil
+	case ir.BitOr:
+		return IntV(a | b), nil
+	case ir.BitXor:
+		return IntV(a ^ b), nil
+	case ir.Shl:
+		if b < 0 || b > 62 {
+			return IntV(0), nil
+		}
+		return IntV(a << uint(b)), nil
+	case ir.Shr:
+		if b < 0 || b > 62 {
+			return IntV(0), nil
+		}
+		return IntV(a >> uint(b)), nil
+	case ir.LAnd:
+		return b2i(truthy(x) && truthy(y)), nil
+	case ir.LOr:
+		return b2i(truthy(x) || truthy(y)), nil
+	default:
+		return Value{}, &Trap{Point: pt.ID, Msg: "unknown operator"}
+	}
+}
+
+// cmpV orders values; pointers compare by (base, offset).
+func cmpV(x, y Value) int {
+	if x.Kind == Ptr && y.Kind == Ptr {
+		if x.Base != y.Base {
+			if x.Base < y.Base {
+				return -1
+			}
+			return 1
+		}
+		if x.N != y.N {
+			if x.N < y.N {
+				return -1
+			}
+			return 1
+		}
+		return 0
+	}
+	if x.N < y.N {
+		return -1
+	}
+	if x.N > y.N {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,241 @@
+package interp
+
+import (
+	"errors"
+	"testing"
+
+	"sparrow/internal/frontend/lower"
+	"sparrow/internal/frontend/parser"
+	"sparrow/internal/ir"
+)
+
+func compile(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	f, err := parser.Parse("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := lower.File(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// finalGlobal runs the program and returns the last observed value of a
+// global.
+func finalGlobal(t *testing.T, src, name string, inputs []int64) (Value, error) {
+	t.Helper()
+	prog := compile(t, src)
+	loc, ok := prog.Locs.Lookup(ir.Loc{Kind: ir.LVar, Proc: ir.None, Name: name})
+	if !ok {
+		t.Fatalf("no global %q", name)
+	}
+	var last Value
+	_, err := Run(prog, Options{
+		Inputs: inputs,
+		Observe: func(pt ir.PointID, get func(ir.LocID) (Value, bool)) {
+			if v, ok := get(loc); ok {
+				last = v
+			}
+		},
+	})
+	return last, err
+}
+
+func TestStraightLine(t *testing.T) {
+	v, err := finalGlobal(t, `
+int g;
+int main() { int x; x = 6; g = x * 7; return 0; }
+`, "g", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Kind != Int || v.N != 42 {
+		t.Errorf("g = %s want 42", v)
+	}
+}
+
+func TestBranching(t *testing.T) {
+	src := `
+int g;
+int main() {
+	int x;
+	x = input();
+	if (x > 0) { g = 1; } else { g = -1; }
+	return 0;
+}
+`
+	v, err := finalGlobal(t, src, "g", []int64{5})
+	if err != nil || v.N != 1 {
+		t.Errorf("positive input: g = %s err=%v", v, err)
+	}
+	v, err = finalGlobal(t, src, "g", []int64{-5})
+	if err != nil || v.N != -1 {
+		t.Errorf("negative input: g = %s err=%v", v, err)
+	}
+}
+
+func TestLoopSum(t *testing.T) {
+	v, err := finalGlobal(t, `
+int g;
+int main() {
+	int i;
+	g = 0;
+	for (i = 1; i <= 10; i++) { g = g + i; }
+	return 0;
+}
+`, "g", nil)
+	if err != nil || v.N != 55 {
+		t.Errorf("g = %s err=%v want 55", v, err)
+	}
+}
+
+func TestRecursionFrames(t *testing.T) {
+	// n must be per-activation: fib(10) == 55 only with proper frames.
+	v, err := finalGlobal(t, `
+int g;
+int fib(int n) {
+	if (n < 2) { return n; }
+	return fib(n-1) + fib(n-2);
+}
+int main() { g = fib(10); return 0; }
+`, "g", nil)
+	if err != nil || v.N != 55 {
+		t.Errorf("fib(10) = %s err=%v want 55", v, err)
+	}
+}
+
+func TestPointersAndArrays(t *testing.T) {
+	v, err := finalGlobal(t, `
+int g;
+int a[5];
+int main() {
+	int *p;
+	int i;
+	for (i = 0; i < 5; i++) { a[i] = i * 10; }
+	p = &a[3];
+	g = *p + a[1];
+	return 0;
+}
+`, "g", nil)
+	if err != nil || v.N != 40 {
+		t.Errorf("g = %s err=%v want 40", v, err)
+	}
+}
+
+func TestStructs(t *testing.T) {
+	v, err := finalGlobal(t, `
+struct Pt { int x; int y; };
+int g;
+struct Pt p;
+int main() {
+	struct Pt *q;
+	p.x = 3;
+	q = &p;
+	q->y = 4;
+	g = p.x * 10 + q->y;
+	return 0;
+}
+`, "g", nil)
+	if err != nil || v.N != 34 {
+		t.Errorf("g = %s err=%v want 34", v, err)
+	}
+}
+
+func TestFunctionPointerDispatch(t *testing.T) {
+	// The return site must use the callee resolved at call time, even when
+	// the callee reassigns the function pointer.
+	v, err := finalGlobal(t, `
+int g;
+int (*fp)(int);
+int two(int x) { return x + 2; }
+int one(int x) { fp = two; return x + 1; }
+int main() {
+	fp = one;
+	g = fp(10);       /* calls one: 11; one reassigns fp */
+	g = g * 100 + fp(10); /* calls two: 12 */
+	return 0;
+}
+`, "g", nil)
+	if err != nil || v.N != 1112 {
+		t.Errorf("g = %s err=%v want 1112", v, err)
+	}
+}
+
+func TestOutOfBoundsTraps(t *testing.T) {
+	_, err := finalGlobal(t, `
+int a[3];
+int main() { a[5] = 1; return 0; }
+`, "a", nil)
+	var trap *Trap
+	if !errors.As(err, &trap) {
+		t.Fatalf("expected trap, got %v", err)
+	}
+}
+
+func TestNullDerefTraps(t *testing.T) {
+	_, err := finalGlobal(t, `
+int g;
+int main() { int *p; p = 0; *p = 1; return 0; }
+`, "g", nil)
+	var trap *Trap
+	if !errors.As(err, &trap) {
+		t.Fatalf("expected trap, got %v", err)
+	}
+}
+
+func TestDivZeroTraps(t *testing.T) {
+	_, err := finalGlobal(t, `
+int g;
+int main() { int x; x = input(); g = 10 / x; return 0; }
+`, "g", []int64{0})
+	var trap *Trap
+	if !errors.As(err, &trap) {
+		t.Fatalf("expected trap, got %v", err)
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	prog := compile(t, `
+int main() { while (1) { } return 0; }
+`)
+	_, err := Run(prog, Options{MaxSteps: 1000})
+	var trap *Trap
+	if !errors.As(err, &trap) {
+		t.Fatalf("expected step-budget trap, got %v", err)
+	}
+}
+
+func TestMalloc(t *testing.T) {
+	v, err := finalGlobal(t, `
+int g;
+int main() {
+	int *p;
+	p = malloc(4);
+	p[0] = 7;
+	p[3] = 9;
+	g = p[0] + p[3] + p[1];
+	return 0;
+}
+`, "g", nil)
+	if err != nil || v.N != 16 {
+		t.Errorf("g = %s err=%v want 16", v, err)
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	v, err := finalGlobal(t, `
+int g;
+int main() {
+	int x; int y;
+	x = 0; y = 5;
+	if (x != 0 && 10 / x > 1) { g = 1; } else { g = 2; }
+	if (y > 0 || 10 / x > 1) { g = g * 10 + 3; }
+	return 0;
+}
+`, "g", nil)
+	if err != nil || v.N != 23 {
+		t.Errorf("g = %s err=%v want 23", v, err)
+	}
+}

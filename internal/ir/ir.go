@@ -1,0 +1,561 @@
+// Package ir defines the analyzed program representation: a program is a
+// set of control points, each carrying one command, connected by a control
+// flow relation (the ⟨C, ↪⟩ of Section 2.2 of the paper).
+//
+// Commands are deliberately small — assignments, stores, allocations,
+// assumes, calls and returns — so that abstract semantic functions f#_c and
+// their definition/use sets D(c), U(c) have the simple shapes the sparse
+// framework reasons about. The frontend lowers the full surface language
+// (arrays, struct fields, short-circuit conditions, calls in expressions)
+// into this form using temporaries.
+package ir
+
+import (
+	"fmt"
+
+	"sparrow/internal/frontend/token"
+)
+
+// PointID identifies a control point. Points are numbered densely from 0
+// across the whole program.
+type PointID int32
+
+// ProcID identifies a procedure.
+type ProcID int32
+
+// LocID identifies an abstract location (member of L#). Locations are
+// interned in a LocTable.
+type LocID int32
+
+// None is the absent ID (no return variable, no such location...).
+const None = -1
+
+// LocKind classifies abstract locations.
+type LocKind uint8
+
+// Abstract location kinds.
+const (
+	LVar   LocKind = iota // a program variable (global if Proc == None)
+	LFld                  // a struct field: Base is the struct's location
+	LArr                  // the smashed contents of an array variable Base
+	LAlloc                // a dynamic allocation site (Site is the point)
+	LRet                  // the return-value channel of procedure Proc
+)
+
+// Loc describes one abstract location.
+type Loc struct {
+	Kind LocKind
+	Proc ProcID  // owner for LVar locals and LRet; None for globals
+	Name string  // variable or field name
+	Base LocID   // for LFld and LArr
+	Site PointID // for LAlloc
+}
+
+// IsSummary reports whether the location abstracts several concrete cells
+// (array contents, allocation sites), in which case updates must be weak.
+func (l Loc) IsSummary() bool { return l.Kind == LArr || l.Kind == LAlloc }
+
+// LocTable interns locations and assigns them dense LocIDs.
+type LocTable struct {
+	locs  []Loc
+	index map[Loc]LocID
+}
+
+// NewLocTable returns an empty table.
+func NewLocTable() *LocTable {
+	return &LocTable{index: make(map[Loc]LocID)}
+}
+
+// Intern returns the ID for l, creating it on first use.
+func (t *LocTable) Intern(l Loc) LocID {
+	if id, ok := t.index[l]; ok {
+		return id
+	}
+	id := LocID(len(t.locs))
+	t.locs = append(t.locs, l)
+	t.index[l] = id
+	return id
+}
+
+// Lookup returns the ID for l if it was interned.
+func (t *LocTable) Lookup(l Loc) (LocID, bool) {
+	id, ok := t.index[l]
+	return id, ok
+}
+
+// Get returns the location descriptor for id.
+func (t *LocTable) Get(id LocID) Loc { return t.locs[id] }
+
+// Len returns the number of interned locations.
+func (t *LocTable) Len() int { return len(t.locs) }
+
+// Var interns a variable location.
+func (t *LocTable) Var(proc ProcID, name string) LocID {
+	return t.Intern(Loc{Kind: LVar, Proc: proc, Name: name})
+}
+
+// Field interns the field location base.name.
+func (t *LocTable) Field(base LocID, name string) LocID {
+	return t.Intern(Loc{Kind: LFld, Base: base, Name: name, Proc: None})
+}
+
+// Arr interns the array-contents location of base.
+func (t *LocTable) Arr(base LocID) LocID {
+	return t.Intern(Loc{Kind: LArr, Base: base, Proc: None})
+}
+
+// Alloc interns the allocation-site location for site.
+func (t *LocTable) Alloc(site PointID) LocID {
+	return t.Intern(Loc{Kind: LAlloc, Site: site, Proc: None})
+}
+
+// Ret interns the return-value location of proc.
+func (t *LocTable) Ret(proc ProcID) LocID {
+	return t.Intern(Loc{Kind: LRet, Proc: proc})
+}
+
+// String renders the location readably ("g", "f::x", "s.fld", "arr(a)",
+// "alloc@12", "ret(f)"). It needs the table to print bases, so it is a
+// method on the table.
+func (t *LocTable) String(id LocID) string {
+	l := t.Get(id)
+	switch l.Kind {
+	case LVar:
+		if l.Proc == None {
+			return l.Name
+		}
+		return fmt.Sprintf("%%%d::%s", l.Proc, l.Name)
+	case LFld:
+		return t.String(l.Base) + "." + l.Name
+	case LArr:
+		return "arr(" + t.String(l.Base) + ")"
+	case LAlloc:
+		return fmt.Sprintf("alloc@%d", l.Site)
+	case LRet:
+		return fmt.Sprintf("ret(%%%d)", l.Proc)
+	default:
+		return fmt.Sprintf("loc#%d", id)
+	}
+}
+
+// ---------- Expressions ----------
+
+// Expr is a pure IR expression (no side effects; calls are hoisted to
+// commands by the frontend).
+type Expr interface{ expr() }
+
+// Const is an integer constant.
+type Const struct{ V int64 }
+
+// Unknown is an arbitrary integer supplied by the environment (the model of
+// unknown external procedures and inputs).
+type Unknown struct{}
+
+// VarE reads abstract location L (a variable or a field of a known base).
+type VarE struct{ L LocID }
+
+// Load reads through a pointer: *(P).
+type Load struct{ P Expr }
+
+// LoadField reads field F of the struct(s) P points to: P->F.
+type LoadField struct {
+	P Expr
+	F string
+}
+
+// AddrOf takes the address of location L; Count is the number of abstract
+// cells behind the pointer (array length; 1 for scalars).
+type AddrOf struct {
+	L     LocID
+	Count int64
+}
+
+// FieldAddr is &(P->F): the address of field F of whatever P points to.
+type FieldAddr struct {
+	P Expr
+	F string
+}
+
+// FuncAddr is a function designator (function name used as a value).
+type FuncAddr struct{ F ProcID }
+
+// BinOp enumerates binary operators.
+type BinOp uint8
+
+// Binary operators.
+const (
+	Add BinOp = iota
+	Sub
+	Mul
+	Div
+	Rem
+	Lt
+	Le
+	Gt
+	Ge
+	Eq
+	Ne
+	BitAnd
+	BitOr
+	BitXor
+	Shl
+	Shr
+	LAnd // non-short-circuit logical and (values 0/1); control flow uses Assume
+	LOr
+)
+
+var binOpNames = [...]string{
+	Add: "+", Sub: "-", Mul: "*", Div: "/", Rem: "%",
+	Lt: "<", Le: "<=", Gt: ">", Ge: ">=", Eq: "==", Ne: "!=",
+	BitAnd: "&", BitOr: "|", BitXor: "^", Shl: "<<", Shr: ">>",
+	LAnd: "&&", LOr: "||",
+}
+
+func (op BinOp) String() string { return binOpNames[op] }
+
+// IsCmp reports whether op is a comparison producing 0/1.
+func (op BinOp) IsCmp() bool { return op >= Lt && op <= Ne }
+
+// Negate returns the complementary comparison (< to >=, etc.). It panics on
+// non-comparisons.
+func (op BinOp) Negate() BinOp {
+	switch op {
+	case Lt:
+		return Ge
+	case Le:
+		return Gt
+	case Gt:
+		return Le
+	case Ge:
+		return Lt
+	case Eq:
+		return Ne
+	case Ne:
+		return Eq
+	}
+	panic("ir: Negate of non-comparison")
+}
+
+// Swap returns the comparison with operands exchanged (< to >, == stays).
+func (op BinOp) Swap() BinOp {
+	switch op {
+	case Lt:
+		return Gt
+	case Le:
+		return Ge
+	case Gt:
+		return Lt
+	case Ge:
+		return Le
+	default:
+		return op
+	}
+}
+
+// Bin is a binary operation.
+type Bin struct {
+	Op   BinOp
+	X, Y Expr
+}
+
+// Neg is arithmetic negation.
+type Neg struct{ X Expr }
+
+// Not is logical negation (!x, producing 0/1).
+type Not struct{ X Expr }
+
+func (Const) expr()     {}
+func (Unknown) expr()   {}
+func (VarE) expr()      {}
+func (Load) expr()      {}
+func (LoadField) expr() {}
+func (AddrOf) expr()    {}
+func (FieldAddr) expr() {}
+func (FuncAddr) expr()  {}
+func (Bin) expr()       {}
+func (Neg) expr()       {}
+func (Not) expr()       {}
+
+// ---------- Commands ----------
+
+// Cmd is the command at a control point.
+type Cmd interface{ cmd() }
+
+// Set is the assignment L := E.
+type Set struct {
+	L LocID
+	E Expr
+}
+
+// Store is the indirect assignment *(P) := E.
+type Store struct {
+	P Expr
+	E Expr
+}
+
+// StoreField is the indirect field assignment P->F := E.
+type StoreField struct {
+	P Expr
+	F string
+	E Expr
+}
+
+// Alloc is L := malloc(N) at allocation site Site.
+type Alloc struct {
+	L    LocID
+	N    Expr
+	Site PointID
+}
+
+// Assume filters states: execution continues only when E may be true
+// (truthy). The frontend emits complementary Assume pairs on branch edges.
+type Assume struct{ E Expr }
+
+// Call invokes the procedure(s) F evaluates to with Args. The return value
+// (if any) is delivered by the matching RetBind point. Call points have
+// exactly one intraprocedural successor: their RetBind.
+type Call struct {
+	F    Expr
+	Args []Expr
+}
+
+// RetBind receives the return value of the calls made at Call point CallPt,
+// binding it to L (None to discard).
+type RetBind struct {
+	L      LocID
+	CallPt PointID
+}
+
+// Return sets the procedure's return channel to E (nil for void returns)
+// and jumps to the exit point.
+type Return struct{ E Expr }
+
+// Entry marks a procedure entry.
+type Entry struct{}
+
+// Exit marks a procedure exit.
+type Exit struct{}
+
+// Skip does nothing (empty statements, join points).
+type Skip struct{}
+
+func (Set) cmd()        {}
+func (Store) cmd()      {}
+func (StoreField) cmd() {}
+func (Alloc) cmd()      {}
+func (Assume) cmd()     {}
+func (Call) cmd()       {}
+func (RetBind) cmd()    {}
+func (Return) cmd()     {}
+func (Entry) cmd()      {}
+func (Exit) cmd()       {}
+func (Skip) cmd()       {}
+
+// ---------- Program ----------
+
+// Point is one control point.
+type Point struct {
+	ID    PointID
+	Proc  ProcID
+	Cmd   Cmd
+	Succs []PointID
+	Preds []PointID
+	Pos   token.Pos
+}
+
+// Proc is a procedure.
+type Proc struct {
+	ID      ProcID
+	Name    string
+	Entry   PointID
+	Exit    PointID
+	Formals []LocID
+	RetLoc  LocID     // LRet location (None for void)
+	Points  []PointID // all points, in creation order (Entry first)
+	Calls   []PointID // call points within the procedure
+}
+
+// Program is a lowered translation unit.
+type Program struct {
+	Points []*Point
+	Procs  []*Proc
+	Locs   *LocTable
+	Main   ProcID // the root procedure (synthesized __start)
+
+	// Source statistics for Table 1.
+	SourceLOC int
+}
+
+// NewProgram returns an empty program.
+func NewProgram() *Program {
+	return &Program{Locs: NewLocTable()}
+}
+
+// Point returns the point with the given ID.
+func (p *Program) Point(id PointID) *Point { return p.Points[id] }
+
+// Proc returns the procedure with the given ID.
+func (p *Program) ProcByID(id ProcID) *Proc { return p.Procs[id] }
+
+// ProcByName returns the procedure named name, or nil.
+func (p *Program) ProcByName(name string) *Proc {
+	for _, pr := range p.Procs {
+		if pr.Name == name {
+			return pr
+		}
+	}
+	return nil
+}
+
+// NewProc appends a new procedure and returns it.
+func (p *Program) NewProc(name string) *Proc {
+	pr := &Proc{ID: ProcID(len(p.Procs)), Name: name, Entry: None, Exit: None, RetLoc: None}
+	p.Procs = append(p.Procs, pr)
+	return pr
+}
+
+// NewPoint appends a new control point in proc with the given command.
+func (p *Program) NewPoint(proc ProcID, cmd Cmd, pos token.Pos) *Point {
+	pt := &Point{ID: PointID(len(p.Points)), Proc: proc, Cmd: cmd, Pos: pos}
+	p.Points = append(p.Points, pt)
+	p.Procs[proc].Points = append(p.Procs[proc].Points, pt.ID)
+	if _, ok := cmd.(Call); ok {
+		p.Procs[proc].Calls = append(p.Procs[proc].Calls, pt.ID)
+	}
+	return pt
+}
+
+// AddEdge adds the control-flow edge a ↪ b.
+func (p *Program) AddEdge(a, b PointID) {
+	pa, pb := p.Points[a], p.Points[b]
+	for _, s := range pa.Succs {
+		if s == b {
+			return
+		}
+	}
+	pa.Succs = append(pa.Succs, b)
+	pb.Preds = append(pb.Preds, a)
+}
+
+// NumStatements returns the number of control points carrying a real
+// command (everything except Entry/Exit/Skip), the paper's "Statements".
+func (p *Program) NumStatements() int {
+	n := 0
+	for _, pt := range p.Points {
+		switch pt.Cmd.(type) {
+		case Entry, Exit, Skip:
+		default:
+			n++
+		}
+	}
+	return n
+}
+
+// NumBlocks returns the number of basic blocks: maximal straight-line
+// chains of points (the paper's "Blocks").
+func (p *Program) NumBlocks() int {
+	n := 0
+	for _, pt := range p.Points {
+		// A point starts a block if it has != 1 predecessor, or its single
+		// predecessor branches.
+		if len(pt.Preds) != 1 {
+			n++
+			continue
+		}
+		if len(p.Points[pt.Preds[0]].Succs) != 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// ---------- Printing (debugging and tests) ----------
+
+// ExprString renders e using the location table for names.
+func (p *Program) ExprString(e Expr) string {
+	switch e := e.(type) {
+	case Const:
+		return fmt.Sprintf("%d", e.V)
+	case Unknown:
+		return "unknown()"
+	case VarE:
+		return p.Locs.String(e.L)
+	case Load:
+		return "*(" + p.ExprString(e.P) + ")"
+	case LoadField:
+		return "(" + p.ExprString(e.P) + ")->" + e.F
+	case AddrOf:
+		if e.Count > 1 {
+			return fmt.Sprintf("&%s[%d]", p.Locs.String(e.L), e.Count)
+		}
+		return "&" + p.Locs.String(e.L)
+	case FieldAddr:
+		return "&(" + p.ExprString(e.P) + ")->" + e.F
+	case FuncAddr:
+		return p.Procs[e.F].Name
+	case Bin:
+		return "(" + p.ExprString(e.X) + " " + e.Op.String() + " " + p.ExprString(e.Y) + ")"
+	case Neg:
+		return "-(" + p.ExprString(e.X) + ")"
+	case Not:
+		return "!(" + p.ExprString(e.X) + ")"
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}
+
+// CmdString renders the command at a point.
+func (p *Program) CmdString(c Cmd) string {
+	switch c := c.(type) {
+	case Set:
+		return p.Locs.String(c.L) + " := " + p.ExprString(c.E)
+	case Store:
+		return "*(" + p.ExprString(c.P) + ") := " + p.ExprString(c.E)
+	case StoreField:
+		return "(" + p.ExprString(c.P) + ")->" + c.F + " := " + p.ExprString(c.E)
+	case Alloc:
+		return fmt.Sprintf("%s := malloc(%s)@%d", p.Locs.String(c.L), p.ExprString(c.N), c.Site)
+	case Assume:
+		return "assume(" + p.ExprString(c.E) + ")"
+	case Call:
+		s := "call " + p.ExprString(c.F) + "("
+		for i, a := range c.Args {
+			if i > 0 {
+				s += ", "
+			}
+			s += p.ExprString(a)
+		}
+		return s + ")"
+	case RetBind:
+		if c.L == None {
+			return fmt.Sprintf("retbind@%d", c.CallPt)
+		}
+		return fmt.Sprintf("%s := retbind@%d", p.Locs.String(c.L), c.CallPt)
+	case Return:
+		if c.E == nil {
+			return "return"
+		}
+		return "return " + p.ExprString(c.E)
+	case Entry:
+		return "entry"
+	case Exit:
+		return "exit"
+	case Skip:
+		return "skip"
+	default:
+		return fmt.Sprintf("%T", c)
+	}
+}
+
+// Dump renders the whole program, one point per line, for debugging.
+func (p *Program) Dump() string {
+	out := ""
+	for _, pr := range p.Procs {
+		out += fmt.Sprintf("proc %s (entry=%d exit=%d):\n", pr.Name, pr.Entry, pr.Exit)
+		for _, id := range pr.Points {
+			pt := p.Points[id]
+			out += fmt.Sprintf("  %4d: %-40s -> %v\n", pt.ID, p.CmdString(pt.Cmd), pt.Succs)
+		}
+	}
+	return out
+}

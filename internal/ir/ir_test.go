@@ -1,0 +1,133 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"sparrow/internal/frontend/token"
+)
+
+func TestLocTableInterning(t *testing.T) {
+	lt := NewLocTable()
+	a := lt.Var(None, "g")
+	b := lt.Var(None, "g")
+	if a != b {
+		t.Error("same global interned twice")
+	}
+	c := lt.Var(1, "g")
+	if c == a {
+		t.Error("local and global with same name collided")
+	}
+	f1 := lt.Field(a, "x")
+	f2 := lt.Field(a, "x")
+	if f1 != f2 {
+		t.Error("field interning broken")
+	}
+	if lt.Len() != 3 {
+		t.Errorf("Len = %d want 3", lt.Len())
+	}
+	if _, ok := lt.Lookup(Loc{Kind: LVar, Proc: None, Name: "g"}); !ok {
+		t.Error("Lookup failed")
+	}
+	if _, ok := lt.Lookup(Loc{Kind: LVar, Proc: None, Name: "nope"}); ok {
+		t.Error("Lookup found phantom")
+	}
+}
+
+func TestSummaryLocs(t *testing.T) {
+	lt := NewLocTable()
+	v := lt.Var(None, "v")
+	arr := lt.Arr(v)
+	al := lt.Alloc(7)
+	if lt.Get(v).IsSummary() {
+		t.Error("plain var is summary")
+	}
+	if !lt.Get(arr).IsSummary() || !lt.Get(al).IsSummary() {
+		t.Error("array/alloc not summary")
+	}
+}
+
+func TestLocStrings(t *testing.T) {
+	lt := NewLocTable()
+	g := lt.Var(None, "g")
+	f := lt.Field(g, "fld")
+	a := lt.Arr(g)
+	al := lt.Alloc(12)
+	r := lt.Ret(3)
+	for loc, want := range map[LocID]string{
+		g: "g", f: "g.fld", a: "arr(g)", al: "alloc@12", r: "ret(%3)",
+	} {
+		if got := lt.String(loc); got != want {
+			t.Errorf("String(%d) = %q want %q", loc, got, want)
+		}
+	}
+}
+
+func TestBinOpHelpers(t *testing.T) {
+	if !Lt.IsCmp() || Add.IsCmp() {
+		t.Error("IsCmp wrong")
+	}
+	pairs := map[BinOp]BinOp{Lt: Ge, Le: Gt, Gt: Le, Ge: Lt, Eq: Ne, Ne: Eq}
+	for op, want := range pairs {
+		if op.Negate() != want {
+			t.Errorf("Negate(%s) = %s want %s", op, op.Negate(), want)
+		}
+	}
+	swaps := map[BinOp]BinOp{Lt: Gt, Le: Ge, Gt: Lt, Ge: Le, Eq: Eq, Ne: Ne}
+	for op, want := range swaps {
+		if op.Swap() != want {
+			t.Errorf("Swap(%s) = %s want %s", op, op.Swap(), want)
+		}
+	}
+}
+
+func TestCFGConstruction(t *testing.T) {
+	prog := NewProgram()
+	pr := prog.NewProc("f")
+	e := prog.NewPoint(pr.ID, Entry{}, token.Pos{})
+	x := prog.NewPoint(pr.ID, Exit{}, token.Pos{})
+	s := prog.NewPoint(pr.ID, Skip{}, token.Pos{})
+	prog.AddEdge(e.ID, s.ID)
+	prog.AddEdge(s.ID, x.ID)
+	prog.AddEdge(e.ID, s.ID) // duplicate: must be ignored
+	if len(e.Succs) != 1 || len(s.Preds) != 1 {
+		t.Errorf("duplicate edge added: succs=%v preds=%v", e.Succs, s.Preds)
+	}
+	if len(pr.Points) != 3 {
+		t.Errorf("proc has %d points", len(pr.Points))
+	}
+}
+
+func TestStatsAndDump(t *testing.T) {
+	prog := NewProgram()
+	pr := prog.NewProc("f")
+	lt := prog.Locs
+	v := lt.Var(pr.ID, "x")
+	e := prog.NewPoint(pr.ID, Entry{}, token.Pos{})
+	s1 := prog.NewPoint(pr.ID, Set{L: v, E: Const{V: 1}}, token.Pos{})
+	s2 := prog.NewPoint(pr.ID, Set{L: v, E: Bin{Op: Add, X: VarE{L: v}, Y: Const{V: 2}}}, token.Pos{})
+	x := prog.NewPoint(pr.ID, Exit{}, token.Pos{})
+	pr.Entry, pr.Exit = e.ID, x.ID
+	prog.AddEdge(e.ID, s1.ID)
+	prog.AddEdge(s1.ID, s2.ID)
+	prog.AddEdge(s2.ID, x.ID)
+	if got := prog.NumStatements(); got != 2 {
+		t.Errorf("NumStatements = %d want 2", got)
+	}
+	dump := prog.Dump()
+	for _, want := range []string{"proc f", "%0::x := 1", "(%0::x + 2)"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+func TestCallsTracked(t *testing.T) {
+	prog := NewProgram()
+	pr := prog.NewProc("f")
+	prog.NewPoint(pr.ID, Call{F: FuncAddr{F: 0}}, token.Pos{})
+	prog.NewPoint(pr.ID, Skip{}, token.Pos{})
+	if len(pr.Calls) != 1 {
+		t.Errorf("Calls = %v want one entry", pr.Calls)
+	}
+}

@@ -1,0 +1,335 @@
+package itv
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// genItv draws a small random interval (possibly Bot, possibly infinite).
+func genItv(r *rand.Rand) Itv {
+	switch r.Intn(10) {
+	case 0:
+		return Bot
+	case 1:
+		return Top
+	}
+	lo := int64(r.Intn(41) - 20)
+	hi := lo + int64(r.Intn(10))
+	v := OfInts(lo, hi)
+	if r.Intn(5) == 0 {
+		v = Of(NegInf, v.Hi())
+	}
+	if r.Intn(5) == 0 {
+		v = Of(v.Lo(), PosInf)
+	}
+	return v
+}
+
+// contains reports whether concrete n is in v.
+func contains(v Itv, n int64) bool {
+	if v.IsBot() {
+		return false
+	}
+	if v.Lo().IsFinite() && n < v.Lo().Int() {
+		return false
+	}
+	if v.Hi().IsFinite() && n > v.Hi().Int() {
+		return false
+	}
+	return true
+}
+
+func TestConstructors(t *testing.T) {
+	if !Bot.IsBot() {
+		t.Error("Bot is not bottom")
+	}
+	if !Top.IsTop() {
+		t.Error("Top is not top")
+	}
+	v := Single(5)
+	if n, ok := v.Const(); !ok || n != 5 {
+		t.Errorf("Single(5).Const() = %d,%v", n, ok)
+	}
+	if got := AtLeast(3).String(); got != "[3,+oo]" {
+		t.Errorf("AtLeast(3) = %s", got)
+	}
+	if got := AtMost(-1).String(); got != "[-oo,-1]" {
+		t.Errorf("AtMost(-1) = %s", got)
+	}
+}
+
+func TestMalformedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Of(5,3) did not panic")
+		}
+	}()
+	Of(Fin(5), Fin(3))
+}
+
+func TestLatticeLaws(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 2000; i++ {
+		a, b, c := genItv(r), genItv(r), genItv(r)
+		// Join is an upper bound; meet a lower bound.
+		if !a.LessEq(a.Join(b)) || !b.LessEq(a.Join(b)) {
+			t.Fatalf("join not upper bound: %s %s", a, b)
+		}
+		if !a.Meet(b).LessEq(a) || !a.Meet(b).LessEq(b) {
+			t.Fatalf("meet not lower bound: %s %s", a, b)
+		}
+		// Commutativity and associativity of join.
+		if !a.Join(b).Eq(b.Join(a)) {
+			t.Fatalf("join not commutative: %s %s", a, b)
+		}
+		if !a.Join(b).Join(c).Eq(a.Join(b.Join(c))) {
+			t.Fatalf("join not associative")
+		}
+		// Bot/Top units.
+		if !a.Join(Bot).Eq(a) || !a.Meet(Top).Eq(a) {
+			t.Fatalf("unit laws fail for %s", a)
+		}
+		// Order is antisymmetric w.r.t. Eq.
+		if a.LessEq(b) && b.LessEq(a) && !a.Eq(b) {
+			t.Fatalf("antisymmetry: %s %s", a, b)
+		}
+	}
+}
+
+func TestWideningCovers(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		a, b := genItv(r), genItv(r)
+		w := a.Widen(b)
+		if !a.LessEq(w) || !b.LessEq(w) {
+			t.Fatalf("widen not an upper bound: %s ∇ %s = %s", a, b, w)
+		}
+	}
+}
+
+func TestWideningTerminates(t *testing.T) {
+	// Any ascending chain stabilizes after at most 2 widenings per side.
+	v := Single(0)
+	for i := int64(1); i < 100; i++ {
+		next := v.Widen(v.Join(Single(i)))
+		if next.Eq(v) {
+			return // stabilized
+		}
+		v = next
+		if i > 4 {
+			t.Fatalf("widening chain did not stabilize: %s", v)
+		}
+	}
+}
+
+func TestNarrowing(t *testing.T) {
+	// Narrowing refines infinite bounds but never widens.
+	a := Of(Fin(0), PosInf)
+	b := OfInts(0, 10)
+	n := a.Narrow(b)
+	if !n.Eq(OfInts(0, 10)) {
+		t.Errorf("Narrow = %s want [0,10]", n)
+	}
+	// Finite bounds are kept.
+	a2 := OfInts(2, 8)
+	if got := a2.Narrow(OfInts(0, 10)); !got.Eq(a2) {
+		t.Errorf("Narrow changed finite bounds: %s", got)
+	}
+	if !Bot.Narrow(Top).IsBot() || !Top.Narrow(Bot).IsBot() {
+		t.Error("Narrow with Bot should be Bot")
+	}
+}
+
+// TestArithSoundness checks v op w ⊇ {a op b | a ∈ v, b ∈ w} by sampling.
+func TestArithSoundness(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	sample := func(v Itv) []int64 {
+		if v.IsBot() {
+			return nil
+		}
+		var out []int64
+		lo, hi := int64(-25), int64(25)
+		if v.Lo().IsFinite() {
+			lo = v.Lo().Int()
+		}
+		if v.Hi().IsFinite() {
+			hi = v.Hi().Int()
+		}
+		for n := lo; n <= hi && len(out) < 60; n++ {
+			if contains(v, n) {
+				out = append(out, n)
+			}
+		}
+		return out
+	}
+	for i := 0; i < 500; i++ {
+		v, w := genItv(r), genItv(r)
+		for _, a := range sample(v) {
+			for _, b := range sample(w) {
+				checks := []struct {
+					name string
+					got  Itv
+					want int64
+					skip bool
+				}{
+					{"add", v.Add(w), a + b, false},
+					{"sub", v.Sub(w), a - b, false},
+					{"mul", v.Mul(w), a * b, false},
+					{"div", v.Div(w), 0, b == 0},
+					{"rem", v.Rem(w), 0, b == 0},
+				}
+				if b != 0 {
+					checks[3].want = a / b
+					checks[4].want = a % b
+				}
+				for _, c := range checks {
+					if c.skip {
+						continue
+					}
+					if !contains(c.got, c.want) {
+						t.Fatalf("%s unsound: %s %s: concrete %d op %d = %d not in %s",
+							c.name, v, w, a, b, c.want, c.got)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAddSaturates(t *testing.T) {
+	v := Single(math.MaxInt64).Add(Single(10))
+	if !contains(v, math.MaxInt64) {
+		t.Errorf("saturating add lost MaxInt64: %s", v)
+	}
+	w := Single(math.MinInt64).Add(Single(-10))
+	if !contains(w, math.MinInt64) {
+		t.Errorf("saturating add lost MinInt64: %s", w)
+	}
+}
+
+func TestNeg(t *testing.T) {
+	if got := OfInts(-3, 5).Neg(); !got.Eq(OfInts(-5, 3)) {
+		t.Errorf("Neg = %s", got)
+	}
+	if got := AtLeast(2).Neg(); !got.Eq(AtMost(-2)) {
+		t.Errorf("Neg = %s", got)
+	}
+	if !Bot.Neg().IsBot() {
+		t.Error("Neg(Bot) != Bot")
+	}
+}
+
+func TestFilters(t *testing.T) {
+	x := OfInts(0, 100)
+	cases := []struct {
+		name string
+		got  Itv
+		want Itv
+	}{
+		{"lt", x.LtFilter(Single(10)), OfInts(0, 9)},
+		{"le", x.LeFilter(Single(10)), OfInts(0, 10)},
+		{"gt", x.GtFilter(Single(90)), OfInts(91, 100)},
+		{"ge", x.GeFilter(Single(90)), OfInts(90, 100)},
+		{"eq", x.EqFilter(Single(42)), Single(42)},
+		{"ne-lo", OfInts(5, 9).NeFilter(Single(5)), OfInts(6, 9)},
+		{"ne-hi", OfInts(5, 9).NeFilter(Single(9)), OfInts(5, 8)},
+		{"ne-mid", OfInts(5, 9).NeFilter(Single(7)), OfInts(5, 9)},
+		{"lt-empty", x.LtFilter(Single(0)), Bot},
+		{"gt-empty", x.GtFilter(Single(100)), Bot},
+	}
+	for _, c := range cases {
+		if !c.got.Eq(c.want) {
+			t.Errorf("%s: got %s want %s", c.name, c.got, c.want)
+		}
+	}
+}
+
+// TestFilterSoundness: filters keep every concrete value satisfying the test.
+func TestFilterSoundness(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 1000; i++ {
+		v, w := genItv(r), genItv(r)
+		for a := int64(-25); a <= 25; a++ {
+			if !contains(v, a) {
+				continue
+			}
+			for b := int64(-25); b <= 25; b++ {
+				if !contains(w, b) {
+					continue
+				}
+				if a < b && !contains(v.LtFilter(w), a) {
+					t.Fatalf("LtFilter dropped %d from %s < %s", a, v, w)
+				}
+				if a <= b && !contains(v.LeFilter(w), a) {
+					t.Fatalf("LeFilter dropped %d", a)
+				}
+				if a > b && !contains(v.GtFilter(w), a) {
+					t.Fatalf("GtFilter dropped %d", a)
+				}
+				if a >= b && !contains(v.GeFilter(w), a) {
+					t.Fatalf("GeFilter dropped %d", a)
+				}
+				if a == b && !contains(v.EqFilter(w), a) {
+					t.Fatalf("EqFilter dropped %d", a)
+				}
+				if a != b && !contains(v.NeFilter(w), a) {
+					t.Fatalf("NeFilter dropped %d from %s != %s", a, v, w)
+				}
+			}
+		}
+	}
+}
+
+func TestTruth(t *testing.T) {
+	cases := []struct {
+		v    Itv
+		want int
+	}{
+		{Single(0), MaybeFalse},
+		{Single(1), MaybeTrue},
+		{Single(-3), MaybeTrue},
+		{OfInts(0, 1), MaybeFalse | MaybeTrue},
+		{OfInts(-5, 5), MaybeFalse | MaybeTrue},
+		{Top, MaybeFalse | MaybeTrue},
+		{Bot, 0},
+	}
+	for _, c := range cases {
+		if got := c.v.Truth(); got != c.want {
+			t.Errorf("Truth(%s) = %d want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestQuickJoinMonotone(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	f := func() bool {
+		a, b, c := genItv(r), genItv(r), genItv(r)
+		if a.LessEq(b) {
+			return a.Join(c).LessEq(b.Join(c)) && a.Meet(c).LessEq(b.Meet(c)) &&
+				a.Add(c).LessEq(b.Add(c)) && a.Mul(c).LessEq(b.Mul(c))
+		}
+		return true
+	}
+	if err := quick.Check(func(seed int64) bool { return f() }, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundCmp(t *testing.T) {
+	order := []Bound{NegInf, Fin(math.MinInt64), Fin(-1), Fin(0), Fin(1), Fin(math.MaxInt64), PosInf}
+	for i, a := range order {
+		for j, b := range order {
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got := a.Cmp(b); got != want {
+				t.Errorf("Cmp(%s,%s) = %d want %d", a, b, got, want)
+			}
+		}
+	}
+}

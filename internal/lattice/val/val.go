@@ -1,0 +1,279 @@
+// Package val implements the abstract value domain V# of the non-relational
+// analysis (Section 3.1): a product of
+//
+//   - an abstract integer (the interval domain),
+//   - an abstract pointer: a finite map from abstract locations to regions,
+//     where a region tracks the offset and size intervals of the pointed-to
+//     block (the paper's array abstraction by ⟨base, offset, size⟩ tuples),
+//   - an abstract function set for function pointers.
+//
+// Pointer maps and function sets are kept as sorted immutable slices; all
+// operations return new values.
+package val
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sparrow/internal/ir"
+	"sparrow/internal/lattice/itv"
+)
+
+// Region is the offset/size abstraction of a pointed-to block: the pointer
+// aims Off cells into a block of Sz cells. Buffer-overrun checking compares
+// Off against Sz.
+type Region struct {
+	Off itv.Itv
+	Sz  itv.Itv
+}
+
+// Join returns the pointwise join of regions.
+func (r Region) Join(o Region) Region {
+	return Region{Off: r.Off.Join(o.Off), Sz: r.Sz.Join(o.Sz)}
+}
+
+// Widen returns the pointwise widening of regions.
+func (r Region) Widen(o Region) Region {
+	return Region{Off: r.Off.Widen(o.Off), Sz: r.Sz.Widen(o.Sz)}
+}
+
+// LessEq reports pointwise ordering.
+func (r Region) LessEq(o Region) bool {
+	return r.Off.LessEq(o.Off) && r.Sz.LessEq(o.Sz)
+}
+
+// Eq reports equality.
+func (r Region) Eq(o Region) bool { return r.Off.Eq(o.Off) && r.Sz.Eq(o.Sz) }
+
+// PtrEntry is one points-to target with its region.
+type PtrEntry struct {
+	Loc ir.LocID
+	R   Region
+}
+
+// Val is an abstract value. The zero value is bottom.
+type Val struct {
+	I   itv.Itv
+	ptr []PtrEntry  // sorted by Loc, no duplicates
+	fns []ir.ProcID // sorted, no duplicates
+}
+
+// Bot is the bottom value.
+var Bot = Val{}
+
+// TopInt is the value with a top interval and no pointers (unknown input).
+var TopInt = Val{I: itv.Top}
+
+// FromItv returns a purely numeric value.
+func FromItv(i itv.Itv) Val { return Val{I: i} }
+
+// Const returns the singleton numeric value n.
+func Const(n int64) Val { return Val{I: itv.Single(n)} }
+
+// FromPtr returns a pointer to loc with the given region.
+func FromPtr(loc ir.LocID, r Region) Val {
+	return Val{ptr: []PtrEntry{{Loc: loc, R: r}}}
+}
+
+// FromFunc returns a function value.
+func FromFunc(f ir.ProcID) Val { return Val{fns: []ir.ProcID{f}} }
+
+// Itv returns the numeric component.
+func (v Val) Itv() itv.Itv { return v.I }
+
+// Ptr returns the points-to entries (callers must not mutate).
+func (v Val) Ptr() []PtrEntry { return v.ptr }
+
+// Fns returns the function targets (callers must not mutate).
+func (v Val) Fns() []ir.ProcID { return v.fns }
+
+// HasPtr reports whether the value may be a pointer.
+func (v Val) HasPtr() bool { return len(v.ptr) > 0 }
+
+// IsBot reports whether v is bottom (no integer, no pointers, no functions).
+func (v Val) IsBot() bool { return v.I.IsBot() && len(v.ptr) == 0 && len(v.fns) == 0 }
+
+// WithItv returns v with the numeric component replaced.
+func (v Val) WithItv(i itv.Itv) Val { return Val{I: i, ptr: v.ptr, fns: v.fns} }
+
+// OnlyPtr returns v with only its pointer (and function) components.
+func (v Val) OnlyPtr() Val { return Val{ptr: v.ptr, fns: v.fns} }
+
+// MapPtr returns v with each points-to entry transformed by f; entries for
+// which f reports false are dropped.
+func (v Val) MapPtr(f func(PtrEntry) (PtrEntry, bool)) Val {
+	if len(v.ptr) == 0 {
+		return v
+	}
+	out := make([]PtrEntry, 0, len(v.ptr))
+	for _, e := range v.ptr {
+		if ne, ok := f(e); ok {
+			out = append(out, ne)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Loc < out[j].Loc })
+	return Val{I: v.I, ptr: dedupPtr(out), fns: v.fns}
+}
+
+func dedupPtr(s []PtrEntry) []PtrEntry {
+	if len(s) < 2 {
+		return s
+	}
+	out := s[:1]
+	for _, e := range s[1:] {
+		last := &out[len(out)-1]
+		if e.Loc == last.Loc {
+			last.R = last.R.Join(e.R)
+		} else {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// mergePtr merges two sorted entry slices with the given region combiner.
+func mergePtr(a, b []PtrEntry, comb func(Region, Region) Region) []PtrEntry {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]PtrEntry, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Loc < b[j].Loc:
+			out = append(out, a[i])
+			i++
+		case a[i].Loc > b[j].Loc:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, PtrEntry{Loc: a[i].Loc, R: comb(a[i].R, b[j].R)})
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+func mergeFns(a, b []ir.ProcID) []ir.ProcID {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]ir.ProcID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// Join returns the least upper bound.
+func (v Val) Join(w Val) Val {
+	return Val{
+		I:   v.I.Join(w.I),
+		ptr: mergePtr(v.ptr, w.ptr, Region.Join),
+		fns: mergeFns(v.fns, w.fns),
+	}
+}
+
+// Widen returns the widening v ∇ w. Points-to sets and function sets are
+// finite (bounded by the program's locations), so set union suffices there;
+// the numeric parts widen. Regions of common targets widen pointwise.
+func (v Val) Widen(w Val) Val {
+	return Val{
+		I:   v.I.Widen(w.I),
+		ptr: mergePtr(v.ptr, w.ptr, Region.Widen),
+		fns: mergeFns(v.fns, w.fns),
+	}
+}
+
+// Narrow returns the narrowing v Δ w on the numeric component; pointer and
+// function components keep v's (they were not widened past w).
+func (v Val) Narrow(w Val) Val {
+	return Val{I: v.I.Narrow(w.I), ptr: v.ptr, fns: v.fns}
+}
+
+// LessEq reports the lattice order.
+func (v Val) LessEq(w Val) bool {
+	if !v.I.LessEq(w.I) {
+		return false
+	}
+	// v.ptr ⊆ w.ptr with region ordering.
+	j := 0
+	for _, e := range v.ptr {
+		for j < len(w.ptr) && w.ptr[j].Loc < e.Loc {
+			j++
+		}
+		if j >= len(w.ptr) || w.ptr[j].Loc != e.Loc || !e.R.LessEq(w.ptr[j].R) {
+			return false
+		}
+	}
+	j = 0
+	for _, f := range v.fns {
+		for j < len(w.fns) && w.fns[j] < f {
+			j++
+		}
+		if j >= len(w.fns) || w.fns[j] != f {
+			return false
+		}
+	}
+	return true
+}
+
+// Eq reports equality.
+func (v Val) Eq(w Val) bool {
+	if !v.I.Eq(w.I) || len(v.ptr) != len(w.ptr) || len(v.fns) != len(w.fns) {
+		return false
+	}
+	for i := range v.ptr {
+		if v.ptr[i].Loc != w.ptr[i].Loc || !v.ptr[i].R.Eq(w.ptr[i].R) {
+			return false
+		}
+	}
+	for i := range v.fns {
+		if v.fns[i] != w.fns[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the value.
+func (v Val) String() string {
+	if v.IsBot() {
+		return "bot"
+	}
+	var parts []string
+	if !v.I.IsBot() {
+		parts = append(parts, v.I.String())
+	}
+	for _, e := range v.ptr {
+		parts = append(parts, fmt.Sprintf("&%d%s/%s", e.Loc, e.R.Off, e.R.Sz))
+	}
+	for _, f := range v.fns {
+		parts = append(parts, fmt.Sprintf("fn%d", f))
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

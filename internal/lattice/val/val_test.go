@@ -1,0 +1,154 @@
+package val
+
+import (
+	"math/rand"
+	"testing"
+
+	"sparrow/internal/ir"
+	"sparrow/internal/lattice/itv"
+)
+
+func reg(lo, hi, slo, shi int64) Region {
+	return Region{Off: itv.OfInts(lo, hi), Sz: itv.OfInts(slo, shi)}
+}
+
+func genVal(r *rand.Rand) Val {
+	v := Val{}
+	if r.Intn(4) != 0 {
+		lo := int64(r.Intn(21) - 10)
+		v = v.Join(FromItv(itv.OfInts(lo, lo+int64(r.Intn(5)))))
+	}
+	for i := 0; i < r.Intn(3); i++ {
+		v = v.Join(FromPtr(ir.LocID(r.Intn(6)), reg(0, int64(r.Intn(4)), 1, 8)))
+	}
+	for i := 0; i < r.Intn(2); i++ {
+		v = v.Join(FromFunc(ir.ProcID(r.Intn(4))))
+	}
+	return v
+}
+
+func TestBotAndConstructors(t *testing.T) {
+	if !Bot.IsBot() {
+		t.Error("Bot not bottom")
+	}
+	if Const(3).Itv().String() != "[3,3]" {
+		t.Errorf("Const(3) = %s", Const(3))
+	}
+	p := FromPtr(2, reg(0, 0, 10, 10))
+	if !p.HasPtr() || len(p.Ptr()) != 1 || p.Ptr()[0].Loc != 2 {
+		t.Errorf("FromPtr wrong: %s", p)
+	}
+	f := FromFunc(1)
+	if len(f.Fns()) != 1 || f.Fns()[0] != 1 {
+		t.Errorf("FromFunc wrong: %s", f)
+	}
+	if !TopInt.Itv().IsTop() || TopInt.HasPtr() {
+		t.Errorf("TopInt wrong: %s", TopInt)
+	}
+}
+
+func TestJoinMergesComponents(t *testing.T) {
+	a := Const(1).Join(FromPtr(3, reg(0, 0, 4, 4)))
+	b := Const(5).Join(FromPtr(3, reg(2, 2, 4, 4))).Join(FromPtr(7, reg(0, 0, 1, 1)))
+	j := a.Join(b)
+	if !j.Itv().Eq(itv.OfInts(1, 5)) {
+		t.Errorf("joined itv = %s", j.Itv())
+	}
+	if len(j.Ptr()) != 2 {
+		t.Fatalf("joined ptr has %d entries", len(j.Ptr()))
+	}
+	// Shared target 3 joins regions: off [0,2].
+	if !j.Ptr()[0].R.Off.Eq(itv.OfInts(0, 2)) {
+		t.Errorf("merged region off = %s", j.Ptr()[0].R.Off)
+	}
+}
+
+func TestLatticeLaws(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	for i := 0; i < 1000; i++ {
+		a, b := genVal(r), genVal(r)
+		j := a.Join(b)
+		if !a.LessEq(j) || !b.LessEq(j) {
+			t.Fatalf("join not upper bound: %s %s -> %s", a, b, j)
+		}
+		if !a.Join(b).Eq(b.Join(a)) {
+			t.Fatalf("join not commutative")
+		}
+		if !a.LessEq(a) {
+			t.Fatalf("order not reflexive: %s", a)
+		}
+		if a.LessEq(b) && b.LessEq(a) && !a.Eq(b) {
+			t.Fatalf("antisymmetry violated: %s %s", a, b)
+		}
+		w := a.Widen(b)
+		if !a.LessEq(w) || !b.LessEq(w) {
+			t.Fatalf("widen not upper bound")
+		}
+	}
+}
+
+func TestWidenStabilizes(t *testing.T) {
+	cur := Const(0)
+	for i := 1; i < 50; i++ {
+		next := cur.Widen(cur.Join(Const(int64(i)).Join(FromPtr(ir.LocID(i%3), reg(0, int64(i), 4, 4)))))
+		if next.Eq(cur) {
+			return
+		}
+		cur = next
+		if i > 10 {
+			t.Fatalf("widening chain too long: %s", cur)
+		}
+	}
+}
+
+func TestMapPtr(t *testing.T) {
+	v := FromPtr(1, reg(0, 0, 4, 4)).Join(FromPtr(2, reg(1, 1, 8, 8)))
+	shifted := v.MapPtr(func(e PtrEntry) (PtrEntry, bool) {
+		e.R.Off = e.R.Off.Add(itv.Single(3))
+		return e, true
+	})
+	if !shifted.Ptr()[0].R.Off.Eq(itv.Single(3)) {
+		t.Errorf("MapPtr shift failed: %s", shifted)
+	}
+	dropped := v.MapPtr(func(e PtrEntry) (PtrEntry, bool) {
+		return e, e.Loc != 1
+	})
+	if len(dropped.Ptr()) != 1 || dropped.Ptr()[0].Loc != 2 {
+		t.Errorf("MapPtr drop failed: %s", dropped)
+	}
+	// Mapping to the same loc merges entries.
+	merged := v.MapPtr(func(e PtrEntry) (PtrEntry, bool) {
+		e.Loc = 9
+		return e, true
+	})
+	if len(merged.Ptr()) != 1 || merged.Ptr()[0].Loc != 9 {
+		t.Errorf("MapPtr merge failed: %s", merged)
+	}
+	if !merged.Ptr()[0].R.Off.Eq(itv.OfInts(0, 1)) {
+		t.Errorf("MapPtr merged region = %s", merged.Ptr()[0].R.Off)
+	}
+}
+
+func TestNarrowOnlyNumeric(t *testing.T) {
+	a := FromItv(itv.Of(itv.Fin(0), itv.PosInf)).Join(FromPtr(1, reg(0, 0, 2, 2)))
+	b := FromItv(itv.OfInts(0, 9))
+	n := a.Narrow(b)
+	if !n.Itv().Eq(itv.OfInts(0, 9)) {
+		t.Errorf("narrowed itv = %s", n.Itv())
+	}
+	if len(n.Ptr()) != 1 {
+		t.Errorf("narrow dropped pointers: %s", n)
+	}
+}
+
+func TestWithAndOnly(t *testing.T) {
+	v := Const(5).Join(FromPtr(1, reg(0, 0, 2, 2))).Join(FromFunc(3))
+	w := v.WithItv(itv.Single(9))
+	if !w.Itv().Eq(itv.Single(9)) || len(w.Ptr()) != 1 || len(w.Fns()) != 1 {
+		t.Errorf("WithItv wrong: %s", w)
+	}
+	o := v.OnlyPtr()
+	if !o.Itv().IsBot() || len(o.Ptr()) != 1 || len(o.Fns()) != 1 {
+		t.Errorf("OnlyPtr wrong: %s", o)
+	}
+}

@@ -1,0 +1,157 @@
+// Package mem implements abstract memories S# = L# -> V# as persistent maps
+// from abstract locations to abstract values (Section 2.3's domain family).
+//
+// Absent entries denote bottom, which is what makes the same transfer
+// functions usable for both the dense analysis (whole memories) and the
+// sparse analysis (partial memories restricted to D̂/Û): Lemma 1 guarantees
+// the partial fixpoint agrees with the full one on the defined entries.
+package mem
+
+import (
+	"strconv"
+	"strings"
+
+	"sparrow/internal/ir"
+	"sparrow/internal/lattice/val"
+	"sparrow/internal/pmap"
+)
+
+// Mem is an abstract memory. The zero value is the bottom memory (empty).
+type Mem struct {
+	m pmap.Map[val.Val]
+}
+
+// Bot is the bottom (empty) memory.
+var Bot = Mem{}
+
+// Get returns the value at l (bottom if absent).
+func (m Mem) Get(l ir.LocID) val.Val {
+	v, _ := m.m.Get(int32(l))
+	return v
+}
+
+// Has reports whether l is bound.
+func (m Mem) Has(l ir.LocID) bool {
+	_, ok := m.m.Get(int32(l))
+	return ok
+}
+
+// Set binds l to v (strong update). Setting bottom still records the entry,
+// keeping domains stable across joins.
+func (m Mem) Set(l ir.LocID, v val.Val) Mem {
+	return Mem{m: m.m.Insert(int32(l), v)}
+}
+
+// WeakSet joins v into the current value of l (weak update).
+func (m Mem) WeakSet(l ir.LocID, v val.Val) Mem {
+	return Mem{m: m.m.Update(int32(l), func(old val.Val, ok bool) val.Val {
+		if !ok {
+			return v
+		}
+		return old.Join(v)
+	})}
+}
+
+// Len returns the number of bound locations.
+func (m Mem) Len() int { return m.m.Len() }
+
+// IsEmpty reports whether no location is bound.
+func (m Mem) IsEmpty() bool { return m.m.IsEmpty() }
+
+// Range calls f for each binding in ascending location order until f
+// returns false.
+func (m Mem) Range(f func(l ir.LocID, v val.Val) bool) {
+	m.m.Range(func(k int32, v val.Val) bool { return f(ir.LocID(k), v) })
+}
+
+// Join returns the pointwise least upper bound.
+func (m Mem) Join(o Mem) Mem {
+	return Mem{m: pmap.Merge(m.m, o.m, func(_ int32, a, b val.Val) val.Val { return a.Join(b) })}
+}
+
+// Widen returns the pointwise widening m ∇ o.
+func (m Mem) Widen(o Mem) Mem {
+	return Mem{m: pmap.Merge(m.m, o.m, func(_ int32, a, b val.Val) val.Val { return a.Widen(b) })}
+}
+
+// Narrow returns the pointwise narrowing m Δ o. Locations absent from o
+// narrow towards bottom only in their widened (infinite) bounds, so m's
+// binding is kept.
+func (m Mem) Narrow(o Mem) Mem {
+	out := m
+	m.m.Range(func(k int32, a val.Val) bool {
+		if b, ok := o.m.Get(k); ok {
+			out.m = out.m.Insert(k, a.Narrow(b))
+		}
+		return true
+	})
+	return out
+}
+
+// LessEq reports the pointwise order m ⊑ o.
+func (m Mem) LessEq(o Mem) bool {
+	return pmap.ForAll2(m.m, o.m, func(_ int32, a val.Val, aok bool, b val.Val, bok bool) bool {
+		if !aok {
+			return true // absent = bottom ⊑ anything
+		}
+		if !bok {
+			return a.IsBot()
+		}
+		return a.LessEq(b)
+	})
+}
+
+// Eq reports pointwise equality (absent entries equal bottom).
+func (m Mem) Eq(o Mem) bool {
+	return pmap.ForAll2(m.m, o.m, func(_ int32, a val.Val, aok bool, b val.Val, bok bool) bool {
+		switch {
+		case aok && bok:
+			return a.Eq(b)
+		case aok:
+			return a.IsBot()
+		default:
+			return b.IsBot()
+		}
+	})
+}
+
+// Restrict returns the memory keeping only locations for which keep returns
+// true.
+func (m Mem) Restrict(keep func(ir.LocID) bool) Mem {
+	out := Bot
+	m.Range(func(l ir.LocID, v val.Val) bool {
+		if keep(l) {
+			out = out.Set(l, v)
+		}
+		return true
+	})
+	return out
+}
+
+// RestrictSet returns the memory keeping only locations in set.
+func (m Mem) RestrictSet(set map[ir.LocID]bool) Mem {
+	return m.Restrict(func(l ir.LocID) bool { return set[l] })
+}
+
+// RemoveSet returns the memory without the locations in set.
+func (m Mem) RemoveSet(set map[ir.LocID]bool) Mem {
+	return m.Restrict(func(l ir.LocID) bool { return !set[l] })
+}
+
+// String renders the memory with numeric location IDs (tests use
+// Program.Locs for names).
+func (m Mem) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	m.Range(func(l ir.LocID, v val.Val) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		b.WriteString(strconv.Itoa(int(l)) + " -> " + v.String())
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,110 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+
+	"sparrow/internal/ir"
+	"sparrow/internal/lattice/itv"
+	"sparrow/internal/lattice/val"
+)
+
+func genMem(r *rand.Rand) Mem {
+	m := Bot
+	for i := 0; i < r.Intn(8); i++ {
+		lo := int64(r.Intn(21) - 10)
+		m = m.Set(ir.LocID(r.Intn(10)), val.FromItv(itv.OfInts(lo, lo+int64(r.Intn(5)))))
+	}
+	return m
+}
+
+func TestGetSetWeak(t *testing.T) {
+	m := Bot.Set(1, val.Const(3))
+	if !m.Get(1).Itv().Eq(itv.Single(3)) {
+		t.Error("Set/Get roundtrip failed")
+	}
+	if !m.Get(2).IsBot() {
+		t.Error("absent loc not bottom")
+	}
+	m2 := m.WeakSet(1, val.Const(7))
+	if !m2.Get(1).Itv().Eq(itv.OfInts(3, 7)) {
+		t.Errorf("WeakSet = %s want [3,7]", m2.Get(1))
+	}
+	// Strong set replaces.
+	m3 := m2.Set(1, val.Const(0))
+	if !m3.Get(1).Itv().Eq(itv.Single(0)) {
+		t.Errorf("Set after WeakSet = %s", m3.Get(1))
+	}
+}
+
+func TestLatticeLaws(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 500; i++ {
+		a, b := genMem(r), genMem(r)
+		j := a.Join(b)
+		if !a.LessEq(j) || !b.LessEq(j) {
+			t.Fatalf("join not upper bound:\n a=%s\n b=%s\n j=%s", a, b, j)
+		}
+		if !j.Eq(b.Join(a)) {
+			t.Fatalf("join not commutative")
+		}
+		if !Bot.LessEq(a) {
+			t.Fatalf("bot not least")
+		}
+		w := a.Widen(b)
+		if !a.LessEq(w) || !b.LessEq(w) {
+			t.Fatalf("widen not upper bound")
+		}
+	}
+}
+
+func TestEqTreatsAbsentAsBot(t *testing.T) {
+	a := Bot.Set(1, val.Const(1)).Set(2, val.Bot)
+	b := Bot.Set(1, val.Const(1))
+	if !a.Eq(b) || !b.Eq(a) {
+		t.Error("explicit-bottom binding should equal absence")
+	}
+	if !a.LessEq(b) || !b.LessEq(a) {
+		t.Error("ordering should treat explicit bottom as absence")
+	}
+}
+
+func TestRestrictRemove(t *testing.T) {
+	m := Bot.Set(1, val.Const(1)).Set(2, val.Const(2)).Set(3, val.Const(3))
+	keep := map[ir.LocID]bool{1: true, 3: true}
+	r := m.RestrictSet(keep)
+	if r.Len() != 2 || !r.Has(1) || r.Has(2) || !r.Has(3) {
+		t.Errorf("RestrictSet wrong: %s", r)
+	}
+	d := m.RemoveSet(keep)
+	if d.Len() != 1 || !d.Has(2) {
+		t.Errorf("RemoveSet wrong: %s", d)
+	}
+}
+
+func TestNarrowKeepsMissing(t *testing.T) {
+	a := Bot.Set(1, val.FromItv(itv.Of(itv.Fin(0), itv.PosInf))).Set(2, val.Const(5))
+	b := Bot.Set(1, val.FromItv(itv.OfInts(0, 10)))
+	n := a.Narrow(b)
+	if !n.Get(1).Itv().Eq(itv.OfInts(0, 10)) {
+		t.Errorf("narrow(1) = %s", n.Get(1))
+	}
+	if !n.Get(2).Itv().Eq(itv.Single(5)) {
+		t.Errorf("narrow dropped binding 2: %s", n.Get(2))
+	}
+}
+
+func TestRangeOrder(t *testing.T) {
+	m := Bot.Set(5, val.Const(5)).Set(1, val.Const(1)).Set(3, val.Const(3))
+	var got []ir.LocID
+	m.Range(func(l ir.LocID, v val.Val) bool {
+		got = append(got, l)
+		return true
+	})
+	want := []ir.LocID{1, 3, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range order %v want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,526 @@
+// Package oct implements the octagon abstract domain of Miné (HOSC 2006)
+// over machine integers: conjunctions of constraints ±x ±y ≤ c, represented
+// as difference-bound matrices (DBMs) over the doubled variable set
+// {+x0, -x0, +x1, -x1, ...}, with strong closure as the normal form.
+//
+// This is the relational domain R# of the paper's packed relational
+// analysis (Section 4); each variable pack gets its own small octagon.
+package oct
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"sparrow/internal/lattice/itv"
+)
+
+// inf is the missing-constraint bound (+∞).
+const inf = math.MaxInt64
+
+// satAdd adds DBM bounds, saturating at +∞.
+func satAdd(a, b int64) int64 {
+	if a == inf || b == inf {
+		return inf
+	}
+	s := a + b
+	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
+		if a > 0 {
+			return inf - 1 // stay finite but huge; never wraps
+		}
+		return math.MinInt64 + 1
+	}
+	return s
+}
+
+// Oct is an octagon over n variables. The zero value is not valid; use Top
+// or Bottom. Matrices are indexed by the doubled variables: 2k is +x_k,
+// 2k+1 is -x_k; m[i][j] bounds v_j - v_i.
+//
+// Octs are immutable from the caller's perspective: every operation returns
+// a new octagon.
+type Oct struct {
+	n      int
+	bot    bool
+	m      []int64 // (2n)×(2n), row-major; nil when bot
+	closed bool
+}
+
+// Top returns the octagon with no constraints over n variables.
+func Top(n int) *Oct {
+	o := &Oct{n: n, m: newMat(n), closed: true}
+	return o
+}
+
+// Bottom returns the empty octagon over n variables.
+func Bottom(n int) *Oct { return &Oct{n: n, bot: true} }
+
+func newMat(n int) []int64 {
+	d := 2 * n
+	m := make([]int64, d*d)
+	for i := range m {
+		m[i] = inf
+	}
+	for i := 0; i < d; i++ {
+		m[i*d+i] = 0
+	}
+	return m
+}
+
+func (o *Oct) clone() *Oct {
+	if o.bot {
+		return &Oct{n: o.n, bot: true}
+	}
+	m := make([]int64, len(o.m))
+	copy(m, o.m)
+	return &Oct{n: o.n, m: m, closed: o.closed}
+}
+
+// N returns the number of variables.
+func (o *Oct) N() int { return o.n }
+
+// IsBottom reports whether the octagon is empty.
+func (o *Oct) IsBottom() bool { return o.bot }
+
+func (o *Oct) at(i, j int) int64     { return o.m[i*2*o.n+j] }
+func (o *Oct) set(i, j int, v int64) { o.m[i*2*o.n+j] = v }
+func (o *Oct) tighten(i, j int, v int64) {
+	if v < o.at(i, j) {
+		o.set(i, j, v)
+	}
+}
+
+// bar flips the polarity index: bar(2k) = 2k+1, bar(2k+1) = 2k.
+func bar(i int) int { return i ^ 1 }
+
+// Closed returns the strongly-closed form of o (its normal form), or a
+// bottom octagon if o is unsatisfiable. The receiver is not modified.
+func (o *Oct) Closed() *Oct {
+	if o.bot || o.closed {
+		return o
+	}
+	c := o.clone()
+	if !c.closeInPlace() {
+		return Bottom(o.n)
+	}
+	return c
+}
+
+// closeInPlace runs Floyd–Warshall shortest paths plus octagonal
+// strengthening and the integer tightening of unary bounds. It reports
+// false when a negative cycle (emptiness) is found.
+func (c *Oct) closeInPlace() bool {
+	d := 2 * c.n
+	// Floyd–Warshall.
+	for k := 0; k < d; k++ {
+		for i := 0; i < d; i++ {
+			ik := c.at(i, k)
+			if ik == inf {
+				continue
+			}
+			for j := 0; j < d; j++ {
+				kj := c.at(k, j)
+				if kj == inf {
+					continue
+				}
+				c.tighten(i, j, satAdd(ik, kj))
+			}
+		}
+	}
+	// Integer tightening of unary constraints: 2x ≤ c implies x ≤ ⌊c/2⌋.
+	for i := 0; i < d; i++ {
+		u := c.at(bar(i), i)
+		if u != inf {
+			c.set(bar(i), i, 2*floorDiv(u, 2))
+		}
+	}
+	// Strengthening: v_j - v_i ≤ (ub(v_ī) + ub(v_j)) / 2 via the unary
+	// bounds m[ī][i]/2 and m[j̄][j]/2.
+	for i := 0; i < d; i++ {
+		ui := c.at(bar(i), i)
+		if ui == inf {
+			continue
+		}
+		for j := 0; j < d; j++ {
+			uj := c.at(bar(j), j)
+			if uj == inf {
+				continue
+			}
+			c.tighten(bar(i), j, floorDiv(ui, 2)+floorDiv(uj, 2))
+		}
+	}
+	for i := 0; i < d; i++ {
+		if c.at(i, i) < 0 {
+			return false
+		}
+		c.set(i, i, 0)
+	}
+	c.closed = true
+	return true
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+// Eq reports semantic equality (on closed forms).
+func (o *Oct) Eq(p *Oct) bool {
+	oc, pc := o.Closed(), p.Closed()
+	if oc.bot || pc.bot {
+		return oc.bot == pc.bot
+	}
+	for i := range oc.m {
+		if oc.m[i] != pc.m[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// LessEq reports inclusion o ⊑ p (on closed forms).
+func (o *Oct) LessEq(p *Oct) bool {
+	oc := o.Closed()
+	if oc.bot {
+		return true
+	}
+	pc := p.Closed()
+	if pc.bot {
+		return false
+	}
+	for i := range oc.m {
+		if oc.m[i] > pc.m[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Join returns the least upper bound (pointwise max of closed forms).
+func (o *Oct) Join(p *Oct) *Oct {
+	oc := o.Closed()
+	if oc.bot {
+		return p.Closed()
+	}
+	pc := p.Closed()
+	if pc.bot {
+		return oc
+	}
+	out := oc.clone()
+	for i := range out.m {
+		if pc.m[i] > out.m[i] {
+			out.m[i] = pc.m[i]
+		}
+	}
+	out.closed = true // max of two closed DBMs is closed
+	return out
+}
+
+// Meet returns the greatest lower bound (pointwise min, then closure).
+func (o *Oct) Meet(p *Oct) *Oct {
+	if o.bot || p.bot {
+		return Bottom(o.n)
+	}
+	out := o.clone()
+	for i := range out.m {
+		if p.m[i] < out.m[i] {
+			out.m[i] = p.m[i]
+		}
+	}
+	out.closed = false
+	return out.Closed()
+}
+
+// Widen returns the standard octagon widening: constraints of o that p does
+// not satisfy are dropped to +∞. The left argument is used as stored
+// (closing it between widenings would break termination); the right is
+// closed.
+func (o *Oct) Widen(p *Oct) *Oct {
+	if o.bot {
+		return p.Closed()
+	}
+	pc := p.Closed()
+	if pc.bot {
+		return o
+	}
+	out := o.clone()
+	for i := range out.m {
+		if pc.m[i] > out.m[i] {
+			out.m[i] = inf
+		}
+	}
+	out.closed = false
+	return out
+}
+
+// Narrow returns the standard narrowing: +∞ constraints of o are refined to
+// p's.
+func (o *Oct) Narrow(p *Oct) *Oct {
+	if o.bot || p.bot {
+		return Bottom(o.n)
+	}
+	pc := p.Closed()
+	out := o.Closed().clone()
+	for i := range out.m {
+		if out.m[i] == inf {
+			out.m[i] = pc.m[i]
+		}
+	}
+	out.closed = false
+	return out.Closed()
+}
+
+// Forget removes every constraint involving variable x (projection),
+// closing first so indirect constraints between other variables survive.
+func (o *Oct) Forget(x int) *Oct {
+	oc := o.Closed()
+	if oc.bot {
+		return oc
+	}
+	out := oc.clone()
+	d := 2 * o.n
+	for _, i := range []int{2 * x, 2*x + 1} {
+		for j := 0; j < d; j++ {
+			if i != j {
+				out.set(i, j, inf)
+				out.set(j, i, inf)
+			}
+		}
+	}
+	out.closed = true // removing rows/cols of a closed DBM keeps closure
+	return out
+}
+
+// Interval returns the projection of variable x as an interval.
+func (o *Oct) Interval(x int) itv.Itv {
+	oc := o.Closed()
+	if oc.bot {
+		return itv.Bot
+	}
+	lo, hi := itv.NegInf, itv.PosInf
+	if u := oc.at(bar(2*x), 2*x); u != inf { // 2x ≤ u
+		hi = itv.Fin(floorDiv(u, 2))
+	}
+	if l := oc.at(2*x, bar(2*x)); l != inf { // -2x ≤ l
+		lo = itv.Fin(-floorDiv(l, 2))
+	}
+	if lo.Cmp(hi) > 0 {
+		return itv.Bot
+	}
+	return itv.Of(lo, hi)
+}
+
+// boundOf converts an interval endpoint to a DBM bound.
+func hiBound(v itv.Itv) int64 {
+	if v.Hi().IsPosInf() {
+		return inf
+	}
+	return v.Hi().Int()
+}
+
+func loBound(v itv.Itv) int64 {
+	if v.Lo().IsNegInf() {
+		return inf
+	}
+	return -v.Lo().Int()
+}
+
+// AssignInterval models x := [a, b].
+func (o *Oct) AssignInterval(x int, v itv.Itv) *Oct {
+	if o.bot {
+		return o
+	}
+	if v.IsBot() {
+		return Bottom(o.n)
+	}
+	out := o.Forget(x).clone()
+	if h := hiBound(v); h != inf {
+		out.set(bar(2*x), 2*x, 2*h) // 2x ≤ 2h
+	}
+	if l := loBound(v); l != inf {
+		out.set(2*x, bar(2*x), 2*l) // -2x ≤ -2a
+	}
+	out.closed = false
+	return out.Closed()
+}
+
+// AssignAddVar models x := ±y + [a, b] exactly (the octagon-expressible
+// assignments). neg selects -y. For y == x (and !neg) the bounds are
+// shifted in place, keeping all relations.
+func (o *Oct) AssignAddVar(x, y int, neg bool, v itv.Itv) *Oct {
+	if o.bot {
+		return o
+	}
+	if v.IsBot() {
+		return Bottom(o.n)
+	}
+	if x == y {
+		if !neg {
+			return o.shift(x, v)
+		}
+		// x := -x + [a,b]: negate x in place, then shift.
+		return o.negate(x).shift(x, v)
+	}
+	a, b := v.Lo(), v.Hi()
+	oc := o.Closed()
+	if oc.bot {
+		return oc
+	}
+	out := oc.Forget(x).clone()
+	py, ny := 2*y, 2*y+1
+	if neg {
+		py, ny = ny, py // x relates to -y
+	}
+	// x - y' ≤ b  and  y' - x ≤ -a  (y' = ±y)
+	if b.IsFinite() {
+		out.set(py, 2*x, b.Int())           // v_x - v_y' ≤ b
+		out.set(bar(2*x), bar(py), b.Int()) // v_ȳ' - v_x̄ ≤ b (coherent dual)
+	}
+	if a.IsFinite() {
+		out.set(2*x, py, -a.Int())
+		out.set(bar(py), bar(2*x), -a.Int())
+	}
+	out.closed = false
+	return out.Closed()
+}
+
+// negate models x := -x exactly by swapping the +x and -x rows and columns.
+func (o *Oct) negate(x int) *Oct {
+	oc := o.Closed()
+	if oc.bot {
+		return oc
+	}
+	out := oc.clone()
+	d := 2 * o.n
+	px, nx := 2*x, 2*x+1
+	for j := 0; j < d; j++ {
+		out.m[px*d+j], out.m[nx*d+j] = out.m[nx*d+j], out.m[px*d+j]
+	}
+	for i := 0; i < d; i++ {
+		out.m[i*d+px], out.m[i*d+nx] = out.m[i*d+nx], out.m[i*d+px]
+	}
+	out.closed = true // a row/column permutation of a closed DBM stays closed
+	return out
+}
+
+// shift models x := x + [a, b].
+func (o *Oct) shift(x int, v itv.Itv) *Oct {
+	oc := o.Closed()
+	if oc.bot {
+		return oc
+	}
+	out := oc.clone()
+	d := 2 * o.n
+	px, nx := 2*x, 2*x+1
+	a, b := v.Lo(), v.Hi()
+	addB := func(c int64, delta itv.Bound, plus bool) int64 {
+		if c == inf || !delta.IsFinite() {
+			return inf
+		}
+		if plus {
+			return satAdd(c, delta.Int())
+		}
+		return satAdd(c, -delta.Int())
+	}
+	for j := 0; j < d; j++ {
+		if j == px || j == nx {
+			continue
+		}
+		// v_j - (+x) ≤ c: x grows by ≥a ⇒ bound decreases by a... x_new = x_old + δ, δ∈[a,b]:
+		// v_j - x_new = v_j - x_old - δ ≤ c - a (largest when δ smallest).
+		out.set(px, j, addB(oc.at(px, j), a, false))
+		// x_new - v_j ≤ c + b
+		out.set(j, px, addB(oc.at(j, px), b, true))
+		// v_j - (-x_new) = v_j + x_new ≤ c + b
+		out.set(nx, j, addB(oc.at(nx, j), b, true))
+		// -x_new - v_j ≤ c - a
+		out.set(j, nx, addB(oc.at(j, nx), a, false))
+	}
+	// Unary bounds: 2x ≤ c + 2b ; -2x ≤ c - 2a.
+	if c := oc.at(nx, px); c != inf {
+		if b.IsFinite() {
+			out.set(nx, px, satAdd(c, 2*b.Int()))
+		} else {
+			out.set(nx, px, inf)
+		}
+	}
+	if c := oc.at(px, nx); c != inf {
+		if a.IsFinite() {
+			out.set(px, nx, satAdd(c, -2*a.Int()))
+		} else {
+			out.set(px, nx, inf)
+		}
+	}
+	out.closed = false
+	return out.Closed()
+}
+
+// TestOp enumerates the octagon test constraints.
+type TestOp uint8
+
+// Test constraint forms over variables x, y and constant c.
+const (
+	XMinusYLe TestOp = iota // x - y ≤ c
+	XPlusYLe                // x + y ≤ c
+	XLe                     // x ≤ c
+	XGe                     // x ≥ c
+)
+
+// Assume adds the constraint to the octagon and reports the closed result
+// (bottom when unsatisfiable).
+func (o *Oct) Assume(op TestOp, x, y int, c int64) *Oct {
+	if o.bot {
+		return o
+	}
+	out := o.clone()
+	switch op {
+	case XMinusYLe:
+		out.tighten(2*y, 2*x, c)
+		out.tighten(bar(2*x), bar(2*y), c)
+	case XPlusYLe:
+		out.tighten(bar(2*y), 2*x, c)
+		out.tighten(bar(2*x), 2*y, c)
+	case XLe:
+		out.tighten(bar(2*x), 2*x, 2*c)
+	case XGe:
+		out.tighten(2*x, bar(2*x), -2*c)
+	}
+	out.closed = false
+	return out.Closed()
+}
+
+// String renders the non-trivial constraints of the closed form.
+func (o *Oct) String() string {
+	oc := o.Closed()
+	if oc.bot {
+		return "bot"
+	}
+	var parts []string
+	for x := 0; x < o.n; x++ {
+		iv := oc.Interval(x)
+		if !iv.IsTop() {
+			parts = append(parts, fmt.Sprintf("x%d in %s", x, iv))
+		}
+		for y := x + 1; y < o.n; y++ {
+			if c := oc.at(2*y, 2*x); c != inf { // x - y ≤ c
+				parts = append(parts, fmt.Sprintf("x%d-x%d<=%d", x, y, c))
+			}
+			if c := oc.at(2*x, 2*y); c != inf {
+				parts = append(parts, fmt.Sprintf("x%d-x%d<=%d", y, x, c))
+			}
+			if c := oc.at(bar(2*y), 2*x); c != inf {
+				parts = append(parts, fmt.Sprintf("x%d+x%d<=%d", x, y, c))
+			}
+			if c := oc.at(2*y, bar(2*x)); c != inf {
+				parts = append(parts, fmt.Sprintf("-x%d-x%d<=%d", x, y, c))
+			}
+		}
+	}
+	if len(parts) == 0 {
+		return "top"
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

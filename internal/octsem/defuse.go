@@ -1,0 +1,247 @@
+package octsem
+
+import (
+	"sparrow/internal/dug"
+	"sparrow/internal/ir"
+	"sparrow/internal/pack"
+	"sparrow/internal/prean"
+	"sparrow/internal/sem"
+)
+
+// DefsUses computes the pack-level D̂(c)/Û(c) of Section 4.2: the entities
+// defined and used are variable packs — an assignment to x touches every
+// pack containing x, and uses the packs it updates (updating one member
+// rewrites the whole relational value) plus the singleton packs of the
+// variables projected out of other packs.
+func (s *Sem) DefsUses(pt *ir.Point) (defs, uses sem.LocSet) {
+	defs, uses = sem.LocSet{}, sem.LocSet{}
+	defLoc := func(l ir.LocID) {
+		for _, p := range s.Packs.PacksOf(l) {
+			defs.Add(p)
+			uses.Add(p) // pack updates read the old relational value
+		}
+	}
+	switch c := pt.Cmd.(type) {
+	case ir.Set:
+		defLoc(c.L)
+		s.usesOf(c.E, uses)
+	case ir.Store:
+		for _, t := range s.storeTargets(c.P, "") {
+			defLoc(t)
+		}
+		s.usesOf(c.P, uses)
+		s.usesOf(c.E, uses)
+	case ir.StoreField:
+		for _, t := range s.storeTargets(c.P, c.F) {
+			defLoc(t)
+		}
+		s.usesOf(c.P, uses)
+		s.usesOf(c.E, uses)
+	case ir.Alloc:
+		defLoc(c.L)
+		defLoc(s.Prog.Locs.Alloc(c.Site))
+		s.usesOf(c.N, uses)
+	case ir.Assume:
+		s.usesOf(c.E, uses)
+		for _, l := range s.refinedLocs(c.E) {
+			defLoc(l)
+		}
+	case ir.Call:
+		s.usesOf(c.F, uses)
+		for _, a := range c.Args {
+			s.usesOf(a, uses)
+		}
+		for _, p := range s.Pre.CalleesOf(pt.ID) {
+			for _, f := range s.Prog.ProcByID(p).Formals {
+				defLoc(f)
+			}
+		}
+	case ir.RetBind:
+		if c.L != ir.None {
+			defLoc(c.L)
+		}
+		for _, p := range s.Pre.CalleesOf(c.CallPt) {
+			if rl := s.Prog.ProcByID(p).RetLoc; rl != ir.None {
+				if sp, ok := s.Packs.Singleton(rl); ok {
+					uses.Add(sp)
+				}
+			}
+		}
+	case ir.Return:
+		pr := s.Prog.ProcByID(pt.Proc)
+		if c.E != nil && pr.RetLoc != ir.None {
+			defLoc(pr.RetLoc)
+			s.usesOf(c.E, uses)
+		}
+	}
+	return defs, uses
+}
+
+// usesOf adds the singleton packs of the locations read by e.
+func (s *Sem) usesOf(e ir.Expr, uses sem.LocSet) {
+	addLoc := func(l ir.LocID) {
+		if p, ok := s.Packs.Singleton(l); ok {
+			uses.Add(p)
+		}
+	}
+	var walk func(ir.Expr)
+	walk = func(e ir.Expr) {
+		switch e := e.(type) {
+		case ir.VarE:
+			addLoc(e.L)
+		case ir.Load:
+			walk(e.P)
+			pv := s.isem.Eval(e.P, s.Pre.Mem)
+			for _, t := range pv.Ptr() {
+				addLoc(t.Loc)
+			}
+		case ir.LoadField:
+			walk(e.P)
+			pv := s.isem.Eval(e.P, s.Pre.Mem)
+			for _, t := range pv.Ptr() {
+				addLoc(s.Prog.Locs.Field(t.Loc, e.F))
+			}
+		case ir.FieldAddr:
+			walk(e.P)
+		case ir.Bin:
+			walk(e.X)
+			walk(e.Y)
+		case ir.Neg:
+			walk(e.X)
+		case ir.Not:
+			walk(e.X)
+		}
+	}
+	walk(e)
+}
+
+func (s *Sem) storeTargets(pe ir.Expr, field string) []ir.LocID {
+	pv := s.isem.Eval(pe, s.Pre.Mem)
+	out := make([]ir.LocID, 0, len(pv.Ptr()))
+	for _, t := range pv.Ptr() {
+		l := t.Loc
+		if field != "" {
+			l = s.Prog.Locs.Field(l, field)
+		}
+		out = append(out, l)
+	}
+	return out
+}
+
+// refinedLocs lists the variables an assume refines.
+func (s *Sem) refinedLocs(e ir.Expr) []ir.LocID {
+	var out []ir.LocID
+	add := func(l ir.LocID) {
+		if !s.isem.IsSummaryLoc(l) {
+			out = append(out, l)
+		}
+	}
+	switch e := e.(type) {
+	case ir.Bin:
+		if e.Op.IsCmp() {
+			if x, ok := e.X.(ir.VarE); ok {
+				add(x.L)
+			}
+			if y, ok := e.Y.(ir.VarE); ok {
+				add(y.L)
+			}
+		}
+		if e.Op == ir.LAnd {
+			out = append(out, s.refinedLocs(e.X)...)
+			out = append(out, s.refinedLocs(e.Y)...)
+		}
+	case ir.Not:
+		if x, ok := e.X.(ir.VarE); ok {
+			add(x.L)
+		}
+	case ir.VarE:
+		add(e.L)
+	}
+	return out
+}
+
+// Source builds the dug.Source of the relational analysis: the same graph
+// machinery with pack IDs as the location space.
+func Source(prog *ir.Program, pre *prean.Result, packs *pack.Set) (*Sem, *dug.Source) {
+	s := New(prog, pre, packs)
+	n := len(prog.Procs)
+	defSum := make([]map[ir.LocID]bool, n)
+	useSum := make([]map[ir.LocID]bool, n)
+	ownD := make([]map[ir.LocID]bool, n)
+	ownU := make([]map[ir.LocID]bool, n)
+	for _, pr := range prog.Procs {
+		d, u := map[ir.LocID]bool{}, map[ir.LocID]bool{}
+		for _, id := range pr.Points {
+			pd, pu := s.DefsUses(prog.Point(id))
+			for l := range pd {
+				d[l] = true
+			}
+			for l := range pu {
+				u[l] = true
+			}
+		}
+		ownD[pr.ID], ownU[pr.ID] = d, u
+	}
+	for p := 0; p < n; p++ {
+		defSum[p] = map[ir.LocID]bool{}
+		useSum[p] = map[ir.LocID]bool{}
+	}
+	for _, comp := range pre.CG.SCCs {
+		for changed := true; changed; {
+			changed = false
+			for _, p := range comp {
+				d, u := defSum[p], useSum[p]
+				before := len(d) + len(u)
+				for l := range ownD[p] {
+					d[l] = true
+				}
+				for l := range ownU[p] {
+					u[l] = true
+				}
+				for _, q := range pre.CG.Succs[p] {
+					for l := range defSum[q] {
+						d[l] = true
+					}
+					for l := range useSum[q] {
+						u[l] = true
+					}
+				}
+				if len(d)+len(u) != before {
+					changed = true
+				}
+			}
+		}
+	}
+	src := &dug.Source{
+		Prog:       prog,
+		CG:         pre.CG,
+		Callees:    pre.CalleesOf,
+		RetSites:   pre.RetSites,
+		DefsUses:   s.DefsUses,
+		DefSummary: defSum,
+		UseSummary: useSum,
+		RetChan: func(p ir.ProcID) ir.LocID {
+			rl := prog.ProcByID(p).RetLoc
+			if rl == ir.None {
+				return ir.None
+			}
+			if sp, ok := packs.Singleton(rl); ok {
+				return sp
+			}
+			return ir.None
+		},
+	}
+	return s, src
+}
+
+// Accessed returns the pack-level accessed set of p (for localization).
+func Accessed(src *dug.Source, p ir.ProcID) map[pack.ID]bool {
+	out := map[pack.ID]bool{}
+	for l := range src.DefSummary[p] {
+		out[l] = true
+	}
+	for l := range src.UseSummary[p] {
+		out[l] = true
+	}
+	return out
+}

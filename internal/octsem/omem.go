@@ -1,0 +1,149 @@
+// Package octsem implements the packed relational abstract semantics of
+// Section 4: abstract states map variable packs to octagons
+// (S# = Packs → R#), commands are transformed into the internal relational
+// language (exact for the octagon-expressible assignments x := ±y + c,
+// interval projections otherwise), and pointer effects are resolved against
+// the flow-insensitive pre-analysis.
+package octsem
+
+import (
+	"strconv"
+	"strings"
+
+	"sparrow/internal/oct"
+	"sparrow/internal/pack"
+	"sparrow/internal/pmap"
+)
+
+// OMem is an abstract state of the relational analysis: a persistent map
+// from pack IDs to octagons. Absent packs are bottom (no value has reached
+// them); the root entry injects Top for every pack, modeling arbitrary
+// initial contents.
+type OMem struct {
+	m pmap.Map[*oct.Oct]
+}
+
+// OBot is the bottom state.
+var OBot = OMem{}
+
+// Get returns the octagon of pack p, or nil when the pack is bottom.
+func (m OMem) Get(p pack.ID) *oct.Oct {
+	o, _ := m.m.Get(int32(p))
+	return o
+}
+
+// Set binds pack p.
+func (m OMem) Set(p pack.ID, o *oct.Oct) OMem {
+	return OMem{m: m.m.Insert(int32(p), o)}
+}
+
+// Len returns the number of bound packs.
+func (m OMem) Len() int { return m.m.Len() }
+
+// Range visits bindings in ascending pack order.
+func (m OMem) Range(f func(p pack.ID, o *oct.Oct) bool) {
+	m.m.Range(func(k int32, o *oct.Oct) bool { return f(pack.ID(k), o) })
+}
+
+// Join returns the pointwise least upper bound.
+func (m OMem) Join(o OMem) OMem {
+	return OMem{m: pmap.Merge(m.m, o.m, func(_ int32, a, b *oct.Oct) *oct.Oct {
+		if a == b {
+			return a
+		}
+		return a.Join(b)
+	})}
+}
+
+// Widen returns the pointwise widening.
+func (m OMem) Widen(o OMem) OMem {
+	return OMem{m: pmap.Merge(m.m, o.m, func(_ int32, a, b *oct.Oct) *oct.Oct {
+		if a == b {
+			return a
+		}
+		return a.Widen(b)
+	})}
+}
+
+// Narrow returns the pointwise narrowing (bindings absent from o are kept).
+func (m OMem) Narrow(o OMem) OMem {
+	out := m
+	m.m.Range(func(k int32, a *oct.Oct) bool {
+		if b, ok := o.m.Get(k); ok {
+			out.m = out.m.Insert(k, a.Narrow(b))
+		}
+		return true
+	})
+	return out
+}
+
+// LessEq reports the pointwise order.
+func (m OMem) LessEq(o OMem) bool {
+	return pmap.ForAll2(m.m, o.m, func(_ int32, a *oct.Oct, aok bool, b *oct.Oct, bok bool) bool {
+		switch {
+		case !aok:
+			return true
+		case !bok:
+			return a.IsBottom()
+		case a == b:
+			return true
+		default:
+			return a.LessEq(b)
+		}
+	})
+}
+
+// Eq reports pointwise equality.
+func (m OMem) Eq(o OMem) bool {
+	return pmap.ForAll2(m.m, o.m, func(_ int32, a *oct.Oct, aok bool, b *oct.Oct, bok bool) bool {
+		switch {
+		case aok && bok:
+			return a == b || a.Eq(b)
+		case aok:
+			return a.IsBottom()
+		default:
+			return b.IsBottom()
+		}
+	})
+}
+
+// RestrictSet keeps only the packs in set.
+func (m OMem) RestrictSet(set map[pack.ID]bool) OMem {
+	out := OBot
+	m.Range(func(p pack.ID, o *oct.Oct) bool {
+		if set[p] {
+			out = out.Set(p, o)
+		}
+		return true
+	})
+	return out
+}
+
+// RemoveSet drops the packs in set.
+func (m OMem) RemoveSet(set map[pack.ID]bool) OMem {
+	out := OBot
+	m.Range(func(p pack.ID, o *oct.Oct) bool {
+		if !set[p] {
+			out = out.Set(p, o)
+		}
+		return true
+	})
+	return out
+}
+
+// String renders the state (pack IDs with their octagons).
+func (m OMem) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	m.Range(func(p pack.ID, o *oct.Oct) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		b.WriteString("P" + strconv.Itoa(int(p)) + ":" + o.String())
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}

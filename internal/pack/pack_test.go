@@ -1,0 +1,130 @@
+package pack
+
+import (
+	"testing"
+
+	"sparrow/internal/frontend/lower"
+	"sparrow/internal/frontend/parser"
+	"sparrow/internal/ir"
+)
+
+func buildPacks(t *testing.T, src string, cap int) (*ir.Program, *Set) {
+	t.Helper()
+	f, err := parser.Parse("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := lower.File(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, Build(prog, cap)
+}
+
+func loc(t *testing.T, prog *ir.Program, name string) ir.LocID {
+	t.Helper()
+	l, ok := prog.Locs.Lookup(ir.Loc{Kind: ir.LVar, Proc: ir.None, Name: name})
+	if !ok {
+		t.Fatalf("no global %q", name)
+	}
+	return l
+}
+
+func TestSingletonsForAllLocs(t *testing.T) {
+	prog, s := buildPacks(t, "int a; int b; int main() { a = b; return 0; }", 0)
+	for i := 0; i < prog.Locs.Len(); i++ {
+		p, ok := s.Singleton(ir.LocID(i))
+		if !ok {
+			t.Fatalf("loc %d has no singleton pack", i)
+		}
+		if len(s.Members[p]) != 1 || s.Members[p][0] != ir.LocID(i) {
+			t.Fatalf("singleton pack of loc %d wrong: %v", i, s.Members[p])
+		}
+		if s.IndexIn(ir.LocID(i), p) != 0 {
+			t.Fatalf("index in singleton != 0")
+		}
+	}
+}
+
+func TestExpressionGrouping(t *testing.T) {
+	prog, s := buildPacks(t, `
+int a; int b; int c; int unrelated;
+int main() {
+	a = b + c;
+	unrelated = 5;
+	return 0;
+}
+`, 0)
+	la, lb, lc, lu := loc(t, prog, "a"), loc(t, prog, "b"), loc(t, prog, "c"), loc(t, prog, "unrelated")
+	shared := func(x, y ir.LocID) bool {
+		for _, p := range s.PacksOf(x) {
+			if len(s.Members[p]) < 2 {
+				continue
+			}
+			if s.IndexIn(y, p) >= 0 {
+				return true
+			}
+		}
+		return false
+	}
+	if !shared(la, lb) || !shared(la, lc) || !shared(lb, lc) {
+		t.Error("a, b, c should share a pack")
+	}
+	if shared(la, lu) {
+		t.Error("unrelated must not share a pack with a")
+	}
+}
+
+func TestCapRespected(t *testing.T) {
+	src := "int v0;"
+	body := ""
+	for i := 1; i < 30; i++ {
+		src += " int v" + itoa(i) + ";"
+		body += "v" + itoa(i) + " = v" + itoa(i-1) + " + 1;\n"
+	}
+	src += "\nint main() {\n" + body + "return 0;\n}\n"
+	_, s := buildPacks(t, src, 6)
+	for _, m := range s.Members {
+		if len(m) > 6 {
+			t.Fatalf("pack of size %d exceeds cap 6", len(m))
+		}
+	}
+	if s.AvgSize() < 2 {
+		t.Errorf("avg pack size %.1f: chained variables should group", s.AvgSize())
+	}
+}
+
+func TestFormalActualPacks(t *testing.T) {
+	prog, s := buildPacks(t, `
+int take(int x) { return x + 1; }
+int g;
+int main() { g = take(g); return 0; }
+`, 0)
+	take := prog.ProcByName("take")
+	if len(take.Formals) != 1 {
+		t.Fatal("take has no formal")
+	}
+	lg := loc(t, prog, "g")
+	formal := take.Formals[0]
+	shared := false
+	for _, p := range s.PacksOf(formal) {
+		if s.IndexIn(lg, p) >= 0 && len(s.Members[p]) > 1 {
+			shared = true
+		}
+	}
+	if !shared {
+		t.Error("formal x and actual g should share a parameter pack")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}

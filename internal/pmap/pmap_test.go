@@ -1,0 +1,323 @@
+package pmap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	m := Empty[int]()
+	if !m.IsEmpty() || m.Len() != 0 {
+		t.Fatalf("empty map reports non-empty")
+	}
+	if _, ok := m.Get(0); ok {
+		t.Fatalf("Get on empty map found a value")
+	}
+}
+
+func TestInsertGet(t *testing.T) {
+	m := Empty[string]()
+	m = m.Insert(2, "two").Insert(1, "one").Insert(3, "three")
+	for k, want := range map[int32]string{1: "one", 2: "two", 3: "three"} {
+		got, ok := m.Get(k)
+		if !ok || got != want {
+			t.Errorf("Get(%d) = %q,%v want %q", k, got, ok, want)
+		}
+	}
+	if m.Len() != 3 {
+		t.Errorf("Len = %d want 3", m.Len())
+	}
+}
+
+func TestInsertReplaces(t *testing.T) {
+	m := Empty[int]().Insert(5, 1).Insert(5, 2)
+	if v, _ := m.Get(5); v != 2 {
+		t.Errorf("Get(5) = %d want 2", v)
+	}
+	if m.Len() != 1 {
+		t.Errorf("Len = %d want 1", m.Len())
+	}
+}
+
+func TestPersistence(t *testing.T) {
+	m1 := Empty[int]().Insert(1, 10)
+	m2 := m1.Insert(2, 20)
+	m3 := m2.Insert(1, 11)
+	if v, _ := m1.Get(1); v != 10 {
+		t.Errorf("m1 mutated: Get(1) = %d", v)
+	}
+	if _, ok := m1.Get(2); ok {
+		t.Errorf("m1 mutated: has key 2")
+	}
+	if v, _ := m2.Get(1); v != 10 {
+		t.Errorf("m2 mutated by m3: Get(1) = %d", v)
+	}
+	if v, _ := m3.Get(1); v != 11 {
+		t.Errorf("m3 Get(1) = %d want 11", v)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	m := Empty[int]()
+	for i := int32(0); i < 100; i++ {
+		m = m.Insert(i, int(i))
+	}
+	for i := int32(0); i < 100; i += 2 {
+		m = m.Delete(i)
+	}
+	if m.Len() != 50 {
+		t.Fatalf("Len = %d want 50", m.Len())
+	}
+	for i := int32(0); i < 100; i++ {
+		_, ok := m.Get(i)
+		if want := i%2 == 1; ok != want {
+			t.Errorf("Get(%d) present=%v want %v", i, ok, want)
+		}
+	}
+	// Deleting a missing key is a no-op returning the same map.
+	m2 := m.Delete(1000)
+	if m2.root != m.root {
+		t.Errorf("Delete of absent key rebuilt the tree")
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	m := Empty[int]()
+	m = m.Update(7, func(old int, ok bool) int {
+		if ok {
+			t.Errorf("Update on absent key reported present")
+		}
+		return 1
+	})
+	m = m.Update(7, func(old int, ok bool) int {
+		if !ok || old != 1 {
+			t.Errorf("Update got old=%d ok=%v", old, ok)
+		}
+		return old + 1
+	})
+	if v, _ := m.Get(7); v != 2 {
+		t.Errorf("Get(7) = %d want 2", v)
+	}
+}
+
+func TestRangeOrder(t *testing.T) {
+	m := Empty[int]()
+	perm := rand.New(rand.NewSource(1)).Perm(500)
+	for _, k := range perm {
+		m = m.Insert(int32(k), k*k)
+	}
+	var keys []int32
+	m.Range(func(k int32, v int) bool {
+		if v != int(k)*int(k) {
+			t.Errorf("value mismatch at %d", k)
+		}
+		keys = append(keys, k)
+		return true
+	})
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Errorf("Range not in ascending key order")
+	}
+	if len(keys) != 500 {
+		t.Errorf("Range visited %d keys want 500", len(keys))
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	m := Empty[int]()
+	for i := int32(0); i < 10; i++ {
+		m = m.Insert(i, 0)
+	}
+	n := 0
+	m.Range(func(k int32, v int) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Errorf("Range visited %d want 3 after early stop", n)
+	}
+}
+
+func TestMergeDisjoint(t *testing.T) {
+	a := Empty[int]().Insert(1, 1).Insert(3, 3)
+	b := Empty[int]().Insert(2, 2).Insert(4, 4)
+	m := Merge(a, b, func(k int32, x, y int) int { t.Errorf("combiner called on disjoint maps"); return x })
+	if m.Len() != 4 {
+		t.Fatalf("Len = %d want 4", m.Len())
+	}
+	for i := int32(1); i <= 4; i++ {
+		if v, _ := m.Get(i); v != int(i) {
+			t.Errorf("Get(%d) = %d", i, v)
+		}
+	}
+}
+
+func TestMergeOverlap(t *testing.T) {
+	a := Empty[int]().Insert(1, 10).Insert(2, 20)
+	b := Empty[int]().Insert(2, 200).Insert(3, 300)
+	m := Merge(a, b, func(k int32, x, y int) int { return x + y })
+	want := map[int32]int{1: 10, 2: 220, 3: 300}
+	for k, w := range want {
+		if v, _ := m.Get(k); v != w {
+			t.Errorf("Get(%d) = %d want %d", k, v, w)
+		}
+	}
+}
+
+func TestMergeSharedSubtreeReuse(t *testing.T) {
+	m := Empty[int]()
+	for i := int32(0); i < 1000; i++ {
+		m = m.Insert(i, int(i))
+	}
+	calls := 0
+	out := Merge(m, m, func(k int32, x, y int) int { calls++; return x })
+	if out.root != m.root {
+		t.Errorf("Merge of identical maps did not reuse the tree")
+	}
+	if calls != 0 {
+		t.Errorf("combiner called %d times on aliased trees", calls)
+	}
+}
+
+func TestForAll2(t *testing.T) {
+	a := Empty[int]().Insert(1, 1).Insert(2, 2)
+	b := Empty[int]().Insert(2, 2).Insert(3, 3)
+	seen := map[int32][2]bool{}
+	ForAll2(a, b, func(k int32, av int, aok bool, bv int, bok bool) bool {
+		seen[k] = [2]bool{aok, bok}
+		return true
+	})
+	want := map[int32][2]bool{1: {true, false}, 2: {true, true}, 3: {false, true}}
+	for k, w := range want {
+		if seen[k] != w {
+			t.Errorf("key %d: presence %v want %v", k, seen[k], w)
+		}
+	}
+	// Early exit on false.
+	n := 0
+	ok := ForAll2(a, b, func(k int32, av int, aok bool, bv int, bok bool) bool {
+		n++
+		return false
+	})
+	if ok || n != 1 {
+		t.Errorf("ForAll2 early exit: ok=%v n=%d", ok, n)
+	}
+}
+
+// TestQuickModel checks the map against a Go map model under random
+// insert/delete sequences.
+func TestQuickModel(t *testing.T) {
+	f := func(ops []int16) bool {
+		m := Empty[int]()
+		model := map[int32]int{}
+		for i, op := range ops {
+			k := int32(op % 64)
+			if op%3 == 0 {
+				m = m.Delete(k)
+				delete(model, k)
+			} else {
+				m = m.Insert(k, i)
+				model[k] = i
+			}
+		}
+		if m.Len() != len(model) {
+			return false
+		}
+		for k, v := range model {
+			got, ok := m.Get(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMergeIsUnion checks Merge against the model union.
+func TestQuickMergeIsUnion(t *testing.T) {
+	build := func(keys []int16, tag int) (Map[int], map[int32]int) {
+		m := Empty[int]()
+		model := map[int32]int{}
+		for _, k := range keys {
+			kk := int32(k % 128)
+			m = m.Insert(kk, tag+int(kk))
+			model[kk] = tag + int(kk)
+		}
+		return m, model
+	}
+	f := func(ka, kb []int16) bool {
+		a, ma := build(ka, 1000)
+		b, mb := build(kb, 2000)
+		got := Merge(a, b, func(k int32, x, y int) int {
+			if x > y {
+				return x
+			}
+			return y
+		})
+		want := map[int32]int{}
+		for k, v := range ma {
+			want[k] = v
+		}
+		for k, v := range mb {
+			if w, ok := want[k]; !ok || v > w {
+				want[k] = v
+			}
+		}
+		if got.Len() != len(want) {
+			return false
+		}
+		for k, v := range want {
+			g, ok := got.Get(k)
+			if !ok || g != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBalance ensures tree depth stays logarithmic under sequential inserts,
+// which would degenerate to a list in an unbalanced BST.
+func TestBalance(t *testing.T) {
+	m := Empty[int]()
+	const n = 1 << 12
+	for i := int32(0); i < n; i++ {
+		m = m.Insert(i, 0)
+	}
+	if d := m.depth(); d > 30 {
+		t.Errorf("depth %d too large for %d sequential inserts", d, n)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	for b.Loop() {
+		m := Empty[int]()
+		for i := int32(0); i < 1000; i++ {
+			m = m.Insert(i, int(i))
+		}
+	}
+}
+
+func BenchmarkMergeSimilar(b *testing.B) {
+	m := Empty[int]()
+	for i := int32(0); i < 10000; i++ {
+		m = m.Insert(i, int(i))
+	}
+	m2 := m.Insert(10001, 1).Insert(42, 7)
+	b.ResetTimer()
+	for b.Loop() {
+		Merge(m, m2, func(k int32, x, y int) int {
+			if x > y {
+				return x
+			}
+			return y
+		})
+	}
+}

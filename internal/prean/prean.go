@@ -1,0 +1,238 @@
+// Package prean implements the flow-insensitive pre-analysis of
+// Section 3.2: the abstraction that collapses all control points into one
+// global invariant (α_pre forgets control flow), giving a conservative
+// memory T̂pre ⊒ every point of the real fixpoint.
+//
+// The pre-analysis serves three roles in the framework:
+//  1. it supplies the conservative memory from which D̂(c)/Û(c) are derived,
+//  2. it resolves function pointers, fixing the call graph for every
+//     analyzer (the paper resolves function pointers the same way),
+//  3. it provides per-procedure accessed-location summaries used both by
+//     access-based localization (Interval_base) and by the interprocedural
+//     def-use-graph construction.
+package prean
+
+import (
+	"sparrow/internal/callgraph"
+	"sparrow/internal/ir"
+	"sparrow/internal/lattice/val"
+	"sparrow/internal/mem"
+	"sparrow/internal/sem"
+)
+
+// Result is the pre-analysis outcome.
+type Result struct {
+	// Mem is the single flow-insensitive invariant (T̂pre at every point).
+	Mem mem.Mem
+	// Callees[pt] lists the resolved callees of call point pt.
+	Callees map[ir.PointID][]ir.ProcID
+	// CG is the call graph over resolved callees.
+	CG *callgraph.Graph
+	// DefSummary[p]/UseSummary[p] are the transitive definition/use
+	// summaries of procedure p: every abstract location p or its callees
+	// may define/use (the D*(P)/U*(P) of the interprocedural extension in
+	// Section 5).
+	DefSummary []map[ir.LocID]bool
+	UseSummary []map[ir.LocID]bool
+	// RetSites[p] lists the RetBind points receiving returns from p;
+	// CallSites[p] the Call points invoking p.
+	RetSites  [][]ir.PointID
+	CallSites [][]ir.PointID
+	// Passes is the number of global iterations until stabilization.
+	Passes int
+}
+
+// CalleesOf returns the resolved callees of a call point.
+func (r *Result) CalleesOf(pt ir.PointID) []ir.ProcID { return r.Callees[pt] }
+
+// Accessed reports the union of the def and use summaries of p (the
+// localization set of the access-based technique).
+func (r *Result) Accessed(p ir.ProcID) map[ir.LocID]bool {
+	out := make(map[ir.LocID]bool, len(r.DefSummary[p])+len(r.UseSummary[p]))
+	for l := range r.DefSummary[p] {
+		out[l] = true
+	}
+	for l := range r.UseSummary[p] {
+		out[l] = true
+	}
+	return out
+}
+
+// joinPasses is how many plain join passes run before widening kicks in.
+const joinPasses = 3
+
+// Run computes the pre-analysis of prog.
+func Run(prog *ir.Program) *Result {
+	s := sem.New(prog)
+	g := mem.Bot
+	pass := 0
+	for {
+		pass++
+		next := g
+		// Alternate sweep direction: argument values flow down the call
+		// graph and return values flow up, so a fixed direction propagates
+		// long call chains one level per pass (quadratic overall);
+		// alternating sweeps cover both directions in two passes.
+		if pass%2 == 1 {
+			for _, pt := range prog.Points {
+				next = step(s, pt, next, next)
+			}
+		} else {
+			for i := len(prog.Points) - 1; i >= 0; i-- {
+				next = step(s, prog.Points[i], next, next)
+			}
+		}
+		if pass > joinPasses {
+			next = g.Widen(next)
+		}
+		if next.Eq(g) {
+			break
+		}
+		g = next
+	}
+
+	r := &Result{
+		Mem:     g,
+		Callees: make(map[ir.PointID][]ir.ProcID),
+	}
+	// Resolve the call graph from the final invariant.
+	se := sem.New(prog)
+	for _, pt := range prog.Points {
+		c, ok := pt.Cmd.(ir.Call)
+		if !ok {
+			continue
+		}
+		fv := se.Eval(c.F, g)
+		r.Callees[pt.ID] = append([]ir.ProcID(nil), fv.Fns()...)
+	}
+	r.CG = callgraph.Build(prog, r.CalleesOf)
+	r.Passes = pass
+	se.InCycle = r.CG.InCycle
+	r.buildSummaries(prog, se)
+	r.buildSites(prog)
+	return r
+}
+
+// step folds the contribution of one point into the accumulating global
+// invariant. acc is threaded so one pass applies every command once.
+func step(s *sem.Sem, pt *ir.Point, cur, acc mem.Mem) mem.Mem {
+	switch c := pt.Cmd.(type) {
+	case ir.Call:
+		// Bind formals of every currently-resolved callee.
+		fv := s.Eval(c.F, cur)
+		for _, p := range fv.Fns() {
+			callee := s.Prog.ProcByID(p)
+			for i, f := range callee.Formals {
+				var v val.Val
+				if i < len(c.Args) {
+					v = s.Eval(c.Args[i], cur)
+				} else {
+					v = val.TopInt
+				}
+				acc = acc.WeakSet(f, v)
+			}
+		}
+		return acc
+	case ir.RetBind:
+		if c.L == ir.None {
+			return acc
+		}
+		call := s.Prog.Point(c.CallPt).Cmd.(ir.Call)
+		fv := s.Eval(call.F, cur)
+		v := val.Bot
+		if len(fv.Fns()) == 0 {
+			v = val.TopInt
+		}
+		for _, p := range fv.Fns() {
+			rl := s.Prog.ProcByID(p).RetLoc
+			if rl != ir.None {
+				v = v.Join(cur.Get(rl))
+			} else {
+				v = v.Join(val.TopInt)
+			}
+		}
+		return acc.WeakSet(c.L, v)
+	case ir.Assume:
+		// Refinement is meaningless against a global invariant; assumes
+		// contribute nothing (their uses are still counted for D̂/Û).
+		return acc
+	default:
+		out, ok := s.Transfer(pt, cur)
+		if !ok {
+			return acc
+		}
+		return acc.Join(out)
+	}
+}
+
+// buildSummaries computes transitive def/use summaries bottom-up over the
+// call-graph condensation, iterating within SCCs until stable.
+func (r *Result) buildSummaries(prog *ir.Program, s *sem.Sem) {
+	n := len(prog.Procs)
+	r.DefSummary = make([]map[ir.LocID]bool, n)
+	r.UseSummary = make([]map[ir.LocID]bool, n)
+	ownD := make([]map[ir.LocID]bool, n)
+	ownU := make([]map[ir.LocID]bool, n)
+	s.Callees = r.CalleesOf
+	for _, pr := range prog.Procs {
+		d, u := map[ir.LocID]bool{}, map[ir.LocID]bool{}
+		for _, id := range pr.Points {
+			pd, pu := s.DefsUses(prog.Point(id), r.Mem)
+			for l := range pd {
+				d[l] = true
+			}
+			for l := range pu {
+				u[l] = true
+			}
+		}
+		ownD[pr.ID], ownU[pr.ID] = d, u
+	}
+	// Condensation is emitted callees-first by Tarjan, so one sweep with an
+	// inner SCC fixpoint suffices.
+	for p := 0; p < n; p++ {
+		r.DefSummary[p] = map[ir.LocID]bool{}
+		r.UseSummary[p] = map[ir.LocID]bool{}
+	}
+	for _, comp := range r.CG.SCCs {
+		for changed := true; changed; {
+			changed = false
+			for _, p := range comp {
+				d, u := r.DefSummary[p], r.UseSummary[p]
+				before := len(d) + len(u)
+				for l := range ownD[p] {
+					d[l] = true
+				}
+				for l := range ownU[p] {
+					u[l] = true
+				}
+				for _, q := range r.CG.Succs[p] {
+					for l := range r.DefSummary[q] {
+						d[l] = true
+					}
+					for l := range r.UseSummary[q] {
+						u[l] = true
+					}
+				}
+				if len(d)+len(u) != before {
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+func (r *Result) buildSites(prog *ir.Program) {
+	n := len(prog.Procs)
+	r.RetSites = make([][]ir.PointID, n)
+	r.CallSites = make([][]ir.PointID, n)
+	for _, pt := range prog.Points {
+		rb, ok := pt.Cmd.(ir.RetBind)
+		if !ok {
+			continue
+		}
+		for _, p := range r.Callees[rb.CallPt] {
+			r.CallSites[p] = append(r.CallSites[p], rb.CallPt)
+			r.RetSites[p] = append(r.RetSites[p], pt.ID)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package prean
+
+import (
+	"testing"
+
+	"sparrow/internal/frontend/lower"
+	"sparrow/internal/frontend/parser"
+	"sparrow/internal/ir"
+	"sparrow/internal/lattice/itv"
+)
+
+func run(t *testing.T, src string) (*ir.Program, *Result) {
+	t.Helper()
+	f, err := parser.Parse("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := lower.File(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, Run(prog)
+}
+
+func gloc(t *testing.T, prog *ir.Program, name string) ir.LocID {
+	t.Helper()
+	l, ok := prog.Locs.Lookup(ir.Loc{Kind: ir.LVar, Proc: ir.None, Name: name})
+	if !ok {
+		t.Fatalf("no global %q", name)
+	}
+	return l
+}
+
+// TestConservative: the flow-insensitive invariant must cover every value a
+// location holds anywhere in the program.
+func TestConservative(t *testing.T) {
+	prog, pre := run(t, `
+int g;
+int main() {
+	g = 1;
+	g = 5;
+	g = -3;
+	return 0;
+}
+`)
+	iv := pre.Mem.Get(gloc(t, prog, "g")).Itv()
+	for _, n := range []int64{0, 1, 5, -3} { // 0 from zero-init
+		if !itv.Single(n).LessEq(iv) {
+			t.Errorf("pre-analysis g = %s misses %d", iv, n)
+		}
+	}
+}
+
+func TestFunctionPointerResolution(t *testing.T) {
+	prog, pre := run(t, `
+int one() { return 1; }
+int two() { return 2; }
+int main() {
+	int (*fp)(void);
+	int r;
+	if (input()) { fp = one; } else { fp = two; }
+	r = fp(0);
+	return r;
+}
+`)
+	main := prog.ProcByName("main")
+	var indirect ir.PointID = ir.None
+	for _, cp := range main.Calls {
+		c := prog.Point(cp).Cmd.(ir.Call)
+		if _, direct := c.F.(ir.FuncAddr); !direct {
+			indirect = cp
+		}
+	}
+	if indirect == ir.None {
+		t.Fatal("no indirect call found")
+	}
+	callees := pre.CalleesOf(indirect)
+	if len(callees) != 2 {
+		t.Fatalf("indirect call resolved to %d callees want 2", len(callees))
+	}
+	names := map[string]bool{}
+	for _, p := range callees {
+		names[prog.ProcByID(p).Name] = true
+	}
+	if !names["one"] || !names["two"] {
+		t.Errorf("resolved %v", names)
+	}
+}
+
+func TestSummaries(t *testing.T) {
+	prog, pre := run(t, `
+int a; int b; int untouched;
+void writeA() { a = 1; }
+int readB() { return b; }
+void caller() { writeA(); readB(); }
+int main() { caller(); return 0; }
+`)
+	la, lb, lu := gloc(t, prog, "a"), gloc(t, prog, "b"), gloc(t, prog, "untouched")
+	writeA := prog.ProcByName("writeA")
+	readB := prog.ProcByName("readB")
+	caller := prog.ProcByName("caller")
+	if !pre.DefSummary[writeA.ID][la] {
+		t.Error("writeA def summary misses a")
+	}
+	if pre.DefSummary[writeA.ID][lb] {
+		t.Error("writeA def summary includes b")
+	}
+	if !pre.UseSummary[readB.ID][lb] {
+		t.Error("readB use summary misses b")
+	}
+	// Transitive closure into the caller.
+	if !pre.DefSummary[caller.ID][la] || !pre.UseSummary[caller.ID][lb] {
+		t.Error("caller summaries not transitive")
+	}
+	if pre.Accessed(caller.ID)[lu] {
+		t.Error("caller accesses untouched")
+	}
+}
+
+func TestRetSites(t *testing.T) {
+	prog, pre := run(t, `
+int f() { return 1; }
+int main() {
+	int a; int b;
+	a = f();
+	b = f();
+	return a + b;
+}
+`)
+	f := prog.ProcByName("f")
+	if len(pre.RetSites[f.ID]) != 2 {
+		t.Errorf("f has %d return sites want 2", len(pre.RetSites[f.ID]))
+	}
+	if len(pre.CallSites[f.ID]) != 2 {
+		t.Errorf("f has %d call sites want 2", len(pre.CallSites[f.ID]))
+	}
+	for _, rs := range pre.RetSites[f.ID] {
+		if _, ok := prog.Point(rs).Cmd.(ir.RetBind); !ok {
+			t.Errorf("ret site %d is %T", rs, prog.Point(rs).Cmd)
+		}
+	}
+}
+
+func TestTerminates(t *testing.T) {
+	_, pre := run(t, `
+int g;
+int loop() {
+	while (input()) { g = g + 1; }
+	return g;
+}
+int main() { return loop(); }
+`)
+	if pre.Passes > 50 {
+		t.Errorf("pre-analysis took %d passes", pre.Passes)
+	}
+	// g must have been widened to an upper-unbounded interval.
+	// (checked indirectly: analysis finished.)
+}

@@ -1,0 +1,739 @@
+// Package sem implements the abstract semantics f#_c of the non-relational
+// analysis (Section 3.1): expression evaluation E#, the per-command transfer
+// functions, and the semantic derivation of definition and use sets D̂(c),
+// Û(c) from a conservative memory (Section 3.2).
+//
+// The same transfer functions serve every analyzer in this repository: the
+// dense vanilla/base solvers apply them to whole memories, the sparse solver
+// to partial memories over D̂/Û (absent entries are bottom), which is exactly
+// the setting in which the framework's Lemma 1/2 guarantee agreement.
+package sem
+
+import (
+	"sparrow/internal/ir"
+	"sparrow/internal/lattice/itv"
+	"sparrow/internal/lattice/val"
+	"sparrow/internal/mem"
+)
+
+// Sem evaluates the abstract semantics of one program.
+type Sem struct {
+	Prog *ir.Program
+	// Callees resolves the procedures a Call point may invoke. It is nil
+	// during pre-analysis (which resolves call targets from its own memory).
+	Callees func(ir.PointID) []ir.ProcID
+	// InCycle reports whether a procedure participates in recursion. A
+	// context-insensitive analysis folds every activation of a procedure
+	// into one set of cells, so locals and return channels of recursive
+	// procedures abstract several concrete cells at once and must be
+	// updated weakly (they are summaries). Nil treats every procedure as
+	// non-recursive, which is sound only during the flow-insensitive
+	// pre-analysis (where every update joins anyway).
+	InCycle func(ir.ProcID) bool
+}
+
+// New returns a semantics evaluator for prog.
+func New(prog *ir.Program) *Sem { return &Sem{Prog: prog} }
+
+// calleesOf returns the resolved callees of a call point (nil if unknown).
+func (s *Sem) calleesOf(pt ir.PointID) []ir.ProcID {
+	if s.Callees == nil {
+		return nil
+	}
+	return s.Callees(pt)
+}
+
+// IsSummaryLoc reports whether updates to l must be weak because l
+// abstracts several concrete cells: array contents, allocation sites,
+// fields whose base is itself a summary, and the locals/return channels of
+// recursive procedures (several activations share one abstract cell).
+func (s *Sem) IsSummaryLoc(l ir.LocID) bool {
+	for {
+		d := s.Prog.Locs.Get(l)
+		switch d.Kind {
+		case ir.LArr, ir.LAlloc:
+			return true
+		case ir.LFld:
+			l = d.Base
+		case ir.LVar:
+			return d.Proc != ir.None && s.InCycle != nil && s.InCycle(d.Proc)
+		case ir.LRet:
+			return s.InCycle != nil && s.InCycle(d.Proc)
+		default:
+			return false
+		}
+	}
+}
+
+// ---------- evaluation ----------
+
+// Eval computes E#(e)(m).
+func (s *Sem) Eval(e ir.Expr, m mem.Mem) val.Val {
+	switch e := e.(type) {
+	case ir.Const:
+		return val.Const(e.V)
+	case ir.Unknown:
+		return val.TopInt
+	case ir.VarE:
+		return m.Get(e.L)
+	case ir.Load:
+		pv := s.Eval(e.P, m)
+		out := val.Bot
+		for _, t := range pv.Ptr() {
+			out = out.Join(m.Get(t.Loc))
+		}
+		return out
+	case ir.LoadField:
+		pv := s.Eval(e.P, m)
+		out := val.Bot
+		for _, t := range pv.Ptr() {
+			fl := s.Prog.Locs.Field(t.Loc, e.F)
+			out = out.Join(m.Get(fl))
+		}
+		return out
+	case ir.AddrOf:
+		return val.FromPtr(e.L, val.Region{Off: itv.Single(0), Sz: itv.Single(e.Count)})
+	case ir.FieldAddr:
+		pv := s.Eval(e.P, m)
+		return pv.MapPtr(func(t val.PtrEntry) (val.PtrEntry, bool) {
+			fl := s.Prog.Locs.Field(t.Loc, e.F)
+			return val.PtrEntry{Loc: fl, R: val.Region{Off: itv.Single(0), Sz: itv.Single(1)}}, true
+		}).OnlyPtr()
+	case ir.FuncAddr:
+		return val.FromFunc(e.F)
+	case ir.Neg:
+		return val.FromItv(s.Eval(e.X, m).Itv().Neg())
+	case ir.Not:
+		return truthToVal(s.truth(e.X, m), true)
+	case ir.Bin:
+		return s.evalBin(e, m)
+	default:
+		return val.TopInt
+	}
+}
+
+// truth classifies the truthiness of a condition expression value.
+func (s *Sem) truth(e ir.Expr, m mem.Mem) int {
+	v := s.Eval(e, m)
+	t := v.Itv().Truth()
+	if v.HasPtr() || len(v.Fns()) > 0 {
+		t |= itv.MaybeTrue // a concrete pointer/function is non-null
+	}
+	return t
+}
+
+// truthToVal converts a truth mask into an abstract 0/1 value, negating it
+// when neg is set.
+func truthToVal(t int, neg bool) val.Val {
+	mayT := t&itv.MaybeTrue != 0
+	mayF := t&itv.MaybeFalse != 0
+	if neg {
+		mayT, mayF = mayF, mayT
+	}
+	switch {
+	case mayT && mayF:
+		return val.FromItv(itv.OfInts(0, 1))
+	case mayT:
+		return val.Const(1)
+	case mayF:
+		return val.Const(0)
+	default:
+		return val.Bot
+	}
+}
+
+func (s *Sem) evalBin(e ir.Bin, m mem.Mem) val.Val {
+	x := s.Eval(e.X, m)
+	y := s.Eval(e.Y, m)
+	switch e.Op {
+	case ir.Add, ir.Sub:
+		return s.evalAddSub(e.Op, x, y)
+	case ir.Mul:
+		return val.FromItv(x.Itv().Mul(y.Itv()))
+	case ir.Div:
+		return val.FromItv(x.Itv().Div(y.Itv()))
+	case ir.Rem:
+		return val.FromItv(x.Itv().Rem(y.Itv()))
+	case ir.Lt, ir.Le, ir.Gt, ir.Ge, ir.Eq, ir.Ne:
+		return evalCmp(e.Op, x, y)
+	case ir.LAnd:
+		tx, ty := x.Itv().Truth(), y.Itv().Truth()
+		if x.HasPtr() || len(x.Fns()) > 0 {
+			tx |= itv.MaybeTrue
+		}
+		if y.HasPtr() || len(y.Fns()) > 0 {
+			ty |= itv.MaybeTrue
+		}
+		return logicAnd(tx, ty)
+	case ir.LOr:
+		tx, ty := x.Itv().Truth(), y.Itv().Truth()
+		if x.HasPtr() || len(x.Fns()) > 0 {
+			tx |= itv.MaybeTrue
+		}
+		if y.HasPtr() || len(y.Fns()) > 0 {
+			ty |= itv.MaybeTrue
+		}
+		return logicOr(tx, ty)
+	case ir.BitAnd, ir.BitOr, ir.BitXor, ir.Shl, ir.Shr:
+		return evalBitwise(e.Op, x.Itv(), y.Itv())
+	default:
+		return val.TopInt
+	}
+}
+
+// evalAddSub handles both numeric arithmetic and pointer arithmetic: adding
+// an integer to a pointer shifts its offset interval.
+func (s *Sem) evalAddSub(op ir.BinOp, x, y val.Val) val.Val {
+	var ni itv.Itv
+	if op == ir.Add {
+		ni = x.Itv().Add(y.Itv())
+	} else {
+		ni = x.Itv().Sub(y.Itv())
+	}
+	out := val.FromItv(ni)
+	// pointer ± integer
+	if x.HasPtr() && !y.Itv().IsBot() {
+		d := y.Itv()
+		if op == ir.Sub {
+			d = d.Neg()
+		}
+		shifted := x.MapPtr(func(t val.PtrEntry) (val.PtrEntry, bool) {
+			return val.PtrEntry{Loc: t.Loc, R: val.Region{Off: t.R.Off.Add(d), Sz: t.R.Sz}}, true
+		}).OnlyPtr()
+		out = out.Join(shifted)
+	}
+	// integer + pointer (commutative case)
+	if op == ir.Add && y.HasPtr() && !x.Itv().IsBot() {
+		shifted := y.MapPtr(func(t val.PtrEntry) (val.PtrEntry, bool) {
+			return val.PtrEntry{Loc: t.Loc, R: val.Region{Off: t.R.Off.Add(x.Itv()), Sz: t.R.Sz}}, true
+		}).OnlyPtr()
+		out = out.Join(shifted)
+	}
+	return out
+}
+
+// evalCmp compares abstract values, yielding {0}, {1}, or {0,1}.
+func evalCmp(op ir.BinOp, x, y val.Val) val.Val {
+	xi, yi := x.Itv(), y.Itv()
+	ptrInvolved := x.HasPtr() || y.HasPtr() || len(x.Fns()) > 0 || len(y.Fns()) > 0
+	if xi.IsBot() || yi.IsBot() {
+		if ptrInvolved {
+			return val.FromItv(itv.OfInts(0, 1))
+		}
+		return val.Bot
+	}
+	var mayT, mayF bool
+	switch op {
+	case ir.Lt:
+		mayT = !xi.LtFilter(yi).IsBot()
+		mayF = !xi.GeFilter(yi).IsBot()
+	case ir.Le:
+		mayT = !xi.LeFilter(yi).IsBot()
+		mayF = !xi.GtFilter(yi).IsBot()
+	case ir.Gt:
+		mayT = !xi.GtFilter(yi).IsBot()
+		mayF = !xi.LeFilter(yi).IsBot()
+	case ir.Ge:
+		mayT = !xi.GeFilter(yi).IsBot()
+		mayF = !xi.LtFilter(yi).IsBot()
+	case ir.Eq:
+		mayT = !xi.Meet(yi).IsBot()
+		cx, okx := xi.Const()
+		cy, oky := yi.Const()
+		mayF = !(okx && oky && cx == cy)
+	case ir.Ne:
+		cx, okx := xi.Const()
+		cy, oky := yi.Const()
+		mayT = !(okx && oky && cx == cy)
+		mayF = !xi.Meet(yi).IsBot()
+	}
+	if ptrInvolved {
+		mayT, mayF = true, true
+	}
+	switch {
+	case mayT && mayF:
+		return val.FromItv(itv.OfInts(0, 1))
+	case mayT:
+		return val.Const(1)
+	case mayF:
+		return val.Const(0)
+	default:
+		return val.Bot
+	}
+}
+
+func logicAnd(tx, ty int) val.Val {
+	mayT := tx&itv.MaybeTrue != 0 && ty&itv.MaybeTrue != 0
+	mayF := tx&itv.MaybeFalse != 0 || ty&itv.MaybeFalse != 0
+	return boolVal(mayT, mayF)
+}
+
+func logicOr(tx, ty int) val.Val {
+	mayT := tx&itv.MaybeTrue != 0 || ty&itv.MaybeTrue != 0
+	mayF := tx&itv.MaybeFalse != 0 && ty&itv.MaybeFalse != 0
+	return boolVal(mayT, mayF)
+}
+
+func boolVal(mayT, mayF bool) val.Val {
+	switch {
+	case mayT && mayF:
+		return val.FromItv(itv.OfInts(0, 1))
+	case mayT:
+		return val.Const(1)
+	case mayF:
+		return val.Const(0)
+	default:
+		return val.Bot
+	}
+}
+
+// evalBitwise soundly abstracts the bitwise operators: exact on constants,
+// with cheap range reasoning for non-negative operands.
+func evalBitwise(op ir.BinOp, x, y itv.Itv) val.Val {
+	if x.IsBot() || y.IsBot() {
+		return val.Bot
+	}
+	cx, okx := x.Const()
+	cy, oky := y.Const()
+	if okx && oky {
+		switch op {
+		case ir.BitAnd:
+			return val.Const(cx & cy)
+		case ir.BitOr:
+			return val.Const(cx | cy)
+		case ir.BitXor:
+			return val.Const(cx ^ cy)
+		case ir.Shl:
+			if cy >= 0 && cy < 63 {
+				return val.Const(cx << uint(cy))
+			}
+		case ir.Shr:
+			if cy >= 0 && cy < 63 {
+				return val.Const(cx >> uint(cy))
+			}
+		}
+		return val.TopInt
+	}
+	nonNeg := func(v itv.Itv) bool { return v.Lo().Cmp(itv.Fin(0)) >= 0 }
+	if op == ir.BitAnd && nonNeg(x) && nonNeg(y) {
+		// 0 <= x & y <= min(max x, max y)
+		hi := x.Hi()
+		if y.Hi().Cmp(hi) < 0 {
+			hi = y.Hi()
+		}
+		return val.FromItv(itv.Of(itv.Fin(0), hi))
+	}
+	if op == ir.Shr && nonNeg(x) && nonNeg(y) {
+		return val.FromItv(itv.Of(itv.Fin(0), x.Hi()))
+	}
+	return val.TopInt
+}
+
+// ---------- store targets ----------
+
+// storeTargets returns the locations a Store/StoreField may write, given the
+// evaluated pointer value.
+func (s *Sem) storeTargets(pv val.Val, field string) []ir.LocID {
+	out := make([]ir.LocID, 0, len(pv.Ptr()))
+	for _, t := range pv.Ptr() {
+		l := t.Loc
+		if field != "" {
+			l = s.Prog.Locs.Field(l, field)
+		}
+		out = append(out, l)
+	}
+	return out
+}
+
+// ---------- transfer ----------
+
+// Transfer applies f#_c for the command at pt to m. The boolean result
+// reports reachability: false means the abstract state is unreachable past
+// this point (a refuted assume).
+func (s *Sem) Transfer(pt *ir.Point, m mem.Mem) (mem.Mem, bool) {
+	switch c := pt.Cmd.(type) {
+	case ir.Set:
+		v := s.Eval(c.E, m)
+		if s.IsSummaryLoc(c.L) {
+			return m.WeakSet(c.L, v), true
+		}
+		return m.Set(c.L, v), true
+	case ir.Store:
+		pv := s.Eval(c.P, m)
+		v := s.Eval(c.E, m)
+		return s.store(m, pv, "", v), true
+	case ir.StoreField:
+		pv := s.Eval(c.P, m)
+		v := s.Eval(c.E, m)
+		return s.store(m, pv, c.F, v), true
+	case ir.Alloc:
+		n := s.Eval(c.N, m).Itv()
+		al := s.Prog.Locs.Alloc(c.Site)
+		ptr := val.FromPtr(al, val.Region{Off: itv.Single(0), Sz: n})
+		// Heap cells start indeterminate.
+		m = m.WeakSet(al, val.TopInt)
+		if s.IsSummaryLoc(c.L) {
+			return m.WeakSet(c.L, ptr), true
+		}
+		return m.Set(c.L, ptr), true
+	case ir.Assume:
+		return s.assume(c.E, m)
+	case ir.Call:
+		// Argument evaluation has no state effect; formal binding happens on
+		// the call→entry edge (BindFormals).
+		return m, true
+	case ir.RetBind:
+		if c.L == ir.None {
+			return m, true
+		}
+		callees := s.calleesOf(c.CallPt)
+		if len(callees) == 0 {
+			return m.Set(c.L, val.TopInt), true
+		}
+		v := val.Bot
+		for _, p := range callees {
+			rl := s.Prog.ProcByID(p).RetLoc
+			if rl != ir.None {
+				v = v.Join(m.Get(rl))
+			} else {
+				v = v.Join(val.TopInt)
+			}
+		}
+		if s.IsSummaryLoc(c.L) {
+			return m.WeakSet(c.L, v), true
+		}
+		return m.Set(c.L, v), true
+	case ir.Return:
+		pr := s.Prog.ProcByID(pt.Proc)
+		if c.E != nil && pr.RetLoc != ir.None {
+			v := s.Eval(c.E, m)
+			if s.IsSummaryLoc(pr.RetLoc) {
+				return m.WeakSet(pr.RetLoc, v), true
+			}
+			return m.Set(pr.RetLoc, v), true
+		}
+		return m, true
+	default: // Entry, Exit, Skip
+		return m, true
+	}
+}
+
+func (s *Sem) store(m mem.Mem, pv val.Val, field string, v val.Val) mem.Mem {
+	targets := s.storeTargets(pv, field)
+	if len(targets) == 1 && !s.IsSummaryLoc(targets[0]) {
+		return m.Set(targets[0], v) // strong update
+	}
+	for _, t := range targets {
+		m = m.WeakSet(t, v)
+	}
+	return m
+}
+
+// BindFormals computes the memory entering callee from a call at callPt
+// with memory m: m with the callee's formals bound to the argument values.
+// Missing arguments bind to Unknown.
+func (s *Sem) BindFormals(callPt *ir.Point, callee *ir.Proc, m mem.Mem) mem.Mem {
+	c := callPt.Cmd.(ir.Call)
+	out := m
+	for i, f := range callee.Formals {
+		var v val.Val
+		if i < len(c.Args) {
+			v = s.Eval(c.Args[i], m)
+		} else {
+			v = val.TopInt
+		}
+		// Formals are weakly updated: several call sites (and spurious
+		// callees from the approximate call graph) may bind them, and the
+		// sparse framework requires may-definitions to be uses (Def. 5).
+		out = out.WeakSet(f, v)
+	}
+	return out
+}
+
+// ---------- assume refinement ----------
+
+// assume filters m by the condition e. It refines interval bindings of
+// variables that appear directly in comparisons, and reports false when the
+// condition cannot hold.
+func (s *Sem) assume(e ir.Expr, m mem.Mem) (mem.Mem, bool) {
+	t := s.truth(e, m)
+	if t&itv.MaybeTrue == 0 {
+		return mem.Bot, false
+	}
+	switch e := e.(type) {
+	case ir.Bin:
+		if e.Op.IsCmp() {
+			return s.refineCmp(e, m), true
+		}
+		if e.Op == ir.LAnd {
+			m1, ok := s.assume(e.X, m)
+			if !ok {
+				return mem.Bot, false
+			}
+			return s.assume(e.Y, m1)
+		}
+	case ir.Not:
+		// assume(!x): x == 0
+		if v, ok := e.X.(ir.VarE); ok {
+			return s.refineVar(v.L, ir.Eq, itv.Single(0), m), true
+		}
+	case ir.VarE:
+		// assume(x): x != 0
+		return s.refineVar(e.L, ir.Ne, itv.Single(0), m), true
+	}
+	return m, true
+}
+
+// refineCmp refines both operands of a comparison when they are variables.
+func (s *Sem) refineCmp(e ir.Bin, m mem.Mem) mem.Mem {
+	yv := s.Eval(e.Y, m).Itv()
+	if x, ok := e.X.(ir.VarE); ok && !yv.IsBot() {
+		m = s.refineVar(x.L, e.Op, yv, m)
+	}
+	xv := s.Eval(e.X, m).Itv()
+	if y, ok := e.Y.(ir.VarE); ok && !xv.IsBot() {
+		m = s.refineVar(y.L, e.Op.Swap(), xv, m)
+	}
+	return m
+}
+
+// refineVar narrows the interval of variable l under "l op bound".
+func (s *Sem) refineVar(l ir.LocID, op ir.BinOp, bound itv.Itv, m mem.Mem) mem.Mem {
+	if s.IsSummaryLoc(l) {
+		return m // cannot strongly refine summaries
+	}
+	old := m.Get(l)
+	oi := old.Itv()
+	var ni itv.Itv
+	switch op {
+	case ir.Lt:
+		ni = oi.LtFilter(bound)
+	case ir.Le:
+		ni = oi.LeFilter(bound)
+	case ir.Gt:
+		ni = oi.GtFilter(bound)
+	case ir.Ge:
+		ni = oi.GeFilter(bound)
+	case ir.Eq:
+		ni = oi.EqFilter(bound)
+	case ir.Ne:
+		ni = oi.NeFilter(bound)
+	default:
+		return m
+	}
+	return m.Set(l, old.WithItv(ni))
+}
+
+// ---------- definition and use sets ----------
+
+// UseOf accumulates U(e)(m): the locations read while evaluating e
+// (Section 3.2's auxiliary U).
+func (s *Sem) UseOf(e ir.Expr, m mem.Mem, add func(ir.LocID)) {
+	switch e := e.(type) {
+	case ir.VarE:
+		add(e.L)
+	case ir.Load:
+		s.UseOf(e.P, m, add)
+		pv := s.Eval(e.P, m)
+		for _, t := range pv.Ptr() {
+			add(t.Loc)
+		}
+	case ir.LoadField:
+		s.UseOf(e.P, m, add)
+		pv := s.Eval(e.P, m)
+		for _, t := range pv.Ptr() {
+			add(s.Prog.Locs.Field(t.Loc, e.F))
+		}
+	case ir.FieldAddr:
+		s.UseOf(e.P, m, add)
+	case ir.Bin:
+		s.UseOf(e.X, m, add)
+		s.UseOf(e.Y, m, add)
+	case ir.Neg:
+		s.UseOf(e.X, m, add)
+	case ir.Not:
+		s.UseOf(e.X, m, add)
+	}
+}
+
+// LocSet is a small builder for def/use sets.
+type LocSet map[ir.LocID]bool
+
+// Add inserts l.
+func (ls LocSet) Add(l ir.LocID) { ls[l] = true }
+
+// Slice returns the elements (unordered).
+func (ls LocSet) Slice() []ir.LocID {
+	out := make([]ir.LocID, 0, len(ls))
+	for l := range ls {
+		out = append(out, l)
+	}
+	return out
+}
+
+// DefsUses computes the command-local D̂(c) and Û(c) at pt under the
+// conservative memory m (the pre-analysis result T̂pre). Call/RetBind points
+// report only their own semantic defs/uses (argument evaluation, formal
+// binding, return-value delivery); the interprocedural linkage sets are
+// added by the def-use-graph builder from callee summaries.
+//
+// The returned sets satisfy Definition 5 against any memory ⊑ m: defs
+// over-approximate, uses over-approximate, and every may-definition (weak
+// update target, formal, summary) is also a use.
+func (s *Sem) DefsUses(pt *ir.Point, m mem.Mem) (defs, uses LocSet) {
+	defs, uses = LocSet{}, LocSet{}
+	switch c := pt.Cmd.(type) {
+	case ir.Set:
+		defs.Add(c.L)
+		s.UseOf(c.E, m, uses.Add)
+		if s.IsSummaryLoc(c.L) {
+			uses.Add(c.L) // weak update uses the old value
+		}
+	case ir.Store, ir.StoreField:
+		var pe, ve ir.Expr
+		field := ""
+		if st, ok := c.(ir.Store); ok {
+			pe, ve = st.P, st.E
+		} else {
+			sf := c.(ir.StoreField)
+			pe, ve, field = sf.P, sf.E, sf.F
+		}
+		s.UseOf(pe, m, uses.Add)
+		s.UseOf(ve, m, uses.Add)
+		pv := s.Eval(pe, m)
+		targets := s.storeTargets(pv, field)
+		for _, t := range targets {
+			defs.Add(t)
+		}
+		if len(targets) != 1 || s.IsSummaryLoc(targets[0]) {
+			for _, t := range targets {
+				uses.Add(t) // weak updates use old values
+			}
+		}
+	case ir.Alloc:
+		defs.Add(c.L)
+		al := s.Prog.Locs.Alloc(c.Site)
+		defs.Add(al)
+		uses.Add(al) // weak (summary) initialization
+		s.UseOf(c.N, m, uses.Add)
+		if s.IsSummaryLoc(c.L) {
+			uses.Add(c.L)
+		}
+	case ir.Assume:
+		s.UseOf(c.E, m, uses.Add)
+		for _, l := range s.refinedVars(c.E) {
+			defs.Add(l)
+			uses.Add(l)
+		}
+	case ir.Call:
+		s.UseOf(c.F, m, uses.Add)
+		for _, a := range c.Args {
+			s.UseOf(a, m, uses.Add)
+		}
+		for _, p := range s.calleesOf(pt.ID) {
+			for _, f := range s.Prog.ProcByID(p).Formals {
+				defs.Add(f)
+				uses.Add(f) // weak binding (multiple/spurious call sites)
+			}
+		}
+	case ir.RetBind:
+		if c.L != ir.None {
+			defs.Add(c.L)
+			if s.IsSummaryLoc(c.L) {
+				uses.Add(c.L)
+			}
+		}
+		for _, p := range s.calleesOf(c.CallPt) {
+			rl := s.Prog.ProcByID(p).RetLoc
+			if rl != ir.None {
+				uses.Add(rl)
+			}
+		}
+	case ir.Return:
+		pr := s.Prog.ProcByID(pt.Proc)
+		if c.E != nil && pr.RetLoc != ir.None {
+			defs.Add(pr.RetLoc)
+			s.UseOf(c.E, m, uses.Add)
+			if s.IsSummaryLoc(pr.RetLoc) {
+				uses.Add(pr.RetLoc)
+			}
+		}
+	}
+	return defs, uses
+}
+
+// AlwaysKills computes D_always(c) under the conservative memory m: the
+// locations the command at pt overwrites on every execution (Section 2.6's
+// comparison with conventional def-use chains, where only always-kills
+// block a chain). Weak updates, multi-target stores, summary locations and
+// interprocedural linkage never always-kill.
+func (s *Sem) AlwaysKills(pt *ir.Point, m mem.Mem) LocSet {
+	kills := LocSet{}
+	switch c := pt.Cmd.(type) {
+	case ir.Set:
+		if !s.IsSummaryLoc(c.L) {
+			kills.Add(c.L)
+		}
+	case ir.Store:
+		pv := s.Eval(c.P, m)
+		if ts := s.storeTargets(pv, ""); len(ts) == 1 && !s.IsSummaryLoc(ts[0]) {
+			kills.Add(ts[0])
+		}
+	case ir.StoreField:
+		pv := s.Eval(c.P, m)
+		if ts := s.storeTargets(pv, c.F); len(ts) == 1 && !s.IsSummaryLoc(ts[0]) {
+			kills.Add(ts[0])
+		}
+	case ir.Alloc:
+		if !s.IsSummaryLoc(c.L) {
+			kills.Add(c.L)
+		}
+	case ir.Assume:
+		for _, l := range s.refinedVars(c.E) {
+			kills.Add(l)
+		}
+	case ir.RetBind:
+		if c.L != ir.None && !s.IsSummaryLoc(c.L) {
+			kills.Add(c.L)
+		}
+	case ir.Return:
+		pr := s.Prog.ProcByID(pt.Proc)
+		if c.E != nil && pr.RetLoc != ir.None {
+			kills.Add(pr.RetLoc)
+		}
+	}
+	return kills
+}
+
+// refinedVars returns the variables an Assume may strongly refine (its
+// definition set).
+func (s *Sem) refinedVars(e ir.Expr) []ir.LocID {
+	var out []ir.LocID
+	add := func(l ir.LocID) {
+		if !s.IsSummaryLoc(l) {
+			out = append(out, l)
+		}
+	}
+	switch e := e.(type) {
+	case ir.Bin:
+		if e.Op.IsCmp() {
+			if x, ok := e.X.(ir.VarE); ok {
+				add(x.L)
+			}
+			if y, ok := e.Y.(ir.VarE); ok {
+				add(y.L)
+			}
+		}
+		if e.Op == ir.LAnd {
+			out = append(out, s.refinedVars(e.X)...)
+			out = append(out, s.refinedVars(e.Y)...)
+		}
+	case ir.Not:
+		if x, ok := e.X.(ir.VarE); ok {
+			add(x.L)
+		}
+	case ir.VarE:
+		add(e.L)
+	}
+	return out
+}

@@ -1,0 +1,209 @@
+package sem
+
+import (
+	"sort"
+	"testing"
+
+	"sparrow/internal/frontend/lower"
+	"sparrow/internal/frontend/parser"
+	"sparrow/internal/ir"
+	"sparrow/internal/lattice/itv"
+	"sparrow/internal/lattice/val"
+	"sparrow/internal/mem"
+)
+
+// env builds a program and a semantics evaluator over it.
+func env(t *testing.T, src string) (*ir.Program, *Sem) {
+	t.Helper()
+	f, err := parser.Parse("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := lower.File(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, New(prog)
+}
+
+func gloc(t *testing.T, prog *ir.Program, name string) ir.LocID {
+	t.Helper()
+	l, ok := prog.Locs.Lookup(ir.Loc{Kind: ir.LVar, Proc: ir.None, Name: name})
+	if !ok {
+		t.Fatalf("no global %q", name)
+	}
+	return l
+}
+
+func TestEvalArithAndCompare(t *testing.T) {
+	prog, s := env(t, "int a; int b; int main() { return 0; }")
+	la, lb := gloc(t, prog, "a"), gloc(t, prog, "b")
+	m := mem.Bot.
+		Set(la, val.FromItv(itv.OfInts(2, 4))).
+		Set(lb, val.Const(10))
+	sum := s.Eval(ir.Bin{Op: ir.Add, X: ir.VarE{L: la}, Y: ir.VarE{L: lb}}, m)
+	if !sum.Itv().Eq(itv.OfInts(12, 14)) {
+		t.Errorf("a+b = %s", sum.Itv())
+	}
+	lt := s.Eval(ir.Bin{Op: ir.Lt, X: ir.VarE{L: la}, Y: ir.VarE{L: lb}}, m)
+	if v, ok := lt.Itv().Const(); !ok || v != 1 {
+		t.Errorf("a<b = %s want [1,1]", lt.Itv())
+	}
+	gt := s.Eval(ir.Bin{Op: ir.Gt, X: ir.VarE{L: la}, Y: ir.VarE{L: lb}}, m)
+	if v, ok := gt.Itv().Const(); !ok || v != 0 {
+		t.Errorf("a>b = %s want [0,0]", gt.Itv())
+	}
+}
+
+func TestEvalPointerArithAndLoad(t *testing.T) {
+	prog, s := env(t, "int arr[8]; int main() { return 0; }")
+	larr := gloc(t, prog, "arr")
+	arrLoc := prog.Locs.Arr(larr)
+	m := mem.Bot.
+		Set(larr, val.FromPtr(arrLoc, val.Region{Off: itv.Single(0), Sz: itv.Single(8)})).
+		Set(arrLoc, val.FromItv(itv.OfInts(5, 9)))
+	shifted := s.Eval(ir.Bin{Op: ir.Add, X: ir.VarE{L: larr}, Y: ir.Const{V: 3}}, m)
+	if len(shifted.Ptr()) != 1 || !shifted.Ptr()[0].R.Off.Eq(itv.Single(3)) {
+		t.Fatalf("arr+3 = %s", shifted)
+	}
+	loaded := s.Eval(ir.Load{P: ir.Bin{Op: ir.Add, X: ir.VarE{L: larr}, Y: ir.Const{V: 3}}}, m)
+	if !loaded.Itv().Eq(itv.OfInts(5, 9)) {
+		t.Errorf("*(arr+3) = %s", loaded.Itv())
+	}
+}
+
+func TestTransferStrongVsWeak(t *testing.T) {
+	prog, s := env(t, "int a; int arr[4]; int main() { return 0; }")
+	la := gloc(t, prog, "a")
+	arrLoc := prog.Locs.Arr(gloc(t, prog, "arr"))
+	m := mem.Bot.Set(la, val.Const(1)).Set(arrLoc, val.Const(1))
+
+	// Strong: a scalar Set replaces.
+	pt := &ir.Point{ID: 0, Cmd: ir.Set{L: la, E: ir.Const{V: 9}}}
+	out, ok := s.Transfer(pt, m)
+	if !ok || !out.Get(la).Itv().Eq(itv.Single(9)) {
+		t.Errorf("strong set: a = %s", out.Get(la).Itv())
+	}
+	// Weak: the smashed array location joins.
+	pt2 := &ir.Point{ID: 1, Cmd: ir.Set{L: arrLoc, E: ir.Const{V: 9}}}
+	out2, _ := s.Transfer(pt2, m)
+	if !out2.Get(arrLoc).Itv().Eq(itv.OfInts(1, 9)) {
+		t.Errorf("weak set: arr = %s want [1,9]", out2.Get(arrLoc).Itv())
+	}
+}
+
+func TestAssumeRefinesAndRefutes(t *testing.T) {
+	prog, s := env(t, "int a; int main() { return 0; }")
+	la := gloc(t, prog, "a")
+	m := mem.Bot.Set(la, val.FromItv(itv.OfInts(0, 100)))
+	pt := &ir.Point{ID: 0, Cmd: ir.Assume{E: ir.Bin{Op: ir.Lt, X: ir.VarE{L: la}, Y: ir.Const{V: 10}}}}
+	out, ok := s.Transfer(pt, m)
+	if !ok || !out.Get(la).Itv().Eq(itv.OfInts(0, 9)) {
+		t.Errorf("refined a = %s ok=%v", out.Get(la).Itv(), ok)
+	}
+	refuted := &ir.Point{ID: 1, Cmd: ir.Assume{E: ir.Bin{Op: ir.Gt, X: ir.VarE{L: la}, Y: ir.Const{V: 200}}}}
+	if _, ok := s.Transfer(refuted, m); ok {
+		t.Error("impossible assume not refuted")
+	}
+}
+
+func locNames(prog *ir.Program, set LocSet) []string {
+	var out []string
+	for l := range set {
+		out = append(out, prog.Locs.String(l))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestDefsUsesWeakStore(t *testing.T) {
+	// *p with two targets: weak store, so targets appear in both D̂ and Û
+	// (Definition 2's implicit use from weak updates).
+	prog, s := env(t, `
+int a; int b; int *p;
+int main() {
+	if (input()) { p = &a; } else { p = &b; }
+	*p = 1;
+	return 0;
+}
+`)
+	la, lb, lp := gloc(t, prog, "a"), gloc(t, prog, "b"), gloc(t, prog, "p")
+	m := mem.Bot.Set(lp, val.FromPtr(la, val.Region{Off: itv.Single(0), Sz: itv.Single(1)}).
+		Join(val.FromPtr(lb, val.Region{Off: itv.Single(0), Sz: itv.Single(1)})))
+	pt := &ir.Point{ID: 0, Cmd: ir.Store{P: ir.VarE{L: lp}, E: ir.Const{V: 1}}}
+	defs, uses := s.DefsUses(pt, m)
+	if !defs[la] || !defs[lb] {
+		t.Errorf("defs = %v want a and b", locNames(prog, defs))
+	}
+	if !uses[la] || !uses[lb] || !uses[lp] {
+		t.Errorf("uses = %v want a, b, p", locNames(prog, uses))
+	}
+	// Single target: strong, so the target is not a use.
+	m1 := mem.Bot.Set(lp, val.FromPtr(la, val.Region{Off: itv.Single(0), Sz: itv.Single(1)}))
+	defs1, uses1 := s.DefsUses(pt, m1)
+	if !defs1[la] || defs1[lb] {
+		t.Errorf("strong defs = %v", locNames(prog, defs1))
+	}
+	if uses1[la] {
+		t.Errorf("strong store should not use its target: %v", locNames(prog, uses1))
+	}
+}
+
+func TestAlwaysKills(t *testing.T) {
+	prog, s := env(t, `
+int a; int b; int *p;
+int main() { return 0; }
+`)
+	la, lb, lp := gloc(t, prog, "a"), gloc(t, prog, "b"), gloc(t, prog, "p")
+	set := &ir.Point{ID: 0, Cmd: ir.Set{L: la, E: ir.Const{V: 1}}}
+	if k := s.AlwaysKills(set, mem.Bot); !k[la] {
+		t.Error("Set does not always-kill its target")
+	}
+	// Two-target store: no always-kill.
+	m := mem.Bot.Set(lp, val.FromPtr(la, val.Region{Off: itv.Single(0), Sz: itv.Single(1)}).
+		Join(val.FromPtr(lb, val.Region{Off: itv.Single(0), Sz: itv.Single(1)})))
+	st := &ir.Point{ID: 1, Cmd: ir.Store{P: ir.VarE{L: lp}, E: ir.Const{V: 1}}}
+	if k := s.AlwaysKills(st, m); len(k) != 0 {
+		t.Errorf("weak store always-kills %v", locNames(prog, k))
+	}
+}
+
+func TestSummaryLocsRecursion(t *testing.T) {
+	prog, s := env(t, `
+int f(int n) { if (n <= 0) { return 0; } return f(n-1); }
+int main() { return f(3); }
+`)
+	fproc := prog.ProcByName("f")
+	formal := fproc.Formals[0]
+	if s.IsSummaryLoc(formal) {
+		t.Error("without InCycle, locals are not summaries")
+	}
+	s.InCycle = func(p ir.ProcID) bool { return p == fproc.ID }
+	if !s.IsSummaryLoc(formal) {
+		t.Error("recursive formal must be a summary")
+	}
+	if !s.IsSummaryLoc(fproc.RetLoc) {
+		t.Error("recursive return channel must be a summary")
+	}
+	// Non-recursive procedures keep strong locals.
+	mainProc := prog.ProcByName("main")
+	mainTemp := ir.LocID(ir.None)
+	for i := 0; i < prog.Locs.Len(); i++ {
+		if d := prog.Locs.Get(ir.LocID(i)); d.Kind == ir.LVar && d.Proc == mainProc.ID {
+			mainTemp = ir.LocID(i)
+		}
+	}
+	if mainTemp != ir.None && s.IsSummaryLoc(mainTemp) {
+		t.Error("non-recursive local wrongly a summary")
+	}
+}
+
+func TestEvalDivByPossiblyZero(t *testing.T) {
+	prog, s := env(t, "int a; int main() { return 0; }")
+	la := gloc(t, prog, "a")
+	m := mem.Bot.Set(la, val.FromItv(itv.OfInts(-1, 1)))
+	v := s.Eval(ir.Bin{Op: ir.Div, X: ir.Const{V: 10}, Y: ir.VarE{L: la}}, m)
+	if !v.Itv().IsTop() {
+		t.Errorf("10/a with 0 in a = %s want top", v.Itv())
+	}
+}

@@ -1,0 +1,278 @@
+// Package octdense implements the dense (non-sparse) fixpoint of the packed
+// relational analysis: Octagon_vanilla (whole pack-states along every edge)
+// and Octagon_base (access-based localization at procedure boundaries), the
+// baselines of Table 3.
+package octdense
+
+import (
+	"time"
+
+	"sparrow/internal/cfg"
+	"sparrow/internal/dug"
+	"sparrow/internal/ir"
+	"sparrow/internal/octsem"
+	"sparrow/internal/pack"
+	"sparrow/internal/prean"
+	"sparrow/internal/worklist"
+)
+
+// Options configures the dense octagon solver (see the interval solver in
+// package dense for the meaning of each field).
+type Options struct {
+	Localize        bool
+	Timeout         time.Duration
+	MaxSteps        int
+	WidenThreshold  int
+	EntryWidenDelay int
+	Narrow          int
+}
+
+const (
+	defaultWidenThreshold  = 40
+	defaultEntryWidenDelay = 4
+)
+
+// Result is the dense relational fixpoint.
+type Result struct {
+	In       []octsem.OMem
+	Reached  []bool
+	Steps    int
+	TimedOut bool
+}
+
+// Out returns the post-state of pt.
+func (r *Result) Out(s *octsem.Sem, pt *ir.Point) octsem.OMem {
+	m, _ := s.Transfer(pt, r.In[pt.ID])
+	return m
+}
+
+type solver struct {
+	prog *ir.Program
+	pre  *prean.Result
+	s    *octsem.Sem
+	src  *dug.Source
+	opt  Options
+	info *cfg.Info
+	res  *Result
+	wl   *worklist.Worklist
+
+	counts   []int32
+	accCache []map[pack.ID]bool
+	deadline time.Time
+}
+
+// Analyze runs the dense relational analysis with the given packing
+// semantics (obtained from octsem.Source).
+func Analyze(prog *ir.Program, pre *prean.Result, s *octsem.Sem, src *dug.Source, opt Options) *Result {
+	if opt.WidenThreshold == 0 {
+		opt.WidenThreshold = defaultWidenThreshold
+	}
+	if opt.EntryWidenDelay == 0 {
+		opt.EntryWidenDelay = defaultEntryWidenDelay
+	}
+	sv := &solver{
+		prog: prog,
+		pre:  pre,
+		s:    s,
+		src:  src,
+		opt:  opt,
+		info: cfg.Compute(prog, pre.CG, pre.CalleesOf),
+		res: &Result{
+			In:      make([]octsem.OMem, len(prog.Points)),
+			Reached: make([]bool, len(prog.Points)),
+		},
+		counts: make([]int32, len(prog.Points)),
+	}
+	if opt.Localize {
+		sv.accCache = make([]map[pack.ID]bool, len(prog.Procs))
+		for _, pr := range prog.Procs {
+			sv.accCache[pr.ID] = octsem.Accessed(src, pr.ID)
+		}
+	}
+	if opt.Timeout > 0 {
+		sv.deadline = time.Now().Add(opt.Timeout)
+	}
+	sv.run()
+	if opt.Narrow > 0 && !sv.res.TimedOut {
+		sv.narrow(opt.Narrow)
+	}
+	return sv.res
+}
+
+func (sv *solver) run() {
+	sv.wl = worklist.New(len(sv.prog.Points), sv.info.Prio)
+	root := sv.prog.ProcByID(sv.prog.Main)
+	// The initial memory is arbitrary: every pack starts at Top.
+	sv.res.In[root.Entry] = sv.s.TopState()
+	sv.res.Reached[root.Entry] = true
+	sv.wl.Add(int(root.Entry))
+	for {
+		id, ok := sv.wl.Take()
+		if !ok {
+			return
+		}
+		sv.res.Steps++
+		if sv.opt.MaxSteps > 0 && sv.res.Steps > sv.opt.MaxSteps {
+			sv.res.TimedOut = true
+			return
+		}
+		if sv.opt.Timeout > 0 && sv.res.Steps%64 == 0 && time.Now().After(sv.deadline) {
+			sv.res.TimedOut = true
+			return
+		}
+		sv.step(sv.prog.Point(ir.PointID(id)))
+	}
+}
+
+func (sv *solver) step(pt *ir.Point) {
+	out, ok := sv.s.Transfer(pt, sv.res.In[pt.ID])
+	if !ok {
+		return
+	}
+	switch pt.Cmd.(type) {
+	case ir.Call:
+		callees := sv.pre.CalleesOf(pt.ID)
+		if len(callees) == 0 {
+			for _, s := range pt.Succs {
+				sv.deliver(s, out)
+			}
+			return
+		}
+		var accAll map[pack.ID]bool
+		for _, p := range callees {
+			callee := sv.prog.ProcByID(p)
+			bound := sv.s.BindFormals(pt, callee, out)
+			if sv.opt.Localize {
+				bound = bound.RestrictSet(sv.accCache[p])
+			}
+			sv.deliver(callee.Entry, bound)
+		}
+		if sv.opt.Localize {
+			accAll = map[pack.ID]bool{}
+			for _, p := range callees {
+				for l := range sv.accCache[p] {
+					accAll[l] = true
+				}
+			}
+			local := out.RemoveSet(accAll)
+			for _, s := range pt.Succs {
+				sv.deliver(s, local)
+			}
+		}
+	case ir.Exit:
+		m := out
+		if sv.opt.Localize {
+			m = out.RestrictSet(sv.accCache[pt.Proc])
+		}
+		for _, rs := range sv.pre.RetSites[pt.Proc] {
+			sv.deliver(rs, m)
+		}
+	default:
+		for _, s := range pt.Succs {
+			sv.deliver(s, out)
+		}
+	}
+}
+
+func (sv *solver) deliver(target ir.PointID, m octsem.OMem) {
+	first := !sv.res.Reached[target]
+	sv.res.Reached[target] = true
+	old := sv.res.In[target]
+	joined := old.Join(m)
+	changed := first
+	if !joined.Eq(old) {
+		sv.counts[target]++
+		widen := sv.info.Widen[target] || int(sv.counts[target]) > sv.opt.WidenThreshold
+		if !widen && int(sv.counts[target]) > sv.opt.EntryWidenDelay {
+			if _, isEntry := sv.prog.Point(target).Cmd.(ir.Entry); isEntry {
+				widen = true
+			}
+		}
+		if widen {
+			joined = old.Widen(joined)
+		}
+		sv.res.In[target] = joined
+		changed = true
+	}
+	if changed {
+		sv.wl.Add(int(target))
+	}
+}
+
+// narrow runs Jacobi descending sweeps (see the interval solver).
+func (sv *solver) narrow(passes int) {
+	for i := 0; i < passes; i++ {
+		stable := true
+		next := make([]octsem.OMem, len(sv.prog.Points))
+		reached := make([]bool, len(sv.prog.Points))
+		root := sv.prog.ProcByID(sv.prog.Main)
+		next[root.Entry] = sv.s.TopState()
+		reached[root.Entry] = true
+		for _, pt := range sv.prog.Points {
+			if !sv.res.Reached[pt.ID] {
+				continue
+			}
+			out, ok := sv.s.Transfer(pt, sv.res.In[pt.ID])
+			if !ok {
+				continue
+			}
+			push := func(t ir.PointID, m octsem.OMem) {
+				next[t] = next[t].Join(m)
+				reached[t] = true
+			}
+			switch pt.Cmd.(type) {
+			case ir.Call:
+				callees := sv.pre.CalleesOf(pt.ID)
+				if len(callees) == 0 {
+					for _, s := range pt.Succs {
+						push(s, out)
+					}
+					break
+				}
+				accAll := map[pack.ID]bool{}
+				for _, p := range callees {
+					callee := sv.prog.ProcByID(p)
+					bound := sv.s.BindFormals(pt, callee, out)
+					if sv.opt.Localize {
+						bound = bound.RestrictSet(sv.accCache[p])
+						for l := range sv.accCache[p] {
+							accAll[l] = true
+						}
+					}
+					push(callee.Entry, bound)
+				}
+				if sv.opt.Localize {
+					local := out.RemoveSet(accAll)
+					for _, s := range pt.Succs {
+						push(s, local)
+					}
+				}
+			case ir.Exit:
+				m := out
+				if sv.opt.Localize {
+					m = out.RestrictSet(sv.accCache[pt.Proc])
+				}
+				for _, rs := range sv.pre.RetSites[pt.Proc] {
+					push(rs, m)
+				}
+			default:
+				for _, s := range pt.Succs {
+					push(s, out)
+				}
+			}
+		}
+		for id := range sv.res.In {
+			if !reached[id] {
+				continue
+			}
+			narrowed := sv.res.In[id].Narrow(next[id])
+			if !narrowed.Eq(sv.res.In[id]) {
+				stable = false
+				sv.res.In[id] = narrowed
+			}
+		}
+		if stable {
+			return
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package octdense
+
+import (
+	"testing"
+
+	"sparrow/internal/dug"
+	"sparrow/internal/frontend/lower"
+	"sparrow/internal/frontend/parser"
+	"sparrow/internal/ir"
+	"sparrow/internal/lattice/itv"
+	"sparrow/internal/octsem"
+	"sparrow/internal/pack"
+	"sparrow/internal/prean"
+)
+
+func setup(t *testing.T, src string) (*ir.Program, *prean.Result, *octsem.Sem, *dug.Source) {
+	t.Helper()
+	f, err := parser.Parse("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := lower.File(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := prean.Run(prog)
+	packs := pack.Build(prog, 0)
+	s, dsrc := octsem.Source(prog, pre, packs)
+	return prog, pre, s, dsrc
+}
+
+func globalItv(t *testing.T, prog *ir.Program, s *octsem.Sem, res *Result, name string) itv.Itv {
+	t.Helper()
+	loc, ok := prog.Locs.Lookup(ir.Loc{Kind: ir.LVar, Proc: ir.None, Name: name})
+	if !ok {
+		t.Fatalf("no global %q", name)
+	}
+	sp, _ := s.Packs.Singleton(loc)
+	root := prog.ProcByID(prog.Main)
+	o := res.In[root.Exit].Get(sp)
+	if o == nil {
+		return itv.Bot
+	}
+	return o.Interval(0)
+}
+
+func TestOctDenseBasic(t *testing.T) {
+	src := `
+int g;
+int main() { int x; x = 4; g = x * 1 + 3; return 0; }
+`
+	prog, pre, s, dsrc := setup(t, src)
+	for _, localize := range []bool{false, true} {
+		res := Analyze(prog, pre, s, dsrc, Options{Localize: localize})
+		if res.TimedOut {
+			t.Fatal("timed out")
+		}
+		got := globalItv(t, prog, s, res, "g")
+		if !itv.Single(7).LessEq(got) {
+			t.Errorf("localize=%v: g = %s must contain 7", localize, got)
+		}
+	}
+}
+
+func TestOctDenseNarrowing(t *testing.T) {
+	src := `
+int g;
+int main() {
+	int i;
+	i = 0;
+	while (i < 40) { i = i + 1; }
+	g = i;
+	return 0;
+}
+`
+	prog, pre, s, dsrc := setup(t, src)
+	wide := Analyze(prog, pre, s, dsrc, Options{Localize: true})
+	narrow := Analyze(prog, pre, s, dsrc, Options{Localize: true, Narrow: 8})
+	wi := globalItv(t, prog, s, wide, "g")
+	ni := globalItv(t, prog, s, narrow, "g")
+	if !itv.Single(40).LessEq(wi) || !itv.Single(40).LessEq(ni) {
+		t.Fatalf("unsound: wide %s narrow %s must contain 40", wi, ni)
+	}
+	if !ni.LessEq(wi) {
+		t.Errorf("narrowing lost soundness direction: %s not within %s", ni, wi)
+	}
+	if ni.Hi().IsPosInf() && !wi.Hi().IsPosInf() {
+		t.Errorf("narrowing made result coarser: %s vs %s", ni, wi)
+	}
+}
+
+func TestOctDenseMaxSteps(t *testing.T) {
+	src := `
+int g;
+int main() {
+	int i;
+	for (i = 0; i < 1000; i++) { g = g + i; }
+	return g;
+}
+`
+	prog, pre, s, dsrc := setup(t, src)
+	res := Analyze(prog, pre, s, dsrc, Options{MaxSteps: 3})
+	if !res.TimedOut {
+		t.Error("MaxSteps=3 did not abort")
+	}
+}

@@ -1,0 +1,327 @@
+// Package sparse implements the sparse fixpoint computation of Section 2.7:
+// F̂_a(X) = λc. f#_c(⊔_{cd ↝(l) c} X(cd)|l) — abstract values propagate along
+// the approximated data dependencies of the def-use graph instead of control
+// flow, visiting only the entries in D̂(c)/Û(c) at each node.
+//
+// The solver additionally tracks control reachability (the production dense
+// solver prunes CFG-unreachable code, so the sparse solver gates node
+// transfers on the same reachability to preserve its precision): a point
+// fires only once reachable, and refuted assumes propagate neither values
+// nor reachability.
+package sparse
+
+import (
+	"time"
+
+	"sparrow/internal/dug"
+	"sparrow/internal/ir"
+	"sparrow/internal/mem"
+	"sparrow/internal/prean"
+	"sparrow/internal/sem"
+	"sparrow/internal/worklist"
+)
+
+// Options configures the sparse solver.
+type Options struct {
+	// Timeout aborts after the wall-clock budget (0 = none).
+	Timeout time.Duration
+	// MaxSteps aborts after this many node firings (0 = none).
+	MaxSteps int
+	// WidenThreshold forces widening at nodes updated more than this many
+	// times (safety valve; 0 uses the default).
+	WidenThreshold int
+	// EntryWidenDelay starts widening at procedure entry nodes after this
+	// many changed firings, cutting the spurious interprocedural feedback
+	// cycles exactly as the dense solver does (see dense.Options). 0 uses
+	// the default.
+	EntryWidenDelay int
+	// Narrow runs this many descending (narrowing) Jacobi sweeps over the
+	// def-use graph after the ascending fixpoint, recovering precision lost
+	// to widening. Each sweep recomputes every node's incoming values from
+	// the current outputs and narrows the accumulated inputs towards them.
+	Narrow int
+}
+
+const (
+	defaultWidenThreshold  = 40
+	defaultEntryWidenDelay = 4
+)
+
+// Result is the sparse fixpoint.
+type Result struct {
+	// Acc[n] is the partial memory accumulated at node n over Û(n) (the
+	// join of incoming dependency values).
+	Acc []mem.Mem
+	// Out[n] is the partial memory produced at node n over D̂(n). By
+	// Lemma 2 it agrees with the dense fixpoint on D̂(n).
+	Out []mem.Mem
+	// Reached[pt] is control reachability per point.
+	Reached []bool
+	// Steps counts node firings.
+	Steps int
+	// TimedOut reports an aborted run.
+	TimedOut bool
+}
+
+type solver struct {
+	prog *ir.Program
+	pre  *prean.Result
+	g    *dug.Graph
+	s    *sem.Sem
+	opt  Options
+	res  *Result
+	wl   *worklist.Worklist
+
+	counts   []int32
+	deadline time.Time
+}
+
+// Analyze runs the sparse analysis over the def-use graph g.
+func Analyze(prog *ir.Program, pre *prean.Result, g *dug.Graph, opt Options) *Result {
+	if opt.WidenThreshold == 0 {
+		opt.WidenThreshold = defaultWidenThreshold
+	}
+	if opt.EntryWidenDelay == 0 {
+		opt.EntryWidenDelay = defaultEntryWidenDelay
+	}
+	n := g.NumNodes()
+	sv := &solver{
+		prog: prog,
+		pre:  pre,
+		g:    g,
+		s:    &sem.Sem{Prog: prog, Callees: pre.CalleesOf, InCycle: pre.CG.InCycle},
+		opt:  opt,
+		res: &Result{
+			Acc:     make([]mem.Mem, n),
+			Out:     make([]mem.Mem, n),
+			Reached: make([]bool, g.PointCount),
+		},
+		counts: make([]int32, n),
+		wl:     worklist.New(n, g.Prio),
+	}
+	if opt.Timeout > 0 {
+		sv.deadline = time.Now().Add(opt.Timeout)
+	}
+	root := prog.ProcByID(prog.Main)
+	sv.res.Reached[root.Entry] = true
+	sv.wl.Add(int(root.Entry))
+	for {
+		id, ok := sv.wl.Take()
+		if !ok {
+			break
+		}
+		sv.res.Steps++
+		if sv.opt.MaxSteps > 0 && sv.res.Steps > sv.opt.MaxSteps {
+			sv.res.TimedOut = true
+			break
+		}
+		if sv.opt.Timeout > 0 && sv.res.Steps%256 == 0 && time.Now().After(sv.deadline) {
+			sv.res.TimedOut = true
+			break
+		}
+		sv.fire(dug.NodeID(id))
+	}
+	if opt.Narrow > 0 && !sv.res.TimedOut {
+		sv.narrow(opt.Narrow)
+	}
+	return sv.res
+}
+
+// outOf recomputes a node's output memory from its current accumulated
+// input (the f#_c(acc) of the descending phase). ok is false for refuted
+// assumes and unreachable points.
+func (sv *solver) outOf(n dug.NodeID) (mem.Mem, bool) {
+	if sv.g.IsPhi(n) {
+		return sv.res.Acc[n], true
+	}
+	pt := sv.prog.Point(ir.PointID(n))
+	if !sv.res.Reached[pt.ID] {
+		return mem.Bot, false
+	}
+	if _, isCall := pt.Cmd.(ir.Call); isCall {
+		out := sv.res.Acc[n]
+		for _, p := range sv.pre.CalleesOf(pt.ID) {
+			out = sv.s.BindFormals(pt, sv.prog.ProcByID(p), out)
+		}
+		return out, true
+	}
+	return sv.s.Transfer(pt, sv.res.Acc[n])
+}
+
+// narrow runs descending Jacobi sweeps: recompute every node's output from
+// its (current) input, rebuild the inputs as the join of dependency
+// predecessors' outputs, and narrow the stored inputs/outputs towards them.
+// Sweeps stop early at stability.
+func (sv *solver) narrow(passes int) {
+	n := sv.g.NumNodes()
+	for pass := 0; pass < passes; pass++ {
+		outs := make([]mem.Mem, n)
+		okv := make([]bool, n)
+		for i := 0; i < n; i++ {
+			outs[i], okv[i] = sv.outOf(dug.NodeID(i))
+		}
+		// Rebuild inputs from the recomputed outputs.
+		newAcc := make([]mem.Mem, n)
+		for i := 0; i < n; i++ {
+			if !okv[i] {
+				continue
+			}
+			for _, l := range sv.g.Defs[dug.NodeID(i)] {
+				v := outs[i].Get(l)
+				if v.IsBot() {
+					continue
+				}
+				for _, succ := range sv.g.Succs(dug.NodeID(i), l) {
+					newAcc[succ] = newAcc[succ].WeakSet(l, v)
+				}
+			}
+		}
+		stable := true
+		for i := 0; i < n; i++ {
+			na := sv.res.Acc[i].Narrow(newAcc[i])
+			if !na.Eq(sv.res.Acc[i]) {
+				stable = false
+				sv.res.Acc[i] = na
+			}
+		}
+		// Refresh stored outputs from the narrowed inputs so Out keeps
+		// agreeing with f#(Acc) on D̂.
+		for i := 0; i < n; i++ {
+			out, ok := sv.outOf(dug.NodeID(i))
+			if !ok {
+				continue
+			}
+			refreshed := sv.res.Out[i]
+			for _, l := range sv.g.Defs[dug.NodeID(i)] {
+				refreshed = refreshed.Set(l, sv.res.Out[i].Get(l).Narrow(out.Get(l)))
+			}
+			if !refreshed.Eq(sv.res.Out[i]) {
+				stable = false
+				sv.res.Out[i] = refreshed
+			}
+		}
+		if stable {
+			return
+		}
+	}
+}
+
+// fire processes one node: transfer its command over the accumulated
+// partial memory and push changed definition values along dependencies.
+func (sv *solver) fire(n dug.NodeID) {
+	if sv.g.IsPhi(n) {
+		// A phi joins incoming values of its single location.
+		sv.pushOuts(n, sv.res.Acc[n])
+		return
+	}
+	pt := sv.prog.Point(ir.PointID(n))
+	if !sv.res.Reached[pt.ID] {
+		return // values wait until the point becomes reachable
+	}
+	acc := sv.res.Acc[n]
+	var out mem.Mem
+	ok := true
+	if _, isCall := pt.Cmd.(ir.Call); isCall {
+		out = acc
+		for _, p := range sv.pre.CalleesOf(pt.ID) {
+			out = sv.s.BindFormals(pt, sv.prog.ProcByID(p), out)
+		}
+	} else {
+		out, ok = sv.s.Transfer(pt, acc)
+	}
+	if !ok {
+		return // refuted assume: no values, no reachability
+	}
+	sv.propagateReach(pt)
+	sv.pushOuts(n, out)
+}
+
+// propagateReach marks the control successors of pt reachable, mirroring
+// the dense solver's interprocedural edges.
+func (sv *solver) propagateReach(pt *ir.Point) {
+	mark := func(t ir.PointID) {
+		if !sv.res.Reached[t] {
+			sv.res.Reached[t] = true
+			sv.wl.Add(int(t))
+		}
+	}
+	switch pt.Cmd.(type) {
+	case ir.Call:
+		callees := sv.pre.CalleesOf(pt.ID)
+		if len(callees) == 0 {
+			for _, s := range pt.Succs {
+				mark(s)
+			}
+			return
+		}
+		for _, p := range callees {
+			mark(sv.prog.ProcByID(p).Entry)
+		}
+	case ir.Exit:
+		for _, rs := range sv.pre.RetSites[pt.Proc] {
+			mark(rs)
+		}
+	default:
+		for _, s := range pt.Succs {
+			mark(s)
+		}
+	}
+}
+
+// pushOuts compares the produced values on D̂(n) against the stored ones,
+// widens at widening nodes, and propagates changed values to dependency
+// successors.
+func (sv *solver) pushOuts(n dug.NodeID, m mem.Mem) {
+	// The safety-valve count is per firing-with-change, not per location,
+	// so wide linkage nodes (entries defining many locations) are not
+	// forced into premature widening.
+	forceWiden := int(sv.counts[n]) > sv.opt.WidenThreshold
+	if !forceWiden && !sv.g.IsPhi(n) && int(sv.counts[n]) > sv.opt.EntryWidenDelay {
+		if _, isEntry := sv.prog.Point(ir.PointID(n)).Cmd.(ir.Entry); isEntry {
+			forceWiden = true
+		}
+	}
+	changed := false
+	for _, l := range sv.g.Defs[n] {
+		nv := m.Get(l)
+		old := sv.res.Out[n].Get(l)
+		joined := old.Join(nv)
+		if joined.Eq(old) {
+			continue
+		}
+		changed = true
+		if sv.g.Widen[n] || forceWiden {
+			joined = old.Widen(joined)
+		}
+		sv.res.Out[n] = sv.res.Out[n].Set(l, joined)
+		for _, succ := range sv.g.Succs(n, l) {
+			sacc := sv.res.Acc[succ]
+			if joined.LessEq(sacc.Get(l)) {
+				continue
+			}
+			sv.res.Acc[succ] = sacc.WeakSet(l, joined)
+			sv.wl.Add(int(succ))
+		}
+	}
+	if changed {
+		sv.counts[n]++
+	}
+}
+
+// ValueAt returns the sparse fixpoint value of location l at point pt: its
+// produced value if l ∈ D̂(pt), otherwise the accumulated incoming value
+// (l ∈ Û(pt)). The boolean reports whether the point tracks l at all.
+func (r *Result) ValueAt(g *dug.Graph, pt ir.PointID, l ir.LocID) (v mem.Mem, tracked bool) {
+	n := dug.NodeID(pt)
+	for _, dl := range g.Defs[n] {
+		if dl == l {
+			return r.Out[n], true
+		}
+	}
+	for _, ul := range g.Uses[n] {
+		if ul == l {
+			return r.Acc[n], true
+		}
+	}
+	return mem.Bot, false
+}

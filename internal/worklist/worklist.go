@@ -1,0 +1,70 @@
+// Package worklist provides the priority worklist used by the fixpoint
+// solvers: items are dequeued in a fixed priority order (typically reverse
+// postorder, so loop bodies stabilize before loop exits), and re-enqueuing
+// an already-queued item is a no-op.
+package worklist
+
+import "container/heap"
+
+// Worklist is a deduplicating priority queue over dense int IDs.
+type Worklist struct {
+	prio   []int // priority per item ID (lower dequeues first)
+	queued []bool
+	h      intHeap
+}
+
+type intHeap struct {
+	items []int32
+	prio  []int
+}
+
+func (h *intHeap) Len() int           { return len(h.items) }
+func (h *intHeap) Less(i, j int) bool { return h.prio[h.items[i]] < h.prio[h.items[j]] }
+func (h *intHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *intHeap) Push(x any)         { h.items = append(h.items, x.(int32)) }
+func (h *intHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	x := old[n-1]
+	h.items = old[:n-1]
+	return x
+}
+
+// New returns a worklist for item IDs 0..n-1 with the given priorities
+// (len(prio) == n). A nil prio orders by ID.
+func New(n int, prio []int) *Worklist {
+	if prio == nil {
+		prio = make([]int, n)
+		for i := range prio {
+			prio[i] = i
+		}
+	}
+	w := &Worklist{prio: prio, queued: make([]bool, n)}
+	w.h.prio = prio
+	return w
+}
+
+// Add enqueues id if not already queued.
+func (w *Worklist) Add(id int) {
+	if w.queued[id] {
+		return
+	}
+	w.queued[id] = true
+	heap.Push(&w.h, int32(id))
+}
+
+// Take dequeues the highest-priority item; ok is false when empty.
+func (w *Worklist) Take() (int, bool) {
+	if len(w.h.items) == 0 {
+		return 0, false
+	}
+	id := int(heap.Pop(&w.h).(int32))
+	w.queued[id] = false
+	return id, true
+}
+
+// Len returns the number of queued items.
+func (w *Worklist) Len() int { return len(w.h.items) }
+
+// Empty reports whether the worklist is empty.
+func (w *Worklist) Empty() bool { return len(w.h.items) == 0 }

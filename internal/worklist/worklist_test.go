@@ -1,0 +1,85 @@
+package worklist
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestPriorityOrder(t *testing.T) {
+	prio := []int{5, 3, 9, 1, 7}
+	w := New(5, prio)
+	for i := 0; i < 5; i++ {
+		w.Add(i)
+	}
+	var got []int
+	for {
+		id, ok := w.Take()
+		if !ok {
+			break
+		}
+		got = append(got, id)
+	}
+	want := []int{3, 1, 0, 4, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v want %v", got, want)
+		}
+	}
+}
+
+func TestDedup(t *testing.T) {
+	w := New(3, nil)
+	w.Add(1)
+	w.Add(1)
+	w.Add(1)
+	if w.Len() != 1 {
+		t.Errorf("Len = %d want 1", w.Len())
+	}
+	id, _ := w.Take()
+	if id != 1 || !w.Empty() {
+		t.Errorf("Take = %d, empty=%v", id, w.Empty())
+	}
+	// Re-adding after Take is allowed.
+	w.Add(1)
+	if w.Len() != 1 {
+		t.Error("re-add after take failed")
+	}
+}
+
+func TestEmptyTake(t *testing.T) {
+	w := New(2, nil)
+	if _, ok := w.Take(); ok {
+		t.Error("Take on empty returned ok")
+	}
+}
+
+func TestRandomizedDrain(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	const n = 200
+	prio := r.Perm(n)
+	w := New(n, prio)
+	in := map[int]bool{}
+	for i := 0; i < 500; i++ {
+		id := r.Intn(n)
+		w.Add(id)
+		in[id] = true
+	}
+	var got []int
+	for {
+		id, ok := w.Take()
+		if !ok {
+			break
+		}
+		if !in[id] {
+			t.Fatalf("took %d never added", id)
+		}
+		got = append(got, prio[id])
+	}
+	if len(got) != len(in) {
+		t.Fatalf("drained %d items want %d", len(got), len(in))
+	}
+	if !sort.IntsAreSorted(got) {
+		t.Error("drain not in priority order")
+	}
+}

@@ -1,0 +1,24 @@
+/* Bit manipulation: masks, shifts, and a popcount loop. */
+int g;
+
+int popcount(int x) {
+	int n;
+	int guard;
+	n = 0;
+	guard = 0;
+	while (x != 0 && guard < 64) {
+		n = n + (x & 1);
+		x = x >> 1;
+		guard++;
+	}
+	return n;
+}
+
+int main() {
+	int v;
+	int flags;
+	v = input();
+	flags = (v & 0xFF) | 0x10;
+	g = popcount(flags) + ((flags ^ 0x0F) & 7);
+	return g;
+}

@@ -1,0 +1,39 @@
+/* Heap-allocated singly linked list: allocation-site abstraction, struct
+ * fields through pointers, and a traversal loop. */
+struct node { int val; struct node *next; };
+
+struct node *head;
+int g;
+
+void push_front(int v) {
+	struct node *n;
+	n = malloc(1);
+	n->val = v;
+	n->next = head;
+	head = n;
+}
+
+int sum_list() {
+	struct node *cur;
+	int s;
+	int guard;
+	s = 0;
+	guard = 0;
+	cur = head;
+	while (cur != 0 && guard < 1000) {
+		s = s + cur->val;
+		cur = cur->next;
+		guard++;
+	}
+	return s;
+}
+
+int main() {
+	int i;
+	head = 0;
+	for (i = 1; i <= 5; i++) {
+		push_front(i * 10);
+	}
+	g = sum_list();
+	return g;
+}

@@ -1,0 +1,31 @@
+/* Multi-dimensional arrays with flattened strides and nested loops. */
+int m[4][4];
+int v[4];
+int out[4];
+
+void fill() {
+	int i; int j;
+	for (i = 0; i < 4; i++) {
+		for (j = 0; j < 4; j++) {
+			m[i][j] = i * 4 + j;
+		}
+		v[i] = i + 1;
+	}
+}
+
+void mul() {
+	int i; int j; int s;
+	for (i = 0; i < 4; i++) {
+		s = 0;
+		for (j = 0; j < 4; j++) {
+			s = s + m[i][j] * v[j];
+		}
+		out[i] = s;
+	}
+}
+
+int main() {
+	fill();
+	mul();
+	return out[0] + out[3];
+}

@@ -1,0 +1,37 @@
+/* Deliberate bugs: each BUG line must be reported by the checkers, and
+ * every other access must stay silent (see corpus_test.go's golden alarm
+ * count). */
+int small[4];
+int big[64];
+int g;
+
+void safe_fill() {
+	int i;
+	for (i = 0; i < 64; i++) { big[i] = i; }
+}
+
+void off_by_one() {
+	int i;
+	for (i = 0; i <= 4; i++) {
+		small[i] = 0;            /* BUG: small[4] */
+	}
+}
+
+void unchecked_index(int k) {
+	small[k] = 7;                /* BUG: k unconstrained */
+}
+
+void null_write() {
+	int *p;
+	p = 0;
+	*p = 3;                      /* BUG: null dereference */
+}
+
+int main() {
+	safe_fill();
+	off_by_one();
+	unchecked_index(input());
+	null_write();
+	g = big[10] + small[1];
+	return g;
+}

@@ -1,0 +1,33 @@
+/* Ring buffer with modular indices; exercises % and weak array updates. */
+int buf[16];
+int head;
+int tail;
+int count;
+
+void put(int v) {
+	if (count >= 16) { return; }
+	buf[tail] = v;
+	tail = (tail + 1) % 16;
+	count++;
+}
+
+int get() {
+	int v;
+	if (count <= 0) { return -1; }
+	v = buf[head];
+	head = (head + 1) % 16;
+	count--;
+	return v;
+}
+
+int main() {
+	int i;
+	int acc;
+	head = 0; tail = 0; count = 0; acc = 0;
+	for (i = 0; i < 100; i++) {
+		put(input());
+		if (i % 3 == 0) { acc = acc + get(); }
+	}
+	while (count > 0) { acc = acc + get(); }
+	return acc;
+}

@@ -1,0 +1,35 @@
+/* Insertion sort over a bounded array with guarded indices and a
+ * verification pass. */
+int a[12];
+int sorted;
+
+void sort() {
+	int i; int j; int key;
+	for (i = 1; i < 12; i++) {
+		key = a[i];
+		j = i - 1;
+		while (j >= 0 && a[j] > key) {
+			a[j + 1] = a[j];
+			j = j - 1;
+		}
+		a[j + 1] = key;
+	}
+}
+
+int check() {
+	int i;
+	for (i = 1; i < 12; i++) {
+		if (a[i - 1] > a[i]) { return 0; }
+	}
+	return 1;
+}
+
+int main() {
+	int i;
+	for (i = 0; i < 12; i++) {
+		a[i] = input() % 100;
+	}
+	sort();
+	sorted = check();
+	return sorted;
+}

@@ -1,0 +1,31 @@
+/* A bounded stack with push/pop and an overflow guard: the analyzers must
+ * prove every access to the backing array safe. */
+int stack[32];
+int sp;
+
+int push(int v) {
+	if (sp >= 32) { return -1; }
+	stack[sp] = v;
+	sp++;
+	return 0;
+}
+
+int pop() {
+	if (sp <= 0) { return -1; }
+	sp--;
+	return stack[sp];
+}
+
+int main() {
+	int i;
+	int sum;
+	sp = 0;
+	sum = 0;
+	for (i = 0; i < 40; i++) {
+		push(i);        /* overflows are rejected by the guard */
+	}
+	for (i = 0; i < 40; i++) {
+		sum = sum + pop();
+	}
+	return sum;
+}

@@ -1,0 +1,40 @@
+/* A dispatcher-driven state machine: function pointers select per-state
+ * handlers, exercising call-graph resolution by the pre-analysis. */
+int state;
+int steps;
+
+int to_idle(int ev);
+int to_run(int ev);
+int to_done(int ev);
+
+int (*handler)(int);
+
+int to_idle(int ev) {
+	state = 0;
+	if (ev > 0) { handler = to_run; }
+	return state;
+}
+
+int to_run(int ev) {
+	state = 1;
+	steps = steps + 1;
+	if (ev < 0) { handler = to_idle; }
+	if (steps > 10) { handler = to_done; }
+	return state;
+}
+
+int to_done(int ev) {
+	state = 2;
+	return state;
+}
+
+int main() {
+	int i;
+	state = 0;
+	steps = 0;
+	handler = to_idle;
+	for (i = 0; i < 50; i++) {
+		handler(input());
+	}
+	return state;
+}

@@ -1,0 +1,41 @@
+/* A small tokenizer-style state loop exercising switch (fallthrough and
+ * default) and a backward goto. */
+int counts[4];
+int total;
+
+int classify(int c) {
+	switch (c) {
+	case 32:
+	case 9:
+	case 10:
+		return 0;        /* whitespace */
+	case 40:
+	case 41:
+		return 1;        /* punctuation */
+	case -1:
+		return 3;        /* eof */
+	default:
+		if (c >= 48 && c <= 57) { return 2; }  /* digit */
+		return 1;
+	}
+}
+
+int main() {
+	int i;
+	int c;
+	int k;
+	i = 0;
+	total = 0;
+scan:
+	c = input();
+	if (i >= 200) { goto done; }
+	i = i + 1;
+	k = classify(c % 128);
+	if (k >= 0 && k < 4) {
+		counts[k] = counts[k] + 1;
+	}
+	total = total + 1;
+	if (k != 3) { goto scan; }
+done:
+	return total;
+}

@@ -1,0 +1,48 @@
+/* A heap-allocated work queue of struct jobs processed via a function
+ * pointer table — exercises allocation sites, struct fields, and indirect
+ * calls together. */
+struct job { int kind; int payload; int result; };
+
+struct job *slots[8];
+int done;
+
+int handle_add(int p) { return p + 1; }
+int handle_mul(int p) { return p * 2; }
+int handle_nop(int p) { return p; }
+
+int (*handler)(int);
+
+void submit(int i, int kind, int payload) {
+	struct job *j;
+	if (i < 0 || i >= 8) { return; }
+	j = malloc(1);
+	j->kind = kind;
+	j->payload = payload;
+	j->result = 0;
+	slots[i] = j;
+}
+
+void drain() {
+	int i;
+	struct job *j;
+	for (i = 0; i < 8; i++) {
+		j = slots[i];
+		if (j != 0) {
+			if (j->kind == 0) { handler = handle_add; }
+			if (j->kind == 1) { handler = handle_mul; }
+			if (j->kind >= 2) { handler = handle_nop; }
+			j->result = handler(j->payload);
+			done = done + 1;
+		}
+	}
+}
+
+int main() {
+	int i;
+	done = 0;
+	for (i = 0; i < 8; i++) {
+		submit(i, input() % 3, input());
+	}
+	drain();
+	return done;
+}
