@@ -4,14 +4,16 @@
 // Usage:
 //
 //	sparrow [-domain interval|octagon] [-mode vanilla|base|sparse]
-//	        [-duchains] [-nobypass] [-narrow N] [-timeout D]
-//	        [-globals] [-stats] file.c
+//	        [-duchains] [-nobypass] [-narrow N] [-timeout D] [-workers N]
+//	        [-cpuprofile f] [-memprofile f] [-globals] [-stats] file.c
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"sparrow"
 	"sparrow/internal/ir"
@@ -24,6 +26,9 @@ func main() {
 	nobypass := flag.Bool("nobypass", false, "disable the chain-bypass optimization")
 	narrow := flag.Int("narrow", 0, "descending (narrowing) sweeps after the ascending fixpoint (dense and sparse interval modes)")
 	timeout := flag.Duration("timeout", 0, "analysis time budget (0 = none)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the parallel phases (0 = sequential code path)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	globals := flag.Bool("globals", false, "print the final interval of every global variable")
 	stats := flag.Bool("stats", true, "print analysis statistics")
 	dumpDug := flag.String("dump-dug", "", "write the def-use graph in Graphviz dot syntax to this file (sparse modes)")
@@ -39,12 +44,36 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+			f.Close()
+		}()
+	}
 
 	opt := sparrow.Options{
 		NoBypass:     *nobypass,
 		DefUseChains: *duchains,
 		Narrow:       *narrow,
 		Timeout:      *timeout,
+		Workers:      *workers,
 	}
 	switch *domain {
 	case "interval":
@@ -101,6 +130,10 @@ func main() {
 		if opt.Mode == sparrow.Sparse {
 			fmt.Printf("sparse: edges=%d phis=%d avg|D̂(c)|=%.2f avg|Û(c)|=%.2f\n",
 				s.DepEdges, s.Phis, s.AvgDefs, s.AvgUses)
+		}
+		if s.Workers > 0 {
+			fmt.Printf("parallel: workers=%d components=%d maxcomp=%d islands=%d rounds=%d\n",
+				s.Workers, s.Components, s.MaxComponent, s.Islands, s.Rounds)
 		}
 		if opt.Domain == sparrow.Octagon {
 			fmt.Printf("packs: %d (avg non-singleton size %.1f)\n", s.PackCount, s.PackAvg)

@@ -92,6 +92,12 @@ type Options struct {
 	MaxSteps int
 	// PackCap bounds octagon pack sizes (0 = the paper's 10).
 	PackCap int
+	// Workers sets the goroutine budget of the parallel phases: the
+	// pre-analysis sweeps, def-use-graph construction, and — for the sparse
+	// interval analyzer — the partitioned component solver, whose result is
+	// deterministic across worker counts. 0 keeps every phase on the
+	// original sequential code path.
+	Workers int
 }
 
 // Stats summarizes an analysis run (the Table 1–3 columns).
@@ -116,6 +122,13 @@ type Stats struct {
 	AvgUses   float64
 	PackCount int     // octagon only
 	PackAvg   float64 // octagon only: avg non-singleton pack size
+
+	// Parallel-solver statistics (sparse interval with Workers >= 1).
+	Workers      int // goroutines used by the component solver
+	Components   int // SCCs of the def-use graph
+	MaxComponent int // nodes in the largest component
+	Islands      int // weakly-connected islands of the condensation
+	Rounds       int // component-wave rounds until stabilization
 }
 
 // Result is a completed analysis.
@@ -165,7 +178,7 @@ func AnalyzeProgram(prog *ir.Program, opt Options) (*Result, error) {
 	r := &Result{Prog: prog, Opts: opt}
 	t0 := time.Now()
 
-	pre := prean.Run(prog)
+	pre := prean.RunWorkers(prog, opt.Workers)
 	r.pre = pre
 	r.isem = &sem.Sem{Prog: prog, Callees: pre.CalleesOf, InCycle: pre.CG.InCycle}
 	r.Stats.PreTime = time.Since(t0)
@@ -210,7 +223,7 @@ func (r *Result) runInterval(opt Options) error {
 		r.Stats.TimedOut = r.dres.TimedOut
 	case Sparse:
 		t := time.Now()
-		dopt := dug.Options{Bypass: !opt.NoBypass}
+		dopt := dug.Options{Bypass: !opt.NoBypass, Workers: opt.Workers}
 		if opt.DefUseChains {
 			r.graph = dug.BuildDefUseChains(prog, pre, dopt)
 		} else {
@@ -218,11 +231,23 @@ func (r *Result) runInterval(opt Options) error {
 		}
 		r.Stats.DepTime = r.Stats.PreTime + time.Since(t)
 		t = time.Now()
-		r.sres = sparse.Analyze(prog, pre, r.graph, sparse.Options{
+		sopt := sparse.Options{
 			Timeout:  opt.Timeout,
 			MaxSteps: opt.MaxSteps,
 			Narrow:   opt.Narrow,
-		})
+			Workers:  opt.Workers,
+		}
+		if opt.Workers >= 1 {
+			r.sres = sparse.AnalyzeParallel(prog, pre, r.graph, sopt)
+			p := r.graph.Partition()
+			r.Stats.Workers = opt.Workers
+			r.Stats.Components = p.NumComps()
+			r.Stats.MaxComponent = p.MaxComp
+			r.Stats.Islands = p.NumIslands
+			r.Stats.Rounds = r.sres.Rounds
+		} else {
+			r.sres = sparse.Analyze(prog, pre, r.graph, sopt)
+		}
 		r.Stats.FixTime = time.Since(t)
 		r.Stats.Steps = r.sres.Steps
 		r.Stats.TimedOut = r.sres.TimedOut
@@ -260,7 +285,7 @@ func (r *Result) runOctagon(opt Options) error {
 		r.Stats.TimedOut = r.odres.TimedOut
 	case Sparse:
 		t := time.Now()
-		r.graph = dug.BuildFrom(src, dug.Options{Bypass: !opt.NoBypass})
+		r.graph = dug.BuildFrom(src, dug.Options{Bypass: !opt.NoBypass, Workers: opt.Workers})
 		r.Stats.DepTime = r.Stats.PreTime + time.Since(t)
 		t = time.Now()
 		r.osres = octsparse.Analyze(prog, pre, osem, r.graph, octsparse.Options{

@@ -15,10 +15,12 @@ package dug
 
 import (
 	"sort"
+	"sync"
 
 	"sparrow/internal/callgraph"
 	"sparrow/internal/cfg"
 	"sparrow/internal/ir"
+	"sparrow/internal/par"
 	"sparrow/internal/prean"
 	"sparrow/internal/sem"
 	"sparrow/internal/ssa"
@@ -41,6 +43,12 @@ type Options struct {
 	// MaxSpliceFanout bounds |preds|×|succs| of a splice to avoid edge
 	// blowup (0 uses the default of 256).
 	MaxSpliceFanout int
+	// Workers fans the per-point D̂/Û computation and the per-procedure
+	// SSA passes (dominators, phi placement, renaming) across this many
+	// goroutines. Values <= 1 build sequentially. The graph is identical
+	// for every worker count: parallel phases stage into per-point or
+	// per-procedure slots and are merged in a fixed order.
+	Workers int
 }
 
 // Graph is the def-use graph.
@@ -62,6 +70,9 @@ type Graph struct {
 	SplicedTriples int
 
 	out []map[ir.LocID][]NodeID
+
+	partOnce sync.Once
+	part     *Partition
 }
 
 // NumNodes returns the node count (points + phis).
@@ -179,10 +190,10 @@ func BuildFrom(src *Source, opt Options) *Graph {
 		opt.MaxSpliceFanout = 256
 	}
 	b := &builder{
-		prog:   prog,
-		src:    src,
-		opt:    opt,
-		g:      &Graph{Prog: prog, PointCount: len(prog.Points)},
+		prog: prog,
+		src:  src,
+		opt:  opt,
+		g:    &Graph{Prog: prog, PointCount: len(prog.Points)},
 	}
 	b.initNodes()
 	info := cfg.Compute(prog, src.CG, src.Callees)
@@ -195,8 +206,18 @@ func BuildFrom(src *Source, opt Options) *Graph {
 			b.g.Widen[i] = true
 		}
 	}
-	for _, pr := range prog.Procs {
-		b.buildProc(pr, info)
+	// Stage the per-procedure SSA passes (dominators, phi placement,
+	// renaming) — each reads only the shared per-point tables, so they fan
+	// out — then merge in procedure order, which assigns phi node IDs
+	// exactly as a sequential build would.
+	staged := make([]*procBuild, len(prog.Procs))
+	par.For(len(prog.Procs), opt.Workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			staged[i] = b.stageProc(prog.Procs[i], info)
+		}
+	})
+	for i, pr := range prog.Procs {
+		b.mergeProc(pr, staged[i])
 	}
 	b.linkInterproc()
 	if opt.Bypass {
@@ -226,102 +247,130 @@ func addTo(sets []map[ir.LocID]bool, n NodeID, l ir.LocID) {
 }
 
 // initNodes computes the per-point D̂/Û including interprocedural linkage
-// sets, and records which memberships are linkage-only (bypassable).
+// sets, and records which memberships are linkage-only (bypassable). Each
+// point writes only its own node's tables, so the sweep fans out across
+// workers after the tables are grown to their final point count.
 func (b *builder) initNodes() {
 	for i := 0; i < len(b.prog.Points); i++ {
 		b.ensureNode(NodeID(i))
 	}
-	for _, pt := range b.prog.Points {
-		n := NodeID(pt.ID)
-		ownD, ownU := b.src.DefsUses(pt)
-		for l := range ownD {
-			addTo(b.defSets, n, l)
+	par.For(len(b.prog.Points), b.opt.Workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			b.initNode(b.prog.Points[i])
 		}
-		for l := range ownU {
-			addTo(b.useSets, n, l)
-		}
-		// Interprocedural linkage (Section 5): a call uses everything its
-		// callees access — including the locations they may (weakly or
-		// spuriously) define, so that stale caller values flow *through*
-		// the callee and are killed by its strong definitions rather than
-		// rejoined at the return site. Entries define what flows in, exits
-		// use what the body defined, return sites define the callee-final
-		// values they receive from the exit.
-		switch c := pt.Cmd.(type) {
-		case ir.Call:
-			// The call both uses and defines (relays) everything its
-			// callees access: its definition values are the identity on the
-			// caller's reaching values (plus the formal bindings), carried
-			// into the callee entry by the call→entry edges.
-			for _, p := range b.src.Callees(pt.ID) {
-				for _, summ := range []map[ir.LocID]bool{b.src.UseSummary[p], b.src.DefSummary[p]} {
-					for l := range summ {
-						if !ownU[l] && !ownD[l] {
-							addTo(b.passSets, n, l)
-						}
-						addTo(b.useSets, n, l)
-						addTo(b.defSets, n, l)
-					}
-				}
-			}
-		case ir.Entry:
-			pr := b.prog.ProcByID(pt.Proc)
-			if pr.Entry == pt.ID {
-				for _, summ := range []map[ir.LocID]bool{b.src.UseSummary[pt.Proc], b.src.DefSummary[pt.Proc]} {
-					for l := range summ {
-						addTo(b.defSets, n, l)
+	})
+}
+
+// initNode fills the D̂/Û/pass tables of one point.
+func (b *builder) initNode(pt *ir.Point) {
+	n := NodeID(pt.ID)
+	ownD, ownU := b.src.DefsUses(pt)
+	for l := range ownD {
+		addTo(b.defSets, n, l)
+	}
+	for l := range ownU {
+		addTo(b.useSets, n, l)
+	}
+	// Interprocedural linkage (Section 5): a call uses everything its
+	// callees access — including the locations they may (weakly or
+	// spuriously) define, so that stale caller values flow *through*
+	// the callee and are killed by its strong definitions rather than
+	// rejoined at the return site. Entries define what flows in, exits
+	// use what the body defined, return sites define the callee-final
+	// values they receive from the exit.
+	switch c := pt.Cmd.(type) {
+	case ir.Call:
+		// The call both uses and defines (relays) everything its
+		// callees access: its definition values are the identity on the
+		// caller's reaching values (plus the formal bindings), carried
+		// into the callee entry by the call→entry edges.
+		for _, p := range b.src.Callees(pt.ID) {
+			for _, summ := range []map[ir.LocID]bool{b.src.UseSummary[p], b.src.DefSummary[p]} {
+				for l := range summ {
+					if !ownU[l] && !ownD[l] {
 						addTo(b.passSets, n, l)
 					}
-				}
-			}
-		case ir.Exit:
-			// The exit both uses and defines (relays) what the body defined:
-			// its "definition" values are the identity on its accumulated
-			// inputs, which the return-site edges then carry to callers.
-			for l := range b.src.DefSummary[pt.Proc] {
-				if !ownU[l] {
-					addTo(b.passSets, n, l)
-				}
-				addTo(b.useSets, n, l)
-				addTo(b.defSets, n, l)
-			}
-			if rl := b.src.RetChan(pt.Proc); rl != ir.None {
-				addTo(b.useSets, n, rl)
-				addTo(b.defSets, n, rl)
-			}
-		case ir.RetBind:
-			for _, p := range b.src.Callees(c.CallPt) {
-				rl := b.src.RetChan(p)
-				for l := range b.src.DefSummary[p] {
-					if !ownD[l] && !ownU[l] && l != rl {
-						addTo(b.passSets, n, l)
-					}
+					addTo(b.useSets, n, l)
 					addTo(b.defSets, n, l)
 				}
-				// The return channel must arrive exclusively over the
-				// exit→return-site edge; caller-side SSA wiring of it would
-				// join stale pre-call values into the delivered result.
-				if rl != ir.None && b.useSets[n] != nil {
-					delete(b.useSets[n], rl)
+			}
+		}
+	case ir.Entry:
+		pr := b.prog.ProcByID(pt.Proc)
+		if pr.Entry == pt.ID {
+			for _, summ := range []map[ir.LocID]bool{b.src.UseSummary[pt.Proc], b.src.DefSummary[pt.Proc]} {
+				for l := range summ {
+					addTo(b.defSets, n, l)
+					addTo(b.passSets, n, l)
 				}
+			}
+		}
+	case ir.Exit:
+		// The exit both uses and defines (relays) what the body defined:
+		// its "definition" values are the identity on its accumulated
+		// inputs, which the return-site edges then carry to callers.
+		for l := range b.src.DefSummary[pt.Proc] {
+			if !ownU[l] {
+				addTo(b.passSets, n, l)
+			}
+			addTo(b.useSets, n, l)
+			addTo(b.defSets, n, l)
+		}
+		if rl := b.src.RetChan(pt.Proc); rl != ir.None {
+			addTo(b.useSets, n, rl)
+			addTo(b.defSets, n, rl)
+		}
+	case ir.RetBind:
+		for _, p := range b.src.Callees(c.CallPt) {
+			rl := b.src.RetChan(p)
+			for l := range b.src.DefSummary[p] {
+				if !ownD[l] && !ownU[l] && l != rl {
+					addTo(b.passSets, n, l)
+				}
+				addTo(b.defSets, n, l)
+			}
+			// The return channel must arrive exclusively over the
+			// exit→return-site edge; caller-side SSA wiring of it would
+			// join stale pre-call values into the delivered result.
+			if rl != ir.None && b.useSets[n] != nil {
+				delete(b.useSets[n], rl)
 			}
 		}
 	}
 }
 
-// buildProc runs per-location SSA over one procedure: phi placement at
+// procBuild is the staged output of one procedure's SSA pass. Phi nodes are
+// procedure-local (index into phis); edges reference them through negative
+// NodeIDs until the merge assigns global IDs. Staging keeps the per-procedure
+// passes free of shared writes so they can run on separate goroutines.
+type procBuild struct {
+	recursive bool
+	phis      []Phi
+	phiWiden  []bool
+	edges     []stagedEdge
+}
+
+type stagedEdge struct {
+	from NodeID // >= 0: point node; < 0: local phi ref
+	loc  ir.LocID
+	to   NodeID
+}
+
+// phiRef encodes local phi index i as a negative NodeID placeholder.
+func phiRef(i int) NodeID { return NodeID(-1 - i) }
+
+// stageProc runs per-location SSA over one procedure: phi placement at
 // iterated dominance frontiers of definition sites, then a single renaming
-// walk over the dominator tree adding def→use dependency edges.
-func (b *builder) buildProc(pr *ir.Proc, info *cfg.Info) {
+// walk over the dominator tree collecting def→use dependency edges. It only
+// reads the shared per-point tables (complete after initNodes), so stages
+// for different procedures are safe to run concurrently.
+func (b *builder) stageProc(pr *ir.Proc, info *cfg.Info) *procBuild {
 	if len(pr.Points) == 0 || pr.Entry == ir.None {
-		return
+		return nil
 	}
 	dom := ssa.Compute(b.prog, pr)
 	heads := cfg.LoopHeads(b.prog, pr)
-	recursive := b.src.CG.InCycle(pr.ID)
-	if recursive {
-		b.g.Widen[pr.Entry] = true
-	}
+	pb := &procBuild{recursive: b.src.CG.InCycle(pr.ID)}
 
 	// Collect tracked locations and their definition sites (RPO indices).
 	defSites := map[ir.LocID][]int{}
@@ -342,20 +391,18 @@ func (b *builder) buildProc(pr *ir.Proc, info *cfg.Info) {
 	for _, l := range locs {
 		for _, i := range dom.IteratedFrontier(defSites[l]) {
 			pid := dom.Order[i]
-			ph := Phi{At: pid, Loc: l}
-			n := NodeID(b.g.PointCount + len(b.g.Phis))
-			b.g.Phis = append(b.g.Phis, ph)
-			b.ensureNode(n)
-			addTo(b.defSets, n, l)
-			addTo(b.useSets, n, l)
-			if heads[pid] {
-				b.g.Widen[n] = true
-			}
+			n := phiRef(len(pb.phis))
+			pb.phis = append(pb.phis, Phi{At: pid, Loc: l})
+			pb.phiWiden = append(pb.phiWiden, heads[pid])
 			if phiAt[i] == nil {
 				phiAt[i] = map[ir.LocID]NodeID{}
 			}
 			phiAt[i][l] = n
 		}
+	}
+
+	addEdge := func(from NodeID, l ir.LocID, to NodeID) {
+		pb.edges = append(pb.edges, stagedEdge{from: from, loc: l, to: to})
 	}
 
 	// Renaming: one preorder walk of the dominator tree with a stack per
@@ -387,7 +434,7 @@ func (b *builder) buildProc(pr *ir.Proc, info *cfg.Info) {
 		// Uses read the value reaching the point (after phis).
 		for l := range b.useSets[n] {
 			if d, ok := top(l); ok {
-				b.addEdge(d, l, n)
+				addEdge(d, l, n)
 			}
 		}
 		// Defs kill for dominated points. (Weak definitions are also uses,
@@ -405,7 +452,7 @@ func (b *builder) buildProc(pr *ir.Proc, info *cfg.Info) {
 			}
 			for l, ph := range phiAt[si] {
 				if d, ok := top(l); ok {
-					b.addEdge(d, l, ph)
+					addEdge(d, l, ph)
 				}
 			}
 		}
@@ -417,6 +464,39 @@ func (b *builder) buildProc(pr *ir.Proc, info *cfg.Info) {
 		}
 	}
 	visit(0)
+	return pb
+}
+
+// mergeProc folds one staged procedure into the shared builder state,
+// assigning global phi NodeIDs. Called in procedure order, it numbers phis
+// exactly as the former sequential per-procedure loop did.
+func (b *builder) mergeProc(pr *ir.Proc, pb *procBuild) {
+	if pb == nil {
+		return
+	}
+	if pb.recursive {
+		b.g.Widen[pr.Entry] = true
+	}
+	base := NodeID(b.g.PointCount + len(b.g.Phis))
+	for i, ph := range pb.phis {
+		n := base + NodeID(i)
+		b.g.Phis = append(b.g.Phis, ph)
+		b.ensureNode(n)
+		addTo(b.defSets, n, ph.Loc)
+		addTo(b.useSets, n, ph.Loc)
+		if pb.phiWiden[i] {
+			b.g.Widen[n] = true
+		}
+	}
+	resolve := func(n NodeID) NodeID {
+		if n < 0 {
+			return base + NodeID(-1-int(n))
+		}
+		return n
+	}
+	for _, e := range pb.edges {
+		b.addEdge(resolve(e.from), e.loc, resolve(e.to))
+	}
 }
 
 // addEdge records the dependency triple ⟨from, l, to⟩. Self-edges are kept:

@@ -1,0 +1,50 @@
+// Package par provides the small deterministic fork-join helpers shared by
+// the parallel phases of the analyzer (pre-analysis sweeps, def-use-graph
+// construction, the partitioned sparse solver).
+//
+// Every helper is shape-deterministic: the decomposition into chunks depends
+// only on (n, workers), never on timing, so callers that write disjoint
+// index ranges produce identical results for any worker count.
+package par
+
+import "sync"
+
+// Workers normalizes a worker-count option: values below 1 become 1.
+func Workers(w int) int {
+	if w < 1 {
+		return 1
+	}
+	return w
+}
+
+// For splits [0, n) into contiguous chunks and runs fn(lo, hi) on each chunk
+// across at most workers goroutines, blocking until all chunks complete. fn
+// must only write state disjoint between chunks (e.g. per-index slots).
+// workers <= 1 (or small n) degenerates to a plain sequential call.
+func For(n, workers int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

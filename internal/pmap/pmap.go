@@ -221,6 +221,32 @@ func (m Map[V]) Keys() []int32 {
 	return out
 }
 
+// FromSorted builds a map from parallel slices of strictly increasing keys
+// and their values in one pass. The resulting tree is perfectly
+// weight-balanced and construction is O(n), versus O(n log n) for repeated
+// Insert — the fast path for rebuilding a map from an ordered traversal
+// (memory restriction at call boundaries does exactly that).
+// FromSorted panics if the keys are not strictly increasing.
+func FromSorted[V any](keys []int32, vals []V) Map[V] {
+	if len(keys) != len(vals) {
+		panic("pmap: FromSorted slice lengths differ")
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			panic("pmap: FromSorted keys not strictly increasing")
+		}
+	}
+	return Map[V]{root: fromSorted(keys, vals)}
+}
+
+func fromSorted[V any](keys []int32, vals []V) *node[V] {
+	if len(keys) == 0 {
+		return nil
+	}
+	mid := len(keys) / 2
+	return mk(keys[mid], vals[mid], fromSorted(keys[:mid], vals[:mid]), fromSorted(keys[mid+1:], vals[mid+1:]))
+}
+
 // Merge computes the union of a and b. For keys present in both maps the
 // combiner both(k, av, bv) decides the result; keys present on one side only
 // are kept as-is. Merge shares subtrees aggressively: if both sides alias

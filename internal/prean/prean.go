@@ -17,6 +17,7 @@ import (
 	"sparrow/internal/ir"
 	"sparrow/internal/lattice/val"
 	"sparrow/internal/mem"
+	"sparrow/internal/par"
 	"sparrow/internal/sem"
 )
 
@@ -40,14 +41,26 @@ type Result struct {
 	CallSites [][]ir.PointID
 	// Passes is the number of global iterations until stabilization.
 	Passes int
+
+	// accessed memoizes Accessed per procedure: the union of the def and
+	// use summaries never changes after Run, and Accessed sits on the
+	// localization hot path (every call boundary restricts through it).
+	accessed []map[ir.LocID]bool
 }
 
 // CalleesOf returns the resolved callees of a call point.
 func (r *Result) CalleesOf(pt ir.PointID) []ir.ProcID { return r.Callees[pt] }
 
 // Accessed reports the union of the def and use summaries of p (the
-// localization set of the access-based technique).
+// localization set of the access-based technique). The union is computed
+// once per procedure and cached; callers must not mutate the result.
 func (r *Result) Accessed(p ir.ProcID) map[ir.LocID]bool {
+	if r.accessed == nil {
+		r.accessed = make([]map[ir.LocID]bool, len(r.DefSummary))
+	}
+	if a := r.accessed[p]; a != nil {
+		return a
+	}
 	out := make(map[ir.LocID]bool, len(r.DefSummary[p])+len(r.UseSummary[p]))
 	for l := range r.DefSummary[p] {
 		out[l] = true
@@ -55,14 +68,24 @@ func (r *Result) Accessed(p ir.ProcID) map[ir.LocID]bool {
 	for l := range r.UseSummary[p] {
 		out[l] = true
 	}
+	r.accessed[p] = out
 	return out
 }
 
 // joinPasses is how many plain join passes run before widening kicks in.
 const joinPasses = 3
 
-// Run computes the pre-analysis of prog.
-func Run(prog *ir.Program) *Result {
+// Run computes the pre-analysis of prog sequentially.
+func Run(prog *ir.Program) *Result { return RunWorkers(prog, 1) }
+
+// RunWorkers computes the pre-analysis, fanning the order-free per-point and
+// per-procedure sweeps (call-graph resolution, access-set collection) across
+// up to workers goroutines. The global-invariant sweep itself stays
+// sequential: its alternating direction threads one accumulator through
+// every point, which is exactly what makes it converge in few passes. The
+// result is identical for every worker count: parallel chunks write only
+// disjoint per-point/per-procedure slots.
+func RunWorkers(prog *ir.Program, workers int) *Result {
 	s := sem.New(prog)
 	g := mem.Bot
 	pass := 0
@@ -95,21 +118,48 @@ func Run(prog *ir.Program) *Result {
 		Mem:     g,
 		Callees: make(map[ir.PointID][]ir.ProcID),
 	}
-	// Resolve the call graph from the final invariant.
+	// Resolve the call graph from the final invariant. Each call point is
+	// resolved independently against the (now immutable) invariant, so the
+	// evaluations fan out; only the map insertion is serialized by chunking.
 	se := sem.New(prog)
+	var calls []*ir.Point
 	for _, pt := range prog.Points {
-		c, ok := pt.Cmd.(ir.Call)
-		if !ok {
-			continue
+		if _, ok := pt.Cmd.(ir.Call); ok {
+			calls = append(calls, pt)
 		}
-		fv := se.Eval(c.F, g)
-		r.Callees[pt.ID] = append([]ir.ProcID(nil), fv.Fns()...)
+	}
+	resolved := make([][]ir.ProcID, len(calls))
+	par.For(len(calls), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c := calls[i].Cmd.(ir.Call)
+			fv := se.Eval(c.F, g)
+			resolved[i] = append([]ir.ProcID(nil), fv.Fns()...)
+		}
+	})
+	for i, pt := range calls {
+		r.Callees[pt.ID] = resolved[i]
 	}
 	r.CG = callgraph.Build(prog, r.CalleesOf)
 	r.Passes = pass
 	se.InCycle = r.CG.InCycle
-	r.buildSummaries(prog, se)
+	r.buildSummaries(prog, se, workers)
 	r.buildSites(prog)
+	// Memoize the localization sets eagerly: solvers read them from
+	// multiple goroutines, so the cache must be complete before Result
+	// escapes.
+	r.accessed = make([]map[ir.LocID]bool, len(prog.Procs))
+	par.For(len(prog.Procs), workers, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			acc := make(map[ir.LocID]bool, len(r.DefSummary[p])+len(r.UseSummary[p]))
+			for l := range r.DefSummary[p] {
+				acc[l] = true
+			}
+			for l := range r.UseSummary[p] {
+				acc[l] = true
+			}
+			r.accessed[p] = acc
+		}
+	})
 	return r
 }
 
@@ -166,27 +216,32 @@ func step(s *sem.Sem, pt *ir.Point, cur, acc mem.Mem) mem.Mem {
 }
 
 // buildSummaries computes transitive def/use summaries bottom-up over the
-// call-graph condensation, iterating within SCCs until stable.
-func (r *Result) buildSummaries(prog *ir.Program, s *sem.Sem) {
+// call-graph condensation, iterating within SCCs until stable. The per-point
+// D̂/Û collection is independent per procedure and fans out across workers;
+// the SCC fixpoint that follows is cheap and stays sequential.
+func (r *Result) buildSummaries(prog *ir.Program, s *sem.Sem, workers int) {
 	n := len(prog.Procs)
 	r.DefSummary = make([]map[ir.LocID]bool, n)
 	r.UseSummary = make([]map[ir.LocID]bool, n)
 	ownD := make([]map[ir.LocID]bool, n)
 	ownU := make([]map[ir.LocID]bool, n)
 	s.Callees = r.CalleesOf
-	for _, pr := range prog.Procs {
-		d, u := map[ir.LocID]bool{}, map[ir.LocID]bool{}
-		for _, id := range pr.Points {
-			pd, pu := s.DefsUses(prog.Point(id), r.Mem)
-			for l := range pd {
-				d[l] = true
+	par.For(n, workers, func(lo, hi int) {
+		for pi := lo; pi < hi; pi++ {
+			pr := prog.Procs[pi]
+			d, u := map[ir.LocID]bool{}, map[ir.LocID]bool{}
+			for _, id := range pr.Points {
+				pd, pu := s.DefsUses(prog.Point(id), r.Mem)
+				for l := range pd {
+					d[l] = true
+				}
+				for l := range pu {
+					u[l] = true
+				}
 			}
-			for l := range pu {
-				u[l] = true
-			}
+			ownD[pr.ID], ownU[pr.ID] = d, u
 		}
-		ownD[pr.ID], ownU[pr.ID] = d, u
-	}
+	})
 	// Condensation is emitted callees-first by Tarjan, so one sweep with an
 	// inner SCC fixpoint suffices.
 	for p := 0; p < n; p++ {

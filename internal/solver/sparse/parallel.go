@@ -1,0 +1,617 @@
+// Parallel sparse solver: the def-use graph's SCC condensation is a DAG of
+// components (dug.Partition), and values flow only along dependency edges, so
+// a component's fixpoint depends on nothing but its condensation
+// predecessors. The driver schedules components over that DAG: a worker pool
+// solves independent components concurrently, each worker running the
+// existing priority-worklist transfer loop on its component slice, and a
+// component starts only when every predecessor has stabilized.
+//
+// Control reachability is the one signal that does not follow dependency
+// edges (call→entry, exit→retsite, and plain CFG successors). The scheduling
+// DAG is therefore the condensation augmented with every *forward* reach
+// edge (component numbering is topological, so forward edges can never
+// create a cycle): marks that land in a scheduling successor are applied
+// before that component starts, while backward marks — loop back edges and
+// recursive returns — are buffered and applied at a single-threaded round
+// barrier, where they are additionally closed transitively through
+// non-assume points (only ir.Assume can block reachability, so the closure
+// is exact). The wave repeats until no deferred marks remain (reachability
+// is monotone over a finite point set, so the rounds terminate).
+//
+// The schedule is canonical — seeds are applied in sorted node order, a
+// component sees exactly the stabilized state of its predecessors, and
+// whether a mark is immediate or deferred depends only on the static DAG —
+// so the result is identical for every worker count. Per-component solver
+// memories are disjoint by the partition's construction (each node belongs
+// to exactly one component; verified when the partition is built).
+package sparse
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sparrow/internal/dug"
+	"sparrow/internal/ir"
+	"sparrow/internal/mem"
+	"sparrow/internal/par"
+	"sparrow/internal/prean"
+	"sparrow/internal/sem"
+	"sparrow/internal/worklist"
+)
+
+// AnalyzeParallel runs the sparse analysis with the partitioned component
+// scheduler on opt.Workers goroutines. The result is deterministic across
+// worker counts; Timeout/MaxSteps aborts are best-effort and the truncated
+// state they leave is the one schedule-dependent exception.
+func AnalyzeParallel(prog *ir.Program, pre *prean.Result, g *dug.Graph, opt Options) *Result {
+	if opt.WidenThreshold == 0 {
+		opt.WidenThreshold = defaultWidenThreshold
+	}
+	if opt.EntryWidenDelay == 0 {
+		opt.EntryWidenDelay = defaultEntryWidenDelay
+	}
+	opt.Workers = par.Workers(opt.Workers)
+	n := g.NumNodes()
+	p := g.Partition()
+	st := &pstate{
+		prog: prog,
+		pre:  pre,
+		g:    g,
+		p:    p,
+		opt:  opt,
+		res: &Result{
+			Acc:     make([]mem.Mem, n),
+			Out:     make([]mem.Mem, n),
+			Reached: make([]bool, g.PointCount),
+		},
+		counts: make([]int32, n),
+		mu:     make([]sync.Mutex, p.NumComps()),
+		seeds:  make([][]int32, p.NumComps()),
+	}
+	st.buildSched()
+	if opt.Timeout > 0 {
+		st.deadline = time.Now().Add(opt.Timeout)
+	}
+
+	st.applyMarks([]ir.PointID{prog.ProcByID(prog.Main).Entry})
+
+	workers := opt.Workers
+	if workers > p.NumComps() {
+		workers = p.NumComps()
+	}
+	pool := make([]*pworker, workers)
+	for i := range pool {
+		pool[i] = &pworker{
+			st: st,
+			s:  &sem.Sem{Prog: prog, Callees: pre.CalleesOf, InCycle: pre.CG.InCycle},
+			wl: worklist.New(n, g.Prio),
+		}
+	}
+
+	for st.anySeeds() && !st.timedOut.Load() {
+		st.res.Rounds++
+		st.runRound(pool)
+		// Round barrier (single-threaded): apply the buffered reach marks in
+		// sorted order, seeding their components for the next wave.
+		sort.Slice(st.deferred, func(i, j int) bool { return st.deferred[i] < st.deferred[j] })
+		st.applyMarks(st.deferred)
+		st.deferred = st.deferred[:0]
+	}
+
+	st.res.Steps += int(st.steps.Load())
+	st.res.TimedOut = st.timedOut.Load()
+	if opt.Narrow > 0 && !st.res.TimedOut {
+		// The descending phase is a whole-graph Jacobi sweep; reuse the
+		// sequential implementation over the converged state.
+		sv := &solver{prog: prog, pre: pre, g: g, s: pool[0].s, opt: opt, res: st.res}
+		sv.narrow(opt.Narrow)
+	}
+	return st.res
+}
+
+// pstate is the shared state of one parallel run.
+type pstate struct {
+	prog *ir.Program
+	pre  *prean.Result
+	g    *dug.Graph
+	p    *dug.Partition
+	opt  Options
+	res  *Result
+
+	// counts mirrors solver.counts; every slot is owned by the component of
+	// its node, so workers never contend on it.
+	counts []int32
+
+	// mu[c] guards seeds[c] and the cross-component writes (Acc joins, reach
+	// marks) into component c, all of which happen strictly before c runs.
+	mu    []sync.Mutex
+	seeds [][]int32
+
+	deferredMu sync.Mutex
+	deferred   []ir.PointID
+
+	// Scheduling DAG: the condensation edges plus every topologically
+	// forward control-reachability edge (CFG successor, call→entry,
+	// exit→retsite whose target component is numbered higher). The
+	// component numbering is topological over dependency edges, so adding
+	// forward edges keeps it acyclic; scheduling over the augmented DAG
+	// makes those reach marks immediate instead of costing a round each.
+	// Only backward reach edges (loops, recursion returns) still defer.
+	schedSuccs [][]int32
+	schedPreds [][]int32
+
+	// Round-scoped scratch: the active flag and restricted indegree of each
+	// component (cleared per round for the visited entries only).
+	active []bool
+	indeg  []int32
+
+	steps    atomic.Int64
+	timedOut atomic.Bool
+	deadline time.Time
+}
+
+// buildSched derives the augmented scheduling DAG: condensation edges plus
+// forward control-reachability edges between distinct components.
+func (st *pstate) buildSched() {
+	k := st.p.NumComps()
+	sets := make([]map[int32]bool, k)
+	add := func(cu, cv int32) {
+		if cu >= cv {
+			return
+		}
+		if sets[cu] == nil {
+			sets[cu] = map[int32]bool{}
+		}
+		sets[cu][cv] = true
+	}
+	for _, pt := range st.prog.Points {
+		cu := st.p.Comp[pt.ID]
+		switch pt.Cmd.(type) {
+		case ir.Call:
+			callees := st.pre.CalleesOf(pt.ID)
+			if len(callees) == 0 {
+				for _, s := range pt.Succs {
+					add(cu, st.p.Comp[s])
+				}
+				break
+			}
+			for _, p := range callees {
+				add(cu, st.p.Comp[st.prog.ProcByID(p).Entry])
+			}
+		case ir.Exit:
+			for _, rs := range st.pre.RetSites[pt.Proc] {
+				add(cu, st.p.Comp[rs])
+			}
+		default:
+			for _, s := range pt.Succs {
+				add(cu, st.p.Comp[s])
+			}
+		}
+	}
+	st.schedSuccs = make([][]int32, k)
+	st.schedPreds = make([][]int32, k)
+	for c := 0; c < k; c++ {
+		base := st.p.Succs[c]
+		extra := sets[c]
+		if extra == nil {
+			st.schedSuccs[c] = base
+			continue
+		}
+		for _, v := range base {
+			extra[v] = true
+		}
+		out := make([]int32, 0, len(extra))
+		for v := range extra {
+			out = append(out, v)
+		}
+		sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+		st.schedSuccs[c] = out
+	}
+	for c := 0; c < k; c++ {
+		for _, v := range st.schedSuccs[c] {
+			st.schedPreds[v] = append(st.schedPreds[v], int32(c))
+		}
+	}
+}
+
+// hasSchedSucc reports whether dst is a direct successor of src in the
+// augmented scheduling DAG.
+func (st *pstate) hasSchedSucc(src, dst int32) bool {
+	s := st.schedSuccs[src]
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= dst })
+	return i < len(s) && s[i] == dst
+}
+
+// applyMarks sets the given points reachable, seeds their components, and
+// transitively closes reachability through non-assume points: every command
+// except Assume propagates control reachability unconditionally once it
+// fires (sem.Transfer fails only on refuted assumes), so marking their
+// control successors eagerly reaches the same final set the firing would —
+// without spending a round per control step. Assumes stop the closure: their
+// propagation waits for the value fixpoint to decide refutation. Runs
+// single-threaded (initialization and round barriers); the closure order is
+// deterministic given a deterministically-ordered queue.
+func (st *pstate) applyMarks(queue []ir.PointID) {
+	q := append([]ir.PointID(nil), queue...)
+	push := func(t ir.PointID) {
+		if !st.res.Reached[t] {
+			q = append(q, t)
+		}
+	}
+	for i := 0; i < len(q); i++ {
+		t := q[i]
+		if st.res.Reached[t] {
+			continue
+		}
+		st.res.Reached[t] = true
+		st.seeds[st.p.Comp[t]] = append(st.seeds[st.p.Comp[t]], int32(t))
+		pt := st.prog.Point(t)
+		switch pt.Cmd.(type) {
+		case ir.Assume:
+			// Gated on values; the assume itself is seeded and will
+			// propagate (or not) when it fires.
+		case ir.Call:
+			callees := st.pre.CalleesOf(pt.ID)
+			if len(callees) == 0 {
+				for _, s := range pt.Succs {
+					push(s)
+				}
+				break
+			}
+			for _, p := range callees {
+				push(st.prog.ProcByID(p).Entry)
+			}
+		case ir.Exit:
+			for _, rs := range st.pre.RetSites[pt.Proc] {
+				push(rs)
+			}
+		default:
+			for _, s := range pt.Succs {
+				push(s)
+			}
+		}
+	}
+}
+
+func (st *pstate) anySeeds() bool {
+	for _, s := range st.seeds {
+		if len(s) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// runRound solves every seeded component once, in scheduling-DAG order: a
+// component is handed to the pool when all its active predecessors
+// completed. Scheduling is restricted to the sub-DAG reachable from the
+// seeded components — only those can receive work during the round — so a
+// round that reaches a handful of new points costs proportionally to that
+// sub-DAG, not to the whole condensation. The active set is closed under
+// scheduling successors, which is what makes the restriction sound: every
+// component an active one can push into is itself active.
+func (st *pstate) runRound(pool []*pworker) {
+	if len(pool) == 1 {
+		st.runRoundSeq(pool[0])
+		return
+	}
+	if st.active == nil {
+		st.active = make([]bool, st.p.NumComps())
+		st.indeg = make([]int32, st.p.NumComps())
+	}
+	var act []int32
+	for c := range st.seeds {
+		if len(st.seeds[c]) > 0 {
+			st.active[c] = true
+			act = append(act, int32(c))
+		}
+	}
+	for i := 0; i < len(act); i++ {
+		for _, s := range st.schedSuccs[act[i]] {
+			if !st.active[s] {
+				st.active[s] = true
+				act = append(act, s)
+			}
+		}
+	}
+	for _, c := range act {
+		d := int32(0)
+		for _, q := range st.schedPreds[c] {
+			if st.active[q] {
+				d++
+			}
+		}
+		st.indeg[c] = d
+	}
+
+	ready := make(chan int32, len(act))
+	for _, c := range act {
+		if st.indeg[c] == 0 {
+			ready <- c
+		}
+	}
+	total := int32(len(act))
+	var completed atomic.Int32
+	var wg sync.WaitGroup
+	for _, w := range pool {
+		wg.Add(1)
+		go func(w *pworker) {
+			defer wg.Done()
+			for c := range ready {
+				w.runComponent(c)
+				for _, s := range st.schedSuccs[c] {
+					if atomic.AddInt32(&st.indeg[s], -1) == 0 {
+						ready <- s
+					}
+				}
+				if completed.Add(1) == total {
+					close(ready)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for _, c := range act {
+		st.active[c] = false
+	}
+}
+
+// runRoundSeq is the one-worker round: a min-heap over pending (seeded)
+// component ids, popped in ascending — i.e. topological — order. Work only
+// ever flows to higher ids (value pushes and immediate marks both target
+// scheduling successors), so once the minimum pending component runs, no
+// lower component can become pending again this round; the schedule visits
+// exactly the components with work, never the empty ones, and sees the same
+// stabilized-predecessor state as the parallel indegree scheduler (which is
+// what keeps the result identical across worker counts).
+func (st *pstate) runRoundSeq(w *pworker) {
+	if st.active == nil {
+		st.active = make([]bool, st.p.NumComps())
+		st.indeg = make([]int32, st.p.NumComps())
+	}
+	pending := st.active // reused as the on-heap flag
+	var heap []int32
+	push := func(c int32) {
+		if pending[c] {
+			return
+		}
+		pending[c] = true
+		heap = append(heap, c)
+		for i := len(heap) - 1; i > 0; {
+			p := (i - 1) / 2
+			if heap[p] <= heap[i] {
+				break
+			}
+			heap[p], heap[i] = heap[i], heap[p]
+			i = p
+		}
+	}
+	pop := func() int32 {
+		c := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		for i := 0; ; {
+			l, r := 2*i+1, 2*i+2
+			m := i
+			if l < len(heap) && heap[l] < heap[m] {
+				m = l
+			}
+			if r < len(heap) && heap[r] < heap[m] {
+				m = r
+			}
+			if m == i {
+				break
+			}
+			heap[i], heap[m] = heap[m], heap[i]
+			i = m
+		}
+		pending[c] = false
+		return c
+	}
+	for c := range st.seeds {
+		if len(st.seeds[c]) > 0 {
+			push(int32(c))
+		}
+	}
+	for len(heap) > 0 {
+		c := pop()
+		w.runComponent(c)
+		for _, s := range st.schedSuccs[c] {
+			if len(st.seeds[s]) > 0 {
+				push(s)
+			}
+		}
+	}
+}
+
+// pworker is one solver worker: a reusable deduplicating priority worklist
+// plus its own (stateless) semantics instance.
+type pworker struct {
+	st   *pstate
+	s    *sem.Sem
+	wl   *worklist.Worklist
+	comp int32
+}
+
+// runComponent runs the priority-worklist transfer loop over one component's
+// node slice. Seeds are sorted before enqueueing so the local schedule is
+// canonical; the worklist drains completely, leaving it ready for reuse.
+func (w *pworker) runComponent(c int32) {
+	st := w.st
+	w.comp = c
+	st.mu[c].Lock()
+	seeds := st.seeds[c]
+	st.seeds[c] = nil
+	st.mu[c].Unlock()
+	if len(seeds) == 0 || st.timedOut.Load() {
+		return
+	}
+	sort.Slice(seeds, func(i, j int) bool { return seeds[i] < seeds[j] })
+	for _, s := range seeds {
+		w.wl.Add(int(s))
+	}
+	local := 0
+	for {
+		id, ok := w.wl.Take()
+		if !ok {
+			break
+		}
+		if st.timedOut.Load() {
+			continue // drain so the worklist is clean for the next component
+		}
+		local++
+		if st.opt.MaxSteps > 0 && st.steps.Add(1) > int64(st.opt.MaxSteps) {
+			st.timedOut.Store(true)
+			continue
+		}
+		if st.opt.Timeout > 0 && local%256 == 0 && time.Now().After(st.deadline) {
+			st.timedOut.Store(true)
+			continue
+		}
+		w.fire(dug.NodeID(id))
+	}
+	if st.opt.MaxSteps <= 0 {
+		st.steps.Add(int64(local))
+	}
+}
+
+// fire mirrors solver.fire with component-aware propagation.
+func (w *pworker) fire(n dug.NodeID) {
+	st := w.st
+	if st.g.IsPhi(n) {
+		w.pushOuts(n, st.res.Acc[n])
+		return
+	}
+	pt := st.prog.Point(ir.PointID(n))
+	if !st.res.Reached[pt.ID] {
+		return // values wait until the point becomes reachable
+	}
+	acc := st.res.Acc[n]
+	var out mem.Mem
+	ok := true
+	if _, isCall := pt.Cmd.(ir.Call); isCall {
+		out = acc
+		for _, p := range st.pre.CalleesOf(pt.ID) {
+			out = w.s.BindFormals(pt, st.prog.ProcByID(p), out)
+		}
+	} else {
+		out, ok = w.s.Transfer(pt, acc)
+	}
+	if !ok {
+		return // refuted assume: no values, no reachability
+	}
+	w.propagateReach(pt)
+	w.pushOuts(n, out)
+}
+
+// mark records reachability of t. Inside the running component it feeds the
+// local worklist; in a scheduling-DAG successor (which provably has not
+// started this round) it is applied under that component's lock; anywhere
+// else — a backward reach edge — it is deferred to the round barrier. The
+// immediate/deferred split depends only on the static scheduling DAG, never
+// on timing.
+func (w *pworker) mark(t ir.PointID) {
+	st := w.st
+	ct := st.p.Comp[t]
+	switch {
+	case ct == w.comp:
+		if !st.res.Reached[t] {
+			st.res.Reached[t] = true
+			w.wl.Add(int(t))
+		}
+	case st.hasSchedSucc(w.comp, ct):
+		st.mu[ct].Lock()
+		if !st.res.Reached[t] {
+			st.res.Reached[t] = true
+			st.seeds[ct] = append(st.seeds[ct], int32(t))
+		}
+		st.mu[ct].Unlock()
+	default:
+		st.deferredMu.Lock()
+		st.deferred = append(st.deferred, t)
+		st.deferredMu.Unlock()
+	}
+}
+
+// propagateReach mirrors solver.propagateReach through mark.
+func (w *pworker) propagateReach(pt *ir.Point) {
+	st := w.st
+	switch pt.Cmd.(type) {
+	case ir.Call:
+		callees := st.pre.CalleesOf(pt.ID)
+		if len(callees) == 0 {
+			for _, s := range pt.Succs {
+				w.mark(s)
+			}
+			return
+		}
+		for _, p := range callees {
+			w.mark(st.prog.ProcByID(p).Entry)
+		}
+	case ir.Exit:
+		for _, rs := range st.pre.RetSites[pt.Proc] {
+			w.mark(rs)
+		}
+	default:
+		for _, s := range pt.Succs {
+			w.mark(s)
+		}
+	}
+}
+
+// pushOuts mirrors solver.pushOuts. Dependency edges that leave the
+// component are condensation edges by construction, so the target is a
+// direct DAG successor that has not run yet this round: the join is staged
+// into its Acc under its lock. Concurrent predecessors interleave their
+// joins in arbitrary order, but joins are commutative, so the value each
+// successor node observes when its component finally runs is deterministic
+// (and the successor is seeded iff any join changed its input).
+func (w *pworker) pushOuts(n dug.NodeID, m mem.Mem) {
+	st := w.st
+	forceWiden := int(st.counts[n]) > st.opt.WidenThreshold
+	if !forceWiden && !st.g.IsPhi(n) && int(st.counts[n]) > st.opt.EntryWidenDelay {
+		if _, isEntry := st.prog.Point(ir.PointID(n)).Cmd.(ir.Entry); isEntry {
+			forceWiden = true
+		}
+	}
+	changed := false
+	for _, l := range st.g.Defs[n] {
+		nv := m.Get(l)
+		old := st.res.Out[n].Get(l)
+		joined := old.Join(nv)
+		if joined.Eq(old) {
+			continue
+		}
+		changed = true
+		if st.g.Widen[n] || forceWiden {
+			joined = old.Widen(joined)
+		}
+		st.res.Out[n] = st.res.Out[n].Set(l, joined)
+		for _, succ := range st.g.Succs(n, l) {
+			cs := st.p.Comp[succ]
+			if cs == w.comp {
+				sacc := st.res.Acc[succ]
+				if joined.LessEq(sacc.Get(l)) {
+					continue
+				}
+				st.res.Acc[succ] = sacc.WeakSet(l, joined)
+				w.wl.Add(int(succ))
+				continue
+			}
+			st.mu[cs].Lock()
+			sacc := st.res.Acc[succ]
+			if !joined.LessEq(sacc.Get(l)) {
+				st.res.Acc[succ] = sacc.WeakSet(l, joined)
+				st.seeds[cs] = append(st.seeds[cs], int32(succ))
+			}
+			st.mu[cs].Unlock()
+		}
+	}
+	if changed {
+		st.counts[n]++
+	}
+}

@@ -40,6 +40,10 @@ type Options struct {
 	// to widening. Each sweep recomputes every node's incoming values from
 	// the current outputs and narrows the accumulated inputs towards them.
 	Narrow int
+	// Workers bounds the goroutines AnalyzeParallel solves independent
+	// def-use-graph components on (values below 1 mean 1). Analyze ignores
+	// it: the sequential solver has a single global worklist.
+	Workers int
 }
 
 const (
@@ -59,6 +63,9 @@ type Result struct {
 	Reached []bool
 	// Steps counts node firings.
 	Steps int
+	// Rounds counts the component-wave rounds of AnalyzeParallel (0 for the
+	// sequential solver).
+	Rounds int
 	// TimedOut reports an aborted run.
 	TimedOut bool
 }
