@@ -2,7 +2,12 @@
 //
 // Usage:
 //
-//	cgen [-seed N] [-stmts N] [-scc N] > bench.c
+//	cgen [-seed N] [-stmts N] [-scc N] [-switch-every N] [-gotos] > bench.c
+//	cgen -fuzz -seed N [-stmts N] > fuzzed.c
+//
+// The default mode is the deterministic benchmark generator behind the
+// paper tables; -fuzz derives a randomized configuration from the seed
+// (the same program the differential fuzzer would generate for it).
 package main
 
 import (
@@ -17,9 +22,29 @@ func main() {
 	seed := flag.Uint64("seed", 1, "generation seed")
 	stmts := flag.Int("stmts", 2000, "approximate statement count")
 	scc := flag.Int("scc", 2, "mutual-recursion cluster size (maxSCC)")
+	switchEvery := flag.Int("switch-every", 0, "emit a switch every N statements (0 = none)")
+	gotos := flag.Bool("gotos", false, "emit guarded backward gotos")
+	exprDepth := flag.Int("expr-depth", 0, "extra nesting depth for assignment expressions")
+	shortCircuit := flag.Bool("short-circuit", false, "combine conditions with && / ||")
+	ptrArrays := flag.Int("ptr-arrays", 0, "number of global arrays-of-pointers")
+	ptrReturns := flag.Int("ptr-returns", 0, "number of pointer-returning helper functions")
+	assumeEvery := flag.Int("assume-every", 0, "emit a range-clamping guard every N statements (0 = none)")
+	fuzzMode := flag.Bool("fuzz", false, "derive a randomized fuzz configuration from the seed")
 	flag.Parse()
-	cfg := cgen.Default(*seed, *stmts)
-	cfg.SCCSize = *scc
+	var cfg cgen.Config
+	if *fuzzMode {
+		cfg = cgen.Fuzz(*seed, *stmts)
+	} else {
+		cfg = cgen.Default(*seed, *stmts)
+		cfg.SCCSize = *scc
+		cfg.SwitchEvery = *switchEvery
+		cfg.Gotos = *gotos
+		cfg.ExprDepth = *exprDepth
+		cfg.ShortCircuit = *shortCircuit
+		cfg.PtrArrays = *ptrArrays
+		cfg.PtrReturns = *ptrReturns
+		cfg.AssumeEvery = *assumeEvery
+	}
 	if _, err := fmt.Fprint(os.Stdout, cgen.Generate(cfg)); err != nil {
 		fmt.Fprintln(os.Stderr, "cgen:", err)
 		os.Exit(1)

@@ -45,7 +45,7 @@ func loadCorpus(t *testing.T) map[string]string {
 func TestCorpusAllAnalyzers(t *testing.T) {
 	for name, src := range loadCorpus(t) {
 		t.Run(name, func(t *testing.T) {
-			var alarmSets []map[string]bool
+			alarmSets := map[sparrow.Mode]map[string]bool{}
 			for _, domain := range []sparrow.Domain{sparrow.Interval, sparrow.Octagon} {
 				for _, mode := range []sparrow.Mode{sparrow.Vanilla, sparrow.Base, sparrow.Sparse} {
 					res, err := sparrow.AnalyzeSource(name, src, sparrow.Options{Domain: domain, Mode: mode})
@@ -60,16 +60,19 @@ func TestCorpusAllAnalyzers(t *testing.T) {
 						for _, a := range res.Alarms() {
 							set[a.Pos.String()+"/"+a.Kind.String()] = true
 						}
-						alarmSets = append(alarmSets, set)
+						alarmSets[mode] = set
 					}
 				}
 			}
-			// The sparse analyzer never reports an alarm the base analyzer
-			// does not (no precision loss — Lemma 2). It may report fewer:
-			// sparse widening is per-location at that location's own phi,
-			// while dense widening hits the whole memory at every loop
-			// head, so unrelated outer variables can get widened there.
-			base, sp := alarmSets[0], alarmSets[1]
+			// On this curated corpus the sparse analyzer reports no alarm
+			// the base analyzer does not (Lemma 2's promise). It may report
+			// fewer: sparse widening is per-location at that location's own
+			// phi, while dense widening hits the whole memory at every loop
+			// head, so unrelated outer variables can get widened there. On
+			// arbitrary widened programs the asymmetry can flip — see the
+			// precision oracle in internal/fuzz — so this pins the corpus,
+			// not a general theorem.
+			base, sp := alarmSets[sparrow.Base], alarmSets[sparrow.Sparse]
 			for k := range sp {
 				if !base[k] {
 					t.Errorf("alarm %s: sparse only (precision loss)", k)
@@ -102,6 +105,12 @@ func TestCorpusGoldenAlarms(t *testing.T) {
 		// checker only fires on pointers with *no* valid target (a plain
 		// null value), so the guarded traversal is silent.
 		"linkedlist.c": {0, 0},
+		// The three feature programs are proved safe: fpdispatch clamps
+		// its store index, switchcase's class is a join of constants under
+		// a guard, gotoloop's trace write is guarded after the goto loop.
+		"fpdispatch.c": {0, 0},
+		"switchcase.c": {0, 0},
+		"gotoloop.c":   {0, 0},
 	}
 	for name, src := range loadCorpus(t) {
 		exp, pinned := want[name]

@@ -45,6 +45,28 @@ type Config struct {
 	// Gotos adds a guarded backward goto loop per function (off in
 	// Default).
 	Gotos bool
+
+	// The remaining knobs feed the differential-fuzzing mode
+	// (internal/fuzz); all are off in Default so the published benchmark
+	// tables stay byte-identical.
+
+	// ExprDepth deepens generated expression trees to this nesting depth
+	// (0 keeps the benchmark default of 2).
+	ExprDepth int
+	// ShortCircuit lets branch conditions combine two comparisons with
+	// && or ||, exercising the lowering's short-circuit decomposition.
+	ShortCircuit bool
+	// PtrArrays adds this many global arrays-of-pointers (int *pa[8])
+	// plus bounds-guarded fill/load/store-through statements over them.
+	PtrArrays int
+	// PtrReturns adds this many pointer-returning helper functions
+	// (int *prN(int)) selecting among globals, plus call sites that
+	// null-check and dereference the returned pointer interprocedurally.
+	PtrReturns int
+	// AssumeEvery makes roughly one in AssumeEvery statements an
+	// assume-heavy guard: a range clamp or a guarded nested block whose
+	// condition the analyzers must refine through (0 disables).
+	AssumeEvery int
 }
 
 // Default returns a balanced configuration scaled to roughly the given
@@ -67,6 +89,48 @@ func Default(seed uint64, stmts int) Config {
 		LoopEvery:    10,
 		FuncPtrs:     true,
 	}
+}
+
+// Fuzz returns a randomized configuration for the differential-fuzzing
+// harness (internal/fuzz): every structural knob — including the ones
+// Default leaves off so the published tables stay reproducible — is drawn
+// deterministically from the seed. stmts bounds the rough program size.
+func Fuzz(seed uint64, stmts int) Config {
+	r := rng{s: seed*0x9e3779b97f4a7c15 + 0xd1b54a32d192ed03}
+	c := Config{
+		Seed:         r.next(),
+		Funcs:        2 + r.intn(5),
+		StmtsPerFunc: 8 + r.intn(20),
+		GlobalInts:   3 + r.intn(6),
+		GlobalArrays: r.intn(3),
+		GlobalPtrs:   r.intn(3),
+		SCCSize:      r.intn(4), // 0/1 disable the recursion cluster
+		CallsPerFunc: 1 + r.intn(4),
+		PtrOps:       0,
+		LoopEvery:    6 + r.intn(9),
+		FuncPtrs:     r.oneIn(2),
+		ExprDepth:    2 + r.intn(3),
+		ShortCircuit: r.oneIn(2),
+	}
+	if r.oneIn(2) {
+		c.PtrOps = 4 + r.intn(8)
+	}
+	if r.oneIn(2) {
+		c.SwitchEvery = 4 + r.intn(7)
+	}
+	c.Gotos = r.oneIn(3)
+	c.PtrArrays = r.intn(3)
+	if r.oneIn(2) {
+		c.PtrReturns = 1 + r.intn(2)
+	}
+	if r.oneIn(2) {
+		c.AssumeEvery = 4 + r.intn(5)
+	}
+	// Scale the function count to the requested size.
+	if max := stmts / (c.StmtsPerFunc + 4); c.Funcs > max && max >= 2 {
+		c.Funcs = max
+	}
+	return c
 }
 
 // rng is splitmix64: tiny, deterministic, good enough for shaping programs.
@@ -120,10 +184,18 @@ func (g *gen) program() string {
 	for i := 0; i < c.GlobalPtrs; i++ {
 		g.line("int *ptr%d;", i)
 	}
+	for i := 0; i < c.PtrArrays; i++ {
+		g.line("int *pa%d[8];", i)
+	}
 	// Prototypes are unnecessary: generated calls only target
 	// lower-numbered callees or the recursion cluster defined first.
 	if c.SCCSize > 1 {
 		g.cluster()
+	}
+	if c.GlobalInts > 0 {
+		for i := 0; i < c.PtrReturns; i++ {
+			g.ptrReturn(i)
+		}
 	}
 	for i := 0; i < c.Funcs; i++ {
 		g.function(i)
@@ -153,6 +225,32 @@ func (g *gen) cluster() {
 	}
 }
 
+// ptrReturn emits helper pr<i>, which returns the address of one of several
+// globals selected by its argument — the interprocedural pointer-return
+// shape the fuzz mode exercises (the points-to value must survive the call
+// boundary for the caller's null-checked store to resolve).
+func (g *gen) ptrReturn(i int) {
+	c := g.cfg
+	g.line("int *pr%d(int n) {", i)
+	g.ind++
+	cut := 1 + g.r.intn(9)
+	g.line("if (n < %d) { return &g%d; }", cut, g.r.intn(c.GlobalInts))
+	if g.r.oneIn(2) {
+		g.line("if (n < %d) { return 0; }", cut+1+g.r.intn(9))
+	}
+	g.line("return &g%d;", g.r.intn(c.GlobalInts))
+	g.ind--
+	g.line("}")
+}
+
+// depth returns the expression-tree depth budget (ExprDepth when set).
+func (g *gen) depth(dflt int) int {
+	if g.cfg.ExprDepth > 0 {
+		return g.cfg.ExprDepth
+	}
+	return dflt
+}
+
 // expr builds a small arithmetic expression over the given readable names.
 func (g *gen) expr(vars []string, depth int) string {
 	if depth <= 0 || g.r.oneIn(3) {
@@ -170,8 +268,23 @@ func (g *gen) expr(vars []string, depth int) string {
 	return fmt.Sprintf("(%s %s %s)", g.expr(vars, depth-1), op, g.expr(vars, depth-1))
 }
 
-// cond builds a branch condition.
+// cond builds a branch condition; with ShortCircuit on, it may combine two
+// comparisons with && or || (the lowering decomposes these into nested
+// assume chains, which the fuzz oracles then diff across analyzers).
 func (g *gen) cond(vars []string) string {
+	c := g.atom(vars)
+	if g.cfg.ShortCircuit && g.r.oneIn(3) {
+		op := "&&"
+		if g.r.oneIn(2) {
+			op = "||"
+		}
+		return fmt.Sprintf("%s %s %s", c, op, g.atom(vars))
+	}
+	return c
+}
+
+// atom builds one comparison.
+func (g *gen) atom(vars []string) string {
 	ops := []string{"<", "<=", ">", ">=", "==", "!="}
 	lhs := "0"
 	if len(vars) > 0 {
@@ -192,6 +305,10 @@ func (g *gen) function(i int) {
 		name := fmt.Sprintf("v%d", j)
 		g.line("int %s = %d;", name, g.r.intn(50))
 		locals = append(locals, name)
+	}
+	if c.PtrReturns > 0 && c.GlobalInts > 0 {
+		g.line("int *q;")
+		g.line("q = 0;")
 	}
 	reads := append([]string{}, locals...)
 	for _, gi := range g.globalWindow(i) {
@@ -273,6 +390,42 @@ func (g *gen) stmts(budget, calls *int, fidx int, locals, reads []string, depth 
 			} else {
 				g.line("if (%s >= 0 && %s < 8) { %s = arr%d[%s]; }", idx, idx, locals[g.r.intn(len(locals))], a, idx)
 			}
+		case c.PtrArrays > 0 && g.r.oneIn(6):
+			a := g.r.intn(c.PtrArrays)
+			idx := locals[g.r.intn(len(locals))]
+			switch {
+			case c.GlobalInts > 0 && g.r.oneIn(2):
+				g.line("if (%s >= 0 && %s < 8) { pa%d[%s] = &g%d; }", idx, idx, a, idx, g.r.intn(c.GlobalInts))
+			case g.r.oneIn(2):
+				g.line("if (%s >= 0 && %s < 8) { if (pa%d[%s] != 0) { *pa%d[%s] = %s; } }",
+					idx, idx, a, idx, a, idx, g.expr(reads, 1))
+			default:
+				g.line("if (%s >= 0 && %s < 8) { if (pa%d[%s] != 0) { %s = *pa%d[%s]; } }",
+					idx, idx, a, idx, locals[g.r.intn(len(locals))], a, idx)
+			}
+		case c.PtrReturns > 0 && c.GlobalInts > 0 && g.r.oneIn(6):
+			g.line("q = pr%d(%s);", g.r.intn(c.PtrReturns), g.expr(reads, 1))
+			if g.r.oneIn(2) {
+				g.line("if (q != 0) { *q = %s; }", g.expr(reads, 1))
+			} else {
+				g.line("if (q != 0) { %s = *q; }", locals[g.r.intn(len(locals))])
+			}
+		case c.AssumeEvery > 0 && g.r.oneIn(c.AssumeEvery):
+			l := locals[g.r.intn(len(locals))]
+			if g.r.oneIn(2) {
+				// Range clamp: the assume refines the interval from both sides.
+				k := 1 + g.r.intn(40)
+				g.line("if (%s > %d) { %s = %d; }", l, k, l, k)
+				g.line("if (%s < %d) { %s = %d; }", l, -k, l, -k)
+			} else {
+				// Guarded block: statements below the assume see a bounded range.
+				lo, w := g.r.intn(8), 1+g.r.intn(16)
+				g.line("if (%s >= %d && %s < %d) {", l, lo, l, lo+w)
+				g.ind++
+				g.line("%s = %s + %d;", locals[g.r.intn(len(locals))], l, g.r.intn(5))
+				g.ind--
+				g.line("}")
+			}
 		case c.SwitchEvery > 0 && g.r.oneIn(c.SwitchEvery) && *budget > 4:
 			sv := locals[g.r.intn(len(locals))]
 			g.line("switch (%s %% 4) {", sv)
@@ -297,9 +450,9 @@ func (g *gen) stmts(budget, calls *int, fidx int, locals, reads []string, depth 
 			g.call(fidx, locals, reads)
 		case c.GlobalInts > 0 && g.r.oneIn(3):
 			win := g.globalWindow(fidx)
-			g.line("g%d = %s;", win[g.r.intn(len(win))], g.expr(reads, 2))
+			g.line("g%d = %s;", win[g.r.intn(len(win))], g.expr(reads, g.depth(2)))
 		default:
-			g.line("%s = %s;", locals[g.r.intn(len(locals))], g.expr(reads, 2))
+			g.line("%s = %s;", locals[g.r.intn(len(locals))], g.expr(reads, g.depth(2)))
 		}
 	}
 }

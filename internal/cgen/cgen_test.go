@@ -94,6 +94,52 @@ func firstLines(s string, n int) string {
 	return strings.Join(lines, "\n")
 }
 
+// TestFuzzModeKnobs checks the randomized fuzz configurations: generation is
+// deterministic per seed, the knob features actually appear across a seed
+// range, every program parses and lowers, and Default's output is untouched
+// by the new knobs (the published tables must stay byte-identical).
+func TestFuzzModeKnobs(t *testing.T) {
+	if Generate(Fuzz(11, 150)) != Generate(Fuzz(11, 150)) {
+		t.Fatal("fuzz generation is not deterministic")
+	}
+	features := map[string]int{}
+	for seed := uint64(0); seed < 60; seed++ {
+		src := Generate(Fuzz(seed, 150))
+		f, err := parser.Parse("gen.c", src)
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v\n%s", seed, err, firstLines(src, 40))
+		}
+		if _, err := lower.File(f); err != nil {
+			t.Fatalf("seed %d: lower: %v\n%s", seed, err, firstLines(src, 40))
+		}
+		for feat, marker := range map[string]string{
+			"ptr-array":     "int *pa0[8];",
+			"ptr-return":    "int *pr0(int n) {",
+			"deref-return":  "*q = ",
+			"short-circuit": "|| ",
+			"clamp":         "} }",
+			"switch":        "switch (",
+			"goto":          "goto retry",
+		} {
+			if strings.Contains(src, marker) {
+				features[feat]++
+			}
+		}
+	}
+	for _, feat := range []string{"ptr-array", "ptr-return", "deref-return", "short-circuit", "switch", "goto"} {
+		if features[feat] == 0 {
+			t.Errorf("feature %q never generated across 60 seeds", feat)
+		}
+	}
+	// The fuzz knobs must leave Default byte-identical (zero values only).
+	def := Generate(Default(13, 800))
+	for _, marker := range []string{"int *pa", "int *pr", "*q = "} {
+		if strings.Contains(def, marker) {
+			t.Errorf("Default output contains fuzz-only construct %q", marker)
+		}
+	}
+}
+
 func TestSwitchAndGotoGeneration(t *testing.T) {
 	cfg := Default(13, 800)
 	cfg.SwitchEvery = 4

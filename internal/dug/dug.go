@@ -306,28 +306,39 @@ func (b *builder) initNode(pt *ir.Point) {
 			}
 		}
 	case ir.Exit:
-		// The exit both uses and defines (relays) what the body defined:
-		// its "definition" values are the identity on its accumulated
-		// inputs, which the return-site edges then carry to callers.
-		for l := range b.src.DefSummary[pt.Proc] {
-			if !ownU[l] {
-				addTo(b.passSets, n, l)
+		// The exit both uses and defines (relays) everything the body
+		// accessed — not just what it defined. Access-based localization
+		// returns the whole accessed slice of the callee memory to the
+		// return sites, so a used-but-never-defined location round-trips
+		// through the callee and is joined across its call sites; the
+		// sparse graph must reproduce exactly that flow, or the sparse
+		// fixpoint comes out strictly tighter than the baseline at
+		// multi-site callees (breaking Lemma 2 fidelity).
+		for _, summ := range []map[ir.LocID]bool{b.src.UseSummary[pt.Proc], b.src.DefSummary[pt.Proc]} {
+			for l := range summ {
+				if !ownU[l] {
+					addTo(b.passSets, n, l)
+				}
+				addTo(b.useSets, n, l)
+				addTo(b.defSets, n, l)
 			}
-			addTo(b.useSets, n, l)
-			addTo(b.defSets, n, l)
 		}
 		if rl := b.src.RetChan(pt.Proc); rl != ir.None {
 			addTo(b.useSets, n, rl)
 			addTo(b.defSets, n, rl)
 		}
 	case ir.RetBind:
+		// Mirror of the exit: the return site defines everything any
+		// callee accessed (the localized return memory).
 		for _, p := range b.src.Callees(c.CallPt) {
 			rl := b.src.RetChan(p)
-			for l := range b.src.DefSummary[p] {
-				if !ownD[l] && !ownU[l] && l != rl {
-					addTo(b.passSets, n, l)
+			for _, summ := range []map[ir.LocID]bool{b.src.UseSummary[p], b.src.DefSummary[p]} {
+				for l := range summ {
+					if !ownD[l] && !ownU[l] && l != rl {
+						addTo(b.passSets, n, l)
+					}
+					addTo(b.defSets, n, l)
 				}
-				addTo(b.defSets, n, l)
 			}
 			// The return channel must arrive exclusively over the
 			// exit→return-site edge; caller-side SSA wiring of it would
@@ -535,11 +546,19 @@ func (b *builder) delEdge(from NodeID, l ir.LocID, to NodeID) {
 
 // linkInterproc adds the call→entry and exit→return-site dependencies.
 func (b *builder) linkInterproc() {
+	// retBindOf maps a call point to its return-site point.
+	retBindOf := map[ir.PointID]ir.PointID{}
+	for _, pt := range b.prog.Points {
+		if rb, ok := pt.Cmd.(ir.RetBind); ok {
+			retBindOf[rb.CallPt] = pt.ID
+		}
+	}
 	for _, pt := range b.prog.Points {
 		if _, ok := pt.Cmd.(ir.Call); !ok {
 			continue
 		}
-		for _, p := range b.src.Callees(pt.ID) {
+		callees := b.src.Callees(pt.ID)
+		for _, p := range callees {
 			callee := b.prog.ProcByID(p)
 			for l := range b.src.UseSummary[p] {
 				b.addEdge(NodeID(pt.ID), l, NodeID(callee.Entry))
@@ -550,11 +569,51 @@ func (b *builder) linkInterproc() {
 				b.addEdge(NodeID(pt.ID), l, NodeID(callee.Entry))
 			}
 		}
+		// An indirect call can have callees with different access sets. The
+		// return site defines every location any callee may access, and the
+		// caller's SSA makes that definition shadow the pre-call value — so
+		// for a location some callee does NOT access, the pre-call value
+		// must flow call→return-site directly: along that callee's path the
+		// stale value survives (access-based localization bypasses it
+		// around that callee), and no exit edge delivers it. Ret channels
+		// are excluded — they arrive exclusively over exit→return-site
+		// edges (see initNode).
+		if rs, ok := retBindOf[pt.ID]; ok && len(callees) > 1 {
+			retChans := map[ir.LocID]bool{}
+			for _, p := range callees {
+				if rl := b.src.RetChan(p); rl != ir.None {
+					retChans[rl] = true
+				}
+			}
+			accAll := map[ir.LocID]bool{}
+			for _, p := range callees {
+				for l := range b.src.UseSummary[p] {
+					accAll[l] = true
+				}
+				for l := range b.src.DefSummary[p] {
+					accAll[l] = true
+				}
+			}
+			for l := range accAll {
+				if retChans[l] {
+					continue
+				}
+				for _, p := range callees {
+					if !b.src.UseSummary[p][l] && !b.src.DefSummary[p][l] {
+						b.addEdge(NodeID(pt.ID), l, NodeID(rs))
+						break
+					}
+				}
+			}
+		}
 	}
 	for p, sites := range b.src.RetSites {
 		callee := b.prog.Procs[p]
 		exit := NodeID(callee.Exit)
 		for _, rs := range sites {
+			for l := range b.src.UseSummary[p] {
+				b.addEdge(exit, l, NodeID(rs))
+			}
 			for l := range b.src.DefSummary[p] {
 				b.addEdge(exit, l, NodeID(rs))
 			}

@@ -1,0 +1,466 @@
+// Package fuzz is the differential-testing subsystem: it generates
+// randomized C programs (internal/cgen's fuzz mode), runs each through all
+// six analyzer configurations (Interval/Octagon × Vanilla/Base/Sparse) plus
+// the concrete interpreter and the parallel sparse driver, and checks four
+// oracles over the results:
+//
+//	soundness    — every concretely observed value lies inside the vanilla
+//	               and sparse interval results, and every concretely visited
+//	               point is abstractly reachable in every interval config
+//	               (the analyses over-approximate execution);
+//	precision    — on widening-free runs (where both engines compute their
+//	               least fixpoints, schedule-independently): sparse alarms ⊆
+//	               base alarms and base ⊑ sparse on every D̂ entry (Lemma 2's
+//	               surface); widened fixpoints are genuinely incomparable;
+//	agreement    — base alarms ⊆ vanilla alarms (access-based localization
+//	               never loses precision), and the octagon analyzers complete;
+//	determinism  — the parallel sparse driver is bit-identical across worker
+//	               counts 1/2/8, including step and round counters.
+//
+// On a violation, a delta-debugging shrinker (shrink.go) minimizes the
+// program while the violated oracle keeps firing, and the campaign driver
+// writes the minimized repro plus an oracle transcript to testdata/fuzz/.
+//
+// Entry points: RunOne (one seed), Run (a campaign; used by
+// cmd/sparrow-fuzz and the short-mode CI test), FuzzDifferential and
+// FuzzParser (go native fuzzing).
+package fuzz
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"sparrow/internal/core"
+	"sparrow/internal/dug"
+	"sparrow/internal/interp"
+	"sparrow/internal/ir"
+)
+
+// need is a bitmask of the executions an oracle reads; the runner (and
+// especially the shrinker, which re-executes candidates in a tight loop)
+// builds only what the active oracles ask for.
+type need uint
+
+// Execution needs.
+const (
+	needIntervalVanilla need = 1 << iota
+	needIntervalBase
+	needIntervalSparse
+	needOctagon
+	needParallel
+)
+
+// parallelWorkerCounts are the worker counts the determinism oracle compares.
+var parallelWorkerCounts = []int{1, 2, 8}
+
+// Exec bundles the analysis runs of one program.
+type Exec struct {
+	Name string
+	Src  string
+	Seed uint64 // generation seed (0 for shrink candidates)
+
+	// Interval and Octagon hold the per-mode results that were requested.
+	Interval map[core.Mode]*core.Result
+	Octagon  map[core.Mode]*core.Result
+	// Parallel holds sparse interval runs keyed by worker count.
+	Parallel map[int]*core.Result
+	// AnalyzeViolations records configs that timed out (the implicit
+	// "every analyzer completes" check).
+	AnalyzeViolations []Violation
+}
+
+// Violation is one oracle failure.
+type Violation struct {
+	Oracle string // oracle name: "soundness", "precision", ...
+	Detail string
+}
+
+func (v Violation) String() string { return v.Oracle + ": " + v.Detail }
+
+// Oracle is one differential invariant over an Exec.
+type Oracle struct {
+	Name  string
+	Needs need
+	Check func(*Exec) []Violation
+}
+
+// Options configures a fuzzing campaign.
+type Options struct {
+	// Seed is the first generation seed; program i uses Seed+i.
+	Seed uint64
+	// N is the number of programs to generate (default 200).
+	N int
+	// Workers fans program runs out across goroutines (default 1). The
+	// determinism oracle's analyzer worker counts are fixed at 1/2/8
+	// independently of this.
+	Workers int
+	// Stmts scales generated program size (default 120).
+	Stmts int
+	// Shrink minimizes violating programs before reporting.
+	Shrink bool
+	// OutDir receives minimized repros and oracle transcripts ("" = do
+	// not write files).
+	OutDir string
+	// Oracles overrides the oracle set (nil = StandardOracles()). Tests
+	// use this to inject synthetic violations for the shrinker self-test.
+	Oracles []Oracle
+	// Log receives campaign progress (nil = silent).
+	Log io.Writer
+}
+
+func (o Options) withDefaults() Options {
+	if o.N == 0 {
+		o.N = 200
+	}
+	if o.Stmts == 0 {
+		o.Stmts = 120
+	}
+	if o.Workers < 1 {
+		o.Workers = 1
+	}
+	if o.Oracles == nil {
+		o.Oracles = StandardOracles()
+	}
+	return o
+}
+
+// StandardOracles returns the four differential oracles.
+func StandardOracles() []Oracle {
+	return []Oracle{
+		{Name: "soundness", Needs: needIntervalVanilla | needIntervalBase | needIntervalSparse,
+			Check: checkSoundness},
+		{Name: "precision", Needs: needIntervalBase | needIntervalSparse, Check: checkPrecision},
+		{Name: "agreement", Needs: needIntervalVanilla | needIntervalBase | needOctagon, Check: checkAgreement},
+		{Name: "determinism", Needs: needParallel, Check: checkDeterminism},
+	}
+}
+
+func neededBy(oracles []Oracle) need {
+	var n need
+	for _, o := range oracles {
+		n |= o.Needs
+	}
+	return n
+}
+
+// Execute parses and analyzes src under every configuration in needs. It
+// errors only when the program itself is invalid (parse/lower failure) —
+// the shrinker uses that to reject broken candidates. Each configuration
+// re-parses the source: lowering is deterministic, so point and location
+// IDs agree across runs, and no run can contaminate another through shared
+// program state (the interpreter, for one, allocates heap locations).
+func Execute(name, src string, needs need, opt Options) (*Exec, error) {
+	ex := &Exec{
+		Name:     name,
+		Src:      src,
+		Interval: map[core.Mode]*core.Result{},
+		Octagon:  map[core.Mode]*core.Result{},
+		Parallel: map[int]*core.Result{},
+	}
+	run := func(domain core.Domain, mode core.Mode, workers int) (*core.Result, error) {
+		res, err := core.AnalyzeSource(name, src, core.Options{
+			Domain:  domain,
+			Mode:    mode,
+			Workers: workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if res.Stats.TimedOut {
+			ex.AnalyzeViolations = append(ex.AnalyzeViolations, Violation{
+				Oracle: "analyze",
+				Detail: fmt.Sprintf("%v/%v (workers=%d): timed out", domain, mode, workers),
+			})
+		}
+		return res, nil
+	}
+	modeNeeds := []struct {
+		n    need
+		mode core.Mode
+	}{
+		{needIntervalVanilla, core.Vanilla},
+		{needIntervalBase, core.Base},
+		{needIntervalSparse, core.Sparse},
+	}
+	for _, mn := range modeNeeds {
+		if needs&mn.n == 0 {
+			continue
+		}
+		res, err := run(core.Interval, mn.mode, 0)
+		if err != nil {
+			return nil, err
+		}
+		ex.Interval[mn.mode] = res
+	}
+	if needs&needOctagon != 0 {
+		for _, mode := range []core.Mode{core.Vanilla, core.Base, core.Sparse} {
+			res, err := run(core.Octagon, mode, 0)
+			if err != nil {
+				return nil, err
+			}
+			ex.Octagon[mode] = res
+		}
+	}
+	if needs&needParallel != 0 {
+		for _, w := range parallelWorkerCounts {
+			res, err := run(core.Interval, core.Sparse, w)
+			if err != nil {
+				return nil, err
+			}
+			ex.Parallel[w] = res
+		}
+	}
+	return ex, nil
+}
+
+// Check runs the oracle set over an already-built Exec.
+func Check(ex *Exec, oracles []Oracle) []Violation {
+	vs := append([]Violation{}, ex.AnalyzeViolations...)
+	for _, o := range oracles {
+		vs = append(vs, o.Check(ex)...)
+	}
+	return vs
+}
+
+// CheckSource executes and checks one source program under the given
+// oracle set; the error reports an invalid program.
+func CheckSource(name, src string, oracles []Oracle, opt Options) (*Exec, []Violation, error) {
+	ex, err := Execute(name, src, neededBy(oracles), opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ex, Check(ex, oracles), nil
+}
+
+// ---------- the four oracles ----------
+
+// soundnessInputs is the fixed input vector fed to input() during concrete
+// execution (cycled). A handful of mixed-sign values reaches most guarded
+// regions of the generated programs.
+var soundnessInputs = []int64{3, -7, 12, 0, 45, -2, 8, 63, -31, 1}
+
+const (
+	soundnessMaxSteps      = 20000
+	soundnessMaxViolations = 3
+)
+
+// checkSoundness executes the program concretely and checks the analyses
+// over-approximate the execution: every observed integer value lies inside
+// the vanilla and sparse interval results, and every concretely visited
+// point is marked reachable by every interval config. The reachability half
+// holds unconditionally — widening and the engines' structural artifacts
+// only ever *add* abstract reachability — and is the direct guard against
+// phantom precision in the sparse engine (a dropped def-use edge starves a
+// node, which then claims bottom for code execution actually visits). Traps
+// (guarded out-of-bounds, step exhaustion, UB overflow) are fine — partial
+// executions still observe plenty — but the prefix executed before the trap
+// must stay inside the abstraction.
+func checkSoundness(ex *Exec) []Violation {
+	modes := []struct {
+		name string
+		res  *core.Result
+	}{
+		{"vanilla", ex.Interval[core.Vanilla]},
+		{"base", ex.Interval[core.Base]},
+		{"sparse", ex.Interval[core.Sparse]},
+	}
+	var prog *ir.Program
+	for _, m := range modes {
+		if m.res != nil {
+			prog = m.res.Prog
+			break
+		}
+	}
+	if prog == nil {
+		return nil
+	}
+	var vs []Violation
+	seenPts := map[ir.PointID]bool{}
+	_, err := interp.Run(prog, interp.Options{
+		MaxSteps:       soundnessMaxSteps,
+		Inputs:         soundnessInputs,
+		TrapOverflow:   true,
+		TrapMissingRet: true,
+		Observe: func(pt ir.PointID, get func(ir.LocID) (interp.Value, bool)) {
+			if len(vs) >= soundnessMaxViolations {
+				return
+			}
+			if !seenPts[pt] {
+				seenPts[pt] = true
+				for _, m := range modes {
+					if m.res != nil && !m.res.Reached(pt) {
+						vs = append(vs, Violation{
+							Oracle: "soundness",
+							Detail: fmt.Sprintf("reached point %d concretely but %s marks it unreachable",
+								pt, m.name),
+						})
+					}
+				}
+			}
+			for id := 0; id < prog.Locs.Len(); id++ {
+				l := ir.LocID(id)
+				cv, bound := get(l)
+				if !bound || cv.Kind != interp.Int {
+					continue
+				}
+				for _, m := range modes {
+					// Base is skipped for values: its localized memories
+					// drop caller-local bindings inside callees by design,
+					// so absent entries are scope artifacts, not claims.
+					if m.res == nil || m.name == "base" {
+						continue
+					}
+					// Observe fires before the point executes, but the
+					// sparse surface holds post-transfer values for the
+					// point's own defs — only its use-side entries (the
+					// accumulated pre-state) are comparable here.
+					if m.name == "sparse" && definesLoc(m.res.Graph(), pt, l) {
+						continue
+					}
+					av, tracked := m.res.ValueAt(pt, l)
+					iv := av.Itv()
+					if !tracked || iv.IsBot() {
+						continue // summary cells are lazily materialized concretely
+					}
+					if iv.Lo().IsFinite() && cv.N < iv.Lo().Int() ||
+						iv.Hi().IsFinite() && cv.N > iv.Hi().Int() {
+						vs = append(vs, Violation{
+							Oracle: "soundness",
+							Detail: fmt.Sprintf("point %d loc %s: concrete %d outside %s %s",
+								pt, prog.Locs.String(l), cv.N, m.name, iv),
+						})
+					}
+				}
+			}
+		},
+	})
+	var trap *interp.Trap
+	if err != nil && !errors.As(err, &trap) {
+		vs = append(vs, Violation{Oracle: "soundness", Detail: "interpreter: " + err.Error()})
+	}
+	return vs
+}
+
+// definesLoc reports whether l is in the def-use graph's D̂ set at pt.
+func definesLoc(g *dug.Graph, pt ir.PointID, l ir.LocID) bool {
+	for _, dl := range g.Defs[dug.NodeID(pt)] {
+		if dl == l {
+			return true
+		}
+	}
+	return false
+}
+
+// alarmKeys keys a result's alarms by position and kind (the stable
+// identity across analyzers; messages embed mode-specific intervals).
+func alarmKeys(res *core.Result) map[string]bool {
+	set := map[string]bool{}
+	for _, a := range res.Alarms() {
+		set[a.Pos.String()+"/"+a.Kind.String()] = true
+	}
+	return set
+}
+
+func subsetViolations(oracle, rel string, sub, super map[string]bool, max int) []Violation {
+	var vs []Violation
+	for k := range sub {
+		if !super[k] {
+			vs = append(vs, Violation{Oracle: oracle, Detail: fmt.Sprintf("alarm %s: %s", k, rel)})
+			if len(vs) >= max {
+				break
+			}
+		}
+	}
+	return vs
+}
+
+// checkPrecision is the Lemma 2 oracle, on its actual surface: when neither
+// run applied an effective widening (both computed the least fixpoints of
+// their equation systems, schedule-independently), the sparse analyzer must
+// not lose precision against its underlying Base analysis — no sparse-only
+// alarms, and every commonly-reached D̂ entry must satisfy base ⊑ sparse:
+// the sparse system over-approximates the dense one (assume nodes can fire
+// before all used values arrive, so sparse may fail to kill a branch base
+// kills), but a sparse value strictly below the dense least fixpoint would
+// be phantom precision — a def-use edge was dropped.
+//
+// Once widening fires the comparison is skipped entirely: the fixpoints
+// become schedule-dependent and genuinely incomparable — dense widening
+// hits whole memories at loop heads while sparse widening is per-location
+// at that location's own node — and that extends to the alarm sets (seed
+// 5584: sparse widens a guard operand to [-oo,7] where dense's schedule
+// keeps the lower bound, so sparse alone reports the overrun). Widened runs
+// are still pinned by the soundness oracle — values and reachability
+// against concrete execution — which holds unconditionally.
+func checkPrecision(ex *Exec) []Violation {
+	base, sp := ex.Interval[core.Base], ex.Interval[core.Sparse]
+	if sp.Widened() || base.Widened() {
+		return nil
+	}
+	vs := subsetViolations("precision", "sparse-only (precision loss vs base)",
+		alarmKeys(sp), alarmKeys(base), soundnessMaxViolations)
+	diffs, err := core.DiffSparseVsBase(sp, base, false, 5)
+	if err != nil {
+		return append(vs, Violation{Oracle: "precision", Detail: err.Error()})
+	}
+	for _, d := range diffs {
+		vs = append(vs, Violation{Oracle: "precision", Detail: "D̂ entry: " + d})
+	}
+	return vs
+}
+
+// checkAgreement checks the dense pair: access-based localization must not
+// *add* alarms over vanilla (it is strictly more precise — callee memories
+// only shrink), and the octagon analyzers must all have completed (their
+// results carry no alarms to compare; the run itself is the check).
+func checkAgreement(ex *Exec) []Violation {
+	vanilla, base := ex.Interval[core.Vanilla], ex.Interval[core.Base]
+	vs := subsetViolations("agreement", "base-only (localization added an alarm)",
+		alarmKeys(base), alarmKeys(vanilla), soundnessMaxViolations)
+	for _, mode := range []core.Mode{core.Vanilla, core.Base, core.Sparse} {
+		if ex.Octagon[mode] == nil {
+			vs = append(vs, Violation{Oracle: "agreement",
+				Detail: fmt.Sprintf("octagon/%v: missing result", mode)})
+		}
+	}
+	return vs
+}
+
+// checkDeterminism compares the parallel sparse runs pairwise against the
+// 1-worker run: bit-identical fixpoints, reachability, steps and rounds
+// (the canonical component schedule of DESIGN.md §8), plus identical alarm
+// sets rendered to strings.
+func checkDeterminism(ex *Exec) []Violation {
+	ref := ex.Parallel[parallelWorkerCounts[0]]
+	refAlarms := alarmStrings(ref)
+	var vs []Violation
+	for _, w := range parallelWorkerCounts[1:] {
+		r := ex.Parallel[w]
+		diffs, err := core.DiffSparseRuns(ref, r, 5)
+		if err != nil {
+			vs = append(vs, Violation{Oracle: "determinism", Detail: err.Error()})
+			continue
+		}
+		for _, d := range diffs {
+			vs = append(vs, Violation{Oracle: "determinism",
+				Detail: fmt.Sprintf("workers %d vs %d: %s", parallelWorkerCounts[0], w, d)})
+		}
+		if got := alarmStrings(r); got != refAlarms {
+			vs = append(vs, Violation{Oracle: "determinism",
+				Detail: fmt.Sprintf("workers %d vs %d: alarms differ:\n  %s\n  %s",
+					parallelWorkerCounts[0], w, refAlarms, got)})
+		}
+	}
+	return vs
+}
+
+func alarmStrings(res *core.Result) string {
+	var b strings.Builder
+	for _, a := range res.Alarms() {
+		b.WriteString(a.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

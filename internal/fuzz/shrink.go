@@ -1,0 +1,270 @@
+package fuzz
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// The shrinker: given a program and a predicate ("still violates the
+// oracle"), produce a minimal program the predicate still accepts. It is a
+// delta debugger over source lines, structured the way the generated
+// programs are structured:
+//
+//	1. drop whole functions (the definition plus every call to it),
+//	2. ddmin over lines (Zeller's algorithm: remove complement chunks at
+//	   increasing granularity),
+//	3. unwrap or drop brace-matched blocks (loops, guards, switches),
+//	4. simplify expressions (zero assignment right-hand sides, unwrap
+//	   single-line guards, zero multi-digit literals),
+//
+// looping until a full cycle makes no progress. The predicate embeds
+// validity (candidates that fail to parse, lower, or analyze return
+// false), so no pass needs to preserve well-formedness — it only needs to
+// propose candidates that are *often* valid. Every pass enumerates
+// candidates in deterministic order, so a fixed seed shrinks to the same
+// repro on every run.
+
+// shrinkBudget caps predicate evaluations per Shrink call; each evaluation
+// re-analyzes a (shrinking) candidate, so this bounds total shrink cost.
+const shrinkBudget = 3000
+
+// Shrink minimizes src while pred keeps accepting, returning the minimized
+// source and a pass-by-pass log. pred must be deterministic; pred(src)
+// should be true on entry (otherwise src is returned unchanged).
+func Shrink(src string, pred func(string) bool) (string, string) {
+	s := &shrinker{pred: pred, budget: shrinkBudget}
+	if !s.check(strings.Split(src, "\n")) {
+		return src, "shrink aborted: predicate false on the original program\n"
+	}
+	lines := nonEmpty(strings.Split(src, "\n"))
+	if !s.check(lines) {
+		lines = strings.Split(src, "\n") // blank lines mattered (they should not)
+	}
+	for pass := 1; ; pass++ {
+		before := len(lines)
+		lines = s.pass(lines, "drop-functions", s.dropFunctions)
+		lines = s.pass(lines, "ddmin-lines", s.ddmin)
+		lines = s.pass(lines, "blocks", s.blocks)
+		lines = s.pass(lines, "simplify", s.simplify)
+		if len(lines) == before || s.budget <= 0 {
+			fmt.Fprintf(&s.log, "fixpoint after pass cycle %d (%d predicate evals used)\n",
+				pass, shrinkBudget-s.budget)
+			break
+		}
+	}
+	return strings.Join(lines, "\n") + "\n", s.log.String()
+}
+
+type shrinker struct {
+	pred   func(string) bool
+	budget int
+	log    strings.Builder
+}
+
+func (s *shrinker) check(lines []string) bool {
+	if s.budget <= 0 {
+		return false
+	}
+	s.budget--
+	return s.pred(strings.Join(lines, "\n") + "\n")
+}
+
+func (s *shrinker) pass(lines []string, name string, fn func([]string) []string) []string {
+	if s.budget <= 0 {
+		return lines
+	}
+	evals := s.budget
+	out := fn(lines)
+	fmt.Fprintf(&s.log, "%s: %d -> %d lines (%d evals)\n", name, len(lines), len(out), evals-s.budget)
+	return out
+}
+
+func nonEmpty(lines []string) []string {
+	out := lines[:0:0]
+	for _, l := range lines {
+		if strings.TrimSpace(l) != "" {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// funcStart matches a generated top-level function definition header and
+// captures the function name.
+var funcStart = regexp.MustCompile(`^[A-Za-z_][\w* ]*?[* ]([A-Za-z_]\w*)\([^)]*\) \{$`)
+
+// dropFunctions removes whole function definitions together with every
+// line that references them (calls, prototypes, address-taking). main is
+// kept: the analyses root there.
+func (s *shrinker) dropFunctions(lines []string) []string {
+	for changed := true; changed && s.budget > 0; {
+		changed = false
+		for i := 0; i < len(lines); i++ {
+			m := funcStart.FindStringSubmatch(lines[i])
+			if m == nil || m[1] == "main" {
+				continue
+			}
+			end := matchBrace(lines, i)
+			if end < 0 {
+				continue
+			}
+			name := m[1]
+			var cand []string
+			for j, l := range lines {
+				if j >= i && j <= end {
+					continue
+				}
+				if strings.Contains(l, name+"(") || strings.Contains(l, "= "+name+";") {
+					continue
+				}
+				cand = append(cand, l)
+			}
+			if s.check(cand) {
+				lines = cand
+				changed = true
+				break
+			}
+		}
+	}
+	return lines
+}
+
+// matchBrace returns the index of the line closing the block opened at
+// lines[open] (counting braces), or -1.
+func matchBrace(lines []string, open int) int {
+	depth := 0
+	for j := open; j < len(lines); j++ {
+		depth += strings.Count(lines[j], "{") - strings.Count(lines[j], "}")
+		if depth <= 0 {
+			return j
+		}
+	}
+	return -1
+}
+
+// ddmin is Zeller's delta-debugging minimization over lines: try removing
+// complement chunks, refining granularity when nothing can be removed.
+func (s *shrinker) ddmin(lines []string) []string {
+	n := 2
+	for len(lines) >= 2 && s.budget > 0 {
+		chunk := (len(lines) + n - 1) / n
+		reduced := false
+		for lo := 0; lo < len(lines) && s.budget > 0; lo += chunk {
+			hi := lo + chunk
+			if hi > len(lines) {
+				hi = len(lines)
+			}
+			cand := append(append([]string{}, lines[:lo]...), lines[hi:]...)
+			if len(cand) > 0 && s.check(cand) {
+				lines = cand
+				if n > 2 {
+					n--
+				}
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(lines) {
+				break
+			}
+			n *= 2
+			if n > len(lines) {
+				n = len(lines)
+			}
+		}
+	}
+	return lines
+}
+
+// blocks handles brace-matched regions ddmin's contiguous chunks rarely
+// align with: for each block, try removing it whole, then unwrapping it
+// (dropping only the header and closing-brace lines, keeping the body —
+// valid for control headers, rejected by the predicate for functions).
+func (s *shrinker) blocks(lines []string) []string {
+	for changed := true; changed && s.budget > 0; {
+		changed = false
+		for i := 0; i < len(lines); i++ {
+			if !strings.HasSuffix(strings.TrimSpace(lines[i]), "{") {
+				continue
+			}
+			end := matchBrace(lines, i)
+			if end <= i {
+				continue
+			}
+			drop := append(append([]string{}, lines[:i]...), lines[end+1:]...)
+			if s.check(drop) {
+				lines = drop
+				changed = true
+				break
+			}
+			if end > i+1 {
+				unwrap := append([]string{}, lines[:i]...)
+				unwrap = append(unwrap, lines[i+1:end]...)
+				unwrap = append(unwrap, lines[end+1:]...)
+				if s.check(unwrap) {
+					lines = unwrap
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return lines
+}
+
+var (
+	assignRHS = regexp.MustCompile(`^(\s*\**[A-Za-z_]\w*(?:\[\w+\])?) = (.+);$`)
+	guardLine = regexp.MustCompile(`^(\s*)if \(.+\) \{ (.+;) \}$`)
+	bracedRHS = regexp.MustCompile(`\{ (\**[A-Za-z_]\w*(?:\[\w+\])?) = (.+); \}`)
+	number    = regexp.MustCompile(`\b\d{2,}\b`)
+)
+
+// simplify rewrites single lines: zero an assignment's right-hand side,
+// unwrap a one-line guard, zero large literals. Each accepted rewrite
+// restarts the scan so compounding simplifications are found.
+func (s *shrinker) simplify(lines []string) []string {
+	try := func(i int, repl string) bool {
+		if repl == lines[i] {
+			return false
+		}
+		cand := append([]string{}, lines...)
+		cand[i] = repl
+		if s.check(cand) {
+			lines[i] = repl
+			return true
+		}
+		return false
+	}
+	for changed := true; changed && s.budget > 0; {
+		changed = false
+		for i := range lines {
+			if m := assignRHS.FindStringSubmatch(lines[i]); m != nil && m[2] != "0" {
+				if try(i, m[1]+" = 0;") {
+					changed = true
+					continue
+				}
+			}
+			if m := guardLine.FindStringSubmatch(lines[i]); m != nil {
+				if try(i, m[1]+m[2]) {
+					changed = true
+					continue
+				}
+			}
+			if m := bracedRHS.FindStringSubmatch(lines[i]); m != nil && m[2] != "0" {
+				if try(i, strings.Replace(lines[i], m[0], "{ "+m[1]+" = 0; }", 1)) {
+					changed = true
+					continue
+				}
+			}
+			if loc := number.FindStringIndex(lines[i]); loc != nil {
+				if try(i, lines[i][:loc[0]]+"0"+lines[i][loc[1]:]) {
+					changed = true
+					continue
+				}
+			}
+		}
+	}
+	return lines
+}

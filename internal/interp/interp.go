@@ -86,6 +86,20 @@ type Options struct {
 	// frame-visible value of every location bound in memory. It may be
 	// nil. Only scalar cells (idx 0) are reported.
 	Observe func(pt ir.PointID, get func(ir.LocID) (Value, bool))
+	// TrapOverflow makes signed int64 overflow in +, -, *, unary - and <<
+	// a trap instead of silently wrapping. Wrapping is undefined behavior
+	// in the modeled language, and the abstract domains assume unbounded
+	// integers — differential soundness checks set this so executions
+	// that leave the modeled semantics stop rather than produce wrapped
+	// values no sound analysis could cover.
+	TrapOverflow bool
+	// TrapMissingRet makes binding the result of a callee that fell off
+	// its end without executing a return statement a trap instead of
+	// defaulting to 0. Using such a return value is undefined behavior in
+	// the modeled language, and the abstract semantics treats the
+	// no-return path as contributing nothing (bottom) to the return
+	// channel — differential soundness checks set this so the two agree.
+	TrapMissingRet bool
 }
 
 // Machine executes one program.
@@ -329,10 +343,15 @@ func (m *Machine) exec(proc *ir.Proc, pt *ir.Point) (bool, error) {
 		if c.L != ir.None {
 			rl := m.prog.ProcByID(target).RetLoc
 			v := IntV(0)
+			ok := false
 			if rl != ir.None {
-				if rv, ok := m.read(cell{rl, 0}); ok {
+				var rv Value
+				if rv, ok = m.read(cell{rl, 0}); ok {
 					v = rv
 				}
+			}
+			if !ok && m.opt.TrapMissingRet {
+				return false, &Trap{Point: pt.ID, Msg: "use of missing return value"}
 			}
 			m.write(cell{c.L, 0}, v)
 		}
@@ -449,6 +468,9 @@ func (m *Machine) eval(e ir.Expr, pt *ir.Point) (Value, error) {
 		if err != nil {
 			return Value{}, err
 		}
+		if m.opt.TrapOverflow && v.N == math.MinInt64 {
+			return Value{}, &Trap{Point: pt.ID, Msg: "signed overflow in negation"}
+		}
 		return IntV(-v.N), nil
 	case ir.Not:
 		v, err := m.eval(e.X, pt)
@@ -493,12 +515,31 @@ func (m *Machine) evalBin(e ir.Bin, pt *ir.Point) (Value, error) {
 		return IntV(0)
 	}
 	a, b := x.N, y.N
+	overflow := func() (Value, error) {
+		return Value{}, &Trap{Point: pt.ID, Msg: fmt.Sprintf("signed overflow in %v", e.Op)}
+	}
 	switch e.Op {
 	case ir.Add:
-		return IntV(a + b), nil
+		r := a + b
+		if m.opt.TrapOverflow && (r > a) != (b > 0) && b != 0 {
+			return overflow()
+		}
+		return IntV(r), nil
 	case ir.Sub:
-		return IntV(a - b), nil
+		r := a - b
+		if m.opt.TrapOverflow && (r < a) != (b > 0) && b != 0 {
+			return overflow()
+		}
+		return IntV(r), nil
 	case ir.Mul:
+		if m.opt.TrapOverflow {
+			if (a == math.MinInt64 && b == -1) || (b == math.MinInt64 && a == -1) {
+				return overflow()
+			}
+			if r := a * b; a != 0 && r/a != b {
+				return overflow()
+			}
+		}
 		return IntV(a * b), nil
 	case ir.Div:
 		if b == 0 {
@@ -538,7 +579,10 @@ func (m *Machine) evalBin(e ir.Bin, pt *ir.Point) (Value, error) {
 		if b < 0 || b > 62 {
 			return IntV(0), nil
 		}
-		return IntV(a << uint(b)), nil
+		if r := a << uint(b); !m.opt.TrapOverflow || r>>uint(b) == a {
+			return IntV(r), nil
+		}
+		return overflow()
 	case ir.Shr:
 		if b < 0 || b > 62 {
 			return IntV(0), nil

@@ -21,6 +21,11 @@ func Workers(w int) int {
 // across at most workers goroutines, blocking until all chunks complete. fn
 // must only write state disjoint between chunks (e.g. per-index slots).
 // workers <= 1 (or small n) degenerates to a plain sequential call.
+//
+// A panic inside fn is caught on its goroutine and re-raised on the calling
+// goroutine after every chunk has finished, so callers observe the same
+// control flow as the sequential path (the lowest-chunk panic wins when
+// several chunks panic, keeping the re-raised value deterministic).
 func For(n, workers int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -34,17 +39,25 @@ func For(n, workers int, fn func(lo, hi int)) {
 		return
 	}
 	chunk := (n + workers - 1) / workers
+	nchunks := (n + chunk - 1) / chunk
+	panics := make([]any, nchunks)
 	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
+	for i, lo := 0, 0; lo < n; i, lo = i+1, lo+chunk {
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(i, lo, hi int) {
 			defer wg.Done()
+			defer func() { panics[i] = recover() }()
 			fn(lo, hi)
-		}(lo, hi)
+		}(i, lo, hi)
 	}
 	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
 }

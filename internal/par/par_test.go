@@ -1,0 +1,148 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersNormalizes(t *testing.T) {
+	for in, want := range map[int]int{-3: 1, 0: 1, 1: 1, 7: 7} {
+		if got := Workers(in); got != want {
+			t.Errorf("Workers(%d) = %d want %d", in, got, want)
+		}
+	}
+}
+
+// TestForCoversEveryIndexOnce checks the distribution invariant the parallel
+// phases rely on: the chunks tile [0, n) exactly — every index visited once,
+// no overlap, no gap — for every (n, workers) shape.
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 64, 1000} {
+		for _, w := range []int{-1, 0, 1, 2, 3, 8, 64, 2000} {
+			seen := make([]int32, n)
+			For(n, w, func(lo, hi int) {
+				if lo < 0 || hi > n || lo >= hi {
+					t.Errorf("n=%d w=%d: bad chunk [%d,%d)", n, w, lo, hi)
+					return
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&seen[i], 1)
+				}
+			})
+			for i := range seen {
+				if seen[i] != 1 {
+					t.Fatalf("n=%d w=%d: index %d visited %d times", n, w, i, seen[i])
+				}
+			}
+		}
+	}
+}
+
+// TestForChunkCount checks that no more than workers chunks are created (so
+// worker counts really bound the goroutine fan-out).
+func TestForChunkCount(t *testing.T) {
+	for _, n := range []int{1, 5, 16, 100} {
+		for _, w := range []int{1, 2, 4, 9} {
+			var chunks int32
+			For(n, w, func(lo, hi int) { atomic.AddInt32(&chunks, 1) })
+			max := int32(w)
+			if n < w {
+				max = int32(n)
+			}
+			if chunks > max || chunks < 1 {
+				t.Errorf("n=%d w=%d: %d chunks (want 1..%d)", n, w, chunks, max)
+			}
+		}
+	}
+}
+
+// TestForSequentialDegenerate checks that workers <= 1 (and n == 1) run fn
+// exactly once, inline, over the whole range.
+func TestForSequentialDegenerate(t *testing.T) {
+	for _, w := range []int{0, 1} {
+		calls := 0
+		For(10, w, func(lo, hi int) {
+			calls++
+			if lo != 0 || hi != 10 {
+				t.Errorf("w=%d: chunk [%d,%d) want [0,10)", w, lo, hi)
+			}
+		})
+		if calls != 1 {
+			t.Errorf("w=%d: fn called %d times want 1", w, calls)
+		}
+	}
+	// n == 1 with many workers must also degenerate to one inline call.
+	calls := 0
+	For(1, 8, func(lo, hi int) { calls++ })
+	if calls != 1 {
+		t.Errorf("n=1 w=8: fn called %d times want 1", calls)
+	}
+}
+
+func TestForZeroN(t *testing.T) {
+	For(0, 4, func(lo, hi int) { t.Error("fn called for n=0") })
+	For(-5, 4, func(lo, hi int) { t.Error("fn called for n<0") })
+}
+
+// TestForPanicPropagates checks a panic on a worker goroutine reaches the
+// caller (instead of crashing the process), on both code paths.
+func TestForPanicPropagates(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Errorf("w=%d: panic did not propagate", w)
+					return
+				}
+				if s, ok := r.(string); !ok || s != "boom" {
+					t.Errorf("w=%d: recovered %v want \"boom\"", w, r)
+				}
+			}()
+			For(100, w, func(lo, hi int) {
+				if lo == 0 {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}
+
+// TestForPanicDeterministic checks that when several chunks panic, the
+// re-raised value is the lowest chunk's (schedule-independent).
+func TestForPanicDeterministic(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		func() {
+			defer func() {
+				if r := recover(); r != 0 {
+					t.Fatalf("recovered chunk %v want 0", r)
+				}
+			}()
+			For(8, 8, func(lo, hi int) { panic(lo) })
+		}()
+	}
+}
+
+// TestForPanicStillCompletesOtherChunks checks that a panicking chunk does
+// not abandon the others: every non-panicking index is still processed
+// before the panic is re-raised.
+func TestForPanicStillCompletesOtherChunks(t *testing.T) {
+	n := 64
+	seen := make([]int32, n)
+	func() {
+		defer func() { recover() }()
+		For(n, 4, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&seen[i], 1)
+			}
+			if lo == 0 {
+				panic("first chunk")
+			}
+		})
+	}()
+	for i := range seen {
+		if seen[i] != 1 {
+			t.Fatalf("index %d visited %d times after panic", i, seen[i])
+		}
+	}
+}

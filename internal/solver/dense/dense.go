@@ -62,6 +62,12 @@ type Result struct {
 	Reached []bool
 	// Steps counts transfer-function applications.
 	Steps int
+	// Widenings counts effective widening applications — ones where the
+	// widened value differs from the plain join. When zero, the run never
+	// extrapolated, so the result is the least fixpoint and is
+	// schedule-independent (the surface on which exact cross-analyzer
+	// equality is a theorem; see internal/fuzz).
+	Widenings int
 	// TimedOut is set when Timeout or MaxSteps aborted the run.
 	TimedOut bool
 }
@@ -162,7 +168,6 @@ func (sv *solver) step(pt *ir.Point) {
 			}
 			return
 		}
-		var accAll map[ir.LocID]bool
 		for _, p := range callees {
 			callee := sv.prog.ProcByID(p)
 			bound := sv.s.BindFormals(pt, callee, out)
@@ -172,16 +177,18 @@ func (sv *solver) step(pt *ir.Point) {
 			sv.deliver(callee.Entry, bound)
 		}
 		if sv.opt.Localize {
-			// The non-accessed part bypasses the callees to the return site.
-			accAll = map[ir.LocID]bool{}
+			// The part a callee does not access bypasses it to the return
+			// site. The bypass is per callee: with several (indirect)
+			// callees the caller's value of a location accessed by one
+			// callee still survives along the paths through the others, so
+			// removing only the union of the access sets would unsoundly
+			// drop it. Joining the per-callee complements at the return
+			// site covers every path.
 			for _, p := range callees {
-				for l := range sv.accCache[p] {
-					accAll[l] = true
+				local := out.RemoveSet(sv.accCache[p])
+				for _, s := range pt.Succs {
+					sv.deliver(s, local)
 				}
-			}
-			local := out.RemoveSet(accAll)
-			for _, s := range pt.Succs {
-				sv.deliver(s, local)
 			}
 		}
 	case ir.Exit:
@@ -217,7 +224,11 @@ func (sv *solver) deliver(target ir.PointID, m mem.Mem) {
 			}
 		}
 		if widen {
-			joined = old.Widen(joined)
+			wv := old.Widen(joined)
+			if !wv.Eq(joined) {
+				sv.res.Widenings++
+			}
+			joined = wv
 		}
 		sv.res.In[target] = joined
 		changed = true
@@ -261,22 +272,21 @@ func (sv *solver) narrow(passes int) {
 					}
 					break
 				}
-				accAll := map[ir.LocID]bool{}
 				for _, p := range callees {
 					callee := sv.prog.ProcByID(p)
 					bound := sv.s.BindFormals(pt, callee, out)
 					if sv.opt.Localize {
 						bound = bound.RestrictSet(sv.accCache[p])
-						for l := range sv.accCache[p] {
-							accAll[l] = true
-						}
 					}
 					push(callee.Entry, bound)
 				}
 				if sv.opt.Localize {
-					local := out.RemoveSet(accAll)
-					for _, s := range pt.Succs {
-						push(s, local)
+					// Per-callee bypass; see step.
+					for _, p := range callees {
+						local := out.RemoveSet(sv.accCache[p])
+						for _, s := range pt.Succs {
+							push(s, local)
+						}
 					}
 				}
 			case ir.Exit:

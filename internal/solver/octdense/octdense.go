@@ -138,7 +138,6 @@ func (sv *solver) step(pt *ir.Point) {
 			}
 			return
 		}
-		var accAll map[pack.ID]bool
 		for _, p := range callees {
 			callee := sv.prog.ProcByID(p)
 			bound := sv.s.BindFormals(pt, callee, out)
@@ -148,15 +147,16 @@ func (sv *solver) step(pt *ir.Point) {
 			sv.deliver(callee.Entry, bound)
 		}
 		if sv.opt.Localize {
-			accAll = map[pack.ID]bool{}
+			// Per-callee bypass: each callee's non-accessed packs survive
+			// along its own path, so the complements are joined at the
+			// return site rather than removing the union (which would drop
+			// the caller's packs accessed by only some of the callees of an
+			// indirect call). See the interval solver.
 			for _, p := range callees {
-				for l := range sv.accCache[p] {
-					accAll[l] = true
+				local := out.RemoveSet(sv.accCache[p])
+				for _, s := range pt.Succs {
+					sv.deliver(s, local)
 				}
-			}
-			local := out.RemoveSet(accAll)
-			for _, s := range pt.Succs {
-				sv.deliver(s, local)
 			}
 		}
 	case ir.Exit:
@@ -229,22 +229,21 @@ func (sv *solver) narrow(passes int) {
 					}
 					break
 				}
-				accAll := map[pack.ID]bool{}
 				for _, p := range callees {
 					callee := sv.prog.ProcByID(p)
 					bound := sv.s.BindFormals(pt, callee, out)
 					if sv.opt.Localize {
 						bound = bound.RestrictSet(sv.accCache[p])
-						for l := range sv.accCache[p] {
-							accAll[l] = true
-						}
 					}
 					push(callee.Entry, bound)
 				}
 				if sv.opt.Localize {
-					local := out.RemoveSet(accAll)
-					for _, s := range pt.Succs {
-						push(s, local)
+					// Per-callee bypass; see step.
+					for _, p := range callees {
+						local := out.RemoveSet(sv.accCache[p])
+						for _, s := range pt.Succs {
+							push(s, local)
+						}
 					}
 				}
 			case ir.Exit:

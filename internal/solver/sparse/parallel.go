@@ -101,6 +101,7 @@ func AnalyzeParallel(prog *ir.Program, pre *prean.Result, g *dug.Graph, opt Opti
 	}
 
 	st.res.Steps += int(st.steps.Load())
+	st.res.Widenings += int(st.widenings.Load())
 	st.res.TimedOut = st.timedOut.Load()
 	if opt.Narrow > 0 && !st.res.TimedOut {
 		// The descending phase is a whole-graph Jacobi sweep; reuse the
@@ -147,9 +148,10 @@ type pstate struct {
 	active []bool
 	indeg  []int32
 
-	steps    atomic.Int64
-	timedOut atomic.Bool
-	deadline time.Time
+	steps     atomic.Int64
+	widenings atomic.Int64
+	timedOut  atomic.Bool
+	deadline  time.Time
 }
 
 // buildSched derives the augmented scheduling DAG: condensation edges plus
@@ -588,7 +590,11 @@ func (w *pworker) pushOuts(n dug.NodeID, m mem.Mem) {
 		}
 		changed = true
 		if st.g.Widen[n] || forceWiden {
-			joined = old.Widen(joined)
+			wv := old.Widen(joined)
+			if !wv.Eq(joined) {
+				st.widenings.Add(1)
+			}
+			joined = wv
 		}
 		st.res.Out[n] = st.res.Out[n].Set(l, joined)
 		for _, succ := range st.g.Succs(n, l) {

@@ -63,6 +63,10 @@ type Result struct {
 	Reached []bool
 	// Steps counts node firings.
 	Steps int
+	// Widenings counts effective widening applications (widened value ≠
+	// plain join); zero means the run computed the schedule-independent
+	// least fixpoint (see the dense counterpart).
+	Widenings int
 	// Rounds counts the component-wave rounds of AnalyzeParallel (0 for the
 	// sequential solver).
 	Rounds int
@@ -298,7 +302,11 @@ func (sv *solver) pushOuts(n dug.NodeID, m mem.Mem) {
 		}
 		changed = true
 		if sv.g.Widen[n] || forceWiden {
-			joined = old.Widen(joined)
+			wv := old.Widen(joined)
+			if !wv.Eq(joined) {
+				sv.res.Widenings++
+			}
+			joined = wv
 		}
 		sv.res.Out[n] = sv.res.Out[n].Set(l, joined)
 		for _, succ := range sv.g.Succs(n, l) {
