@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeCorpus creates a tiny two-program corpus directory.
+func writeCorpus(t *testing.T, dir string) {
+	t.Helper()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	progs := map[string]string{
+		"loop.c": "int g;\nint main() { int i; for (i = 0; i < 5; i++) { g = g + i; } return 0; }\n",
+		"call.c": "int add(int a, int b) { return a + b; }\nint main() { int s; s = add(1, 2); return s; }\n",
+	}
+	for name, src := range progs {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// tamper bumps the first worklist_pops value in a snapshot file.
+func tamper(t *testing.T, path string) {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	i := strings.Index(s, `"worklist_pops": `)
+	if i < 0 {
+		t.Fatal("no worklist_pops in snapshot")
+	}
+	// Replace the digit run after the key with a different value.
+	j := i + len(`"worklist_pops": `)
+	k := j
+	for k < len(s) && s[k] >= '0' && s[k] <= '9' {
+		k++
+	}
+	if err := os.WriteFile(path, []byte(s[:j]+"999999"+s[k:]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

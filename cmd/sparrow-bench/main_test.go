@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCLI invokes run with captured output.
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestWriteThenCheck exercises the full loop on a two-file corpus: write a
+// snapshot, then -check against it (must pass: counters are deterministic).
+func TestWriteThenCheck(t *testing.T) {
+	dir := t.TempDir()
+	corpus := filepath.Join(dir, "corpus")
+	writeCorpus(t, corpus)
+	snap := filepath.Join(dir, "snap.json")
+
+	code, out, errb := runCLI(t, "-gen=false", "-corpus", corpus, "-out", snap)
+	if code != 0 {
+		t.Fatalf("write: exit %d, stderr: %s", code, errb)
+	}
+	if !strings.Contains(out, "wrote") {
+		t.Errorf("write output: %s", out)
+	}
+	code, out, errb = runCLI(t, "-gen=false", "-corpus", corpus, "-check", "-snapshot", snap)
+	if code != 0 {
+		t.Fatalf("check: exit %d, stderr: %s", code, errb)
+	}
+	if !strings.Contains(out, "match") {
+		t.Errorf("check output: %s", out)
+	}
+}
+
+// TestCheckDetectsRegression tampers with the baseline and expects exit 1.
+func TestCheckDetectsRegression(t *testing.T) {
+	dir := t.TempDir()
+	corpus := filepath.Join(dir, "corpus")
+	writeCorpus(t, corpus)
+	snap := filepath.Join(dir, "snap.json")
+	if code, _, errb := runCLI(t, "-gen=false", "-corpus", corpus, "-out", snap); code != 0 {
+		t.Fatalf("write failed: %s", errb)
+	}
+	tamper(t, snap)
+	code, _, errb := runCLI(t, "-gen=false", "-corpus", corpus, "-check", "-snapshot", snap)
+	if code != 1 {
+		t.Fatalf("check on tampered baseline: exit %d, want 1 (stderr: %s)", code, errb)
+	}
+	if !strings.Contains(errb, "regression") {
+		t.Errorf("stderr: %s", errb)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runCLI(t, "positional"); code != 2 {
+		t.Errorf("positional arg: exit %d, want 2", code)
+	}
+	if code, _, _ := runCLI(t, "-corpus", "does-not-exist"); code != 2 {
+		t.Errorf("bad corpus: exit %d, want 2", code)
+	}
+	if code, _, _ := runCLI(t, "-check", "-snapshot", "does-not-exist.json", "-corpus", "does-not-exist"); code != 2 {
+		t.Errorf("bad snapshot: exit %d, want 2", code)
+	}
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// runCLI invokes run with captured output.
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestSmallCampaign runs a tiny clean campaign end to end: exit 0 and a
+// well-formed JSON summary with zero failures.
+func TestSmallCampaign(t *testing.T) {
+	code, out, errb := runCLI(t, "-n", "3", "-seed", "1", "-stmts", "40", "-out", "", "-stats-json")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	var cs campaignSummary
+	if err := json.Unmarshal([]byte(out), &cs); err != nil {
+		t.Fatalf("stdout is not a JSON summary: %v\n%s", err, out)
+	}
+	if cs.Programs != 3 || cs.Seed != 1 || cs.Stmts != 40 {
+		t.Errorf("bad stamp: %+v", cs)
+	}
+	if len(cs.Failures) != 0 {
+		t.Errorf("expected clean campaign, failures: %+v", cs.Failures)
+	}
+}
+
+// TestUsageErrors pins the exit-code contract for bad invocations.
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runCLI(t, "positional-arg"); code != 2 {
+		t.Errorf("positional arg: exit %d, want 2", code)
+	}
+	if code, _, _ := runCLI(t, "-no-such-flag"); code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", code)
+	}
+}

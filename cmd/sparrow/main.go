@@ -5,52 +5,70 @@
 //
 //	sparrow [-domain interval|octagon] [-mode vanilla|base|sparse]
 //	        [-duchains] [-nobypass] [-narrow N] [-timeout D] [-workers N]
-//	        [-cpuprofile f] [-memprofile f] [-globals] [-stats] file.c
+//	        [-cpuprofile f] [-memprofile f] [-globals] [-stats] [-stats-json]
+//	        file.c
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
 
 	"sparrow"
 	"sparrow/internal/ir"
+	"sparrow/internal/metrics"
 )
 
 func main() {
-	domain := flag.String("domain", "interval", "abstract domain: interval or octagon")
-	mode := flag.String("mode", "sparse", "fixpoint mode: vanilla, base, or sparse")
-	duchains := flag.Bool("duchains", false, "use conventional def-use chains (less precise; sparse interval only)")
-	nobypass := flag.Bool("nobypass", false, "disable the chain-bypass optimization")
-	narrow := flag.Int("narrow", 0, "descending (narrowing) sweeps after the ascending fixpoint (dense and sparse interval modes)")
-	timeout := flag.Duration("timeout", 0, "analysis time budget (0 = none)")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the parallel phases (0 = sequential code path)")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
-	globals := flag.Bool("globals", false, "print the final interval of every global variable")
-	stats := flag.Bool("stats", true, "print analysis statistics")
-	dumpDug := flag.String("dump-dug", "", "write the def-use graph in Graphviz dot syntax to this file (sparse modes)")
-	dumpIR := flag.Bool("dump-ir", false, "print the lowered IR")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: sparrow [flags] file.c")
-		flag.Usage()
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, analyzes the file, and
+// returns the process exit code (0 ok, 1 analysis/frontend error, 2 usage).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sparrow", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	domain := fs.String("domain", "interval", "abstract domain: interval or octagon")
+	mode := fs.String("mode", "sparse", "fixpoint mode: vanilla, base, or sparse")
+	duchains := fs.Bool("duchains", false, "use conventional def-use chains (less precise; sparse interval only)")
+	nobypass := fs.Bool("nobypass", false, "disable the chain-bypass optimization")
+	narrow := fs.Int("narrow", 0, "descending (narrowing) sweeps after the ascending fixpoint (dense and sparse interval modes)")
+	timeout := fs.Duration("timeout", 0, "analysis time budget (0 = none)")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the parallel phases (0 = sequential code path)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	globals := fs.Bool("globals", false, "print the final interval of every global variable")
+	stats := fs.Bool("stats", true, "print analysis statistics")
+	statsJSON := fs.Bool("stats-json", false, "print the machine-readable metrics report (JSON) instead of text output")
+	dumpDug := fs.String("dump-dug", "", "write the def-use graph in Graphviz dot syntax to this file (sparse modes)")
+	dumpIR := fs.Bool("dump-ir", false, "print the lowered IR")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	path := flag.Arg(0)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: sparrow [flags] file.c")
+		fs.Usage()
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "sparrow:", err)
+		return 1
+	}
+	path := fs.Arg(0)
 	src, err := os.ReadFile(path)
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		defer pprof.StopCPUProfile()
 	}
@@ -58,22 +76,25 @@ func main() {
 		defer func() {
 			f, err := os.Create(*memprofile)
 			if err != nil {
-				fatal(err)
+				fmt.Fprintln(stderr, "sparrow:", err)
+				return
 			}
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fatal(err)
+				fmt.Fprintln(stderr, "sparrow:", err)
 			}
 			f.Close()
 		}()
 	}
 
+	col := metrics.New()
 	opt := sparrow.Options{
 		NoBypass:     *nobypass,
 		DefUseChains: *duchains,
 		Narrow:       *narrow,
 		Timeout:      *timeout,
 		Workers:      *workers,
+		Metrics:      col,
 	}
 	switch *domain {
 	case "interval":
@@ -81,7 +102,7 @@ func main() {
 	case "octagon":
 		opt.Domain = sparrow.Octagon
 	default:
-		fatal(fmt.Errorf("unknown domain %q", *domain))
+		return fail(fmt.Errorf("unknown domain %q", *domain))
 	}
 	switch *mode {
 	case "vanilla":
@@ -91,56 +112,78 @@ func main() {
 	case "sparse":
 		opt.Mode = sparrow.Sparse
 	default:
-		fatal(fmt.Errorf("unknown mode %q", *mode))
+		return fail(fmt.Errorf("unknown mode %q", *mode))
 	}
 
 	res, err := sparrow.AnalyzeSource(path, string(src), opt)
 	if err != nil {
-		fatal(err)
+		return fail(err)
+	}
+	// The frontend accepts translation units without an entry point (it
+	// synthesizes an empty __start), so the analysis "succeeds" on inputs
+	// that define nothing to analyze. That is a frontend problem, not a
+	// clean run — report it and exit non-zero.
+	if res.Prog.ProcByName("main") == nil {
+		return fail(fmt.Errorf("%s: no main function (nothing to analyze)", path))
 	}
 	if *dumpIR {
-		fmt.Print(res.Prog.Dump())
+		fmt.Fprint(stdout, res.Prog.Dump())
 	}
 	if *dumpDug != "" {
 		g := res.Graph()
 		if g == nil {
-			fatal(fmt.Errorf("-dump-dug requires -mode sparse"))
+			return fail(fmt.Errorf("-dump-dug requires -mode sparse"))
 		}
 		f, err := os.Create(*dumpDug)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		if err := g.WriteDot(f, 5000); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Printf("wrote def-use graph to %s\n", *dumpDug)
+		fmt.Fprintf(stdout, "wrote def-use graph to %s\n", *dumpDug)
+	}
+	alarms := res.Alarms() // before the report: populates the alarm counter
+	if *statsJSON {
+		rep := res.MetricsReport()
+		rep.Program = path
+		b, err := rep.MarshalIndent()
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "%s\n", b)
+		if res.Stats.TimedOut {
+			fmt.Fprintln(stderr, "sparrow: analysis timed out (partial results)")
+			return 1
+		}
+		return 0
 	}
 	if res.Stats.TimedOut {
-		fmt.Println("analysis timed out (partial results below)")
+		fmt.Fprintln(stdout, "analysis timed out (partial results below)")
 	}
 	if *stats {
 		s := res.Stats
-		fmt.Printf("%s/%s: LOC=%d functions=%d statements=%d blocks=%d maxSCC=%d abslocs=%d\n",
+		fmt.Fprintf(stdout, "%s/%s: LOC=%d functions=%d statements=%d blocks=%d maxSCC=%d abslocs=%d\n",
 			opt.Domain, opt.Mode, s.LOC, s.Functions, s.Statements, s.Blocks, s.MaxSCC, s.AbsLocs)
-		fmt.Printf("times: pre=%v dep=%v fix=%v total=%v steps=%d\n",
+		fmt.Fprintf(stdout, "times: pre=%v dep=%v fix=%v total=%v steps=%d\n",
 			s.PreTime, s.DepTime, s.FixTime, s.TotalTime, s.Steps)
 		if opt.Mode == sparrow.Sparse {
-			fmt.Printf("sparse: edges=%d phis=%d avg|D̂(c)|=%.2f avg|Û(c)|=%.2f\n",
+			fmt.Fprintf(stdout, "sparse: edges=%d phis=%d avg|D̂(c)|=%.2f avg|Û(c)|=%.2f\n",
 				s.DepEdges, s.Phis, s.AvgDefs, s.AvgUses)
 		}
 		if s.Workers > 0 {
-			fmt.Printf("parallel: workers=%d components=%d maxcomp=%d islands=%d rounds=%d\n",
+			fmt.Fprintf(stdout, "parallel: workers=%d components=%d maxcomp=%d islands=%d rounds=%d\n",
 				s.Workers, s.Components, s.MaxComponent, s.Islands, s.Rounds)
 		}
 		if opt.Domain == sparrow.Octagon {
-			fmt.Printf("packs: %d (avg non-singleton size %.1f)\n", s.PackCount, s.PackAvg)
+			fmt.Fprintf(stdout, "packs: %d (avg non-singleton size %.1f)\n", s.PackCount, s.PackAvg)
 		}
 	}
 	if *globals {
-		fmt.Println("final global invariants:")
+		fmt.Fprintln(stdout, "final global invariants:")
 		locs := res.Prog.Locs
 		for id := 0; id < locs.Len(); id++ {
 			l := locs.Get(ir.LocID(id))
@@ -148,22 +191,17 @@ func main() {
 				continue
 			}
 			if desc, ok := res.GlobalValueAtExit(l.Name); ok {
-				fmt.Printf("  %-20s %s\n", l.Name, desc)
+				fmt.Fprintf(stdout, "  %-20s %s\n", l.Name, desc)
 			}
 		}
 	}
-	alarms := res.Alarms()
 	if len(alarms) > 0 {
-		fmt.Printf("%d alarm(s):\n", len(alarms))
+		fmt.Fprintf(stdout, "%d alarm(s):\n", len(alarms))
 		for _, a := range alarms {
-			fmt.Printf("  %s\n", a)
+			fmt.Fprintf(stdout, "  %s\n", a)
 		}
 	} else if opt.Domain == sparrow.Interval {
-		fmt.Println("no alarms")
+		fmt.Fprintln(stdout, "no alarms")
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "sparrow:", err)
-	os.Exit(1)
+	return 0
 }

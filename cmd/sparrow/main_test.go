@@ -1,0 +1,133 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"sparrow/internal/metrics"
+)
+
+// runCLI invokes run with captured output.
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestRunGoodInput(t *testing.T) {
+	code, out, errb := runCLI(t, "testdata/good.c")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	if !strings.Contains(out, "no alarms") {
+		t.Errorf("expected 'no alarms' in output, got:\n%s", out)
+	}
+	if !strings.Contains(out, "interval/sparse:") {
+		t.Errorf("expected stats header, got:\n%s", out)
+	}
+}
+
+// TestRunFrontendProblems pins the exit-code contract: every frontend
+// problem — unreadable file, parse error, or a translation unit with no
+// main — must exit non-zero with a diagnostic on stderr.
+func TestRunFrontendProblems(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+		diag string
+	}{
+		{"missing-file", []string{"testdata/does-not-exist.c"}, 1, "no such file"},
+		{"parse-error", []string{"testdata/bad.c"}, 1, "bad.c"},
+		{"no-main", []string{"testdata/nomain.c"}, 1, "no main function"},
+		{"no-main-json", []string{"-stats-json", "testdata/nomain.c"}, 1, "no main function"},
+		{"bad-domain", []string{"-domain", "poly", "testdata/good.c"}, 1, "unknown domain"},
+		{"bad-mode", []string{"-mode", "turbo", "testdata/good.c"}, 1, "unknown mode"},
+		{"no-args", nil, 2, "usage"},
+		{"extra-args", []string{"testdata/good.c", "testdata/good.c"}, 2, "usage"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, out, errb := runCLI(t, tc.args...)
+			if code != tc.want {
+				t.Errorf("exit %d, want %d (stdout: %s, stderr: %s)", code, tc.want, out, errb)
+			}
+			if tc.diag != "" && !strings.Contains(errb, tc.diag) {
+				t.Errorf("stderr %q does not mention %q", errb, tc.diag)
+			}
+		})
+	}
+}
+
+func TestStatsJSONReport(t *testing.T) {
+	code, out, errb := runCLI(t, "-stats-json", "-workers", "2", "testdata/good.c")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	var rep metrics.Report
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("stdout is not a JSON report: %v\n%s", err, out)
+	}
+	if rep.Schema != metrics.Schema {
+		t.Errorf("schema %d, want %d", rep.Schema, metrics.Schema)
+	}
+	if rep.Program != "testdata/good.c" || rep.Domain != "interval" || rep.Mode != "sparse" || rep.Workers != 2 {
+		t.Errorf("bad stamp: %+v", rep)
+	}
+	if rep.Counters["worklist_pops"] <= 0 || rep.Counters["dug_nodes"] <= 0 {
+		t.Errorf("work counters not populated: %v", rep.Counters)
+	}
+	if len(rep.TimingsNS) == 0 {
+		t.Errorf("timings section empty")
+	}
+	// -stats-json suppresses the human-readable output: stdout must be the
+	// report alone.
+	if strings.Contains(out, "no alarms") || strings.Contains(out, "times:") {
+		t.Errorf("text output leaked into -stats-json mode:\n%s", out)
+	}
+}
+
+// TestStatsJSONWorkerIdentity is the CLI-level acceptance criterion: the
+// counter section of -stats-json is bit-identical for -workers 1, 2 and 8.
+func TestStatsJSONWorkerIdentity(t *testing.T) {
+	counters := func(workers int) map[string]int64 {
+		code, out, errb := runCLI(t, "-stats-json", "-workers", fmt.Sprint(workers), "testdata/good.c")
+		if code != 0 {
+			t.Fatalf("workers=%d: exit %d, stderr: %s", workers, code, errb)
+		}
+		var rep metrics.Report
+		if err := json.Unmarshal([]byte(out), &rep); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return rep.Counters
+	}
+	base := counters(1)
+	for _, w := range []int{2, 8} {
+		got := counters(w)
+		if !reflect.DeepEqual(base, got) {
+			for k, v := range base {
+				if got[k] != v {
+					t.Errorf("counter %s: workers=1 %d vs workers=%d %d", k, v, w, got[k])
+				}
+			}
+		}
+	}
+}
+
+func TestAllModesExitZero(t *testing.T) {
+	for _, domain := range []string{"interval", "octagon"} {
+		for _, mode := range []string{"vanilla", "base", "sparse"} {
+			t.Run(domain+"-"+mode, func(t *testing.T) {
+				code, _, errb := runCLI(t, "-domain", domain, "-mode", mode, "testdata/good.c")
+				if code != 0 {
+					t.Errorf("exit %d, stderr: %s", code, errb)
+				}
+			})
+		}
+	}
+}

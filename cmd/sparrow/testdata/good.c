@@ -1,0 +1,16 @@
+int g;
+int buf[4];
+
+int inc(int x) { return x + 1; }
+
+int main() {
+	int i;
+	int s;
+	s = 0;
+	for (i = 0; i < 4; i++) {
+		buf[i] = inc(s);
+		s = buf[i];
+	}
+	g = s;
+	return 0;
+}

@@ -1,0 +1,3 @@
+int g;
+
+int helper(int x) { return x * 2; }

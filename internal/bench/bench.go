@@ -1,0 +1,270 @@
+// Package bench is the benchmark-regression harness: it runs a fixed suite
+// of programs (the test corpus plus generated programs at two scales)
+// through all six analyzers, snapshots the deterministic work counters of
+// internal/metrics, and diffs snapshots against a committed baseline
+// (BENCH_sparse.json). Counters are schedule-independent, so the default
+// comparison is exact; wall times and heap are recorded for human reading
+// but never gated.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"sparrow/internal/cgen"
+	"sparrow/internal/core"
+	"sparrow/internal/metrics"
+)
+
+// Program is one suite member: a name and its source text.
+type Program struct {
+	Name string
+	Src  string
+}
+
+// Config is one analyzer configuration of the suite.
+type Config struct {
+	Domain core.Domain
+	Mode   core.Mode
+}
+
+// Configs returns the six analyzer configurations of Tables 2 and 3.
+func Configs() []Config {
+	return []Config{
+		{core.Interval, core.Vanilla},
+		{core.Interval, core.Base},
+		{core.Interval, core.Sparse},
+		{core.Octagon, core.Vanilla},
+		{core.Octagon, core.Base},
+		{core.Octagon, core.Sparse},
+	}
+}
+
+// Entry is one (program, domain, mode) measurement. Counters is the full
+// deterministic counter section of the metrics report; TimingsNS is
+// report-only context and never compared.
+type Entry struct {
+	Program   string           `json:"program"`
+	Domain    string           `json:"domain"`
+	Mode      string           `json:"mode"`
+	Workers   int              `json:"workers"`
+	Counters  map[string]int64 `json:"counters"`
+	TimingsNS map[string]int64 `json:"timings_ns,omitempty"`
+}
+
+// Key identifies the entry inside a snapshot.
+func (e Entry) Key() string { return e.Program + "/" + e.Domain + "/" + e.Mode }
+
+// Snapshot is a schema-versioned collection of entries, sorted by key.
+type Snapshot struct {
+	Schema  int     `json:"schema"`
+	Entries []Entry `json:"entries"`
+}
+
+// sortEntries establishes the canonical entry order.
+func (s *Snapshot) sortEntries() {
+	sort.Slice(s.Entries, func(i, j int) bool { return s.Entries[i].Key() < s.Entries[j].Key() })
+}
+
+// byKey indexes the snapshot.
+func (s *Snapshot) byKey() map[string]Entry {
+	m := make(map[string]Entry, len(s.Entries))
+	for _, e := range s.Entries {
+		m[e.Key()] = e
+	}
+	return m
+}
+
+// CorpusPrograms loads every .c file of dir (the shared test corpus),
+// sorted by name.
+func CorpusPrograms(dir string) ([]Program, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "*.c"))
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("bench: no .c files under %s", dir)
+	}
+	sort.Strings(names)
+	var out []Program
+	for _, n := range names {
+		src, err := os.ReadFile(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Program{Name: strings.TrimSuffix(filepath.Base(n), ".c"), Src: string(src)})
+	}
+	return out, nil
+}
+
+// GeneratedPrograms returns the two cgen-scaled members of the suite. The
+// generator is seeded, so the sources — and therefore every counter — are
+// reproducible across machines.
+func GeneratedPrograms() []Program {
+	return []Program{
+		{Name: "gen-400", Src: cgen.Generate(cgen.Default(42, 400))},
+		{Name: "gen-1000", Src: cgen.Generate(cgen.Default(43, 1000))},
+	}
+}
+
+// Suite composes the full benchmark suite: corpus + generated programs.
+func Suite(corpusDir string) ([]Program, error) {
+	progs, err := CorpusPrograms(corpusDir)
+	if err != nil {
+		return nil, err
+	}
+	return append(progs, GeneratedPrograms()...), nil
+}
+
+// Options configures a collection run.
+type Options struct {
+	// Workers is the parallel-phase budget per analysis (counters are
+	// worker-count independent; 1 keeps runs cheap and deterministic in
+	// wall time too).
+	Workers int
+	// Timings records per-phase wall times in the entries (off for
+	// committed baselines: they churn on every machine).
+	Timings bool
+	// Progress, when non-nil, receives one line per completed entry.
+	Progress func(string)
+}
+
+// Collect runs every program under every configuration and returns the
+// snapshot.
+func Collect(progs []Program, opt Options) (*Snapshot, error) {
+	snap := &Snapshot{Schema: metrics.Schema}
+	for _, p := range progs {
+		for _, cfg := range Configs() {
+			col := metrics.New()
+			res, err := core.AnalyzeSource(p.Name+".c", p.Src, core.Options{
+				Domain:  cfg.Domain,
+				Mode:    cfg.Mode,
+				Workers: opt.Workers,
+				Metrics: col,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s %v/%v: %w", p.Name, cfg.Domain, cfg.Mode, err)
+			}
+			res.Alarms() // populate the alarm counter
+			rep := res.MetricsReport()
+			e := Entry{
+				Program:  p.Name,
+				Domain:   rep.Domain,
+				Mode:     rep.Mode,
+				Workers:  rep.Workers,
+				Counters: rep.Counters,
+			}
+			if opt.Timings {
+				e.TimingsNS = rep.TimingsNS
+			}
+			snap.Entries = append(snap.Entries, e)
+			if opt.Progress != nil {
+				opt.Progress(fmt.Sprintf("%s: pops=%d joins=%d", e.Key(), e.Counters["worklist_pops"], e.Counters["joins"]))
+			}
+		}
+	}
+	snap.sortEntries()
+	return snap, nil
+}
+
+// Load reads a snapshot file.
+func Load(path string) (*Snapshot, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// Save writes a snapshot file (indented, trailing newline, stable order).
+func (s *Snapshot) Save(path string) error {
+	s.sortEntries()
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// Compare diffs got against the baseline. Counters are compared with the
+// given relative tolerance (0 = exact, the default gate: they are
+// deterministic); missing or extra entries and schema drift are always
+// reported. The returned strings are human-readable regression lines;
+// empty means the gate passes.
+func Compare(base, got *Snapshot, tol float64) []string {
+	var diffs []string
+	if base.Schema != got.Schema {
+		diffs = append(diffs, fmt.Sprintf("schema: baseline %d vs current %d (regenerate the baseline)", base.Schema, got.Schema))
+		return diffs
+	}
+	bm, gm := base.byKey(), got.byKey()
+	var keys []string
+	for k := range bm {
+		keys = append(keys, k)
+	}
+	for k := range gm {
+		if _, ok := bm[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		be, inBase := bm[k]
+		ge, inGot := gm[k]
+		switch {
+		case !inGot:
+			diffs = append(diffs, fmt.Sprintf("%s: missing from current run", k))
+			continue
+		case !inBase:
+			diffs = append(diffs, fmt.Sprintf("%s: not in baseline (add it by regenerating)", k))
+			continue
+		}
+		var names []string
+		for name := range be.Counters {
+			names = append(names, name)
+		}
+		for name := range ge.Counters {
+			if _, ok := be.Counters[name]; !ok {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			bv, inB := be.Counters[name]
+			gv, inG := ge.Counters[name]
+			switch {
+			case !inG:
+				diffs = append(diffs, fmt.Sprintf("%s: counter %s missing (baseline %d)", k, name, bv))
+			case !inB:
+				diffs = append(diffs, fmt.Sprintf("%s: new counter %s=%d not in baseline", k, name, gv))
+			case !within(bv, gv, tol):
+				diffs = append(diffs, fmt.Sprintf("%s: counter %s: baseline %d vs current %d", k, name, bv, gv))
+			}
+		}
+	}
+	return diffs
+}
+
+// within reports |b-g| <= tol*|b|.
+func within(b, g int64, tol float64) bool {
+	if b == g {
+		return true
+	}
+	d := b - g
+	if d < 0 {
+		d = -d
+	}
+	ab := b
+	if ab < 0 {
+		ab = -ab
+	}
+	return float64(d) <= tol*float64(ab)
+}

@@ -21,6 +21,7 @@ import (
 	"sparrow/internal/lattice/itv"
 	"sparrow/internal/lattice/val"
 	"sparrow/internal/mem"
+	"sparrow/internal/metrics"
 	"sparrow/internal/octsem"
 	"sparrow/internal/pack"
 	"sparrow/internal/prean"
@@ -98,6 +99,12 @@ type Options struct {
 	// deterministic across worker counts. 0 keeps every phase on the
 	// original sequential code path.
 	Workers int
+	// Metrics, when non-nil, is threaded through the whole pipeline —
+	// frontend, pre-analysis, def-use-graph construction, partitioning, the
+	// fixpoint solvers, and the checkers — collecting per-phase wall times
+	// and the deterministic work counters of internal/metrics. Snapshot the
+	// run with Result.MetricsReport (or Collector.Report directly).
+	Metrics *metrics.Collector
 }
 
 // Stats summarizes an analysis run (the Table 1–3 columns).
@@ -140,6 +147,7 @@ type Result struct {
 	pre   *prean.Result
 	isem  *sem.Sem
 	graph *dug.Graph // sparse only
+	col   *metrics.Collector
 
 	dres  *dense.Result
 	sres  *sparse.Result
@@ -151,11 +159,15 @@ type Result struct {
 
 // AnalyzeSource parses, lowers and analyzes a C-like translation unit.
 func AnalyzeSource(name, src string, opt Options) (*Result, error) {
+	stop := opt.Metrics.Phase(metrics.PhaseParse)
 	f, err := parser.Parse(name, src)
+	stop()
 	if err != nil {
 		return nil, err
 	}
+	stop = opt.Metrics.Phase(metrics.PhaseLower)
 	prog, err := lower.File(f)
+	stop()
 	if err != nil {
 		return nil, err
 	}
@@ -175,13 +187,20 @@ func countLines(src string) int {
 
 // AnalyzeProgram analyzes an already-lowered program.
 func AnalyzeProgram(prog *ir.Program, opt Options) (*Result, error) {
-	r := &Result{Prog: prog, Opts: opt}
+	r := &Result{Prog: prog, Opts: opt, col: opt.Metrics}
 	t0 := time.Now()
 
+	stop := opt.Metrics.Phase(metrics.PhasePrean)
 	pre := prean.RunWorkers(prog, opt.Workers)
+	stop()
 	r.pre = pre
 	r.isem = &sem.Sem{Prog: prog, Callees: pre.CalleesOf, InCycle: pre.CG.InCycle}
 	r.Stats.PreTime = time.Since(t0)
+	opt.Metrics.Set(metrics.CtrPreanPasses, int64(pre.Passes))
+	opt.Metrics.Set(metrics.CtrIRProcs, int64(len(prog.Procs)))
+	opt.Metrics.Set(metrics.CtrIRPoints, int64(len(prog.Points)))
+	opt.Metrics.Set(metrics.CtrIRStatements, int64(prog.NumStatements()))
+	opt.Metrics.Set(metrics.CtrIRLocs, int64(prog.Locs.Len()))
 
 	switch opt.Domain {
 	case Interval:
@@ -203,7 +222,66 @@ func AnalyzeProgram(prog *ir.Program, opt Options) (*Result, error) {
 	r.Stats.Blocks = prog.NumBlocks()
 	r.Stats.MaxSCC = pre.CG.MaxSCC()
 	r.Stats.AbsLocs = prog.Locs.Len()
+	r.recordResultShape(opt.Metrics)
 	return r, nil
+}
+
+// recordResultShape flushes the result-side gauges: reachable points and the
+// abstract-memory footprint (peak and total per-point entry counts). All are
+// deterministic — the solver memories are identical across worker counts.
+func (r *Result) recordResultShape(col *metrics.Collector) {
+	if col == nil {
+		return
+	}
+	reached := int64(0)
+	for _, ok := range r.reachedSlice() {
+		if ok {
+			reached++
+		}
+	}
+	col.Set(metrics.CtrReachedPoints, reached)
+	var peak, total int64
+	bump := func(n int) {
+		total += int64(n)
+		if int64(n) > peak {
+			peak = int64(n)
+		}
+	}
+	switch {
+	case r.dres != nil:
+		for _, m := range r.dres.In {
+			bump(m.Len())
+		}
+	case r.sres != nil:
+		for i := range r.sres.Acc {
+			bump(r.sres.Acc[i].Len())
+			bump(r.sres.Out[i].Len())
+		}
+	case r.odres != nil:
+		for _, m := range r.odres.In {
+			bump(m.Len())
+		}
+	case r.osres != nil:
+		for i := range r.osres.Acc {
+			bump(r.osres.Acc[i].Len())
+			bump(r.osres.Out[i].Len())
+		}
+	}
+	col.Set(metrics.CtrMemPeakEntries, peak)
+	col.Set(metrics.CtrMemTotalEntries, total)
+}
+
+// MetricsReport snapshots the run's collector (nil when the analysis ran
+// without Options.Metrics) and stamps the analyzer configuration.
+func (r *Result) MetricsReport() *metrics.Report {
+	if r.col == nil {
+		return nil
+	}
+	rep := r.col.Report()
+	rep.Domain = r.Opts.Domain.String()
+	rep.Mode = r.Opts.Mode.String()
+	rep.Workers = r.Opts.Workers
+	return rep
 }
 
 func (r *Result) runInterval(opt Options) error {
@@ -211,24 +289,29 @@ func (r *Result) runInterval(opt Options) error {
 	switch opt.Mode {
 	case Vanilla, Base:
 		t := time.Now()
+		stop := opt.Metrics.Phase(metrics.PhaseFix)
 		r.dres = dense.Analyze(prog, pre, dense.Options{
 			Localize: opt.Mode == Base,
 			Timeout:  opt.Timeout,
 			MaxSteps: opt.MaxSteps,
 			Narrow:   opt.Narrow,
+			Metrics:  opt.Metrics,
 		})
+		stop()
 		r.Stats.FixTime = time.Since(t)
 		r.Stats.DepTime = r.Stats.PreTime
 		r.Stats.Steps = r.dres.Steps
 		r.Stats.TimedOut = r.dres.TimedOut
 	case Sparse:
 		t := time.Now()
-		dopt := dug.Options{Bypass: !opt.NoBypass, Workers: opt.Workers}
+		stop := opt.Metrics.Phase(metrics.PhaseDUG)
+		dopt := dug.Options{Bypass: !opt.NoBypass, Workers: opt.Workers, Metrics: opt.Metrics}
 		if opt.DefUseChains {
 			r.graph = dug.BuildDefUseChains(prog, pre, dopt)
 		} else {
 			r.graph = dug.Build(prog, pre, dopt)
 		}
+		stop()
 		r.Stats.DepTime = r.Stats.PreTime + time.Since(t)
 		t = time.Now()
 		sopt := sparse.Options{
@@ -236,17 +319,27 @@ func (r *Result) runInterval(opt Options) error {
 			MaxSteps: opt.MaxSteps,
 			Narrow:   opt.Narrow,
 			Workers:  opt.Workers,
+			Metrics:  opt.Metrics,
 		}
 		if opt.Workers >= 1 {
-			r.sres = sparse.AnalyzeParallel(prog, pre, r.graph, sopt)
+			stop = opt.Metrics.Phase(metrics.PhasePartition)
 			p := r.graph.Partition()
+			stop()
+			opt.Metrics.Set(metrics.CtrComponents, int64(p.NumComps()))
+			opt.Metrics.Set(metrics.CtrMaxComponent, int64(p.MaxComp))
+			opt.Metrics.Set(metrics.CtrIslands, int64(p.NumIslands))
+			stop = opt.Metrics.Phase(metrics.PhaseFix)
+			r.sres = sparse.AnalyzeParallel(prog, pre, r.graph, sopt)
+			stop()
 			r.Stats.Workers = opt.Workers
 			r.Stats.Components = p.NumComps()
 			r.Stats.MaxComponent = p.MaxComp
 			r.Stats.Islands = p.NumIslands
 			r.Stats.Rounds = r.sres.Rounds
 		} else {
+			stop = opt.Metrics.Phase(metrics.PhaseFix)
 			r.sres = sparse.Analyze(prog, pre, r.graph, sopt)
+			stop()
 		}
 		r.Stats.FixTime = time.Since(t)
 		r.Stats.Steps = r.sres.Steps
@@ -270,28 +363,37 @@ func (r *Result) runOctagon(opt Options) error {
 	r.osem = osem
 	r.Stats.PackCount = r.packs.NumPacks()
 	r.Stats.PackAvg = r.packs.AvgSize()
+	opt.Metrics.Set(metrics.CtrPacks, int64(r.packs.NumPacks()))
 	switch opt.Mode {
 	case Vanilla, Base:
 		t := time.Now()
+		stop := opt.Metrics.Phase(metrics.PhaseFix)
 		r.odres = octdense.Analyze(prog, pre, osem, src, octdense.Options{
 			Localize: opt.Mode == Base,
 			Timeout:  opt.Timeout,
 			MaxSteps: opt.MaxSteps,
 			Narrow:   opt.Narrow,
+			Metrics:  opt.Metrics,
 		})
+		stop()
 		r.Stats.FixTime = time.Since(t)
 		r.Stats.DepTime = r.Stats.PreTime
 		r.Stats.Steps = r.odres.Steps
 		r.Stats.TimedOut = r.odres.TimedOut
 	case Sparse:
 		t := time.Now()
-		r.graph = dug.BuildFrom(src, dug.Options{Bypass: !opt.NoBypass, Workers: opt.Workers})
+		stop := opt.Metrics.Phase(metrics.PhaseDUG)
+		r.graph = dug.BuildFrom(src, dug.Options{Bypass: !opt.NoBypass, Workers: opt.Workers, Metrics: opt.Metrics})
+		stop()
 		r.Stats.DepTime = r.Stats.PreTime + time.Since(t)
 		t = time.Now()
+		stop = opt.Metrics.Phase(metrics.PhaseFix)
 		r.osres = octsparse.Analyze(prog, pre, osem, r.graph, octsparse.Options{
 			Timeout:  opt.Timeout,
 			MaxSteps: opt.MaxSteps,
+			Metrics:  opt.Metrics,
 		})
+		stop()
 		r.Stats.FixTime = time.Since(t)
 		r.Stats.Steps = r.osres.Steps
 		r.Stats.TimedOut = r.osres.TimedOut
@@ -474,7 +576,11 @@ func (r *Result) describeVal(v val.Val) string {
 func (r *Result) Alarms() []check.Alarm {
 	switch {
 	case r.dres != nil, r.sres != nil:
-		return check.Run(r.Prog, r.isem, r.reachedSlice(), r.MemAt)
+		stop := r.col.Phase(metrics.PhaseCheck)
+		alarms := check.Run(r.Prog, r.isem, r.reachedSlice(), r.MemAt)
+		stop()
+		r.col.Set(metrics.CtrAlarms, int64(len(alarms)))
+		return alarms
 	default:
 		return nil
 	}

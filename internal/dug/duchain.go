@@ -55,6 +55,7 @@ func BuildDefUseChainsFrom(src *Source, opt Options) *Graph {
 		b.bypass()
 	}
 	b.finalize(info)
+	b.g.flushMetrics(opt.Metrics)
 	return b.g
 }
 

@@ -20,6 +20,7 @@ import (
 	"sparrow/internal/callgraph"
 	"sparrow/internal/cfg"
 	"sparrow/internal/ir"
+	"sparrow/internal/metrics"
 	"sparrow/internal/par"
 	"sparrow/internal/prean"
 	"sparrow/internal/sem"
@@ -49,6 +50,10 @@ type Options struct {
 	// for every worker count: parallel phases stage into per-point or
 	// per-procedure slots and are merged in a fixed order.
 	Workers int
+	// Metrics, when non-nil, receives the finished graph's size counters
+	// (nodes, dependency triples, phis, spliced triples, ΣD̂/ΣÛ) — the
+	// paper's first-class sparse-representation scalability metric.
+	Metrics *metrics.Collector
 }
 
 // Graph is the def-use graph.
@@ -224,7 +229,26 @@ func BuildFrom(src *Source, opt Options) *Graph {
 		b.bypass()
 	}
 	b.finalize(info)
+	b.g.flushMetrics(opt.Metrics)
 	return b.g
+}
+
+// flushMetrics records the finished graph's size counters.
+func (g *Graph) flushMetrics(col *metrics.Collector) {
+	if col == nil {
+		return
+	}
+	col.Add(metrics.CtrDUGNodes, int64(g.NumNodes()))
+	col.Add(metrics.CtrDUGEdges, int64(g.EdgeCount))
+	col.Add(metrics.CtrDUGPhis, int64(len(g.Phis)))
+	col.Add(metrics.CtrDUGSpliced, int64(g.SplicedTriples))
+	var defs, uses int64
+	for n := range g.Defs {
+		defs += int64(len(g.Defs[n]))
+		uses += int64(len(g.Uses[n]))
+	}
+	col.Add(metrics.CtrDUGDefs, defs)
+	col.Add(metrics.CtrDUGUses, uses)
 }
 
 // ensureNode grows the per-node tables to cover node n.

@@ -9,7 +9,6 @@ import (
 	"fmt"
 	"io"
 	"runtime"
-	"sync/atomic"
 	"text/tabwriter"
 	"time"
 
@@ -20,6 +19,7 @@ import (
 	"sparrow/internal/frontend/lower"
 	"sparrow/internal/frontend/parser"
 	"sparrow/internal/ir"
+	"sparrow/internal/metrics"
 	"sparrow/internal/prean"
 	"sparrow/internal/solver/sparse"
 )
@@ -73,52 +73,29 @@ func (b Benchmark) Source() string {
 // Run is one measured analyzer execution.
 type Run struct {
 	Stats    core.Stats
-	PeakHeap uint64 // bytes above the pre-run baseline
+	PeakHeap uint64          // bytes above the pre-run baseline
+	Report   *metrics.Report // full instrumentation snapshot
 	Err      error
 }
 
 // TimedOut reports whether the analyzer hit its budget.
 func (r Run) TimedOut() bool { return r.Err == nil && r.Stats.TimedOut }
 
-// Measure analyzes src under opt, sampling heap growth.
+// Measure analyzes src under opt, sampling heap growth with the shared
+// internal/metrics sampler. A collector is attached when opt.Metrics is nil,
+// so every measured run carries a Report.
 func Measure(name, src string, opt core.Options) Run {
-	runtime.GC()
-	var base runtime.MemStats
-	runtime.ReadMemStats(&base)
-	var peak atomic.Uint64
-	stop := make(chan struct{})
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		t := time.NewTicker(5 * time.Millisecond)
-		defer t.Stop()
-		for {
-			select {
-			case <-stop:
-				return
-			case <-t.C:
-				var m runtime.MemStats
-				runtime.ReadMemStats(&m)
-				if m.HeapAlloc > peak.Load() {
-					peak.Store(m.HeapAlloc)
-				}
-			}
-		}
-	}()
-	res, err := core.AnalyzeSource(name, src, opt)
-	var final runtime.MemStats
-	runtime.ReadMemStats(&final)
-	if final.HeapAlloc > peak.Load() {
-		peak.Store(final.HeapAlloc)
+	if opt.Metrics == nil {
+		opt.Metrics = metrics.New()
 	}
-	close(stop)
-	<-done
-	out := Run{Err: err}
+	stop := opt.Metrics.StartHeapSampler(5 * time.Millisecond)
+	res, err := core.AnalyzeSource(name, src, opt)
+	stop()
+	out := Run{Err: err, PeakHeap: opt.Metrics.PeakHeapBytes()}
 	if err == nil {
 		out.Stats = res.Stats
-	}
-	if p := peak.Load(); p > base.HeapAlloc {
-		out.PeakHeap = p - base.HeapAlloc
+		out.Report = res.MetricsReport()
+		out.Report.Program = name
 	}
 	return out
 }

@@ -1,0 +1,349 @@
+// Package metrics is the engine's observability layer: a low-overhead
+// instrumentation surface (atomic counters, phase wall-clock timers, gauge
+// snapshots) threaded through the analysis pipeline — frontend, pre-analysis,
+// def-use-graph construction, and the fixpoint solvers — and rendered as a
+// structured, schema-versioned Report.
+//
+// The paper's evaluation (Tables 1–3) is entirely about measuring the sparse
+// framework: pre-analysis cost, dependency-graph size, fixpoint time, memory.
+// This package makes those numbers first-class runtime outputs instead of
+// after-the-fact table generators, so every later performance change can be
+// judged against a recorded trajectory (see cmd/sparrow-bench and
+// BENCH_sparse.json).
+//
+// Determinism contract: every Counter is schedule-independent — for a given
+// program and analyzer configuration its value is bit-identical across
+// worker counts (the parallel solver's canonical schedule guarantees this;
+// internal/core's tests enforce it). Wall-clock timings and the heap gauge
+// are explicitly NOT deterministic and live in a separate report section
+// that regression tooling treats as report-only.
+//
+// All Collector methods are nil-receiver-safe: a nil *Collector is the
+// disabled instrument, so call sites never branch. Counter updates are
+// single atomic adds with no allocation, safe under -race from the parallel
+// solver's workers.
+package metrics
+
+import (
+	"encoding/json"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Schema is the version of the Report wire format. Bump it when counters
+// are added, removed, or change meaning; regression snapshots carry it so
+// stale baselines fail loudly instead of comparing apples to oranges.
+const Schema = 1
+
+// Phase identifies one timed stage of the analysis pipeline.
+type Phase uint8
+
+// Pipeline phases, in execution order.
+const (
+	PhaseParse     Phase = iota // lexing + parsing
+	PhaseLower                  // AST → IR lowering
+	PhasePrean                  // flow-insensitive pre-analysis
+	PhaseDUG                    // def-use-graph construction
+	PhasePartition              // SCC condensation of the def-use graph
+	PhaseFix                    // fixpoint computation (incl. narrowing)
+	PhaseCheck                  // alarm checkers
+	NumPhases
+)
+
+var phaseNames = [NumPhases]string{
+	PhaseParse:     "parse",
+	PhaseLower:     "lower",
+	PhasePrean:     "prean",
+	PhaseDUG:       "dug_build",
+	PhasePartition: "partition",
+	PhaseFix:       "fixpoint",
+	PhaseCheck:     "check",
+}
+
+func (p Phase) String() string { return phaseNames[p] }
+
+// Counter identifies one deterministic counter. The catalogue maps onto the
+// paper's evaluation columns: program shape (Table 1), dependency-graph size
+// and per-statement D̂/Û (Tables 2–3), and solver work (the fixpoint columns).
+type Counter uint8
+
+// Counters.
+const (
+	// Program shape (Table 1).
+	CtrIRProcs      Counter = iota // procedures (incl. synthetic __start)
+	CtrIRPoints                    // control points
+	CtrIRStatements                // statements (Table 1's Statements)
+	CtrIRLocs                      // abstract locations (Table 1's AbsLocs)
+
+	// Pre-analysis.
+	CtrPreanPasses // global sweeps until stabilization
+
+	// Def-use graph (Tables 2–3's Dep columns; the sparse-representation
+	// size that parameterized-representation work tracks as the scalability
+	// metric).
+	CtrDUGNodes   // points + phis
+	CtrDUGEdges   // ⟨from, loc, to⟩ dependency triples
+	CtrDUGPhis    // SSA phi nodes
+	CtrDUGSpliced // triples removed+added by the chain-bypass optimization
+	CtrDUGDefs    // Σ|D̂(c)| over nodes
+	CtrDUGUses    // Σ|Û(c)| over nodes
+
+	// Partition (parallel scheduling structure).
+	CtrComponents   // SCCs of the def-use graph
+	CtrMaxComponent // nodes in the largest component
+	CtrIslands      // weakly-connected islands of the condensation
+
+	// Fixpoint work.
+	CtrPops      // worklist pops (node/point firings)
+	CtrJoins     // value-changing join applications
+	CtrWidenings // effective widenings (widened value ≠ plain join)
+	CtrBypasses  // access-based localization bypass deliveries (dense base)
+	CtrRounds    // component-wave rounds of the parallel solver
+
+	// Result shape.
+	CtrReachedPoints   // control points proved reachable
+	CtrMemPeakEntries  // largest per-point abstract-memory entry count
+	CtrMemTotalEntries // Σ per-point abstract-memory entries (footprint)
+	CtrPacks           // octagon variable packs (octagon domains only)
+	CtrAlarms          // alarms reported by the checkers
+
+	NumCounters
+)
+
+var counterNames = [NumCounters]string{
+	CtrIRProcs:         "ir_procs",
+	CtrIRPoints:        "ir_points",
+	CtrIRStatements:    "ir_statements",
+	CtrIRLocs:          "ir_locs",
+	CtrPreanPasses:     "prean_passes",
+	CtrDUGNodes:        "dug_nodes",
+	CtrDUGEdges:        "dug_edges",
+	CtrDUGPhis:         "dug_phis",
+	CtrDUGSpliced:      "dug_spliced",
+	CtrDUGDefs:         "dug_defs",
+	CtrDUGUses:         "dug_uses",
+	CtrComponents:      "components",
+	CtrMaxComponent:    "max_component",
+	CtrIslands:         "islands",
+	CtrPops:            "worklist_pops",
+	CtrJoins:           "joins",
+	CtrWidenings:       "widenings",
+	CtrBypasses:        "bypasses",
+	CtrRounds:          "rounds",
+	CtrReachedPoints:   "reached_points",
+	CtrMemPeakEntries:  "mem_peak_entries",
+	CtrMemTotalEntries: "mem_total_entries",
+	CtrPacks:           "packs",
+	CtrAlarms:          "alarms",
+}
+
+func (c Counter) String() string { return counterNames[c] }
+
+// Collector accumulates one analysis run's metrics. The zero value is ready
+// to use; a nil *Collector is the disabled instrument (every method is a
+// no-op), so instrumented code calls unconditionally.
+type Collector struct {
+	counters [NumCounters]atomic.Int64
+
+	mu     sync.Mutex
+	phases [NumPhases]time.Duration
+
+	heapPeak atomic.Uint64
+	heapBase uint64
+}
+
+// New returns an empty collector.
+func New() *Collector { return &Collector{} }
+
+// Add increments counter k by n.
+func (c *Collector) Add(k Counter, n int64) {
+	if c == nil {
+		return
+	}
+	c.counters[k].Add(n)
+}
+
+// Set stores n into counter k (idempotent snapshot counters).
+func (c *Collector) Set(k Counter, n int64) {
+	if c == nil {
+		return
+	}
+	c.counters[k].Store(n)
+}
+
+// SetMax raises counter k to n if n is larger (gauge high-watermarks).
+func (c *Collector) SetMax(k Counter, n int64) {
+	if c == nil {
+		return
+	}
+	for {
+		old := c.counters[k].Load()
+		if n <= old || c.counters[k].CompareAndSwap(old, n) {
+			return
+		}
+	}
+}
+
+// Get reads counter k (0 on a nil collector).
+func (c *Collector) Get(k Counter) int64 {
+	if c == nil {
+		return 0
+	}
+	return c.counters[k].Load()
+}
+
+// Phase starts timing phase p and returns the stop function. Usage:
+//
+//	stop := col.Phase(metrics.PhaseParse)
+//	... work ...
+//	stop()
+//
+// Stopping adds the elapsed wall time to the phase (phases entered several
+// times accumulate). Safe on a nil collector.
+func (c *Collector) Phase(p Phase) func() {
+	if c == nil {
+		return func() {}
+	}
+	t0 := time.Now()
+	return func() { c.AddPhase(p, time.Since(t0)) }
+}
+
+// AddPhase adds d to phase p's accumulated wall time.
+func (c *Collector) AddPhase(p Phase, d time.Duration) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.phases[p] += d
+	c.mu.Unlock()
+}
+
+// PhaseTime reads phase p's accumulated wall time.
+func (c *Collector) PhaseTime(p Phase) time.Duration {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.phases[p]
+}
+
+// StartHeapSampler records the current heap allocation as the baseline and
+// samples runtime heap usage every interval until the returned stop function
+// is called, tracking the peak. The peak-above-baseline appears in the
+// report as PeakHeapBytes (a non-deterministic gauge: GC timing and sampling
+// jitter move it run to run). interval <= 0 uses 5ms.
+func (c *Collector) StartHeapSampler(interval time.Duration) (stop func()) {
+	if c == nil {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = 5 * time.Millisecond
+	}
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	c.heapBase = ms.HeapAlloc
+	sample := func() {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		for {
+			old := c.heapPeak.Load()
+			if m.HeapAlloc <= old || c.heapPeak.CompareAndSwap(old, m.HeapAlloc) {
+				return
+			}
+		}
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				sample()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			sample()
+			close(done)
+			<-finished
+		})
+	}
+}
+
+// PeakHeapBytes returns the sampled peak heap growth above the baseline
+// (0 without a sampler, or when the heap never grew).
+func (c *Collector) PeakHeapBytes() uint64 {
+	if c == nil {
+		return 0
+	}
+	if p := c.heapPeak.Load(); p > c.heapBase {
+		return p - c.heapBase
+	}
+	return 0
+}
+
+// Report is the structured snapshot of one run. Counters is the
+// deterministic section — bit-identical across worker counts for a fixed
+// program and configuration — while TimingsNS and PeakHeapBytes vary run to
+// run and are report-only in regression tooling.
+type Report struct {
+	Schema  int    `json:"schema"`
+	Program string `json:"program,omitempty"`
+	Domain  string `json:"domain,omitempty"`
+	Mode    string `json:"mode,omitempty"`
+	Workers int    `json:"workers,omitempty"`
+
+	Counters      map[string]int64 `json:"counters"`
+	TimingsNS     map[string]int64 `json:"timings_ns,omitempty"`
+	PeakHeapBytes uint64           `json:"peak_heap_bytes,omitempty"`
+}
+
+// Report snapshots the collector. Every catalogued counter appears (zeros
+// included) so the counter section's key set is stable across runs and
+// engine configurations; phases that never ran are omitted from timings.
+func (c *Collector) Report() *Report {
+	r := &Report{Schema: Schema, Counters: make(map[string]int64, NumCounters)}
+	for k := Counter(0); k < NumCounters; k++ {
+		r.Counters[counterNames[k]] = c.Get(k)
+	}
+	if c != nil {
+		c.mu.Lock()
+		for p := Phase(0); p < NumPhases; p++ {
+			if c.phases[p] > 0 {
+				if r.TimingsNS == nil {
+					r.TimingsNS = make(map[string]int64, NumPhases)
+				}
+				r.TimingsNS[phaseNames[p]] = int64(c.phases[p])
+			}
+		}
+		c.mu.Unlock()
+		r.PeakHeapBytes = c.PeakHeapBytes()
+	}
+	return r
+}
+
+// MarshalIndent renders the report as indented JSON.
+func (r *Report) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// CounterByName resolves a catalogue name to its Counter.
+func CounterByName(name string) (Counter, bool) {
+	for k := Counter(0); k < NumCounters; k++ {
+		if counterNames[k] == name {
+			return k, true
+		}
+	}
+	return 0, false
+}

@@ -19,6 +19,7 @@ import (
 	"sparrow/internal/cfg"
 	"sparrow/internal/ir"
 	"sparrow/internal/mem"
+	"sparrow/internal/metrics"
 	"sparrow/internal/prean"
 	"sparrow/internal/sem"
 	"sparrow/internal/worklist"
@@ -47,6 +48,12 @@ type Options struct {
 	// Narrow runs this many descending (narrowing) passes after the
 	// ascending fixpoint stabilizes.
 	Narrow int
+	// Metrics, when non-nil, receives the solver's work counters (worklist
+	// pops, value-changing joins, effective widenings, localization
+	// bypasses) when Analyze returns. The solver counts into Result fields
+	// on the hot path and flushes once, so instrumentation costs nothing
+	// per step.
+	Metrics *metrics.Collector
 }
 
 const (
@@ -68,6 +75,13 @@ type Result struct {
 	// schedule-independent (the surface on which exact cross-analyzer
 	// equality is a theorem; see internal/fuzz).
 	Widenings int
+	// Joins counts deliveries whose join changed the target's input
+	// (ascending phase only).
+	Joins int
+	// Bypasses counts per-callee localization bypass deliveries — the
+	// caller-memory complements routed around callees to return sites
+	// (Localize only; ascending phase).
+	Bypasses int
 	// TimedOut is set when Timeout or MaxSteps aborted the run.
 	TimedOut bool
 }
@@ -126,6 +140,10 @@ func Analyze(prog *ir.Program, pre *prean.Result, opt Options) *Result {
 	if opt.Narrow > 0 && !sv.res.TimedOut {
 		sv.narrow(opt.Narrow)
 	}
+	opt.Metrics.Add(metrics.CtrPops, int64(sv.res.Steps))
+	opt.Metrics.Add(metrics.CtrJoins, int64(sv.res.Joins))
+	opt.Metrics.Add(metrics.CtrWidenings, int64(sv.res.Widenings))
+	opt.Metrics.Add(metrics.CtrBypasses, int64(sv.res.Bypasses))
 	return sv.res
 }
 
@@ -187,6 +205,7 @@ func (sv *solver) step(pt *ir.Point) {
 			for _, p := range callees {
 				local := out.RemoveSet(sv.accCache[p])
 				for _, s := range pt.Succs {
+					sv.res.Bypasses++
 					sv.deliver(s, local)
 				}
 			}
@@ -216,6 +235,7 @@ func (sv *solver) deliver(target ir.PointID, m mem.Mem) {
 	joined := old.Join(m)
 	changed := first
 	if !joined.Eq(old) {
+		sv.res.Joins++
 		sv.counts[target]++
 		widen := sv.info.Widen[target] || int(sv.counts[target]) > sv.opt.WidenThreshold
 		if !widen && int(sv.counts[target]) > sv.opt.EntryWidenDelay {

@@ -10,6 +10,7 @@ import (
 	"sparrow/internal/cfg"
 	"sparrow/internal/dug"
 	"sparrow/internal/ir"
+	"sparrow/internal/metrics"
 	"sparrow/internal/octsem"
 	"sparrow/internal/pack"
 	"sparrow/internal/prean"
@@ -25,6 +26,10 @@ type Options struct {
 	WidenThreshold  int
 	EntryWidenDelay int
 	Narrow          int
+	// Metrics, when non-nil, receives the solver's work counters (pops,
+	// value-changing joins, effective widenings, localization bypasses)
+	// when Analyze returns.
+	Metrics *metrics.Collector
 }
 
 const (
@@ -34,10 +39,16 @@ const (
 
 // Result is the dense relational fixpoint.
 type Result struct {
-	In       []octsem.OMem
-	Reached  []bool
-	Steps    int
-	TimedOut bool
+	In      []octsem.OMem
+	Reached []bool
+	Steps   int
+	// Joins counts deliveries whose join changed the target's input;
+	// Widenings the effective widenings among them; Bypasses the per-callee
+	// localization bypass deliveries (Localize only). All ascending-phase.
+	Joins     int
+	Widenings int
+	Bypasses  int
+	TimedOut  bool
 }
 
 // Out returns the post-state of pt.
@@ -96,6 +107,10 @@ func Analyze(prog *ir.Program, pre *prean.Result, s *octsem.Sem, src *dug.Source
 	if opt.Narrow > 0 && !sv.res.TimedOut {
 		sv.narrow(opt.Narrow)
 	}
+	opt.Metrics.Add(metrics.CtrPops, int64(sv.res.Steps))
+	opt.Metrics.Add(metrics.CtrJoins, int64(sv.res.Joins))
+	opt.Metrics.Add(metrics.CtrWidenings, int64(sv.res.Widenings))
+	opt.Metrics.Add(metrics.CtrBypasses, int64(sv.res.Bypasses))
 	return sv.res
 }
 
@@ -155,6 +170,7 @@ func (sv *solver) step(pt *ir.Point) {
 			for _, p := range callees {
 				local := out.RemoveSet(sv.accCache[p])
 				for _, s := range pt.Succs {
+					sv.res.Bypasses++
 					sv.deliver(s, local)
 				}
 			}
@@ -181,6 +197,7 @@ func (sv *solver) deliver(target ir.PointID, m octsem.OMem) {
 	joined := old.Join(m)
 	changed := first
 	if !joined.Eq(old) {
+		sv.res.Joins++
 		sv.counts[target]++
 		widen := sv.info.Widen[target] || int(sv.counts[target]) > sv.opt.WidenThreshold
 		if !widen && int(sv.counts[target]) > sv.opt.EntryWidenDelay {
@@ -189,7 +206,11 @@ func (sv *solver) deliver(target ir.PointID, m octsem.OMem) {
 			}
 		}
 		if widen {
-			joined = old.Widen(joined)
+			wv := old.Widen(joined)
+			if !wv.Eq(joined) {
+				sv.res.Widenings++
+			}
+			joined = wv
 		}
 		sv.res.In[target] = joined
 		changed = true

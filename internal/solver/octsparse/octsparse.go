@@ -8,6 +8,7 @@ import (
 
 	"sparrow/internal/dug"
 	"sparrow/internal/ir"
+	"sparrow/internal/metrics"
 	"sparrow/internal/octsem"
 	"sparrow/internal/pack"
 	"sparrow/internal/prean"
@@ -21,6 +22,9 @@ type Options struct {
 	MaxSteps        int
 	WidenThreshold  int
 	EntryWidenDelay int
+	// Metrics, when non-nil, receives the solver's work counters (pops,
+	// value-changing joins, effective widenings) when Analyze returns.
+	Metrics *metrics.Collector
 }
 
 const (
@@ -34,7 +38,12 @@ type Result struct {
 	Out      []octsem.OMem
 	Reached  []bool
 	Steps    int
-	TimedOut bool
+	// Joins counts per-pack pushes that changed a node's stored output;
+	// Widenings the effective widening applications among them (widened
+	// state ≠ plain join).
+	Joins     int
+	Widenings int
+	TimedOut  bool
 }
 
 type solver struct {
@@ -98,6 +107,9 @@ func Analyze(prog *ir.Program, pre *prean.Result, s *octsem.Sem, g *dug.Graph, o
 		}
 		sv.fire(dug.NodeID(id))
 	}
+	opt.Metrics.Add(metrics.CtrPops, int64(sv.res.Steps))
+	opt.Metrics.Add(metrics.CtrJoins, int64(sv.res.Joins))
+	opt.Metrics.Add(metrics.CtrWidenings, int64(sv.res.Widenings))
 	return sv.res
 }
 
@@ -185,12 +197,17 @@ func (sv *solver) pushOuts(n dug.NodeID, m octsem.OMem) {
 				continue
 			}
 			if sv.g.Widen[n] || forceWiden {
-				joined = old.Widen(joined)
+				wv := old.Widen(joined)
+				if !wv.Eq(joined) {
+					sv.res.Widenings++
+				}
+				joined = wv
 			}
 		} else if nv.IsBottom() {
 			continue
 		}
 		changed = true
+		sv.res.Joins++
 		sv.res.Out[n] = sv.res.Out[n].Set(l, joined)
 		for _, succ := range sv.g.Succs(n, l) {
 			sacc := sv.res.Acc[succ]

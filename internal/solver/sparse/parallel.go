@@ -102,6 +102,7 @@ func AnalyzeParallel(prog *ir.Program, pre *prean.Result, g *dug.Graph, opt Opti
 
 	st.res.Steps += int(st.steps.Load())
 	st.res.Widenings += int(st.widenings.Load())
+	st.res.Joins += int(st.joins.Load())
 	st.res.TimedOut = st.timedOut.Load()
 	if opt.Narrow > 0 && !st.res.TimedOut {
 		// The descending phase is a whole-graph Jacobi sweep; reuse the
@@ -109,6 +110,7 @@ func AnalyzeParallel(prog *ir.Program, pre *prean.Result, g *dug.Graph, opt Opti
 		sv := &solver{prog: prog, pre: pre, g: g, s: pool[0].s, opt: opt, res: st.res}
 		sv.narrow(opt.Narrow)
 	}
+	flushMetrics(opt.Metrics, st.res)
 	return st.res
 }
 
@@ -150,6 +152,7 @@ type pstate struct {
 
 	steps     atomic.Int64
 	widenings atomic.Int64
+	joins     atomic.Int64
 	timedOut  atomic.Bool
 	deadline  time.Time
 }
@@ -437,6 +440,10 @@ type pworker struct {
 	s    *sem.Sem
 	wl   *worklist.Worklist
 	comp int32
+	// joins accumulates this component run's value-changing pushes; flushed
+	// to st.joins at component completion (same pattern as steps) so the
+	// hot path never touches shared state.
+	joins int64
 }
 
 // runComponent runs the priority-worklist transfer loop over one component's
@@ -478,6 +485,10 @@ func (w *pworker) runComponent(c int32) {
 	}
 	if st.opt.MaxSteps <= 0 {
 		st.steps.Add(int64(local))
+	}
+	if w.joins > 0 {
+		st.joins.Add(w.joins)
+		w.joins = 0
 	}
 }
 
@@ -589,6 +600,7 @@ func (w *pworker) pushOuts(n dug.NodeID, m mem.Mem) {
 			continue
 		}
 		changed = true
+		w.joins++
 		if st.g.Widen[n] || forceWiden {
 			wv := old.Widen(joined)
 			if !wv.Eq(joined) {

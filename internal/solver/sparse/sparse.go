@@ -16,6 +16,7 @@ import (
 	"sparrow/internal/dug"
 	"sparrow/internal/ir"
 	"sparrow/internal/mem"
+	"sparrow/internal/metrics"
 	"sparrow/internal/prean"
 	"sparrow/internal/sem"
 	"sparrow/internal/worklist"
@@ -44,6 +45,12 @@ type Options struct {
 	// def-use-graph components on (values below 1 mean 1). Analyze ignores
 	// it: the sequential solver has a single global worklist.
 	Workers int
+	// Metrics, when non-nil, receives the solver's work counters (node
+	// firings, value-changing joins, effective widenings, rounds) when the
+	// run completes. Counting happens in Result fields on the hot path —
+	// per-worker-local in AnalyzeParallel — and flushes once, so the
+	// instrumented counters stay bit-identical across worker counts.
+	Metrics *metrics.Collector
 }
 
 const (
@@ -67,6 +74,10 @@ type Result struct {
 	// plain join); zero means the run computed the schedule-independent
 	// least fixpoint (see the dense counterpart).
 	Widenings int
+	// Joins counts per-location pushes that changed a node's stored output
+	// (ascending phase only). Like Steps and Widenings it is identical
+	// across worker counts: the parallel schedule is canonical.
+	Joins int
 	// Rounds counts the component-wave rounds of AnalyzeParallel (0 for the
 	// sequential solver).
 	Rounds int
@@ -135,7 +146,16 @@ func Analyze(prog *ir.Program, pre *prean.Result, g *dug.Graph, opt Options) *Re
 	if opt.Narrow > 0 && !sv.res.TimedOut {
 		sv.narrow(opt.Narrow)
 	}
+	flushMetrics(opt.Metrics, sv.res)
 	return sv.res
+}
+
+// flushMetrics pushes a completed run's work counters into the collector.
+func flushMetrics(col *metrics.Collector, res *Result) {
+	col.Add(metrics.CtrPops, int64(res.Steps))
+	col.Add(metrics.CtrJoins, int64(res.Joins))
+	col.Add(metrics.CtrWidenings, int64(res.Widenings))
+	col.Add(metrics.CtrRounds, int64(res.Rounds))
 }
 
 // outOf recomputes a node's output memory from its current accumulated
@@ -301,6 +321,7 @@ func (sv *solver) pushOuts(n dug.NodeID, m mem.Mem) {
 			continue
 		}
 		changed = true
+		sv.res.Joins++
 		if sv.g.Widen[n] || forceWiden {
 			wv := old.Widen(joined)
 			if !wv.Eq(joined) {

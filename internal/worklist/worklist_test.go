@@ -54,6 +54,61 @@ func TestEmptyTake(t *testing.T) {
 	}
 }
 
+func TestNilPrioOrdersByID(t *testing.T) {
+	w := New(6, nil)
+	for _, id := range []int{5, 0, 3, 1, 4, 2} {
+		w.Add(id)
+	}
+	for want := 0; want < 6; want++ {
+		id, ok := w.Take()
+		if !ok || id != want {
+			t.Fatalf("got (%d,%v), want (%d,true)", id, ok, want)
+		}
+	}
+}
+
+// TestInterleavedModel drives a deterministic random add/take sequence
+// against a reference model, checking the invariants the solvers rely on:
+// Take returns the minimal-priority queued item, Len tracks the queued set,
+// and items re-added mid-drain come back.
+func TestInterleavedModel(t *testing.T) {
+	const n = 64
+	r := rand.New(rand.NewSource(3))
+	prio := r.Perm(n) // distinct priorities: the take order is total
+	w := New(n, prio)
+	queued := map[int]bool{}
+	for op := 0; op < 10000; op++ {
+		if r.Intn(2) == 0 {
+			id := r.Intn(n)
+			w.Add(id)
+			queued[id] = true
+		} else {
+			id, ok := w.Take()
+			if ok != (len(queued) > 0) {
+				t.Fatalf("op %d: Take ok=%v with %d queued", op, ok, len(queued))
+			}
+			if !ok {
+				continue
+			}
+			if !queued[id] {
+				t.Fatalf("op %d: took %d which is not queued", op, id)
+			}
+			for other := range queued {
+				if prio[other] < prio[id] {
+					t.Fatalf("op %d: took prio %d but prio %d queued", op, prio[id], prio[other])
+				}
+			}
+			delete(queued, id)
+		}
+		if w.Len() != len(queued) {
+			t.Fatalf("op %d: Len %d vs model %d", op, w.Len(), len(queued))
+		}
+		if w.Empty() != (len(queued) == 0) {
+			t.Fatalf("op %d: Empty %v vs model %d", op, w.Empty(), len(queued))
+		}
+	}
+}
+
 func TestRandomizedDrain(t *testing.T) {
 	r := rand.New(rand.NewSource(8))
 	const n = 200
