@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"testing"
 
+	"sparrow/internal/cgen"
 	"sparrow/internal/core"
 	"sparrow/internal/deps"
 	"sparrow/internal/dug"
@@ -199,5 +200,55 @@ func BenchmarkDUGBuild(b *testing.B) {
 				dug.Build(prog, pre, dug.Options{Bypass: arm.bypass})
 			}
 		})
+	}
+}
+
+// BenchmarkGen1000Sparse is the macro-benchmark of the abstract-memory hot
+// path: the full sparse interval analysis (pre-analysis, def-use graph,
+// fixpoint) of the seeded gen-1000 suite program — the largest member of the
+// BENCH_sparse.json suite. Run with -benchmem: the steady-state cost of the
+// fixpoint is dominated by Join/Widen/Eq over persistent memories, so
+// allocs/op is the number to watch across optimization PRs.
+func BenchmarkGen1000Sparse(b *testing.B) {
+	src := cgen.Generate(cgen.Default(43, 1000))
+	f, err := parser.Parse("gen-1000.c", src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := lower.File(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for b.Loop() {
+		pre := prean.Run(prog)
+		g := dug.Build(prog, pre, dug.Options{Bypass: true})
+		if sparse.Analyze(prog, pre, g, sparse.Options{}).TimedOut {
+			b.Fatal("timed out")
+		}
+	}
+}
+
+// BenchmarkGen1000SparseFix isolates the sparse fixpoint itself on the same
+// program (pre-analysis and dependency graph built once, outside the loop).
+func BenchmarkGen1000SparseFix(b *testing.B) {
+	src := cgen.Generate(cgen.Default(43, 1000))
+	f, err := parser.Parse("gen-1000.c", src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := lower.File(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pre := prean.Run(prog)
+	g := dug.Build(prog, pre, dug.Options{Bypass: true})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for b.Loop() {
+		if sparse.Analyze(prog, pre, g, sparse.Options{}).TimedOut {
+			b.Fatal("timed out")
+		}
 	}
 }

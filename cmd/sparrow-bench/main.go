@@ -4,10 +4,15 @@
 // fresh run against the committed baseline and exits non-zero on any
 // counter regression — the CI gate behind TestBenchRegression.
 //
+// Every run (write or -check) also emits a report-only timing/allocation
+// snapshot — wall ns, per-phase timer ns, and bytes allocated per suite
+// entry — to -times (default BENCH_times.json, empty disables). That file
+// is never gated; it exists so CI can archive the performance trajectory.
+//
 // Usage:
 //
 //	sparrow-bench [-corpus DIR] [-out FILE] [-check] [-snapshot FILE]
-//	              [-tol F] [-timings] [-workers N] [-v]
+//	              [-tol F] [-timings] [-times FILE] [-workers N] [-v]
 package main
 
 import (
@@ -34,6 +39,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	snapshot := fs.String("snapshot", "BENCH_sparse.json", "baseline snapshot for -check")
 	tol := fs.Float64("tol", 0, "relative counter tolerance for -check (0 = exact; counters are deterministic)")
 	timings := fs.Bool("timings", false, "record per-phase wall times in the snapshot (not for committed baselines)")
+	times := fs.String("times", "BENCH_times.json", "report-only timing/allocation snapshot path (empty disables)")
 	gen := fs.Bool("gen", true, "include the generated (cgen-scaled) programs in the suite")
 	workers := fs.Int("workers", 1, "parallel-phase budget per analysis (counters are worker-independent)")
 	verbose := fs.Bool("v", false, "print one line per completed entry")
@@ -61,9 +67,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *verbose {
 		opt.Progress = func(line string) { fmt.Fprintln(stderr, line) }
 	}
-	snap, err := bench.Collect(progs, opt)
+	snap, timesSnap, err := bench.CollectWithTimes(progs, opt)
 	if err != nil {
 		return fail(err)
+	}
+	if *times != "" {
+		if err := timesSnap.Save(*times); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "sparrow-bench: wrote report-only times to %s\n", *times)
 	}
 
 	if *check {

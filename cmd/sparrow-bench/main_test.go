@@ -2,9 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"sparrow/internal/bench"
 )
 
 // runCLI invokes run with captured output.
@@ -22,20 +26,50 @@ func TestWriteThenCheck(t *testing.T) {
 	corpus := filepath.Join(dir, "corpus")
 	writeCorpus(t, corpus)
 	snap := filepath.Join(dir, "snap.json")
+	times := filepath.Join(dir, "times.json")
 
-	code, out, errb := runCLI(t, "-gen=false", "-corpus", corpus, "-out", snap)
+	code, out, errb := runCLI(t, "-gen=false", "-corpus", corpus, "-out", snap, "-times", times)
 	if code != 0 {
 		t.Fatalf("write: exit %d, stderr: %s", code, errb)
 	}
 	if !strings.Contains(out, "wrote") {
 		t.Errorf("write output: %s", out)
 	}
-	code, out, errb = runCLI(t, "-gen=false", "-corpus", corpus, "-check", "-snapshot", snap)
+	checkTimes(t, times)
+	code, out, errb = runCLI(t, "-gen=false", "-corpus", corpus, "-check", "-snapshot", snap, "-times", times)
 	if code != 0 {
 		t.Fatalf("check: exit %d, stderr: %s", code, errb)
 	}
 	if !strings.Contains(out, "match") {
 		t.Errorf("check output: %s", out)
+	}
+	// -check also refreshes the report-only times snapshot.
+	checkTimes(t, times)
+}
+
+// checkTimes parses the report-only times snapshot and sanity-checks that
+// every entry carries a positive wall time (nothing here is gated, but the
+// file must at least be well-formed and populated).
+func checkTimes(t *testing.T, path string) {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("times snapshot: %v", err)
+	}
+	var ts bench.TimesSnapshot
+	if err := json.Unmarshal(b, &ts); err != nil {
+		t.Fatalf("times snapshot: %v", err)
+	}
+	if len(ts.Entries) == 0 {
+		t.Fatal("times snapshot: no entries")
+	}
+	for _, e := range ts.Entries {
+		if e.WallNS <= 0 {
+			t.Errorf("%s: wall_ns = %d, want > 0", e.Key(), e.WallNS)
+		}
+	}
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -45,11 +79,11 @@ func TestCheckDetectsRegression(t *testing.T) {
 	corpus := filepath.Join(dir, "corpus")
 	writeCorpus(t, corpus)
 	snap := filepath.Join(dir, "snap.json")
-	if code, _, errb := runCLI(t, "-gen=false", "-corpus", corpus, "-out", snap); code != 0 {
+	if code, _, errb := runCLI(t, "-gen=false", "-times=", "-corpus", corpus, "-out", snap); code != 0 {
 		t.Fatalf("write failed: %s", errb)
 	}
 	tamper(t, snap)
-	code, _, errb := runCLI(t, "-gen=false", "-corpus", corpus, "-check", "-snapshot", snap)
+	code, _, errb := runCLI(t, "-gen=false", "-times=", "-corpus", corpus, "-check", "-snapshot", snap)
 	if code != 1 {
 		t.Fatalf("check on tampered baseline: exit %d, want 1 (stderr: %s)", code, errb)
 	}

@@ -12,8 +12,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"time"
 
 	"sparrow/internal/cgen"
 	"sparrow/internal/core"
@@ -133,13 +135,74 @@ type Options struct {
 	Progress func(string)
 }
 
+// TimesEntry is the report-only performance record of one suite entry: total
+// wall time, the per-phase breakdown of the metrics phase timers, and the
+// bytes allocated by the run (runtime.MemStats TotalAlloc delta). None of it
+// is ever gated — wall times and allocation volumes churn with machine,
+// scheduler, and Go release — but snapshotting them per commit populates the
+// performance trajectory of the engine over time.
+type TimesEntry struct {
+	Program    string           `json:"program"`
+	Domain     string           `json:"domain"`
+	Mode       string           `json:"mode"`
+	Workers    int              `json:"workers"`
+	WallNS     int64            `json:"wall_ns"`
+	AllocBytes uint64           `json:"alloc_bytes"`
+	TimingsNS  map[string]int64 `json:"timings_ns,omitempty"`
+}
+
+// Key identifies the entry inside a times snapshot.
+func (e TimesEntry) Key() string { return e.Program + "/" + e.Domain + "/" + e.Mode }
+
+// TimesSnapshot is the report-only companion of Snapshot (BENCH_times.json).
+type TimesSnapshot struct {
+	Schema     int          `json:"schema"`
+	GoVersion  string       `json:"go_version"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Entries    []TimesEntry `json:"entries"`
+}
+
+// Save writes the times snapshot (indented, trailing newline, stable order).
+func (s *TimesSnapshot) Save(path string) error {
+	sort.Slice(s.Entries, func(i, j int) bool { return s.Entries[i].Key() < s.Entries[j].Key() })
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
 // Collect runs every program under every configuration and returns the
-// snapshot.
+// counter snapshot.
 func Collect(progs []Program, opt Options) (*Snapshot, error) {
+	snap, _, err := collect(progs, opt, false)
+	return snap, err
+}
+
+// CollectWithTimes is Collect plus the report-only times snapshot, measured
+// around each entry's analysis.
+func CollectWithTimes(progs []Program, opt Options) (*Snapshot, *TimesSnapshot, error) {
+	return collect(progs, opt, true)
+}
+
+func collect(progs []Program, opt Options, withTimes bool) (*Snapshot, *TimesSnapshot, error) {
 	snap := &Snapshot{Schema: metrics.Schema}
+	var times *TimesSnapshot
+	if withTimes {
+		times = &TimesSnapshot{
+			Schema:     metrics.Schema,
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		}
+	}
 	for _, p := range progs {
 		for _, cfg := range Configs() {
 			col := metrics.New()
+			var msBefore runtime.MemStats
+			if withTimes {
+				runtime.ReadMemStats(&msBefore)
+			}
+			start := time.Now()
 			res, err := core.AnalyzeSource(p.Name+".c", p.Src, core.Options{
 				Domain:  cfg.Domain,
 				Mode:    cfg.Mode,
@@ -147,9 +210,10 @@ func Collect(progs []Program, opt Options) (*Snapshot, error) {
 				Metrics: col,
 			})
 			if err != nil {
-				return nil, fmt.Errorf("bench: %s %v/%v: %w", p.Name, cfg.Domain, cfg.Mode, err)
+				return nil, nil, fmt.Errorf("bench: %s %v/%v: %w", p.Name, cfg.Domain, cfg.Mode, err)
 			}
 			res.Alarms() // populate the alarm counter
+			wall := time.Since(start)
 			rep := res.MetricsReport()
 			e := Entry{
 				Program:  p.Name,
@@ -162,13 +226,26 @@ func Collect(progs []Program, opt Options) (*Snapshot, error) {
 				e.TimingsNS = rep.TimingsNS
 			}
 			snap.Entries = append(snap.Entries, e)
+			if withTimes {
+				var msAfter runtime.MemStats
+				runtime.ReadMemStats(&msAfter)
+				times.Entries = append(times.Entries, TimesEntry{
+					Program:    p.Name,
+					Domain:     rep.Domain,
+					Mode:       rep.Mode,
+					Workers:    rep.Workers,
+					WallNS:     wall.Nanoseconds(),
+					AllocBytes: msAfter.TotalAlloc - msBefore.TotalAlloc,
+					TimingsNS:  rep.TimingsNS,
+				})
+			}
 			if opt.Progress != nil {
 				opt.Progress(fmt.Sprintf("%s: pops=%d joins=%d", e.Key(), e.Counters["worklist_pops"], e.Counters["joins"]))
 			}
 		}
 	}
 	snap.sortEntries()
-	return snap, nil
+	return snap, times, nil
 }
 
 // Load reads a snapshot file.

@@ -178,8 +178,14 @@ type builder struct {
 	defSets  []map[ir.LocID]bool // per node
 	useSets  []map[ir.LocID]bool
 	passSets []map[ir.LocID]bool // linkage-only locations (bypass candidates)
-	outSet   []map[ir.LocID]map[NodeID]bool
-	inSet    []map[ir.LocID]map[NodeID]bool
+	// outSet/inSet stage the dependency triples as dedup'd slices (addEdge
+	// scans before appending; fanout per ⟨node, loc⟩ is small and bounded by
+	// the splice cap). Slices keep staging cheap — the former map-of-set
+	// representation allocated two maps per ⟨node, loc⟩ pair and dominated
+	// the build's allocation profile — and finalize sorts, so only set
+	// content matters.
+	outSet []map[ir.LocID][]NodeID
+	inSet  []map[ir.LocID][]NodeID
 }
 
 // Build constructs the def-use graph of prog from the non-relational
@@ -541,31 +547,47 @@ func (b *builder) mergeProc(pr *ir.Proc, pb *procBuild) {
 // must keep iterating that cycle exactly as the dense analysis does.
 func (b *builder) addEdge(from NodeID, l ir.LocID, to NodeID) {
 	if b.outSet[from] == nil {
-		b.outSet[from] = map[ir.LocID]map[NodeID]bool{}
+		b.outSet[from] = map[ir.LocID][]NodeID{}
 	}
-	m := b.outSet[from][l]
-	if m == nil {
-		m = map[NodeID]bool{}
-		b.outSet[from][l] = m
-	}
-	if m[to] {
+	out := b.outSet[from][l]
+	if containsNode(out, to) {
 		return
 	}
-	m[to] = true
+	b.outSet[from][l] = append(out, to)
 	if b.inSet[to] == nil {
-		b.inSet[to] = map[ir.LocID]map[NodeID]bool{}
+		b.inSet[to] = map[ir.LocID][]NodeID{}
 	}
-	im := b.inSet[to][l]
-	if im == nil {
-		im = map[NodeID]bool{}
-		b.inSet[to][l] = im
-	}
-	im[from] = true
+	b.inSet[to][l] = append(b.inSet[to][l], from)
 }
 
 func (b *builder) delEdge(from NodeID, l ir.LocID, to NodeID) {
-	delete(b.outSet[from][l], to)
-	delete(b.inSet[to][l], from)
+	if m := b.outSet[from]; m != nil {
+		m[l] = removeNode(m[l], to)
+	}
+	if m := b.inSet[to]; m != nil {
+		m[l] = removeNode(m[l], from)
+	}
+}
+
+func containsNode(s []NodeID, n NodeID) bool {
+	for _, m := range s {
+		if m == n {
+			return true
+		}
+	}
+	return false
+}
+
+// removeNode deletes the first occurrence of n (order is irrelevant: the
+// staged sets are sorted in finalize).
+func removeNode(s []NodeID, n NodeID) []NodeID {
+	for i, m := range s {
+		if m == n {
+			s[i] = s[len(s)-1]
+			return s[:len(s)-1]
+		}
+	}
+	return s
 }
 
 // linkInterproc adds the call→entry and exit→return-site dependencies.
@@ -678,14 +700,14 @@ func (b *builder) bypass() {
 		for l := range b.passSets[n] {
 			var preds, succs []NodeID
 			if b.inSet[n] != nil {
-				for p := range b.inSet[n][l] {
+				for _, p := range b.inSet[n][l] {
 					if p != n {
 						preds = append(preds, p)
 					}
 				}
 			}
 			if b.outSet[n] != nil {
-				for s := range b.outSet[n][l] {
+				for _, s := range b.outSet[n][l] {
 					if s != n {
 						succs = append(succs, s)
 					}
@@ -747,13 +769,9 @@ func (b *builder) finalize(info *cfg.Info) {
 			continue
 		}
 		g.out[i] = make(map[ir.LocID][]NodeID, len(b.outSet[i]))
-		for l, set := range b.outSet[i] {
-			if len(set) == 0 {
+		for l, succs := range b.outSet[i] {
+			if len(succs) == 0 {
 				continue
-			}
-			succs := make([]NodeID, 0, len(set))
-			for t := range set {
-				succs = append(succs, t)
 			}
 			sort.Slice(succs, func(a, c int) bool { return succs[a] < succs[c] })
 			g.out[i][l] = succs

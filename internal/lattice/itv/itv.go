@@ -176,6 +176,15 @@ var Bot = Itv{}
 // Top is the interval [-oo, +oo].
 var Top = Itv{lo: NegInf, hi: PosInf, nonBot: true}
 
+// Zero and One are the interned singletons [0,0] and [1,1], by far the most
+// common constants in C programs; Single returns them so repeated literals
+// share one bitwise representation and converged-state comparisons stay on
+// the equal-bits fast path.
+var (
+	Zero = Itv{lo: Fin(0), hi: Fin(0), nonBot: true}
+	One  = Itv{lo: Fin(1), hi: Fin(1), nonBot: true}
+)
+
 // Of returns the interval [lo, hi]; it panics if lo > hi.
 func Of(lo, hi Bound) Itv {
 	if lo.Cmp(hi) > 0 {
@@ -188,7 +197,15 @@ func Of(lo, hi Bound) Itv {
 func OfInts(lo, hi int64) Itv { return Of(Fin(lo), Fin(hi)) }
 
 // Single returns the singleton interval [n, n].
-func Single(n int64) Itv { return OfInts(n, n) }
+func Single(n int64) Itv {
+	switch n {
+	case 0:
+		return Zero
+	case 1:
+		return One
+	}
+	return OfInts(n, n)
+}
 
 // AtLeast returns [n, +oo].
 func AtLeast(n int64) Itv { return Of(Fin(n), PosInf) }

@@ -68,8 +68,23 @@ var TopInt = Val{I: itv.Top}
 // FromItv returns a purely numeric value.
 func FromItv(i itv.Itv) Val { return Val{I: i} }
 
+// Interned values of the hottest constants; Const returns these so repeated
+// literals share one bitwise representation (see itv.Zero/itv.One).
+var (
+	zeroVal = Val{I: itv.Zero}
+	oneVal  = Val{I: itv.One}
+)
+
 // Const returns the singleton numeric value n.
-func Const(n int64) Val { return Val{I: itv.Single(n)} }
+func Const(n int64) Val {
+	switch n {
+	case 0:
+		return zeroVal
+	case 1:
+		return oneVal
+	}
+	return Val{I: itv.Single(n)}
+}
 
 // FromPtr returns a pointer to loc with the given region.
 func FromPtr(loc ir.LocID, r Region) Val {
@@ -213,6 +228,81 @@ func (v Val) Widen(w Val) Val {
 // function components keep v's (they were not widened past w).
 func (v Val) Narrow(w Val) Val {
 	return Val{I: v.I.Narrow(w.I), ptr: v.ptr, fns: v.fns}
+}
+
+// JoinChanged returns v.Join(w) together with whether the join differs from
+// v — equivalently, whether w ⋢ v, since Join(v,w) = v exactly when w ⊑ v.
+// An unchanged join returns v itself and allocates nothing; the fixpoint
+// loops use this in place of the Join-then-Eq pair.
+func (v Val) JoinChanged(w Val) (Val, bool) {
+	if w.LessEq(v) {
+		return v, false
+	}
+	return v.Join(w), true
+}
+
+// WidenChanged returns v.Widen(w) together with whether the widened value
+// differs from w (the ascended iterate: callers pass w = v ⊔ new, so the
+// flag reports an *effective* widening — one that extrapolated past the
+// plain join). When nothing extrapolates, w itself is returned and nothing
+// is allocated; the components are pre-checked without building the merge.
+func (v Val) WidenChanged(w Val) (Val, bool) {
+	wi := v.I.Widen(w.I)
+	if wi.Eq(w.I) && widenPtrKeeps(v.ptr, w.ptr) && fnsSubset(v.fns, w.fns) {
+		return w, false
+	}
+	return Val{
+		I:   wi,
+		ptr: mergePtr(v.ptr, w.ptr, Region.Widen),
+		fns: mergeFns(v.fns, w.fns),
+	}, true
+}
+
+// widenPtrKeeps reports whether mergePtr(a, b, Region.Widen) equals b
+// element-wise, i.e. the widening of the pointer components changes nothing
+// relative to b: every entry of a shares its location with b and widening
+// its region past b's is a no-op.
+func widenPtrKeeps(a, b []PtrEntry) bool {
+	j := 0
+	for i := range a {
+		for j < len(b) && b[j].Loc < a[i].Loc {
+			j++
+		}
+		if j >= len(b) || b[j].Loc != a[i].Loc {
+			return false // an a-only entry would survive into the merge
+		}
+		if !a[i].R.Widen(b[j].R).Eq(b[j].R) {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// fnsSubset reports a ⊆ b over sorted slices.
+func fnsSubset(a, b []ir.ProcID) bool {
+	j := 0
+	for _, f := range a {
+		for j < len(b) && b[j] < f {
+			j++
+		}
+		if j >= len(b) || b[j] != f {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// NarrowChanged returns v.Narrow(w) together with whether it differs from v.
+// Only the numeric component narrows, so the check is a bound comparison and
+// the unchanged case returns v itself; either way nothing is allocated.
+func (v Val) NarrowChanged(w Val) (Val, bool) {
+	ni := v.I.Narrow(w.I)
+	if ni.Eq(v.I) {
+		return v, false
+	}
+	return Val{I: ni, ptr: v.ptr, fns: v.fns}, true
 }
 
 // LessEq reports the lattice order.

@@ -1,0 +1,152 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+
+	"sparrow/internal/ir"
+	"sparrow/internal/lattice/itv"
+	"sparrow/internal/lattice/val"
+)
+
+// genSubMem derives from m a memory that is ⊑ m with a sub-domain: a random
+// subset of m's bindings, each shrunk to a sub-interval. Keeping the domain
+// inside m's matters — a b-only explicit bottom is ⊑ m too, but joining it
+// in legitimately grows the tree.
+func genSubMem(r *rand.Rand, m Mem) Mem {
+	o := Bot
+	m.Range(func(l ir.LocID, v val.Val) bool {
+		if r.Intn(2) == 0 {
+			return true
+		}
+		iv := v.Itv()
+		if iv.Lo().IsFinite() && iv.Hi().IsFinite() && iv.Hi().Int() > iv.Lo().Int() {
+			lo := iv.Lo().Int()
+			iv = itv.OfInts(lo, lo+r.Int63n(iv.Hi().Int()-lo+1))
+		}
+		o = o.Set(l, val.FromItv(iv))
+		return true
+	})
+	return o
+}
+
+// TestJoinSelfIsPhysical: Join(m, m) must return m itself, not an equal copy.
+func TestJoinSelfIsPhysical(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		m := genMem(r)
+		if j := m.Join(m); !j.Same(m) {
+			t.Fatalf("iter %d: Join(m, m) rebuilt the tree", i)
+		}
+	}
+}
+
+// TestJoinAliasesLowerArgument: when o ⊑ m (with o's domain inside m's),
+// Join(m, o) must alias m — the whole point of the identity-preserving
+// combiner: no-op joins in the fixpoint loops cost zero tree rebuilds.
+func TestJoinAliasesLowerArgument(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	aliased := 0
+	for i := 0; i < 1000; i++ {
+		m := genMem(r)
+		o := genSubMem(r, m)
+		if !o.LessEq(m) {
+			t.Fatalf("iter %d: generator broke o ⊑ m", i)
+		}
+		j := m.Join(o)
+		if !j.Same(m) {
+			t.Fatalf("iter %d: Join(m, o⊑m) did not alias m", i)
+		}
+		if !o.IsEmpty() {
+			aliased++
+		}
+	}
+	if aliased == 0 {
+		t.Fatal("all generated sub-memories were bottom; aliasing went untested")
+	}
+}
+
+// TestJoinChangedAgreesWithJoin: the fused join must produce a state equal
+// to the plain join, report changed exactly when the join ascended, and
+// return m physically when it did not.
+func TestJoinChangedAgreesWithJoin(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 10000; i++ {
+		a, b := genMem(r), genMem(r)
+		plain := a.Join(b)
+		fused, ch := a.JoinChanged(b)
+		if !plain.Eq(fused) {
+			t.Fatalf("iter %d: JoinChanged disagrees with Join", i)
+		}
+		if want := !plain.Eq(a); ch != want {
+			t.Fatalf("iter %d: changed=%v want %v", i, ch, want)
+		}
+		if !ch && !fused.Same(a) {
+			t.Fatalf("iter %d: unchanged JoinChanged did not return a physically", i)
+		}
+	}
+}
+
+// TestWidenNarrowChangedAgree mirrors the same contract for the fused
+// widening and narrowing.
+func TestWidenNarrowChangedAgree(t *testing.T) {
+	r := rand.New(rand.NewSource(14))
+	for i := 0; i < 10000; i++ {
+		a, b := genMem(r), genMem(r)
+		pw := a.Widen(b)
+		fw, wch := a.WidenChanged(b)
+		if !pw.Eq(fw) {
+			t.Fatalf("iter %d: WidenChanged disagrees with Widen", i)
+		}
+		if want := !pw.Eq(b); wch != want {
+			t.Fatalf("iter %d: widen changed=%v want %v", i, wch, want)
+		}
+		pn := a.Narrow(b)
+		fn, nch := a.NarrowChanged(b)
+		if !pn.Eq(fn) {
+			t.Fatalf("iter %d: NarrowChanged disagrees with Narrow", i)
+		}
+		if want := !pn.Eq(a); nch != want {
+			t.Fatalf("iter %d: narrow changed=%v want %v", i, nch, want)
+		}
+		if !nch && !fn.Same(a) {
+			t.Fatalf("iter %d: unchanged NarrowChanged did not return a physically", i)
+		}
+	}
+}
+
+// TestConvergedJoinChangedAllocs is the allocation gate of the issue: once a
+// fixpoint converges, the stored state is re-delivered physically (the
+// identity-preserving join made it so), and re-joining it must not allocate
+// at all — the O(1) root-equality path.
+func TestConvergedJoinChangedAllocs(t *testing.T) {
+	m := Bot
+	for i := 0; i < 256; i++ {
+		m = m.Set(ir.LocID(i), val.FromItv(itv.OfInts(0, int64(i))))
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, ch := m.JoinChanged(m); ch {
+			t.Error("converged join reported change")
+		}
+	}); allocs != 0 {
+		t.Errorf("converged JoinChanged: %v allocs/run, want 0", allocs)
+	}
+	// The converged equality check rides the same pointer fast path.
+	if allocs := testing.AllocsPerRun(100, func() {
+		if !m.Eq(m) {
+			t.Error("m != m")
+		}
+	}); allocs != 0 {
+		t.Errorf("converged Eq: %v allocs/run, want 0", allocs)
+	}
+	// Value-level convergence is alloc-free too: w ⊑ v joins via LessEq.
+	v := val.FromItv(itv.OfInts(0, 100))
+	w := val.FromItv(itv.OfInts(10, 20))
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, ch := v.JoinChanged(w); ch {
+			t.Error("converged value join reported change")
+		}
+	}); allocs != 0 {
+		t.Errorf("converged val.JoinChanged: %v allocs/run, want 0", allocs)
+	}
+}

@@ -42,13 +42,17 @@ func (m Mem) Set(l ir.LocID, v val.Val) Mem {
 	return Mem{m: m.m.Insert(int32(l), v)}
 }
 
-// WeakSet joins v into the current value of l (weak update).
+// WeakSet joins v into the current value of l (weak update). When l is
+// already bound and v ⊑ its value, m is returned unchanged (physically) and
+// nothing is allocated; an absent l is always bound, even to bottom, keeping
+// domains stable across joins.
 func (m Mem) WeakSet(l ir.LocID, v val.Val) Mem {
-	return Mem{m: m.m.Update(int32(l), func(old val.Val, ok bool) val.Val {
+	return Mem{m: m.m.UpdateIdent(int32(l), func(old val.Val, ok bool) (val.Val, bool) {
 		if !ok {
-			return v
+			return v, false
 		}
-		return old.Join(v)
+		nv, ch := old.JoinChanged(v)
+		return nv, !ch
 	})}
 }
 
@@ -64,29 +68,91 @@ func (m Mem) Range(f func(l ir.LocID, v val.Val) bool) {
 	m.m.Range(func(k int32, v val.Val) bool { return f(ir.LocID(k), v) })
 }
 
-// Join returns the pointwise least upper bound.
+// Join returns the pointwise least upper bound. Join preserves identity:
+// wherever o contributes nothing new, m's subtrees are returned as-is, so
+// m.Join(o) with o ⊑ m returns m itself and allocates nothing.
 func (m Mem) Join(o Mem) Mem {
-	return Mem{m: pmap.Merge(m.m, o.m, func(_ int32, a, b val.Val) val.Val { return a.Join(b) })}
+	return Mem{m: pmap.MergeIdent(m.m, o.m, func(_ int32, a, b val.Val) (val.Val, bool) {
+		nv, ch := a.JoinChanged(b)
+		return nv, !ch
+	})}
 }
 
-// Widen returns the pointwise widening m ∇ o.
+// Widen returns the pointwise widening m ∇ o, preserving identity like Join
+// (b ⊑ a makes the per-location widening a no-op bit-for-bit).
 func (m Mem) Widen(o Mem) Mem {
-	return Mem{m: pmap.Merge(m.m, o.m, func(_ int32, a, b val.Val) val.Val { return a.Widen(b) })}
+	return Mem{m: pmap.MergeIdent(m.m, o.m, func(_ int32, a, b val.Val) (val.Val, bool) {
+		if b.LessEq(a) {
+			return a, true
+		}
+		return a.Widen(b), false
+	})}
+}
+
+// JoinChanged returns m.Join(o) together with whether the join differs
+// semantically from m (absent entries are bottom, exactly as Eq treats
+// them). An unchanged join returns m itself — in particular, explicit-bottom
+// entries of o absent from m are NOT added, matching the keep-the-old-map
+// behaviour of the fixpoint loops this replaces; a changed join carries the
+// full Merge contents, explicit bottoms included.
+func (m Mem) JoinChanged(o Mem) (Mem, bool) {
+	r, ch := pmap.MergeChanged(m.m, o.m, func(_ int32, a, b val.Val) (val.Val, bool, bool) {
+		nv, changed := a.JoinChanged(b)
+		return nv, !changed, changed
+	}, valNonBot)
+	if !ch {
+		return m, false
+	}
+	return Mem{m: r}, true
+}
+
+// WidenChanged returns m.Widen(o) together with whether the widened result
+// differs semantically from o. It is meant for the ascending loops, which
+// call old.WidenChanged(joined) with joined = old.Join(new) — so o's domain
+// covers m's — and report the flag as an effective widening. When nothing
+// extrapolates, o itself is returned.
+func (m Mem) WidenChanged(o Mem) (Mem, bool) {
+	r, ch := pmap.MergeChanged(o.m, m.m, func(_ int32, a, b val.Val) (val.Val, bool, bool) {
+		nv, changed := b.WidenChanged(a)
+		return nv, !changed, changed
+	}, valNonBot)
+	if !ch {
+		return o, false
+	}
+	return Mem{m: r}, true
 }
 
 // Narrow returns the pointwise narrowing m Δ o. Locations absent from o
 // narrow towards bottom only in their widened (infinite) bounds, so m's
-// binding is kept.
+// binding is kept. Narrow preserves identity: when no binding narrows, m is
+// returned as-is (the old per-key Insert rebuild shared nothing).
 func (m Mem) Narrow(o Mem) Mem {
-	out := m
-	m.m.Range(func(k int32, a val.Val) bool {
-		if b, ok := o.m.Get(k); ok {
-			out.m = out.m.Insert(k, a.Narrow(b))
-		}
-		return true
-	})
-	return out
+	r, _ := m.NarrowChanged(o)
+	return r
 }
+
+// NarrowChanged returns m.Narrow(o) together with whether any binding
+// narrowed; the unchanged case returns m itself.
+func (m Mem) NarrowChanged(o Mem) (Mem, bool) {
+	changed := false
+	r := pmap.CombineLeft(m.m, o.m, func(_ int32, a, b val.Val) (val.Val, bool) {
+		nv, ch := a.NarrowChanged(b)
+		if ch {
+			changed = true
+		}
+		return nv, !ch
+	})
+	if !changed {
+		return m, false
+	}
+	return Mem{m: r}, true
+}
+
+// Same reports whether m and o are physically the same tree (O(1)); it
+// implies Eq. Tests of the identity-preservation contract use it.
+func (m Mem) Same(o Mem) bool { return pmap.Same(m.m, o.m) }
+
+func valNonBot(v val.Val) bool { return !v.IsBot() }
 
 // LessEq reports the pointwise order m ⊑ o.
 func (m Mem) LessEq(o Mem) bool {

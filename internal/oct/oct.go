@@ -219,6 +219,34 @@ func (o *Oct) Join(p *Oct) *Oct {
 	return out
 }
 
+// JoinChanged returns o.Join(p) together with whether the join differs
+// semantically from o, detected during the pointwise max itself: the result
+// equals closed(o) exactly when no entry of closed(p) exceeds it. This fuses
+// the Join-then-Eq pair of the fixpoint loops, whose separate Eq had to
+// re-close o (cubic in the pack size) on every delivery. The returned
+// octagon is identical — representation included — to what Join returns.
+func (o *Oct) JoinChanged(p *Oct) (*Oct, bool) {
+	oc := o.Closed()
+	if oc.bot {
+		pc := p.Closed()
+		return pc, !pc.bot
+	}
+	pc := p.Closed()
+	if pc.bot {
+		return oc, false
+	}
+	out := oc.clone()
+	changed := false
+	for i := range out.m {
+		if pc.m[i] > out.m[i] {
+			out.m[i] = pc.m[i]
+			changed = true
+		}
+	}
+	out.closed = true // max of two closed DBMs is closed
+	return out, changed
+}
+
 // Meet returns the greatest lower bound (pointwise min, then closure).
 func (o *Oct) Meet(p *Oct) *Oct {
 	if o.bot || p.bot {

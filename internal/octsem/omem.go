@@ -45,37 +45,101 @@ func (m OMem) Range(f func(p pack.ID, o *oct.Oct) bool) {
 	m.m.Range(func(k int32, o *oct.Oct) bool { return f(pack.ID(k), o) })
 }
 
-// Join returns the pointwise least upper bound.
+// Octagon values are reused only on pointer equality, never on semantic
+// equality: Widen uses its left argument *as stored* (closing between
+// widenings would break termination), so substituting a semantically-equal
+// but differently-represented octagon would change later widening results.
+// Pointer-equal reuse is exact — same object, same representation.
+
+// Join returns the pointwise least upper bound. Subtrees whose bindings all
+// alias between m and o are returned as-is.
 func (m OMem) Join(o OMem) OMem {
-	return OMem{m: pmap.Merge(m.m, o.m, func(_ int32, a, b *oct.Oct) *oct.Oct {
+	return OMem{m: pmap.MergeIdent(m.m, o.m, func(_ int32, a, b *oct.Oct) (*oct.Oct, bool) {
 		if a == b {
-			return a
+			return a, true
 		}
-		return a.Join(b)
+		return a.Join(b), false
 	})}
 }
 
 // Widen returns the pointwise widening.
 func (m OMem) Widen(o OMem) OMem {
-	return OMem{m: pmap.Merge(m.m, o.m, func(_ int32, a, b *oct.Oct) *oct.Oct {
+	return OMem{m: pmap.MergeIdent(m.m, o.m, func(_ int32, a, b *oct.Oct) (*oct.Oct, bool) {
 		if a == b {
-			return a
+			return a, true
 		}
-		return a.Widen(b)
+		return a.Widen(b), false
 	})}
+}
+
+// JoinChanged returns m.Join(o) together with whether the join differs
+// semantically from m (absent packs are bottom, as in Eq), fusing the
+// Join-then-Eq pair of the dense octagon solver. When unchanged, m itself is
+// returned — keeping m's stored representations and omitting explicit-bottom
+// packs of o, exactly like the keep-the-old-map path it replaces; when
+// changed, every common pack carries the freshly joined (closed) octagon
+// that plain Join would have produced.
+func (m OMem) JoinChanged(o OMem) (OMem, bool) {
+	r, ch := pmap.MergeChanged(m.m, o.m, func(_ int32, a, b *oct.Oct) (*oct.Oct, bool, bool) {
+		if a == b {
+			return a, true, false
+		}
+		j, jch := a.JoinChanged(b)
+		return j, false, jch
+	}, octNonBot)
+	if !ch {
+		return m, false
+	}
+	return OMem{m: r}, true
+}
+
+// WidenChanged returns m.Widen(o) together with whether the result differs
+// semantically from o; callers pass o = m.Join(new) (so o's domain covers
+// m's) and count the flag as an effective widening. Unlike the interval
+// side, the built result is returned even when unchanged: the ascending loop
+// it serves always stored the widening output, whose unclosed
+// representations the next widening depends on.
+func (m OMem) WidenChanged(o OMem) (OMem, bool) {
+	r, ch := pmap.MergeChanged(o.m, m.m, func(_ int32, a, b *oct.Oct) (*oct.Oct, bool, bool) {
+		if a == b {
+			return a, true, false
+		}
+		w := b.Widen(a)
+		return w, false, !w.Eq(a)
+	}, octNonBot)
+	return OMem{m: r}, ch
 }
 
 // Narrow returns the pointwise narrowing (bindings absent from o are kept).
 func (m OMem) Narrow(o OMem) OMem {
-	out := m
-	m.m.Range(func(k int32, a *oct.Oct) bool {
-		if b, ok := o.m.Get(k); ok {
-			out.m = out.m.Insert(k, a.Narrow(b))
-		}
-		return true
-	})
-	return out
+	r, _ := m.NarrowChanged(o)
+	return r
 }
+
+// NarrowChanged returns m.Narrow(o) together with whether any binding
+// narrowed semantically. When nothing narrowed, m itself is returned (the
+// loops kept the old map); when something did, every common pack carries a
+// freshly narrowed octagon, matching the all-fresh map the old
+// Narrow-then-Eq sequence stored.
+func (m OMem) NarrowChanged(o OMem) (OMem, bool) {
+	changed := false
+	r := pmap.CombineLeft(m.m, o.m, func(_ int32, a, b *oct.Oct) (*oct.Oct, bool) {
+		n := a.Narrow(b)
+		if !n.Eq(a) {
+			changed = true
+		}
+		return n, false
+	})
+	if !changed {
+		return m, false
+	}
+	return OMem{m: r}, true
+}
+
+// Same reports whether m and o are physically the same tree (O(1)).
+func (m OMem) Same(o OMem) bool { return pmap.Same(m.m, o.m) }
+
+func octNonBot(o *oct.Oct) bool { return !o.IsBottom() }
 
 // LessEq reports the pointwise order.
 func (m OMem) LessEq(o OMem) bool {
@@ -107,28 +171,39 @@ func (m OMem) Eq(o OMem) bool {
 	})
 }
 
-// RestrictSet keeps only the packs in set.
-func (m OMem) RestrictSet(set map[pack.ID]bool) OMem {
-	out := OBot
-	m.Range(func(p pack.ID, o *oct.Oct) bool {
-		if set[p] {
-			out = out.Set(p, o)
+// restrict keeps only the packs for which keep returns true. The kept
+// entries come out of Range already sorted, so the result is rebuilt in one
+// O(n) FromSorted pass (and the whole tree is shared when nothing is
+// filtered) instead of n O(log n) insertions — restriction runs at every
+// localized call boundary.
+func (m OMem) restrict(keep func(pack.ID) bool) OMem {
+	n := m.Len()
+	if n == 0 {
+		return OBot
+	}
+	keys := make([]int32, 0, n)
+	vals := make([]*oct.Oct, 0, n)
+	m.m.Range(func(k int32, o *oct.Oct) bool {
+		if keep(pack.ID(k)) {
+			keys = append(keys, k)
+			vals = append(vals, o)
 		}
 		return true
 	})
-	return out
+	if len(keys) == n {
+		return m // nothing filtered: share the whole tree
+	}
+	return OMem{m: pmap.FromSorted(keys, vals)}
+}
+
+// RestrictSet keeps only the packs in set.
+func (m OMem) RestrictSet(set map[pack.ID]bool) OMem {
+	return m.restrict(func(p pack.ID) bool { return set[p] })
 }
 
 // RemoveSet drops the packs in set.
 func (m OMem) RemoveSet(set map[pack.ID]bool) OMem {
-	out := OBot
-	m.Range(func(p pack.ID, o *oct.Oct) bool {
-		if !set[p] {
-			out = out.Set(p, o)
-		}
-		return true
-	})
-	return out
+	return m.restrict(func(p pack.ID) bool { return !set[p] })
 }
 
 // String renders the state (pack IDs with their octagons).

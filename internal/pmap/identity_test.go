@@ -1,0 +1,208 @@
+package pmap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The identity-preserving merge layer is specified against the plain Merge:
+// MergeChanged(a, b) must agree with Merge(a, b) up to bottom-insensitive
+// equality, report changed exactly when the merge ascended above a, and
+// return a physically when it did not. The tests model values as ints with
+// 0 playing bottom and max playing join.
+
+func maxCombiner(k int32, x, y int) int {
+	if x > y {
+		return x
+	}
+	return y
+}
+
+func maxChangeCombiner(k int32, av, bv int) (int, bool, bool) {
+	if bv <= av {
+		return av, true, false
+	}
+	return bv, false, true
+}
+
+func intNonBot(v int) bool { return v != 0 }
+
+// genIntMap builds a random map over keys [0,32) with values in [0,9];
+// value 0 is the explicit bottom.
+func genIntMap(r *rand.Rand) Map[int] {
+	m := Empty[int]()
+	for i := 0; i < r.Intn(24); i++ {
+		m = m.Insert(int32(r.Intn(32)), r.Intn(10))
+	}
+	return m
+}
+
+// eqModBot compares two maps treating absent keys and explicit zeros alike.
+func eqModBot(a, b Map[int]) bool {
+	return ForAll2(a, b, func(k int32, av int, aok bool, bv int, bok bool) bool {
+		return av == bv
+	})
+}
+
+// TestMergeChangedAgreesWithMerge drives 10k random pairs through both merge
+// paths: the fused result must equal the plain merge modulo bottoms, and the
+// changed bit must equal "ascended above a". When unchanged and b carries no
+// bottom-valued key outside a's domain, the merge must return a physically —
+// not a rebuilt equal tree. (With such keys the a==nil case hands back b's
+// subtree; callers like mem.JoinChanged restore the old map on !changed,
+// which is why the changed bit — not physical identity — is the primitive
+// contract here.)
+func TestMergeChangedAgreesWithMerge(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	unchanged, identical := 0, 0
+	for i := 0; i < 10000; i++ {
+		a, b := genIntMap(r), genIntMap(r)
+		plain := Merge(a, b, maxCombiner)
+		fused, ch := MergeChanged(a, b, maxChangeCombiner, intNonBot)
+		if !eqModBot(plain, fused) {
+			t.Fatalf("pair %d: fused merge disagrees with Merge", i)
+		}
+		if want := !eqModBot(plain, a); ch != want {
+			t.Fatalf("pair %d: changed=%v want %v", i, ch, want)
+		}
+		if ch {
+			// A changed merge must be bit-identical to the plain merge,
+			// explicit bottoms included: downstream Len-based gauges read it.
+			if !sameContent(plain, fused) {
+				t.Fatalf("pair %d: changed merge not content-identical to Merge", i)
+			}
+			continue
+		}
+		unchanged++
+		bOnlyBot := false
+		ForAll2(a, b, func(k int32, av int, aok bool, bv int, bok bool) bool {
+			if bok && !aok && bv == 0 {
+				bOnlyBot = true
+			}
+			return true
+		})
+		if !bOnlyBot {
+			identical++
+			if !Same(fused, a) {
+				t.Fatalf("pair %d: unchanged merge did not return a physically", i)
+			}
+		}
+	}
+	if unchanged == 0 || identical == 0 {
+		t.Fatalf("identity paths untested: unchanged=%d identical=%d", unchanged, identical)
+	}
+}
+
+// sameContent compares maps including explicit bottom entries.
+func sameContent(a, b Map[int]) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	return ForAll2(a, b, func(k int32, av int, aok bool, bv int, bok bool) bool {
+		return aok == bok && av == bv
+	})
+}
+
+// TestMergeIdentAliasing: merging a map with a lower one (or itself) must
+// return the original root, sharing the whole tree.
+func TestMergeIdentAliasing(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for i := 0; i < 1000; i++ {
+		a := genIntMap(r)
+		// b: a random sub-map of a with values shrunk toward bottom.
+		b := Empty[int]()
+		a.Range(func(k int32, v int) bool {
+			if r.Intn(2) == 0 {
+				b = b.Insert(k, r.Intn(v+1))
+			}
+			return true
+		})
+		ident := func(k int32, av, bv int) (int, bool) {
+			if bv <= av {
+				return av, true
+			}
+			return bv, false
+		}
+		if got := MergeIdent(a, b, ident); !Same(got, a) {
+			t.Fatalf("iter %d: MergeIdent(a, b<=a) rebuilt the tree", i)
+		}
+		if got := MergeIdent(a, a, ident); !Same(got, a) {
+			t.Fatalf("iter %d: MergeIdent(a, a) rebuilt the tree", i)
+		}
+	}
+}
+
+// TestCombineLeftIdentity: an all-reuse combine returns a physically; a
+// partial rewrite keeps a's domain and only touches the rewritten keys.
+func TestCombineLeftIdentity(t *testing.T) {
+	a := Empty[int]()
+	for i := int32(0); i < 100; i++ {
+		a = a.Insert(i, int(i)+1)
+	}
+	b := Empty[int]().Insert(50, 7).Insert(999, 3)
+	got := CombineLeft(a, b, func(k int32, av, bv int) (int, bool) {
+		return av, true
+	})
+	if !Same(got, a) {
+		t.Error("all-reuse CombineLeft rebuilt the tree")
+	}
+	got = CombineLeft(a, b, func(k int32, av, bv int) (int, bool) {
+		return av + bv, false
+	})
+	if got.Len() != a.Len() {
+		t.Fatalf("CombineLeft changed the domain: %d keys want %d", got.Len(), a.Len())
+	}
+	if v, _ := got.Get(50); v != 58 {
+		t.Errorf("Get(50) = %d want 58", v)
+	}
+	if _, ok := got.Get(999); ok {
+		t.Error("CombineLeft imported a b-only key")
+	}
+	if v, _ := got.Get(10); v != 11 {
+		t.Errorf("Get(10) = %d want 11 (untouched key rewritten)", v)
+	}
+}
+
+// TestUpdateIdent: a same-value update returns the original root; absent
+// keys are always inserted (domains must stay stable even for bottoms).
+func TestUpdateIdent(t *testing.T) {
+	m := Empty[int]().Insert(1, 10).Insert(2, 20)
+	got := m.UpdateIdent(1, func(old int, ok bool) (int, bool) {
+		return old, true
+	})
+	if !Same(got, m) {
+		t.Error("same-value UpdateIdent rebuilt the path")
+	}
+	got = m.UpdateIdent(1, func(old int, ok bool) (int, bool) {
+		return old + 1, false
+	})
+	if v, _ := got.Get(1); v != 11 {
+		t.Errorf("Get(1) = %d want 11", v)
+	}
+	got = m.UpdateIdent(3, func(old int, ok bool) (int, bool) {
+		if ok {
+			t.Error("absent key reported present")
+		}
+		return 0, true // reuse request on an absent key still inserts
+	})
+	if v, ok := got.Get(3); !ok || v != 0 {
+		t.Errorf("absent-key UpdateIdent: Get(3) = %d,%v want 0,true", v, ok)
+	}
+}
+
+// TestMergeChangedSharedSubtrees: fused merge over physically identical trees
+// must take the O(1) pointer path — no combiner calls, a returned as-is.
+func TestMergeChangedSharedSubtrees(t *testing.T) {
+	m := Empty[int]()
+	for i := int32(0); i < 1000; i++ {
+		m = m.Insert(i, int(i)+1)
+	}
+	calls := 0
+	got, ch := MergeChanged(m, m, func(k int32, av, bv int) (int, bool, bool) {
+		calls++
+		return av, true, false
+	}, intNonBot)
+	if ch || !Same(got, m) || calls != 0 {
+		t.Errorf("self-merge: changed=%v same=%v combiner calls=%d", ch, Same(got, m), calls)
+	}
+}

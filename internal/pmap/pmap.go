@@ -276,8 +276,187 @@ func merge[V any](a, b *node[V], both func(int32, V, V) V) *node[V] {
 	return join(a.key, v, l, r)
 }
 
+// ChangeCombiner resolves a key present in both maps for MergeChanged. It
+// returns the combined value nv plus two flags: reuse reports that av itself
+// is the result — physically; nv is then ignored, and the caller promises
+// that the plain combined value would be indistinguishable from av — and
+// changed reports that the result differs semantically from av. reuse
+// implies !changed.
+type ChangeCombiner[V any] func(k int32, av, bv V) (nv V, reuse, changed bool)
+
+// MergeChanged computes the union of a and b exactly like Merge (keys on one
+// side only are kept as-is; common keys go through the combiner) and
+// simultaneously reports whether the result differs semantically from a,
+// treating keys absent from a as bottom: a key only in b counts as a change
+// iff nonBot(bv). This fuses the join-then-Eq idiom of fixpoint loops into
+// one traversal, and like Merge it returns a's nodes unchanged wherever the
+// combiner reuses every value and b contributes no new key.
+func MergeChanged[V any](a, b Map[V], both ChangeCombiner[V], nonBot func(V) bool) (Map[V], bool) {
+	r, ch := mergeChanged(a.root, b.root, both, nonBot)
+	return Map[V]{root: r}, ch
+}
+
+func mergeChanged[V any](a, b *node[V], both ChangeCombiner[V], nonBot func(V) bool) (*node[V], bool) {
+	switch {
+	case a == nil:
+		return b, anyValue(b, nonBot)
+	case b == nil:
+		return a, false
+	case a == b:
+		return a, false // shared subtree: identical contents
+	}
+	bl, bv, bFound, br := split(b, a.key)
+	l, lch := mergeChanged(a.left, bl, both, nonBot)
+	r, rch := mergeChanged(a.right, br, both, nonBot)
+	v := a.val
+	reuse := true
+	vch := false
+	if bFound {
+		var nv V
+		nv, reuse, vch = both(a.key, a.val, bv)
+		if !reuse {
+			v = nv
+		}
+	}
+	if reuse && l == a.left && r == a.right {
+		return a, lch || rch
+	}
+	return join(a.key, v, l, r), lch || rch || vch
+}
+
+// anyValue reports whether pred holds for any value in the subtree.
+func anyValue[V any](n *node[V], pred func(V) bool) bool {
+	if n == nil {
+		return false
+	}
+	return pred(n.val) || anyValue(n.left, pred) || anyValue(n.right, pred)
+}
+
+// IdentCombiner resolves a key present in both maps for MergeIdent: it
+// returns the combined value nv, or reuse == true to keep av physically
+// (under the same indistinguishability promise as ChangeCombiner).
+type IdentCombiner[V any] func(k int32, av, bv V) (nv V, reuse bool)
+
+// MergeIdent is Merge with identity preservation: whenever the combiner
+// reuses every common value of a subtree of a and b contributes no new key
+// to it, that subtree of a is returned as-is, so a join that changes nothing
+// returns a itself and allocates nothing.
+func MergeIdent[V any](a, b Map[V], both IdentCombiner[V]) Map[V] {
+	return Map[V]{root: mergeIdent(a.root, b.root, both)}
+}
+
+func mergeIdent[V any](a, b *node[V], both IdentCombiner[V]) *node[V] {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	case a == b:
+		return a // shared subtree: identical contents
+	}
+	bl, bv, bFound, br := split(b, a.key)
+	l := mergeIdent(a.left, bl, both)
+	r := mergeIdent(a.right, br, both)
+	v := a.val
+	reuse := true
+	if bFound {
+		var nv V
+		nv, reuse = both(a.key, a.val, bv)
+		if !reuse {
+			v = nv
+		}
+	}
+	if reuse && l == a.left && r == a.right {
+		return a
+	}
+	return join(a.key, v, l, r)
+}
+
+// CombineLeft returns a map over exactly a's domain: keys also present in b
+// are combined through f (reuse as in IdentCombiner), keys only in a keep
+// their binding, keys only in b are dropped. When every binding is reused
+// the result is a itself. Note the combiner runs even on physically shared
+// subtrees — value types whose combiner is not the identity on equal
+// arguments (representation-refreshing octagon narrowing) rely on that.
+func CombineLeft[V any](a, b Map[V], f func(k int32, av, bv V) (nv V, reuse bool)) Map[V] {
+	return Map[V]{root: combineLeft(a.root, b.root, f)}
+}
+
+func combineLeft[V any](a, b *node[V], f func(int32, V, V) (V, bool)) *node[V] {
+	if a == nil || b == nil {
+		return a
+	}
+	bl, bv, bFound, br := split(b, a.key)
+	l := combineLeft(a.left, bl, f)
+	r := combineLeft(a.right, br, f)
+	v := a.val
+	reuse := true
+	if bFound {
+		var nv V
+		nv, reuse = f(a.key, a.val, bv)
+		if !reuse {
+			v = nv
+		}
+	}
+	if reuse && l == a.left && r == a.right {
+		return a
+	}
+	// The result has exactly a's shape, so mk preserves balance without
+	// rebalancing.
+	return mk(a.key, v, l, r)
+}
+
+// UpdateIdent is Update with identity preservation: f additionally reports
+// whether the existing value may be kept, and when it does (for a present
+// key) the receiver is returned unchanged. For an absent key the binding
+// f(zero, false) is always inserted, keep flag notwithstanding — absent and
+// explicitly-bound bottom are distinct (domains stay stable across joins).
+func (m Map[V]) UpdateIdent(key int32, f func(old V, ok bool) (V, bool)) Map[V] {
+	root, same := updateIdent(m.root, key, f)
+	if same {
+		return m
+	}
+	return Map[V]{root: root}
+}
+
+func updateIdent[V any](n *node[V], key int32, f func(V, bool) (V, bool)) (*node[V], bool) {
+	if n == nil {
+		var zero V
+		nv, _ := f(zero, false)
+		return mk(key, nv, nil, nil), false
+	}
+	switch {
+	case key < n.key:
+		l, same := updateIdent(n.left, key, f)
+		if same {
+			return n, true
+		}
+		return balance(n.key, n.val, l, n.right), false
+	case key > n.key:
+		r, same := updateIdent(n.right, key, f)
+		if same {
+			return n, true
+		}
+		return balance(n.key, n.val, n.left, r), false
+	default:
+		nv, keep := f(n.val, true)
+		if keep {
+			return n, true
+		}
+		return mk(key, nv, n.left, n.right), false
+	}
+}
+
+// Same reports whether a and b are physically the same tree (O(1)). Same
+// implies equal contents; the converse need not hold.
+func Same[V any](a, b Map[V]) bool { return a.root == b.root }
+
 // split partitions n into keys < key, the value at key (if present), and
-// keys > key.
+// keys > key. When the split is trivial — every key of a subtree falls on one
+// side — the subtree is returned as-is instead of being rebuilt, so splitting
+// a tree whose range does not straddle key allocates nothing. That identity
+// is what keeps merge allocation-free when one side is (a shared subtree of)
+// the other.
 func split[V any](n *node[V], key int32) (l *node[V], v V, found bool, r *node[V]) {
 	if n == nil {
 		return nil, v, false, nil
@@ -285,9 +464,15 @@ func split[V any](n *node[V], key int32) (l *node[V], v V, found bool, r *node[V
 	switch {
 	case key < n.key:
 		ll, lv, lf, lr := split(n.left, key)
+		if lr == n.left {
+			return ll, lv, lf, n
+		}
 		return ll, lv, lf, join(n.key, n.val, lr, n.right)
 	case key > n.key:
 		rl, rv, rf, rr := split(n.right, key)
+		if rl == n.right {
+			return n, rv, rf, rr
+		}
 		return join(n.key, n.val, n.left, rl), rv, rf, rr
 	default:
 		return n.left, n.val, true, n.right

@@ -232,9 +232,11 @@ func (sv *solver) deliver(target ir.PointID, m mem.Mem) {
 	first := !sv.res.Reached[target]
 	sv.res.Reached[target] = true
 	old := sv.res.In[target]
-	joined := old.Join(m)
+	// The fused join reports the semantic change during the merge itself; a
+	// converged delivery returns old physically and allocates nothing.
+	joined, jch := old.JoinChanged(m)
 	changed := first
-	if !joined.Eq(old) {
+	if jch {
 		sv.res.Joins++
 		sv.counts[target]++
 		widen := sv.info.Widen[target] || int(sv.counts[target]) > sv.opt.WidenThreshold
@@ -244,8 +246,8 @@ func (sv *solver) deliver(target ir.PointID, m mem.Mem) {
 			}
 		}
 		if widen {
-			wv := old.Widen(joined)
-			if !wv.Eq(joined) {
+			wv, wch := old.WidenChanged(joined)
+			if wch {
 				sv.res.Widenings++
 			}
 			joined = wv
@@ -327,8 +329,8 @@ func (sv *solver) narrow(passes int) {
 			if !reached[id] {
 				continue
 			}
-			narrowed := sv.res.In[id].Narrow(next[id])
-			if !narrowed.Eq(sv.res.In[id]) {
+			narrowed, nch := sv.res.In[id].NarrowChanged(next[id])
+			if nch {
 				stable = false
 				sv.res.In[id] = narrowed
 			}

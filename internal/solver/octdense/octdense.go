@@ -194,9 +194,11 @@ func (sv *solver) deliver(target ir.PointID, m octsem.OMem) {
 	first := !sv.res.Reached[target]
 	sv.res.Reached[target] = true
 	old := sv.res.In[target]
-	joined := old.Join(m)
+	// Fused join: change detection happens inside the merge, avoiding a
+	// separate Eq pass that re-closed every stored octagon.
+	joined, jch := old.JoinChanged(m)
 	changed := first
-	if !joined.Eq(old) {
+	if jch {
 		sv.res.Joins++
 		sv.counts[target]++
 		widen := sv.info.Widen[target] || int(sv.counts[target]) > sv.opt.WidenThreshold
@@ -206,8 +208,11 @@ func (sv *solver) deliver(target ir.PointID, m octsem.OMem) {
 			}
 		}
 		if widen {
-			wv := old.Widen(joined)
-			if !wv.Eq(joined) {
+			// WidenChanged always returns the built result: the unclosed
+			// widening representations it stores are what the next widening
+			// must start from.
+			wv, wch := old.WidenChanged(joined)
+			if wch {
 				sv.res.Widenings++
 			}
 			joined = wv
@@ -285,8 +290,8 @@ func (sv *solver) narrow(passes int) {
 			if !reached[id] {
 				continue
 			}
-			narrowed := sv.res.In[id].Narrow(next[id])
-			if !narrowed.Eq(sv.res.In[id]) {
+			narrowed, nch := sv.res.In[id].NarrowChanged(next[id])
+			if nch {
 				stable = false
 				sv.res.In[id] = narrowed
 			}

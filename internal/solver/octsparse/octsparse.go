@@ -192,8 +192,12 @@ func (sv *solver) pushOuts(n dug.NodeID, m octsem.OMem) {
 		old := sv.res.Out[n].Get(l)
 		joined := nv
 		if old != nil {
-			joined = old.Join(nv)
-			if joined.Eq(old) {
+			// Fused join: the unchanged case previously paid a separate Eq,
+			// which re-closed the stored (possibly widened, unclosed) octagon
+			// on every push.
+			var jch bool
+			joined, jch = old.JoinChanged(nv)
+			if !jch {
 				continue
 			}
 			if sv.g.Widen[n] || forceWiden {

@@ -595,15 +595,16 @@ func (w *pworker) pushOuts(n dug.NodeID, m mem.Mem) {
 	for _, l := range st.g.Defs[n] {
 		nv := m.Get(l)
 		old := st.res.Out[n].Get(l)
-		joined := old.Join(nv)
-		if joined.Eq(old) {
+		// Fused join, mirroring the sequential solver bit for bit.
+		joined, jch := old.JoinChanged(nv)
+		if !jch {
 			continue
 		}
 		changed = true
 		w.joins++
 		if st.g.Widen[n] || forceWiden {
-			wv := old.Widen(joined)
-			if !wv.Eq(joined) {
+			wv, wch := old.WidenChanged(joined)
+			if wch {
 				st.widenings.Add(1)
 			}
 			joined = wv

@@ -209,27 +209,37 @@ func (sv *solver) narrow(passes int) {
 		}
 		stable := true
 		for i := 0; i < n; i++ {
-			na := sv.res.Acc[i].Narrow(newAcc[i])
-			if !na.Eq(sv.res.Acc[i]) {
+			na, nch := sv.res.Acc[i].NarrowChanged(newAcc[i])
+			if nch {
 				stable = false
 				sv.res.Acc[i] = na
 			}
 		}
 		// Refresh stored outputs from the narrowed inputs so Out keeps
-		// agreeing with f#(Acc) on D̂.
+		// agreeing with f#(Acc) on D̂. Detect first (allocation-free), then
+		// rebuild only on change — the rebuild binds every def location,
+		// explicit bottoms included, exactly as before.
 		for i := 0; i < n; i++ {
 			out, ok := sv.outOf(dug.NodeID(i))
 			if !ok {
+				continue
+			}
+			changed := false
+			for _, l := range sv.g.Defs[dug.NodeID(i)] {
+				if _, ch := sv.res.Out[i].Get(l).NarrowChanged(out.Get(l)); ch {
+					changed = true
+					break
+				}
+			}
+			if !changed {
 				continue
 			}
 			refreshed := sv.res.Out[i]
 			for _, l := range sv.g.Defs[dug.NodeID(i)] {
 				refreshed = refreshed.Set(l, sv.res.Out[i].Get(l).Narrow(out.Get(l)))
 			}
-			if !refreshed.Eq(sv.res.Out[i]) {
-				stable = false
-				sv.res.Out[i] = refreshed
-			}
+			stable = false
+			sv.res.Out[i] = refreshed
 		}
 		if stable {
 			return
@@ -316,15 +326,17 @@ func (sv *solver) pushOuts(n dug.NodeID, m mem.Mem) {
 	for _, l := range sv.g.Defs[n] {
 		nv := m.Get(l)
 		old := sv.res.Out[n].Get(l)
-		joined := old.Join(nv)
-		if joined.Eq(old) {
+		// Fused join: the steady-state case (nv ⊑ old) is a comparison with
+		// no allocation, replacing the Join-then-Eq pair.
+		joined, jch := old.JoinChanged(nv)
+		if !jch {
 			continue
 		}
 		changed = true
 		sv.res.Joins++
 		if sv.g.Widen[n] || forceWiden {
-			wv := old.Widen(joined)
-			if !wv.Eq(joined) {
+			wv, wch := old.WidenChanged(joined)
+			if wch {
 				sv.res.Widenings++
 			}
 			joined = wv
