@@ -9,10 +9,16 @@
 // entry — to -times (default BENCH_times.json, empty disables). That file
 // is never gated; it exists so CI can archive the performance trajectory.
 //
+// With -compare, no analysis runs at all: the two positional arguments are
+// times snapshots (old, new) and the per-entry wall/allocation deltas are
+// printed with percent change — the structured replacement for hand-written
+// before/after notes.
+//
 // Usage:
 //
 //	sparrow-bench [-corpus DIR] [-out FILE] [-check] [-snapshot FILE]
 //	              [-tol F] [-timings] [-times FILE] [-workers N] [-v]
+//	sparrow-bench -compare OLD.json NEW.json
 package main
 
 import (
@@ -43,16 +49,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 	gen := fs.Bool("gen", true, "include the generated (cgen-scaled) programs in the suite")
 	workers := fs.Int("workers", 1, "parallel-phase budget per analysis (counters are worker-independent)")
 	verbose := fs.Bool("v", false, "print one line per completed entry")
+	compare := fs.Bool("compare", false, "diff two times snapshots (old.json new.json) instead of running")
 	if err := fs.Parse(args); err != nil {
-		return 2
-	}
-	if fs.NArg() != 0 {
-		fmt.Fprintln(stderr, "usage: sparrow-bench [flags]")
-		fs.Usage()
 		return 2
 	}
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "sparrow-bench:", err)
+		return 2
+	}
+	if *compare {
+		if fs.NArg() != 2 {
+			fmt.Fprintln(stderr, "usage: sparrow-bench -compare OLD.json NEW.json")
+			return 2
+		}
+		oldSnap, err := bench.LoadTimes(fs.Arg(0))
+		if err != nil {
+			return fail(err)
+		}
+		newSnap, err := bench.LoadTimes(fs.Arg(1))
+		if err != nil {
+			return fail(err)
+		}
+		for _, line := range bench.CompareTimes(oldSnap, newSnap) {
+			fmt.Fprintln(stdout, line)
+		}
+		return 0
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(stderr, "usage: sparrow-bench [flags]")
+		fs.Usage()
 		return 2
 	}
 

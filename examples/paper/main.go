@@ -65,12 +65,13 @@ func main() {
 	main := prog.ProcByName("main")
 	for _, id := range main.Points {
 		pt := prog.Point(id)
-		defs, uses := srcIface.DefsUses(pt)
+		defs, uses := srcIface.DefsUsesAppend(pt, nil, nil)
+		defs, uses = ir.DedupLocs(defs), ir.DedupLocs(uses)
 		if len(defs) == 0 && len(uses) == 0 {
 			continue
 		}
 		fmt.Printf("  %-22s D̂=%-12v Û=%v\n",
-			prog.CmdString(pt.Cmd), names(prog, defs.Slice()), names(prog, uses.Slice()))
+			prog.CmdString(pt.Cmd), names(prog, defs), names(prog, uses))
 	}
 
 	fmt.Println("\n== data dependencies (Definition 3/4) ==")

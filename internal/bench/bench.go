@@ -135,20 +135,30 @@ type Options struct {
 	Progress func(string)
 }
 
+// TimesSchema versions the BENCH_times.json wire format, independently of
+// metrics.Schema (which gates the deterministic counter snapshot
+// BENCH_sparse.json and must not churn when report-only fields evolve).
+// Schema 2 adds the per-phase allocation breakdowns.
+const TimesSchema = 2
+
 // TimesEntry is the report-only performance record of one suite entry: total
 // wall time, the per-phase breakdown of the metrics phase timers, and the
-// bytes allocated by the run (runtime.MemStats TotalAlloc delta). None of it
-// is ever gated — wall times and allocation volumes churn with machine,
+// bytes allocated by the run (runtime.MemStats TotalAlloc delta), plus — since
+// times schema 2 — per-phase allocation deltas (bytes and object counts; the
+// dug_build and fixpoint rows are the ones the sparse hot path moves). None of
+// it is ever gated — wall times and allocation volumes churn with machine,
 // scheduler, and Go release — but snapshotting them per commit populates the
 // performance trajectory of the engine over time.
 type TimesEntry struct {
-	Program    string           `json:"program"`
-	Domain     string           `json:"domain"`
-	Mode       string           `json:"mode"`
-	Workers    int              `json:"workers"`
-	WallNS     int64            `json:"wall_ns"`
-	AllocBytes uint64           `json:"alloc_bytes"`
-	TimingsNS  map[string]int64 `json:"timings_ns,omitempty"`
+	Program           string            `json:"program"`
+	Domain            string            `json:"domain"`
+	Mode              string            `json:"mode"`
+	Workers           int               `json:"workers"`
+	WallNS            int64             `json:"wall_ns"`
+	AllocBytes        uint64            `json:"alloc_bytes"`
+	TimingsNS         map[string]int64  `json:"timings_ns,omitempty"`
+	AllocBytesByPhase map[string]uint64 `json:"alloc_bytes_by_phase,omitempty"`
+	AllocsByPhase     map[string]uint64 `json:"allocs_by_phase,omitempty"`
 }
 
 // Key identifies the entry inside a times snapshot.
@@ -172,6 +182,74 @@ func (s *TimesSnapshot) Save(path string) error {
 	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
+// LoadTimes reads a times snapshot file.
+func LoadTimes(path string) (*TimesSnapshot, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s TimesSnapshot
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// CompareTimes renders a per-entry performance delta between two times
+// snapshots: wall time, allocated bytes, and — when both sides carry them
+// (times schema 2) — the dug_build and fixpoint phase times, each with the
+// percent change relative to the old side. Entries present on only one side
+// are reported as added/removed. The output is a human-readable table; no
+// threshold is applied (wall times are report-only, never gated).
+func CompareTimes(old, new *TimesSnapshot) []string {
+	om := make(map[string]TimesEntry, len(old.Entries))
+	for _, e := range old.Entries {
+		om[e.Key()] = e
+	}
+	nm := make(map[string]TimesEntry, len(new.Entries))
+	var keys []string
+	for _, e := range new.Entries {
+		nm[e.Key()] = e
+		keys = append(keys, e.Key())
+	}
+	for k := range om {
+		if _, ok := nm[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	lines := []string{fmt.Sprintf("%-34s %26s %30s %26s", "entry", "wall", "alloc_bytes", "fixpoint")}
+	pct := func(o, n int64) string {
+		if o == 0 {
+			return "n/a"
+		}
+		return fmt.Sprintf("%+.1f%%", 100*float64(n-o)/float64(o))
+	}
+	for _, k := range keys {
+		oe, inOld := om[k]
+		ne, inNew := nm[k]
+		switch {
+		case !inNew:
+			lines = append(lines, fmt.Sprintf("%-34s removed", k))
+			continue
+		case !inOld:
+			lines = append(lines, fmt.Sprintf("%-34s added (wall %s, %d B)", k, time.Duration(ne.WallNS), ne.AllocBytes))
+			continue
+		}
+		fix := "n/a"
+		if of, nf := oe.TimingsNS["fixpoint"], ne.TimingsNS["fixpoint"]; of > 0 && nf > 0 {
+			fix = fmt.Sprintf("%v -> %v %s", time.Duration(of).Round(time.Microsecond),
+				time.Duration(nf).Round(time.Microsecond), pct(of, nf))
+		}
+		lines = append(lines, fmt.Sprintf("%-34s %26s %30s %26s", k,
+			fmt.Sprintf("%v -> %v %s", time.Duration(oe.WallNS).Round(time.Microsecond),
+				time.Duration(ne.WallNS).Round(time.Microsecond), pct(oe.WallNS, ne.WallNS)),
+			fmt.Sprintf("%d -> %d %s", oe.AllocBytes, ne.AllocBytes, pct(int64(oe.AllocBytes), int64(ne.AllocBytes))),
+			fix))
+	}
+	return lines
+}
+
 // Collect runs every program under every configuration and returns the
 // counter snapshot.
 func Collect(progs []Program, opt Options) (*Snapshot, error) {
@@ -190,7 +268,7 @@ func collect(progs []Program, opt Options, withTimes bool) (*Snapshot, *TimesSna
 	var times *TimesSnapshot
 	if withTimes {
 		times = &TimesSnapshot{
-			Schema:     metrics.Schema,
+			Schema:     TimesSchema,
 			GoVersion:  runtime.Version(),
 			GOMAXPROCS: runtime.GOMAXPROCS(0),
 		}
@@ -198,6 +276,9 @@ func collect(progs []Program, opt Options, withTimes bool) (*Snapshot, *TimesSna
 	for _, p := range progs {
 		for _, cfg := range Configs() {
 			col := metrics.New()
+			if withTimes {
+				col.EnablePhaseAllocs()
+			}
 			var msBefore runtime.MemStats
 			if withTimes {
 				runtime.ReadMemStats(&msBefore)
@@ -230,13 +311,15 @@ func collect(progs []Program, opt Options, withTimes bool) (*Snapshot, *TimesSna
 				var msAfter runtime.MemStats
 				runtime.ReadMemStats(&msAfter)
 				times.Entries = append(times.Entries, TimesEntry{
-					Program:    p.Name,
-					Domain:     rep.Domain,
-					Mode:       rep.Mode,
-					Workers:    rep.Workers,
-					WallNS:     wall.Nanoseconds(),
-					AllocBytes: msAfter.TotalAlloc - msBefore.TotalAlloc,
-					TimingsNS:  rep.TimingsNS,
+					Program:           p.Name,
+					Domain:            rep.Domain,
+					Mode:              rep.Mode,
+					Workers:           rep.Workers,
+					WallNS:            wall.Nanoseconds(),
+					AllocBytes:        msAfter.TotalAlloc - msBefore.TotalAlloc,
+					TimingsNS:         rep.TimingsNS,
+					AllocBytesByPhase: rep.AllocBytesByPhase,
+					AllocsByPhase:     rep.AllocsByPhase,
 				})
 			}
 			if opt.Progress != nil {

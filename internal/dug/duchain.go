@@ -9,7 +9,6 @@ package dug
 
 import (
 	"math/bits"
-	"sort"
 
 	"sparrow/internal/cfg"
 	"sparrow/internal/ir"
@@ -51,6 +50,7 @@ func BuildDefUseChainsFrom(src *Source, opt Options) *Graph {
 		b.buildProcChains(pr)
 	}
 	b.linkInterproc()
+	b.buildAdjacency()
 	if opt.Bypass {
 		b.bypass()
 	}
@@ -80,24 +80,16 @@ func (b *builder) buildProcChains(pr *ir.Proc) {
 	}
 
 	// Tracked locations and per-node def/kill.
-	defsOf := make([]map[ir.LocID]bool, n)
+	defsOf := make([][]ir.LocID, n)
 	killsOf := make([]map[ir.LocID]bool, n)
-	locSet := map[ir.LocID]bool{}
+	var locs []ir.LocID
 	for i, id := range order {
-		defsOf[i] = b.defSets[id]
+		defsOf[i] = b.defs[id]
 		killsOf[i] = map[ir.LocID]bool(b.src.AlwaysKills(b.prog.Point(id)))
-		for l := range b.defSets[id] {
-			locSet[l] = true
-		}
-		for l := range b.useSets[id] {
-			locSet[l] = true
-		}
+		locs = append(locs, b.defs[id]...)
+		locs = append(locs, b.uses[id]...)
 	}
-	locs := make([]ir.LocID, 0, len(locSet))
-	for l := range locSet {
-		locs = append(locs, l)
-	}
-	sort.Slice(locs, func(i, j int) bool { return locs[i] < locs[j] })
+	locs = ir.DedupLocs(locs)
 
 	words := (n + 63) / 64
 	for _, l := range locs {
@@ -112,7 +104,7 @@ func (b *builder) buildProcChains(pr *ir.Proc) {
 		anyDef := false
 		for i := range order {
 			gen[i] = -1
-			if defsOf[i][l] {
+			if ir.LocsContain(defsOf[i], l) {
 				gen[i] = i
 				anyDef = true
 			}
@@ -159,7 +151,7 @@ func (b *builder) buildProcChains(pr *ir.Proc) {
 		}
 		// Edges: every reaching definition flows to every use.
 		for i, id := range order {
-			if !b.useSets[id][l] {
+			if !ir.LocsContain(b.uses[id], l) {
 				continue
 			}
 			for w := range in[i] {

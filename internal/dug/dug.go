@@ -11,9 +11,17 @@
 // that neither define nor use a location out of its dependency chains, which
 // the paper reports is what makes the interprocedural analysis actually
 // sparse.
+//
+// The graph is laid out for the solver hot path: per-node D̂/Û are sorted
+// dense-ID slices sharing contiguous backing arrays, and the successor
+// relation is a two-level CSR index (per-node sorted location keys with an
+// (offset, len) row of successors each) that workers share read-only. The
+// builder itself stages dependency triples into a flat slice and sorts them
+// once instead of deduplicating through per-⟨node, loc⟩ maps.
 package dug
 
 import (
+	"slices"
 	"sort"
 	"sync"
 
@@ -61,7 +69,8 @@ type Graph struct {
 	Prog       *ir.Program
 	PointCount int
 	Phis       []Phi
-	// Defs[n]/Uses[n] are D̂/Û per node (post-bypass), sorted.
+	// Defs[n]/Uses[n] are D̂/Û per node (post-bypass), sorted. The
+	// per-node slices are views into two shared backing arrays.
 	Defs [][]ir.LocID
 	Uses [][]ir.LocID
 	// Widen[n] marks per-location widening nodes: phis at loop heads and
@@ -74,7 +83,14 @@ type Graph struct {
 	// SplicedEdges counts edges removed+added by the bypass optimization.
 	SplicedTriples int
 
-	out []map[ir.LocID][]NodeID
+	// CSR successor index: node n's rows live at edgeLocs[edgeRow[n]:
+	// edgeRow[n+1]] (sorted location keys); key index k's successors are
+	// succs[succOff[k]:succOff[k+1]] (sorted). Shared read-only by all
+	// solver workers.
+	edgeLocs []ir.LocID
+	edgeRow  []int32
+	succOff  []int32
+	succs    []NodeID
 
 	partOnce sync.Once
 	part     *Partition
@@ -92,14 +108,62 @@ func (g *Graph) PhiOf(n NodeID) Phi { return g.Phis[int(n)-g.PointCount] }
 // PointOf returns the control point of a point node.
 func (g *Graph) PointOf(n NodeID) ir.PointID { return ir.PointID(n) }
 
-// Succs returns the dependency successors of n on location l.
-func (g *Graph) Succs(n NodeID, l ir.LocID) []NodeID { return g.out[n][l] }
+// Succs returns the dependency successors of n on location l (binary search
+// over n's CSR row keys). Solvers iterating Defs[n] in order should prefer
+// the Out cursor, which advances in lockstep instead of searching.
+func (g *Graph) Succs(n NodeID, l ir.LocID) []NodeID {
+	lo, hi := g.edgeRow[n], g.edgeRow[n+1]
+	row := g.edgeLocs[lo:hi]
+	i, j := 0, len(row)
+	for i < j {
+		mid := int(uint(i+j) >> 1)
+		if row[mid] < l {
+			i = mid + 1
+		} else {
+			j = mid
+		}
+	}
+	if i < len(row) && row[i] == l {
+		k := int(lo) + i
+		return g.succs[g.succOff[k]:g.succOff[k+1]]
+	}
+	return nil
+}
 
-// Range visits every dependency triple until f returns false.
+// OutCursor walks one node's successor rows in ascending location order.
+// Seek must be called with non-decreasing locations — exactly the order of
+// Defs[n] — and amortizes to O(1) per call where Succs pays a binary search.
+type OutCursor struct {
+	locs  []ir.LocID
+	off   []int32
+	succs []NodeID
+	i     int
+}
+
+// Out returns a successor cursor for n.
+func (g *Graph) Out(n NodeID) OutCursor {
+	lo, hi := g.edgeRow[n], g.edgeRow[n+1]
+	return OutCursor{locs: g.edgeLocs[lo:hi], off: g.succOff[lo : hi+1], succs: g.succs}
+}
+
+// Seek advances to location l and returns its successor row (nil if none).
+func (c *OutCursor) Seek(l ir.LocID) []NodeID {
+	for c.i < len(c.locs) && c.locs[c.i] < l {
+		c.i++
+	}
+	if c.i < len(c.locs) && c.locs[c.i] == l {
+		return c.succs[c.off[c.i]:c.off[c.i+1]]
+	}
+	return nil
+}
+
+// Range visits every dependency triple until f returns false, in
+// (from, loc, to) order.
 func (g *Graph) Range(f func(from NodeID, l ir.LocID, to NodeID) bool) {
-	for n := range g.out {
-		for l, succs := range g.out[n] {
-			for _, t := range succs {
+	for n := 0; n+1 < len(g.edgeRow); n++ {
+		for k := g.edgeRow[n]; k < g.edgeRow[n+1]; k++ {
+			l := g.edgeLocs[k]
+			for _, t := range g.succs[g.succOff[k]:g.succOff[k+1]] {
 				if !f(NodeID(n), l, t) {
 					return
 				}
@@ -137,13 +201,17 @@ type Source struct {
 	CG       *callgraph.Graph
 	Callees  func(ir.PointID) []ir.ProcID
 	RetSites [][]ir.PointID
-	// DefsUses returns the command-local D̂(c)/Û(c).
-	DefsUses func(pt *ir.Point) (defs, uses sem.LocSet)
+	// DefsUsesAppend appends the members of the command-local D̂(c)/Û(c)
+	// to defs/uses (possibly with duplicates — the builder deduplicates)
+	// and returns the extended slices. Must be safe for concurrent calls:
+	// the builder fans it out across workers.
+	DefsUsesAppend func(pt *ir.Point, defs, uses []ir.LocID) ([]ir.LocID, []ir.LocID)
 	// AlwaysKills returns D_always(c); required only by BuildDefUseChains.
 	AlwaysKills func(pt *ir.Point) sem.LocSet
-	// DefSummary/UseSummary are the transitive per-procedure summaries.
-	DefSummary []map[ir.LocID]bool
-	UseSummary []map[ir.LocID]bool
+	// DefSummary/UseSummary are the transitive per-procedure summaries as
+	// sorted LocID slices.
+	DefSummary [][]ir.LocID
+	UseSummary [][]ir.LocID
 	// RetChan maps a procedure to its return-channel ID (ir.None if void).
 	RetChan func(p ir.ProcID) ir.LocID
 }
@@ -156,8 +224,8 @@ func IntervalSource(prog *ir.Program, pre *prean.Result) *Source {
 		CG:       pre.CG,
 		Callees:  pre.CalleesOf,
 		RetSites: pre.RetSites,
-		DefsUses: func(pt *ir.Point) (sem.LocSet, sem.LocSet) {
-			return s.DefsUses(pt, pre.Mem)
+		DefsUsesAppend: func(pt *ir.Point, defs, uses []ir.LocID) ([]ir.LocID, []ir.LocID) {
+			return s.DefsUsesAppend(pt, pre.Mem, defs, uses)
 		},
 		AlwaysKills: func(pt *ir.Point) sem.LocSet {
 			return s.AlwaysKills(pt, pre.Mem)
@@ -168,24 +236,77 @@ func IntervalSource(prog *ir.Program, pre *prean.Result) *Source {
 	}
 }
 
+// triple is one staged dependency edge ⟨from, loc, to⟩.
+type triple struct {
+	from NodeID
+	loc  ir.LocID
+	to   NodeID
+}
+
+// adjRows is one node's adjacency during construction: parallel sorted
+// location keys and neighbor rows, built once from the staged triples. The
+// bypass optimization mutates row contents but (invariant) never needs a
+// new location key — a splice only reconnects nodes that already carry
+// edges on the spliced location.
+type adjRows struct {
+	locs []ir.LocID
+	rows [][]NodeID
+}
+
+// find returns the index of l in the sorted key array, or -1.
+func (a *adjRows) find(l ir.LocID) int {
+	lo, hi := 0, len(a.locs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a.locs[mid] < l {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(a.locs) && a.locs[lo] == l {
+		return lo
+	}
+	return -1
+}
+
+// arena hands out stable []ir.LocID views backed by large shared blocks, so
+// the three small per-node access sets don't cost one allocation each.
+type arena struct{ buf []ir.LocID }
+
+func (a *arena) place(s []ir.LocID) []ir.LocID {
+	if len(s) == 0 {
+		return nil
+	}
+	if len(a.buf)+len(s) > cap(a.buf) {
+		n := 1 << 14
+		if len(s) > n {
+			n = len(s)
+		}
+		a.buf = make([]ir.LocID, 0, n)
+	}
+	off := len(a.buf)
+	a.buf = append(a.buf, s...)
+	return a.buf[off:len(a.buf):len(a.buf)]
+}
+
 // builder carries construction state.
 type builder struct {
 	prog *ir.Program
 	src  *Source
 	opt  Options
 
-	g        *Graph
-	defSets  []map[ir.LocID]bool // per node
-	useSets  []map[ir.LocID]bool
-	passSets []map[ir.LocID]bool // linkage-only locations (bypass candidates)
-	// outSet/inSet stage the dependency triples as dedup'd slices (addEdge
-	// scans before appending; fanout per ⟨node, loc⟩ is small and bounded by
-	// the splice cap). Slices keep staging cheap — the former map-of-set
-	// representation allocated two maps per ⟨node, loc⟩ pair and dominated
-	// the build's allocation profile — and finalize sorts, so only set
-	// content matters.
-	outSet []map[ir.LocID][]NodeID
-	inSet  []map[ir.LocID][]NodeID
+	g *Graph
+	// defs/uses/pass are the per-node D̂/Û/linkage-only sets as sorted
+	// deduplicated slices (pass members are the bypass candidates). The
+	// bypass optimization shrinks them in place.
+	defs [][]ir.LocID
+	uses [][]ir.LocID
+	pass [][]ir.LocID
+	// triples stages dependency edges flat, duplicates included; one sort
+	// in buildAdjacency replaces the per-edge map dedup of earlier layouts.
+	triples []triple
+	out, in []adjRows
 }
 
 // Build constructs the def-use graph of prog from the non-relational
@@ -231,6 +352,7 @@ func BuildFrom(src *Source, opt Options) *Graph {
 		b.mergeProc(pr, staged[i])
 	}
 	b.linkInterproc()
+	b.buildAdjacency()
 	if opt.Bypass {
 		b.bypass()
 	}
@@ -259,21 +381,20 @@ func (g *Graph) flushMetrics(col *metrics.Collector) {
 
 // ensureNode grows the per-node tables to cover node n.
 func (b *builder) ensureNode(n NodeID) {
-	for len(b.defSets) <= int(n) {
-		b.defSets = append(b.defSets, nil)
-		b.useSets = append(b.useSets, nil)
-		b.passSets = append(b.passSets, nil)
-		b.outSet = append(b.outSet, nil)
-		b.inSet = append(b.inSet, nil)
+	for len(b.defs) <= int(n) {
+		b.defs = append(b.defs, nil)
+		b.uses = append(b.uses, nil)
+		b.pass = append(b.pass, nil)
 		b.g.Widen = append(b.g.Widen, false)
 	}
 }
 
-func addTo(sets []map[ir.LocID]bool, n NodeID, l ir.LocID) {
-	if sets[n] == nil {
-		sets[n] = map[ir.LocID]bool{}
-	}
-	sets[n][l] = true
+// initScratch carries one worker's reusable buffers through initNode.
+type initScratch struct {
+	ownD, ownU []ir.LocID // command-local D̂/Û
+	d, u, p    []ir.LocID // accumulated sets, duplicates allowed
+	ret        []ir.LocID // return channels of a RetBind's callees
+	ar         arena
 }
 
 // initNodes computes the per-point D̂/Û including interprocedural linkage
@@ -281,26 +402,24 @@ func addTo(sets []map[ir.LocID]bool, n NodeID, l ir.LocID) {
 // point writes only its own node's tables, so the sweep fans out across
 // workers after the tables are grown to their final point count.
 func (b *builder) initNodes() {
-	for i := 0; i < len(b.prog.Points); i++ {
-		b.ensureNode(NodeID(i))
-	}
+	b.ensureNode(NodeID(len(b.prog.Points) - 1))
 	par.For(len(b.prog.Points), b.opt.Workers, func(lo, hi int) {
+		var sc initScratch
 		for i := lo; i < hi; i++ {
-			b.initNode(b.prog.Points[i])
+			b.initNode(b.prog.Points[i], &sc)
 		}
 	})
 }
 
 // initNode fills the D̂/Û/pass tables of one point.
-func (b *builder) initNode(pt *ir.Point) {
+func (b *builder) initNode(pt *ir.Point, sc *initScratch) {
 	n := NodeID(pt.ID)
-	ownD, ownU := b.src.DefsUses(pt)
-	for l := range ownD {
-		addTo(b.defSets, n, l)
-	}
-	for l := range ownU {
-		addTo(b.useSets, n, l)
-	}
+	ownD, ownU := b.src.DefsUsesAppend(pt, sc.ownD[:0], sc.ownU[:0])
+	ownD, ownU = ir.DedupLocs(ownD), ir.DedupLocs(ownU)
+	sc.ownD, sc.ownU = ownD, ownU
+	d := append(sc.d[:0], ownD...)
+	u := append(sc.u[:0], ownU...)
+	p := sc.p[:0]
 	// Interprocedural linkage (Section 5): a call uses everything its
 	// callees access — including the locations they may (weakly or
 	// spuriously) define, so that stale caller values flow *through*
@@ -314,25 +433,23 @@ func (b *builder) initNode(pt *ir.Point) {
 		// callees access: its definition values are the identity on the
 		// caller's reaching values (plus the formal bindings), carried
 		// into the callee entry by the call→entry edges.
-		for _, p := range b.src.Callees(pt.ID) {
-			for _, summ := range []map[ir.LocID]bool{b.src.UseSummary[p], b.src.DefSummary[p]} {
-				for l := range summ {
-					if !ownU[l] && !ownD[l] {
-						addTo(b.passSets, n, l)
+		for _, pr := range b.src.Callees(pt.ID) {
+			for _, summ := range [2][]ir.LocID{b.src.UseSummary[pr], b.src.DefSummary[pr]} {
+				for _, l := range summ {
+					if !ir.LocsContain(ownU, l) && !ir.LocsContain(ownD, l) {
+						p = append(p, l)
 					}
-					addTo(b.useSets, n, l)
-					addTo(b.defSets, n, l)
+					u = append(u, l)
+					d = append(d, l)
 				}
 			}
 		}
 	case ir.Entry:
 		pr := b.prog.ProcByID(pt.Proc)
 		if pr.Entry == pt.ID {
-			for _, summ := range []map[ir.LocID]bool{b.src.UseSummary[pt.Proc], b.src.DefSummary[pt.Proc]} {
-				for l := range summ {
-					addTo(b.defSets, n, l)
-					addTo(b.passSets, n, l)
-				}
+			for _, summ := range [2][]ir.LocID{b.src.UseSummary[pt.Proc], b.src.DefSummary[pt.Proc]} {
+				d = append(d, summ...)
+				p = append(p, summ...)
 			}
 		}
 	case ir.Exit:
@@ -344,40 +461,87 @@ func (b *builder) initNode(pt *ir.Point) {
 		// sparse graph must reproduce exactly that flow, or the sparse
 		// fixpoint comes out strictly tighter than the baseline at
 		// multi-site callees (breaking Lemma 2 fidelity).
-		for _, summ := range []map[ir.LocID]bool{b.src.UseSummary[pt.Proc], b.src.DefSummary[pt.Proc]} {
-			for l := range summ {
-				if !ownU[l] {
-					addTo(b.passSets, n, l)
+		for _, summ := range [2][]ir.LocID{b.src.UseSummary[pt.Proc], b.src.DefSummary[pt.Proc]} {
+			for _, l := range summ {
+				if !ir.LocsContain(ownU, l) {
+					p = append(p, l)
 				}
-				addTo(b.useSets, n, l)
-				addTo(b.defSets, n, l)
+				u = append(u, l)
+				d = append(d, l)
 			}
 		}
 		if rl := b.src.RetChan(pt.Proc); rl != ir.None {
-			addTo(b.useSets, n, rl)
-			addTo(b.defSets, n, rl)
+			u = append(u, rl)
+			d = append(d, rl)
 		}
 	case ir.RetBind:
 		// Mirror of the exit: the return site defines everything any
 		// callee accessed (the localized return memory).
-		for _, p := range b.src.Callees(c.CallPt) {
-			rl := b.src.RetChan(p)
-			for _, summ := range []map[ir.LocID]bool{b.src.UseSummary[p], b.src.DefSummary[p]} {
-				for l := range summ {
-					if !ownD[l] && !ownU[l] && l != rl {
-						addTo(b.passSets, n, l)
+		rets := sc.ret[:0]
+		for _, pr := range b.src.Callees(c.CallPt) {
+			rl := b.src.RetChan(pr)
+			for _, summ := range [2][]ir.LocID{b.src.UseSummary[pr], b.src.DefSummary[pr]} {
+				for _, l := range summ {
+					if l != rl && !ir.LocsContain(ownD, l) && !ir.LocsContain(ownU, l) {
+						p = append(p, l)
 					}
-					addTo(b.defSets, n, l)
+					d = append(d, l)
 				}
 			}
-			// The return channel must arrive exclusively over the
-			// exit→return-site edge; caller-side SSA wiring of it would
-			// join stale pre-call values into the delivered result.
-			if rl != ir.None && b.useSets[n] != nil {
-				delete(b.useSets[n], rl)
+			if rl != ir.None {
+				rets = append(rets, rl)
 			}
 		}
+		sc.ret = rets
+		// The return channel must arrive exclusively over the
+		// exit→return-site edge; caller-side SSA wiring of it would
+		// join stale pre-call values into the delivered result.
+		if len(rets) > 0 {
+			u = removeLocs(ir.DedupLocs(u), ir.DedupLocs(rets))
+		}
 	}
+	d, u, p = ir.DedupLocs(d), ir.DedupLocs(u), ir.DedupLocs(p)
+	b.defs[n] = sc.ar.place(d)
+	b.uses[n] = sc.ar.place(u)
+	b.pass[n] = sc.ar.place(p)
+	sc.d, sc.u, sc.p = d, u, p
+}
+
+// removeLocs deletes the members of sorted rem from sorted s in place.
+func removeLocs(s, rem []ir.LocID) []ir.LocID {
+	if len(rem) == 0 {
+		return s
+	}
+	out := s[:0]
+	j := 0
+	for _, l := range s {
+		for j < len(rem) && rem[j] < l {
+			j++
+		}
+		if j < len(rem) && rem[j] == l {
+			continue
+		}
+		out = append(out, l)
+	}
+	return out
+}
+
+// removeLoc deletes l from the sorted set s in place.
+func removeLoc(s []ir.LocID, l ir.LocID) []ir.LocID {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s[mid] < l {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= len(s) || s[lo] != l {
+		return s
+	}
+	copy(s[lo:], s[lo+1:])
+	return s[:len(s)-1]
 }
 
 // procBuild is the staged output of one procedure's SSA pass. Phi nodes are
@@ -416,7 +580,7 @@ func (b *builder) stageProc(pr *ir.Proc, info *cfg.Info) *procBuild {
 	// Collect tracked locations and their definition sites (RPO indices).
 	defSites := map[ir.LocID][]int{}
 	for i, id := range dom.Order {
-		for l := range b.defSets[id] {
+		for _, l := range b.defs[id] {
 			defSites[l] = append(defSites[l], i)
 		}
 	}
@@ -473,7 +637,7 @@ func (b *builder) stageProc(pr *ir.Proc, info *cfg.Info) *procBuild {
 			pushed = append(pushed, l)
 		}
 		// Uses read the value reaching the point (after phis).
-		for l := range b.useSets[n] {
+		for _, l := range b.uses[n] {
 			if d, ok := top(l); ok {
 				addEdge(d, l, n)
 			}
@@ -481,7 +645,7 @@ func (b *builder) stageProc(pr *ir.Proc, info *cfg.Info) *procBuild {
 		// Defs kill for dominated points. (Weak definitions are also uses,
 		// so their incoming value still flows — Definition 3's treatment of
 		// may-kills.)
-		for l := range b.defSets[n] {
+		for _, l := range b.defs[n] {
 			stacks[l] = append(stacks[l], n)
 			pushed = append(pushed, l)
 		}
@@ -523,8 +687,11 @@ func (b *builder) mergeProc(pr *ir.Proc, pb *procBuild) {
 		n := base + NodeID(i)
 		b.g.Phis = append(b.g.Phis, ph)
 		b.ensureNode(n)
-		addTo(b.defSets, n, ph.Loc)
-		addTo(b.useSets, n, ph.Loc)
+		// One allocation carries both singleton sets; bypass never touches
+		// phi sets (their pass set is empty), but keep them separable.
+		s := []ir.LocID{ph.Loc, ph.Loc}
+		b.defs[n] = s[:1:1]
+		b.uses[n] = s[1:2:2]
 		if pb.phiWiden[i] {
 			b.g.Widen[n] = true
 		}
@@ -540,33 +707,15 @@ func (b *builder) mergeProc(pr *ir.Proc, pb *procBuild) {
 	}
 }
 
-// addEdge records the dependency triple ⟨from, l, to⟩. Self-edges are kept:
-// SSA renaming never produces them, but the bypass optimization can collapse
-// a spurious interprocedural feedback cycle (callee effect → return site →
-// another call site → callee) onto a single transfer node, and the solver
-// must keep iterating that cycle exactly as the dense analysis does.
+// addEdge stages the dependency triple ⟨from, l, to⟩. Duplicates are fine —
+// the staged triples are sorted and deduplicated once when the adjacency
+// rows are built. Self-edges are kept: SSA renaming never produces them, but
+// the bypass optimization can collapse a spurious interprocedural feedback
+// cycle (callee effect → return site → another call site → callee) onto a
+// single transfer node, and the solver must keep iterating that cycle
+// exactly as the dense analysis does.
 func (b *builder) addEdge(from NodeID, l ir.LocID, to NodeID) {
-	if b.outSet[from] == nil {
-		b.outSet[from] = map[ir.LocID][]NodeID{}
-	}
-	out := b.outSet[from][l]
-	if containsNode(out, to) {
-		return
-	}
-	b.outSet[from][l] = append(out, to)
-	if b.inSet[to] == nil {
-		b.inSet[to] = map[ir.LocID][]NodeID{}
-	}
-	b.inSet[to][l] = append(b.inSet[to][l], from)
-}
-
-func (b *builder) delEdge(from NodeID, l ir.LocID, to NodeID) {
-	if m := b.outSet[from]; m != nil {
-		m[l] = removeNode(m[l], to)
-	}
-	if m := b.inSet[to]; m != nil {
-		m[l] = removeNode(m[l], from)
-	}
+	b.triples = append(b.triples, triple{from: from, loc: l, to: to})
 }
 
 func containsNode(s []NodeID, n NodeID) bool {
@@ -579,7 +728,7 @@ func containsNode(s []NodeID, n NodeID) bool {
 }
 
 // removeNode deletes the first occurrence of n (order is irrelevant: the
-// staged sets are sorted in finalize).
+// rows are sorted in finalize).
 func removeNode(s []NodeID, n NodeID) []NodeID {
 	for i, m := range s {
 		if m == n {
@@ -599,6 +748,7 @@ func (b *builder) linkInterproc() {
 			retBindOf[rb.CallPt] = pt.ID
 		}
 	}
+	var retChans, accAll []ir.LocID
 	for _, pt := range b.prog.Points {
 		if _, ok := pt.Cmd.(ir.Call); !ok {
 			continue
@@ -606,12 +756,12 @@ func (b *builder) linkInterproc() {
 		callees := b.src.Callees(pt.ID)
 		for _, p := range callees {
 			callee := b.prog.ProcByID(p)
-			for l := range b.src.UseSummary[p] {
+			for _, l := range b.src.UseSummary[p] {
 				b.addEdge(NodeID(pt.ID), l, NodeID(callee.Entry))
 			}
 			// Def-summary locations flow in too: stale caller values pass
 			// through the callee and are killed by its strong definitions.
-			for l := range b.src.DefSummary[p] {
+			for _, l := range b.src.DefSummary[p] {
 				b.addEdge(NodeID(pt.ID), l, NodeID(callee.Entry))
 			}
 		}
@@ -625,27 +775,22 @@ func (b *builder) linkInterproc() {
 		// are excluded — they arrive exclusively over exit→return-site
 		// edges (see initNode).
 		if rs, ok := retBindOf[pt.ID]; ok && len(callees) > 1 {
-			retChans := map[ir.LocID]bool{}
+			retChans, accAll = retChans[:0], accAll[:0]
 			for _, p := range callees {
 				if rl := b.src.RetChan(p); rl != ir.None {
-					retChans[rl] = true
+					retChans = append(retChans, rl)
 				}
+				accAll = append(accAll, b.src.UseSummary[p]...)
+				accAll = append(accAll, b.src.DefSummary[p]...)
 			}
-			accAll := map[ir.LocID]bool{}
-			for _, p := range callees {
-				for l := range b.src.UseSummary[p] {
-					accAll[l] = true
-				}
-				for l := range b.src.DefSummary[p] {
-					accAll[l] = true
-				}
-			}
-			for l := range accAll {
-				if retChans[l] {
+			retChans = ir.DedupLocs(retChans)
+			accAll = ir.DedupLocs(accAll)
+			for _, l := range accAll {
+				if ir.LocsContain(retChans, l) {
 					continue
 				}
 				for _, p := range callees {
-					if !b.src.UseSummary[p][l] && !b.src.DefSummary[p][l] {
+					if !ir.LocsContain(b.src.UseSummary[p], l) && !ir.LocsContain(b.src.DefSummary[p], l) {
 						b.addEdge(NodeID(pt.ID), l, NodeID(rs))
 						break
 					}
@@ -657,10 +802,10 @@ func (b *builder) linkInterproc() {
 		callee := b.prog.Procs[p]
 		exit := NodeID(callee.Exit)
 		for _, rs := range sites {
-			for l := range b.src.UseSummary[p] {
+			for _, l := range b.src.UseSummary[p] {
 				b.addEdge(exit, l, NodeID(rs))
 			}
-			for l := range b.src.DefSummary[p] {
+			for _, l := range b.src.DefSummary[p] {
 				b.addEdge(exit, l, NodeID(rs))
 			}
 			if rl := b.src.RetChan(ir.ProcID(p)); rl != ir.None {
@@ -670,20 +815,210 @@ func (b *builder) linkInterproc() {
 	}
 }
 
+// buildAdjacency turns the staged triples into per-node adjacency rows:
+// counting-sort by from-node, sort each node's group by packed (loc, to)
+// keys, deduplicate in place, and carve the out/in rows from exact-size
+// backing arrays. This single sort replaces the per-edge map lookups that
+// used to dominate the build.
+func (b *builder) buildAdjacency() {
+	n := b.g.NumNodes()
+	ts := b.triples
+	b.triples = nil
+	b.out = make([]adjRows, n)
+	b.in = make([]adjRows, n)
+
+	group := func(ts []triple, key func(t triple) NodeID) (grouped []triple, start []int32) {
+		start = make([]int32, n+1)
+		for _, t := range ts {
+			start[key(t)+1]++
+		}
+		for i := 0; i < n; i++ {
+			start[i+1] += start[i]
+		}
+		pos := make([]int32, n)
+		copy(pos, start[:n])
+		grouped = make([]triple, len(ts))
+		for _, t := range ts {
+			grouped[pos[key(t)]] = t
+			pos[key(t)]++
+		}
+		return grouped, start
+	}
+
+	// Out direction, with dedup.
+	grouped, start := group(ts, func(t triple) NodeID { return t.from })
+	var keys []uint64
+	glen := make([]int32, n)
+	nLocs, nEdges := 0, 0
+	for i := 0; i < n; i++ {
+		g := grouped[start[i]:start[i+1]]
+		if len(g) == 0 {
+			continue
+		}
+		keys = keys[:0]
+		for _, t := range g {
+			keys = append(keys, uint64(uint32(t.loc))<<32|uint64(uint32(t.to)))
+		}
+		slices.Sort(keys)
+		m := 0
+		prevLoc := ir.LocID(-1)
+		for j, k := range keys {
+			if j > 0 && k == keys[j-1] {
+				continue
+			}
+			l := ir.LocID(k >> 32)
+			g[m] = triple{from: NodeID(i), loc: l, to: NodeID(uint32(k))}
+			if l != prevLoc {
+				nLocs++
+				prevLoc = l
+			}
+			m++
+		}
+		glen[i] = int32(m)
+		nEdges += m
+	}
+	b.emitRows(b.out, grouped, start, glen, nLocs, nEdges, false)
+
+	// Compact the deduplicated edge set (reusing the staging array) and
+	// build the in direction; no further dedup needed.
+	ded := ts[:0]
+	for i := 0; i < n; i++ {
+		ded = append(ded, grouped[start[i]:start[i]+glen[i]]...)
+	}
+	grouped, start = group(ded, func(t triple) NodeID { return t.to })
+	nLocs = 0
+	for i := 0; i < n; i++ {
+		g := grouped[start[i]:start[i+1]]
+		if len(g) == 0 {
+			glen[i] = 0
+			continue
+		}
+		keys = keys[:0]
+		for _, t := range g {
+			keys = append(keys, uint64(uint32(t.loc))<<32|uint64(uint32(t.from)))
+		}
+		slices.Sort(keys)
+		prevLoc := ir.LocID(-1)
+		for j, k := range keys {
+			l := ir.LocID(k >> 32)
+			g[j] = triple{from: NodeID(uint32(k)), loc: l, to: NodeID(i)}
+			if l != prevLoc {
+				nLocs++
+				prevLoc = l
+			}
+		}
+		glen[i] = int32(len(g))
+	}
+	b.emitRows(b.in, grouped, start, glen, nLocs, nEdges, true)
+}
+
+// emitRows carves adjacency rows out of exact-size backing arrays from
+// grouped (per-node, loc-sorted, deduplicated) triples. The backing never
+// grows, so the row views stay valid; rows are full-cap'd so a bypass append
+// copies out instead of clobbering a neighbor.
+func (b *builder) emitRows(dst []adjRows, grouped []triple, start, glen []int32, nLocs, nEdges int, useFrom bool) {
+	locsBack := make([]ir.LocID, 0, nLocs)
+	rowsBack := make([][]NodeID, 0, nLocs)
+	nodeBack := make([]NodeID, 0, nEdges)
+	for i := range dst {
+		g := grouped[start[i] : start[i]+glen[i]]
+		if len(g) == 0 {
+			continue
+		}
+		locOff, rowOff := len(locsBack), len(rowsBack)
+		rowStart := len(nodeBack)
+		for j, t := range g {
+			if j == 0 || t.loc != g[j-1].loc {
+				if j > 0 {
+					rowsBack = append(rowsBack, nodeBack[rowStart:len(nodeBack):len(nodeBack)])
+				}
+				rowStart = len(nodeBack)
+				locsBack = append(locsBack, t.loc)
+			}
+			if useFrom {
+				nodeBack = append(nodeBack, t.from)
+			} else {
+				nodeBack = append(nodeBack, t.to)
+			}
+		}
+		rowsBack = append(rowsBack, nodeBack[rowStart:len(nodeBack):len(nodeBack)])
+		dst[i] = adjRows{
+			locs: locsBack[locOff:len(locsBack):len(locsBack)],
+			rows: rowsBack[rowOff:len(rowsBack):len(rowsBack)],
+		}
+	}
+}
+
+// spliceAdd inserts the edge ⟨from, l, to⟩ into the adjacency rows (dedup'd)
+// during bypass. The rows for l exist by the splice invariant; the insert
+// fallback keeps the builder correct if it is ever violated.
+func (b *builder) spliceAdd(from NodeID, l ir.LocID, to NodeID) {
+	ri := b.out[from].find(l)
+	if ri < 0 {
+		ri = insertRow(&b.out[from], l)
+	}
+	row := b.out[from].rows[ri]
+	if containsNode(row, to) {
+		return
+	}
+	b.out[from].rows[ri] = append(row, to)
+	ti := b.in[to].find(l)
+	if ti < 0 {
+		ti = insertRow(&b.in[to], l)
+	}
+	b.in[to].rows[ti] = append(b.in[to].rows[ti], from)
+}
+
+// spliceDel removes the edge ⟨from, l, to⟩ from the adjacency rows.
+func (b *builder) spliceDel(from NodeID, l ir.LocID, to NodeID) {
+	if ri := b.out[from].find(l); ri >= 0 {
+		b.out[from].rows[ri] = removeNode(b.out[from].rows[ri], to)
+	}
+	if ti := b.in[to].find(l); ti >= 0 {
+		b.in[to].rows[ti] = removeNode(b.in[to].rows[ti], from)
+	}
+}
+
+// insertRow adds an empty row keyed l to a, returning its index.
+func insertRow(a *adjRows, l ir.LocID) int {
+	lo, hi := 0, len(a.locs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a.locs[mid] < l {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	// Copy out: the key/row arrays are views into shared backing.
+	locs := make([]ir.LocID, 0, len(a.locs)+1)
+	locs = append(locs, a.locs[:lo]...)
+	locs = append(locs, l)
+	locs = append(locs, a.locs[lo:]...)
+	rows := make([][]NodeID, 0, len(a.rows)+1)
+	rows = append(rows, a.rows[:lo]...)
+	rows = append(rows, nil)
+	rows = append(rows, a.rows[lo:]...)
+	a.locs, a.rows = locs, rows
+	return lo
+}
+
 // bypass applies the Section 5 optimization until convergence: a node that
 // merely relays a location l (it is in l's dependency chains through
 // linkage only, neither defining nor using l itself) is spliced out,
 // connecting its predecessors directly to its successors.
 func (b *builder) bypass() {
-	work := make([]NodeID, 0, len(b.passSets))
-	inWork := make([]bool, len(b.passSets))
-	for n := range b.passSets {
-		if len(b.passSets[n]) > 0 {
+	work := make([]NodeID, 0, len(b.pass))
+	inWork := make([]bool, len(b.pass))
+	for n := range b.pass {
+		if len(b.pass[n]) > 0 {
 			work = append(work, NodeID(n))
 			inWork[n] = true
 		}
 	}
 	rootProc := b.prog.ProcByID(b.prog.Main)
+	var snap []ir.LocID
+	var preds, succs []NodeID
 	for len(work) > 0 {
 		n := work[len(work)-1]
 		work = work[:len(work)-1]
@@ -697,17 +1032,19 @@ func (b *builder) bypass() {
 		if n == NodeID(rootProc.Entry) {
 			continue // the root entry injects the initial state
 		}
-		for l := range b.passSets[n] {
-			var preds, succs []NodeID
-			if b.inSet[n] != nil {
-				for _, p := range b.inSet[n][l] {
+		snap = append(snap[:0], b.pass[n]...)
+		for _, l := range snap {
+			preds, succs = preds[:0], succs[:0]
+			inRow, outRow := b.in[n].find(l), b.out[n].find(l)
+			if inRow >= 0 {
+				for _, p := range b.in[n].rows[inRow] {
 					if p != n {
 						preds = append(preds, p)
 					}
 				}
 			}
-			if b.outSet[n] != nil {
-				for _, s := range b.outSet[n][l] {
+			if outRow >= 0 {
+				for _, s := range b.out[n].rows[outRow] {
 					if s != n {
 						succs = append(succs, s)
 					}
@@ -719,75 +1056,121 @@ func (b *builder) bypass() {
 			// Remove the relay (including any self-loop, which is an
 			// identity cycle at a pure relay) and reconnect; a pred that is
 			// also a succ becomes a self-edge carrying the collapsed cycle.
+			// Each neighbor's row is found once and both edited in place:
+			// drop n, then merge in the opposite side (out[p][l] ∋ s iff
+			// in[s][l] ∋ p, so the paired dedup checks agree).
 			for _, p := range preds {
-				b.delEdge(p, l, n)
+				a := &b.out[p]
+				ri := a.find(l)
+				row := removeNode(a.rows[ri], n)
+				for _, s := range succs {
+					if !containsNode(row, s) {
+						row = append(row, s)
+					}
+				}
+				a.rows[ri] = row
 			}
 			for _, s := range succs {
-				b.delEdge(n, l, s)
+				a := &b.in[s]
+				ri := a.find(l)
+				row := removeNode(a.rows[ri], n)
+				for _, p := range preds {
+					if !containsNode(row, p) {
+						row = append(row, p)
+					}
+				}
+				a.rows[ri] = row
 			}
-			if b.outSet[n] != nil && b.outSet[n][l] != nil {
-				b.delEdge(n, l, n)
+			// The relay's own rows are now fully dead (all preds, succs, and
+			// any self-loop removed).
+			if inRow >= 0 {
+				b.in[n].rows[inRow] = b.in[n].rows[inRow][:0]
+			}
+			if outRow >= 0 {
+				b.out[n].rows[outRow] = b.out[n].rows[outRow][:0]
 			}
 			requeue := func(m NodeID) {
-				if !inWork[m] && b.passSets[m][l] {
+				if !inWork[m] && ir.LocsContain(b.pass[m], l) {
 					work = append(work, m)
 					inWork[m] = true
 				}
 			}
-			for _, p := range preds {
+			if len(preds) > 0 {
 				for _, s := range succs {
-					b.addEdge(p, l, s)
 					requeue(s)
 				}
+			}
+			for _, p := range preds {
 				requeue(p)
 			}
 			b.g.SplicedTriples += len(preds) + len(succs)
-			delete(b.passSets[n], l)
-			delete(b.defSets[n], l)
-			delete(b.useSets[n], l)
+			b.pass[n] = removeLoc(b.pass[n], l)
+			b.defs[n] = removeLoc(b.defs[n], l)
+			b.uses[n] = removeLoc(b.uses[n], l)
 		}
 	}
 }
 
-// finalize converts edge sets to slices and fills the solver-facing tables.
+// finalize compacts the access sets into shared backing arrays and builds
+// the CSR successor index.
 func (b *builder) finalize(info *cfg.Info) {
 	g := b.g
 	n := g.NumNodes()
 	g.Defs = make([][]ir.LocID, n)
 	g.Uses = make([][]ir.LocID, n)
 	g.Prio = make([]int, n)
-	g.out = make([]map[ir.LocID][]NodeID, n)
+	var totD, totU int
 	for i := 0; i < n; i++ {
-		g.Defs[i] = sortedLocs(b.defSets[i])
-		g.Uses[i] = sortedLocs(b.useSets[i])
+		totD += len(b.defs[i])
+		totU += len(b.uses[i])
+	}
+	defBack := make([]ir.LocID, 0, totD)
+	useBack := make([]ir.LocID, 0, totU)
+	for i := 0; i < n; i++ {
+		if len(b.defs[i]) > 0 {
+			off := len(defBack)
+			defBack = append(defBack, b.defs[i]...)
+			g.Defs[i] = defBack[off:len(defBack):len(defBack)]
+		}
+		if len(b.uses[i]) > 0 {
+			off := len(useBack)
+			useBack = append(useBack, b.uses[i]...)
+			g.Uses[i] = useBack[off:len(useBack):len(useBack)]
+		}
 		if i < g.PointCount {
 			g.Prio[i] = info.Prio[i] * 2
 		} else {
 			g.Prio[i] = info.Prio[g.Phis[i-g.PointCount].At]*2 - 1
 		}
-		if b.outSet[i] == nil {
-			continue
+	}
+	var nLocs, nEdges int
+	for i := range b.out {
+		for ri := range b.out[i].rows {
+			if len(b.out[i].rows[ri]) > 0 {
+				nLocs++
+				nEdges += len(b.out[i].rows[ri])
+			}
 		}
-		g.out[i] = make(map[ir.LocID][]NodeID, len(b.outSet[i]))
-		for l, succs := range b.outSet[i] {
-			if len(succs) == 0 {
+	}
+	g.edgeLocs = make([]ir.LocID, 0, nLocs)
+	g.edgeRow = make([]int32, n+1)
+	g.succOff = make([]int32, 0, nLocs+1)
+	g.succs = make([]NodeID, 0, nEdges)
+	for i := 0; i < n; i++ {
+		g.edgeRow[i] = int32(len(g.edgeLocs))
+		a := &b.out[i]
+		for ri, l := range a.locs {
+			row := a.rows[ri]
+			if len(row) == 0 {
 				continue
 			}
-			sort.Slice(succs, func(a, c int) bool { return succs[a] < succs[c] })
-			g.out[i][l] = succs
-			g.EdgeCount += len(succs)
+			slices.Sort(row)
+			g.edgeLocs = append(g.edgeLocs, l)
+			g.succOff = append(g.succOff, int32(len(g.succs)))
+			g.succs = append(g.succs, row...)
+			g.EdgeCount += len(row)
 		}
 	}
-}
-
-func sortedLocs(set map[ir.LocID]bool) []ir.LocID {
-	if len(set) == 0 {
-		return nil
-	}
-	out := make([]ir.LocID, 0, len(set))
-	for l := range set {
-		out = append(out, l)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	g.edgeRow[n] = int32(len(g.edgeLocs))
+	g.succOff = append(g.succOff, int32(len(g.succs)))
 }

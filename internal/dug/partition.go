@@ -60,8 +60,8 @@ func (g *Graph) nodeSuccs() [][]NodeID {
 	out := make([][]NodeID, n)
 	for i := 0; i < n; i++ {
 		var all []NodeID
-		for _, succs := range g.out[i] {
-			all = append(all, succs...)
+		for k := g.edgeRow[i]; k < g.edgeRow[i+1]; k++ {
+			all = append(all, g.succs[g.succOff[k]:g.succOff[k+1]]...)
 		}
 		if len(all) == 0 {
 			continue

@@ -1,0 +1,169 @@
+package ir
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDedupLocs(t *testing.T) {
+	cases := []struct{ in, want []LocID }{
+		{nil, nil},
+		{[]LocID{3}, []LocID{3}},
+		{[]LocID{5, 3, 5, 1, 3}, []LocID{1, 3, 5}},
+		{[]LocID{2, 2, 2}, []LocID{2}},
+		{[]LocID{9, 8, 7}, []LocID{7, 8, 9}},
+	}
+	for _, c := range cases {
+		got := DedupLocs(append([]LocID(nil), c.in...))
+		if !EqualLocs(got, c.want) {
+			t.Errorf("DedupLocs(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestLocsContain(t *testing.T) {
+	s := []LocID{1, 4, 9, 16, 25}
+	for _, l := range s {
+		if !LocsContain(s, l) {
+			t.Errorf("LocsContain(%v, %d) = false", s, l)
+		}
+	}
+	for _, l := range []LocID{0, 2, 10, 26} {
+		if LocsContain(s, l) {
+			t.Errorf("LocsContain(%v, %d) = true", s, l)
+		}
+	}
+	if LocsContain(nil, 0) {
+		t.Error("LocsContain(nil, 0) = true")
+	}
+}
+
+func TestMergeLocs(t *testing.T) {
+	a := []LocID{1, 3, 5}
+	b := []LocID{2, 3, 6}
+	got := MergeLocs(nil, a, b)
+	if want := []LocID{1, 2, 3, 5, 6}; !EqualLocs(got, want) {
+		t.Errorf("MergeLocs = %v, want %v", got, want)
+	}
+	// Reuse of dst[:0] must not corrupt the inputs.
+	buf := make([]LocID, 0, 8)
+	if got := MergeLocs(buf, a, nil); !EqualLocs(got, a) {
+		t.Errorf("MergeLocs(buf, a, nil) = %v, want %v", got, a)
+	}
+	if got := MergeLocs(buf[:0], nil, b); !EqualLocs(got, b) {
+		t.Errorf("MergeLocs(buf, nil, b) = %v, want %v", got, b)
+	}
+}
+
+// TestMergeLocsRandom cross-checks MergeLocs against a map-based union.
+func TestMergeLocsRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		mk := func() []LocID {
+			s := make([]LocID, r.Intn(20))
+			for i := range s {
+				s[i] = LocID(r.Intn(30))
+			}
+			return DedupLocs(s)
+		}
+		a, b := mk(), mk()
+		got := MergeLocs(nil, a, b)
+		want := map[LocID]bool{}
+		for _, l := range a {
+			want[l] = true
+		}
+		for _, l := range b {
+			want[l] = true
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: MergeLocs(%v, %v) = %v, want %d elems", trial, a, b, got, len(want))
+		}
+		for i, l := range got {
+			if !want[l] {
+				t.Fatalf("trial %d: spurious %d in %v", trial, l, got)
+			}
+			if i > 0 && got[i-1] >= l {
+				t.Fatalf("trial %d: unsorted result %v", trial, got)
+			}
+		}
+	}
+}
+
+func TestLocSetInterner(t *testing.T) {
+	it := NewLocSetInterner()
+	if got := it.Intern(nil); got != nil {
+		t.Errorf("Intern(nil) = %v, want nil", got)
+	}
+	if got := it.Intern([]LocID{}); got != nil {
+		t.Errorf("Intern(empty) = %v, want nil", got)
+	}
+	a := it.Intern([]LocID{1, 2, 3})
+	b := it.Intern([]LocID{1, 2, 3})
+	if &a[0] != &b[0] {
+		t.Error("identical sets not shared by the interner")
+	}
+	c := it.Intern([]LocID{1, 2, 4})
+	if &a[0] == &c[0] {
+		t.Error("distinct sets share storage")
+	}
+	// First-interned slice is canonical: later equal slices return it.
+	d := append([]LocID(nil), 1, 2, 3)
+	if e := it.Intern(d); &e[0] != &a[0] {
+		t.Error("interner did not return the canonical (first) slice")
+	}
+}
+
+// TestLocTableDenseStability: interning the same location sequence into two
+// fresh tables yields the same dense IDs — the property that makes LocIDs
+// usable as stable array indices across identical runs.
+func TestLocTableDenseStability(t *testing.T) {
+	seq := []Loc{
+		{Kind: LVar, Proc: None, Name: "g"},
+		{Kind: LVar, Proc: 1, Name: "x"},
+		{Kind: LRet, Proc: 1},
+		{Kind: LVar, Proc: None, Name: "g"}, // repeat: same ID
+		{Kind: LVar, Proc: 2, Name: "x"},    // same name, other proc: new ID
+	}
+	t1, t2 := NewLocTable(), NewLocTable()
+	for i, l := range seq {
+		id1, id2 := t1.Intern(l), t2.Intern(l)
+		if id1 != id2 {
+			t.Fatalf("seq[%d]: table1 gave %d, table2 gave %d", i, id1, id2)
+		}
+	}
+	if t1.Len() != 4 || t2.Len() != 4 {
+		t.Fatalf("want 4 distinct locations, got %d / %d", t1.Len(), t2.Len())
+	}
+	// IDs are dense: 0..Len-1, assigned in first-intern order.
+	if id, _ := t1.Lookup(seq[0]); id != 0 {
+		t.Errorf("first interned loc has ID %d, want 0", id)
+	}
+	if id, _ := t1.Lookup(seq[4]); id != 3 {
+		t.Errorf("fourth distinct loc has ID %d, want 3", id)
+	}
+}
+
+// TestLocTableRoundTrip: Get inverts Intern for every location shape.
+func TestLocTableRoundTrip(t *testing.T) {
+	tb := NewLocTable()
+	locs := []Loc{
+		{Kind: LVar, Proc: None, Name: "g"},
+		{Kind: LVar, Proc: 3, Name: "local"},
+		{Kind: LRet, Proc: 3},
+		{Kind: LAlloc, Proc: None, Site: 17},
+	}
+	base := tb.Intern(locs[0])
+	locs = append(locs,
+		Loc{Kind: LFld, Proc: None, Base: base, Name: "f"},
+		Loc{Kind: LArr, Proc: None, Base: base},
+	)
+	for _, l := range locs {
+		id := tb.Intern(l)
+		if got := tb.Get(id); got != l {
+			t.Errorf("Get(Intern(%+v)) = %+v", l, got)
+		}
+		if id2, ok := tb.Lookup(l); !ok || id2 != id {
+			t.Errorf("Lookup(%+v) = %d,%v want %d,true", l, id2, ok, id)
+		}
+	}
+}

@@ -215,6 +215,44 @@ func (m Mem) RemoveSet(set map[ir.LocID]bool) Mem {
 	return m.Restrict(func(l ir.LocID) bool { return !set[l] })
 }
 
+// RestrictSorted keeps only the locations in the sorted slice locs. The
+// entries come out of Range in ascending key order, so membership is a
+// single merge walk over locs instead of a hash probe per entry — this is
+// the localization path of the dense solvers over the pre-analysis's
+// interned accessed sets.
+func (m Mem) RestrictSorted(locs []ir.LocID) Mem {
+	return m.restrictMerge(locs, true)
+}
+
+// RemoveSorted drops the locations in the sorted slice locs.
+func (m Mem) RemoveSorted(locs []ir.LocID) Mem {
+	return m.restrictMerge(locs, false)
+}
+
+func (m Mem) restrictMerge(locs []ir.LocID, keep bool) Mem {
+	n := m.Len()
+	if n == 0 {
+		return Bot
+	}
+	keys := make([]int32, 0, n)
+	vals := make([]val.Val, 0, n)
+	i := 0
+	m.m.Range(func(k int32, v val.Val) bool {
+		for i < len(locs) && int32(locs[i]) < k {
+			i++
+		}
+		if (i < len(locs) && int32(locs[i]) == k) == keep {
+			keys = append(keys, k)
+			vals = append(vals, v)
+		}
+		return true
+	})
+	if len(keys) == n {
+		return m // nothing filtered: share the whole tree
+	}
+	return Mem{m: pmap.FromSorted(keys, vals)}
+}
+
 // String renders the memory with numeric location IDs (tests use
 // Program.Locs for names).
 func (m Mem) String() string {

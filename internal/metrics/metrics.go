@@ -147,8 +147,11 @@ func (c Counter) String() string { return counterNames[c] }
 type Collector struct {
 	counters [NumCounters]atomic.Int64
 
-	mu     sync.Mutex
-	phases [NumPhases]time.Duration
+	mu              sync.Mutex
+	phases          [NumPhases]time.Duration
+	phaseAllocBytes [NumPhases]uint64
+	phaseAllocObjs  [NumPhases]uint64
+	trackAllocs     bool
 
 	heapPeak atomic.Uint64
 	heapBase uint64
@@ -201,13 +204,43 @@ func (c *Collector) Get(k Counter) int64 {
 //	stop()
 //
 // Stopping adds the elapsed wall time to the phase (phases entered several
-// times accumulate). Safe on a nil collector.
+// times accumulate). Safe on a nil collector. With EnablePhaseAllocs, the
+// allocation deltas of the phase are accumulated too.
 func (c *Collector) Phase(p Phase) func() {
 	if c == nil {
 		return func() {}
 	}
+	if c.trackAllocs {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		b0, o0 := ms.TotalAlloc, ms.Mallocs
+		t0 := time.Now()
+		return func() {
+			d := time.Since(t0)
+			runtime.ReadMemStats(&ms)
+			c.mu.Lock()
+			c.phases[p] += d
+			c.phaseAllocBytes[p] += ms.TotalAlloc - b0
+			c.phaseAllocObjs[p] += ms.Mallocs - o0
+			c.mu.Unlock()
+		}
+	}
 	t0 := time.Now()
 	return func() { c.AddPhase(p, time.Since(t0)) }
+}
+
+// EnablePhaseAllocs turns on per-phase allocation accounting: each Phase
+// stop records the process-wide TotalAlloc/Mallocs deltas alongside the wall
+// time. Off by default — the two ReadMemStats per phase are cheap next to
+// any analysis phase but not free, and the numbers are report-only (they are
+// process-global, so concurrent background work leaks in). Call before the
+// run starts; phases time concurrently only within one phase, never across
+// two, so the deltas nest correctly.
+func (c *Collector) EnablePhaseAllocs() {
+	if c == nil {
+		return
+	}
+	c.trackAllocs = true
 }
 
 // AddPhase adds d to phase p's accumulated wall time.
@@ -307,6 +340,11 @@ type Report struct {
 	Counters      map[string]int64 `json:"counters"`
 	TimingsNS     map[string]int64 `json:"timings_ns,omitempty"`
 	PeakHeapBytes uint64           `json:"peak_heap_bytes,omitempty"`
+
+	// Per-phase allocation deltas (EnablePhaseAllocs only; report-only like
+	// the timings — process-global, machine- and GC-schedule dependent).
+	AllocBytesByPhase map[string]uint64 `json:"alloc_bytes_by_phase,omitempty"`
+	AllocsByPhase     map[string]uint64 `json:"allocs_by_phase,omitempty"`
 }
 
 // Report snapshots the collector. Every catalogued counter appears (zeros
@@ -325,6 +363,14 @@ func (c *Collector) Report() *Report {
 					r.TimingsNS = make(map[string]int64, NumPhases)
 				}
 				r.TimingsNS[phaseNames[p]] = int64(c.phases[p])
+			}
+			if c.phaseAllocBytes[p] > 0 || c.phaseAllocObjs[p] > 0 {
+				if r.AllocBytesByPhase == nil {
+					r.AllocBytesByPhase = make(map[string]uint64, NumPhases)
+					r.AllocsByPhase = make(map[string]uint64, NumPhases)
+				}
+				r.AllocBytesByPhase[phaseNames[p]] = c.phaseAllocBytes[p]
+				r.AllocsByPhase[phaseNames[p]] = c.phaseAllocObjs[p]
 			}
 		}
 		c.mu.Unlock()

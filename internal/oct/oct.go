@@ -497,24 +497,47 @@ const (
 	XGe                     // x ≥ c
 )
 
+// Constraint is a single test constraint, the unit of batched assumption.
+type Constraint struct {
+	Op   TestOp
+	X, Y int
+	C    int64
+}
+
+// apply tightens the matrix entries of c's constraint without closing.
+func (o *Oct) apply(c Constraint) {
+	switch c.Op {
+	case XMinusYLe:
+		o.tighten(2*c.Y, 2*c.X, c.C)
+		o.tighten(bar(2*c.X), bar(2*c.Y), c.C)
+	case XPlusYLe:
+		o.tighten(bar(2*c.Y), 2*c.X, c.C)
+		o.tighten(bar(2*c.X), 2*c.Y, c.C)
+	case XLe:
+		o.tighten(bar(2*c.X), 2*c.X, 2*c.C)
+	case XGe:
+		o.tighten(2*c.X, bar(2*c.X), -2*c.C)
+	}
+}
+
 // Assume adds the constraint to the octagon and reports the closed result
 // (bottom when unsatisfiable).
 func (o *Oct) Assume(op TestOp, x, y int, c int64) *Oct {
-	if o.bot {
+	return o.AssumeAll(Constraint{Op: op, X: x, Y: y, C: c})
+}
+
+// AssumeAll adds every constraint and closes once (bottom when jointly
+// unsatisfiable). Closure is a closure operator, so one strong closure over
+// the accumulated tightenings reaches the same normal form as re-closing
+// after each constraint — AssumeAll(c1, c2) equals Assume(c1).Assume(c2) —
+// while paying the cubic Floyd–Warshall pass a single time per batch.
+func (o *Oct) AssumeAll(cs ...Constraint) *Oct {
+	if o.bot || len(cs) == 0 {
 		return o
 	}
 	out := o.clone()
-	switch op {
-	case XMinusYLe:
-		out.tighten(2*y, 2*x, c)
-		out.tighten(bar(2*x), bar(2*y), c)
-	case XPlusYLe:
-		out.tighten(bar(2*y), 2*x, c)
-		out.tighten(bar(2*x), 2*y, c)
-	case XLe:
-		out.tighten(bar(2*x), 2*x, 2*c)
-	case XGe:
-		out.tighten(2*x, bar(2*x), -2*c)
+	for _, c := range cs {
+		out.apply(c)
 	}
 	out.closed = false
 	return out.Closed()

@@ -1,6 +1,7 @@
 package oct
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -232,5 +233,77 @@ func BenchmarkClose(b *testing.B) {
 		c := o.clone()
 		c.closed = false
 		c.Closed()
+	}
+}
+
+// TestAssumeAllMatchesChained: batching constraints into one closure must
+// produce exactly the octagon the chained per-constraint closures produce —
+// the invariant that lets the transfer functions close once per pack.
+func TestAssumeAllMatchesChained(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	ops := []TestOp{XMinusYLe, XPlusYLe, XLe, XGe}
+	for trial := 0; trial < 200; trial++ {
+		nv := 2 + r.Intn(4)
+		o := Top(nv)
+		for i := 0; i < nv; i++ {
+			lo := int64(r.Intn(21) - 10)
+			o = o.AssignInterval(i, itv.OfInts(lo, lo+int64(r.Intn(10))))
+		}
+		cs := make([]Constraint, 1+r.Intn(3))
+		for i := range cs {
+			cs[i] = Constraint{
+				Op: ops[r.Intn(len(ops))],
+				X:  r.Intn(nv),
+				Y:  r.Intn(nv),
+				C:  int64(r.Intn(13) - 6),
+			}
+		}
+		chained := o
+		for _, c := range cs {
+			chained = chained.Assume(c.Op, c.X, c.Y, c.C)
+		}
+		batched := o.AssumeAll(cs...)
+		if chained.IsBottom() != batched.IsBottom() {
+			t.Fatalf("trial %d: bottom disagreement: chained=%v batched=%v (cs=%v)",
+				trial, chained.IsBottom(), batched.IsBottom(), cs)
+		}
+		if !chained.IsBottom() && !chained.Eq(batched) {
+			t.Fatalf("trial %d: chained %s != batched %s (cs=%v)", trial, chained, batched, cs)
+		}
+	}
+}
+
+// BenchmarkOctClosure measures the batched-vs-chained closure cost of the
+// two-constraint assumes the transfer functions issue (equality tests): the
+// batched path runs the cubic closure once.
+func BenchmarkOctClosure(b *testing.B) {
+	mk := func(n int) *Oct {
+		r := rand.New(rand.NewSource(3))
+		o := Top(n)
+		for i := 0; i < 3*n; i++ {
+			o = o.Assume(XMinusYLe, r.Intn(n), r.Intn(n), int64(r.Intn(20)-5))
+			if o.IsBottom() {
+				o = Top(n)
+			}
+		}
+		return o
+	}
+	for _, n := range []int{4, 10} {
+		o := mk(n)
+		cs := [2]Constraint{
+			{Op: XMinusYLe, X: 0, Y: 1},
+			{Op: XMinusYLe, X: 1, Y: 0},
+		}
+		b.Run(fmt.Sprintf("chained/n=%d", n), func(b *testing.B) {
+			for b.Loop() {
+				o.Assume(cs[0].Op, cs[0].X, cs[0].Y, cs[0].C).
+					Assume(cs[1].Op, cs[1].X, cs[1].Y, cs[1].C)
+			}
+		})
+		b.Run(fmt.Sprintf("batched/n=%d", n), func(b *testing.B) {
+			for b.Loop() {
+				o.AssumeAll(cs[:]...)
+			}
+		})
 	}
 }

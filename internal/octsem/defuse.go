@@ -14,42 +14,57 @@ import (
 // rewrites the whole relational value) plus the singleton packs of the
 // variables projected out of other packs.
 func (s *Sem) DefsUses(pt *ir.Point) (defs, uses sem.LocSet) {
+	d, u := s.DefsUsesAppend(pt, nil, nil)
 	defs, uses = sem.LocSet{}, sem.LocSet{}
+	for _, l := range d {
+		defs.Add(l)
+	}
+	for _, l := range u {
+		uses.Add(l)
+	}
+	return defs, uses
+}
+
+// DefsUsesAppend is the allocation-light form of DefsUses: it appends the
+// pack IDs of D̂(c)/Û(c) to defs/uses (duplicates allowed — callers dedup)
+// and returns the extended slices.
+func (s *Sem) DefsUsesAppend(pt *ir.Point, defs, uses []ir.LocID) ([]ir.LocID, []ir.LocID) {
 	defLoc := func(l ir.LocID) {
 		for _, p := range s.Packs.PacksOf(l) {
-			defs.Add(p)
-			uses.Add(p) // pack updates read the old relational value
+			defs = append(defs, p)
+			uses = append(uses, p) // pack updates read the old relational value
 		}
 	}
+	addUse := func(p pack.ID) { uses = append(uses, p) }
 	switch c := pt.Cmd.(type) {
 	case ir.Set:
 		defLoc(c.L)
-		s.usesOf(c.E, uses)
+		s.usesOf(c.E, addUse)
 	case ir.Store:
 		for _, t := range s.storeTargets(c.P, "") {
 			defLoc(t)
 		}
-		s.usesOf(c.P, uses)
-		s.usesOf(c.E, uses)
+		s.usesOf(c.P, addUse)
+		s.usesOf(c.E, addUse)
 	case ir.StoreField:
 		for _, t := range s.storeTargets(c.P, c.F) {
 			defLoc(t)
 		}
-		s.usesOf(c.P, uses)
-		s.usesOf(c.E, uses)
+		s.usesOf(c.P, addUse)
+		s.usesOf(c.E, addUse)
 	case ir.Alloc:
 		defLoc(c.L)
 		defLoc(s.Prog.Locs.Alloc(c.Site))
-		s.usesOf(c.N, uses)
+		s.usesOf(c.N, addUse)
 	case ir.Assume:
-		s.usesOf(c.E, uses)
+		s.usesOf(c.E, addUse)
 		for _, l := range s.refinedLocs(c.E) {
 			defLoc(l)
 		}
 	case ir.Call:
-		s.usesOf(c.F, uses)
+		s.usesOf(c.F, addUse)
 		for _, a := range c.Args {
-			s.usesOf(a, uses)
+			s.usesOf(a, addUse)
 		}
 		for _, p := range s.Pre.CalleesOf(pt.ID) {
 			for _, f := range s.Prog.ProcByID(p).Formals {
@@ -63,7 +78,7 @@ func (s *Sem) DefsUses(pt *ir.Point) (defs, uses sem.LocSet) {
 		for _, p := range s.Pre.CalleesOf(c.CallPt) {
 			if rl := s.Prog.ProcByID(p).RetLoc; rl != ir.None {
 				if sp, ok := s.Packs.Singleton(rl); ok {
-					uses.Add(sp)
+					uses = append(uses, sp)
 				}
 			}
 		}
@@ -71,17 +86,17 @@ func (s *Sem) DefsUses(pt *ir.Point) (defs, uses sem.LocSet) {
 		pr := s.Prog.ProcByID(pt.Proc)
 		if c.E != nil && pr.RetLoc != ir.None {
 			defLoc(pr.RetLoc)
-			s.usesOf(c.E, uses)
+			s.usesOf(c.E, addUse)
 		}
 	}
 	return defs, uses
 }
 
-// usesOf adds the singleton packs of the locations read by e.
-func (s *Sem) usesOf(e ir.Expr, uses sem.LocSet) {
+// usesOf feeds the singleton packs of the locations read by e to add.
+func (s *Sem) usesOf(e ir.Expr, add func(pack.ID)) {
 	addLoc := func(l ir.LocID) {
 		if p, ok := s.Packs.Singleton(l); ok {
-			uses.Add(p)
+			add(p)
 		}
 	}
 	var walk func(ir.Expr)
@@ -165,59 +180,27 @@ func (s *Sem) refinedLocs(e ir.Expr) []ir.LocID {
 func Source(prog *ir.Program, pre *prean.Result, packs *pack.Set) (*Sem, *dug.Source) {
 	s := New(prog, pre, packs)
 	n := len(prog.Procs)
-	defSum := make([]map[ir.LocID]bool, n)
-	useSum := make([]map[ir.LocID]bool, n)
-	ownD := make([]map[ir.LocID]bool, n)
-	ownU := make([]map[ir.LocID]bool, n)
+	ownD := make([][]ir.LocID, n)
+	ownU := make([][]ir.LocID, n)
+	var d, u []ir.LocID
 	for _, pr := range prog.Procs {
-		d, u := map[ir.LocID]bool{}, map[ir.LocID]bool{}
+		d, u = d[:0], u[:0]
 		for _, id := range pr.Points {
-			pd, pu := s.DefsUses(prog.Point(id))
-			for l := range pd {
-				d[l] = true
-			}
-			for l := range pu {
-				u[l] = true
-			}
+			d, u = s.DefsUsesAppend(prog.Point(id), d, u)
 		}
-		ownD[pr.ID], ownU[pr.ID] = d, u
+		d, u = ir.DedupLocs(d), ir.DedupLocs(u)
+		ownD[pr.ID] = append([]ir.LocID(nil), d...)
+		ownU[pr.ID] = append([]ir.LocID(nil), u...)
 	}
-	for p := 0; p < n; p++ {
-		defSum[p] = map[ir.LocID]bool{}
-		useSum[p] = map[ir.LocID]bool{}
-	}
-	for _, comp := range pre.CG.SCCs {
-		for changed := true; changed; {
-			changed = false
-			for _, p := range comp {
-				d, u := defSum[p], useSum[p]
-				before := len(d) + len(u)
-				for l := range ownD[p] {
-					d[l] = true
-				}
-				for l := range ownU[p] {
-					u[l] = true
-				}
-				for _, q := range pre.CG.Succs[p] {
-					for l := range defSum[q] {
-						d[l] = true
-					}
-					for l := range useSum[q] {
-						u[l] = true
-					}
-				}
-				if len(d)+len(u) != before {
-					changed = true
-				}
-			}
-		}
-	}
+	defSum, useSum := prean.SummarizeSCCs(pre.CG, ownD, ownU)
 	src := &dug.Source{
-		Prog:       prog,
-		CG:         pre.CG,
-		Callees:    pre.CalleesOf,
-		RetSites:   pre.RetSites,
-		DefsUses:   s.DefsUses,
+		Prog:     prog,
+		CG:       pre.CG,
+		Callees:  pre.CalleesOf,
+		RetSites: pre.RetSites,
+		DefsUsesAppend: func(pt *ir.Point, defs, uses []ir.LocID) ([]ir.LocID, []ir.LocID) {
+			return s.DefsUsesAppend(pt, defs, uses)
+		},
 		DefSummary: defSum,
 		UseSummary: useSum,
 		RetChan: func(p ir.ProcID) ir.LocID {
@@ -234,14 +217,8 @@ func Source(prog *ir.Program, pre *prean.Result, packs *pack.Set) (*Sem, *dug.So
 	return s, src
 }
 
-// Accessed returns the pack-level accessed set of p (for localization).
-func Accessed(src *dug.Source, p ir.ProcID) map[pack.ID]bool {
-	out := map[pack.ID]bool{}
-	for l := range src.DefSummary[p] {
-		out[l] = true
-	}
-	for l := range src.UseSummary[p] {
-		out[l] = true
-	}
-	return out
+// Accessed returns the pack-level accessed set of p (for localization) as a
+// sorted slice.
+func Accessed(src *dug.Source, p ir.ProcID) []pack.ID {
+	return ir.MergeLocs(nil, src.DefSummary[p], src.UseSummary[p])
 }

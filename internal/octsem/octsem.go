@@ -458,7 +458,10 @@ func (s *Sem) refineRel(lx, ly ir.LocID, op ir.BinOp, m OMem) (OMem, bool) {
 		case ir.Ge:
 			next = old.Assume(oct.XMinusYLe, yi, xi, 0)
 		case ir.Eq:
-			next = old.Assume(oct.XMinusYLe, xi, yi, 0).Assume(oct.XMinusYLe, yi, xi, 0)
+			// Both directions in one batch: a single closure per pack.
+			next = old.AssumeAll(
+				oct.Constraint{Op: oct.XMinusYLe, X: xi, Y: yi},
+				oct.Constraint{Op: oct.XMinusYLe, X: yi, Y: xi})
 		case ir.Ne:
 			// Not octagon-expressible; skip.
 		}
@@ -501,12 +504,18 @@ func (s *Sem) refineBounds(l ir.LocID, op ir.BinOp, bound itv.Itv, m OMem) (OMem
 				next = old.Assume(oct.XGe, xi, xi, bound.Lo().Int())
 			}
 		case ir.Eq:
+			// Both bounds accumulate into one batch, closing once.
+			var cs [2]oct.Constraint
+			k := 0
 			if bound.Hi().IsFinite() {
-				next = next.Assume(oct.XLe, xi, xi, bound.Hi().Int())
+				cs[k] = oct.Constraint{Op: oct.XLe, X: xi, Y: xi, C: bound.Hi().Int()}
+				k++
 			}
 			if bound.Lo().IsFinite() {
-				next = next.Assume(oct.XGe, xi, xi, bound.Lo().Int())
+				cs[k] = oct.Constraint{Op: oct.XGe, X: xi, Y: xi, C: bound.Lo().Int()}
+				k++
 			}
+			next = old.AssumeAll(cs[:k]...)
 		case ir.Ne:
 			// Interval-style hole punching is not octagon-native; refine
 			// only when the excluded point is an endpoint.
@@ -516,12 +525,17 @@ func (s *Sem) refineBounds(l ir.LocID, op ir.BinOp, bound itv.Itv, m OMem) (OMem
 				if refined.IsBot() {
 					return OBot, false
 				}
+				var cs [2]oct.Constraint
+				k := 0
 				if refined.Hi().IsFinite() {
-					next = next.Assume(oct.XLe, xi, xi, refined.Hi().Int())
+					cs[k] = oct.Constraint{Op: oct.XLe, X: xi, Y: xi, C: refined.Hi().Int()}
+					k++
 				}
 				if refined.Lo().IsFinite() {
-					next = next.Assume(oct.XGe, xi, xi, refined.Lo().Int())
+					cs[k] = oct.Constraint{Op: oct.XGe, X: xi, Y: xi, C: refined.Lo().Int()}
+					k++
 				}
+				next = old.AssumeAll(cs[:k]...)
 			}
 		}
 		if next.IsBottom() {

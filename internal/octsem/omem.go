@@ -196,14 +196,39 @@ func (m OMem) restrict(keep func(pack.ID) bool) OMem {
 	return OMem{m: pmap.FromSorted(keys, vals)}
 }
 
-// RestrictSet keeps only the packs in set.
-func (m OMem) RestrictSet(set map[pack.ID]bool) OMem {
-	return m.restrict(func(p pack.ID) bool { return set[p] })
+// RestrictSorted keeps only the packs in the sorted slice ps; membership is
+// a single merge walk (Range yields ascending keys).
+func (m OMem) RestrictSorted(ps []pack.ID) OMem {
+	return m.restrictMerge(ps, true)
 }
 
-// RemoveSet drops the packs in set.
-func (m OMem) RemoveSet(set map[pack.ID]bool) OMem {
-	return m.restrict(func(p pack.ID) bool { return !set[p] })
+// RemoveSorted drops the packs in the sorted slice ps.
+func (m OMem) RemoveSorted(ps []pack.ID) OMem {
+	return m.restrictMerge(ps, false)
+}
+
+func (m OMem) restrictMerge(ps []pack.ID, keep bool) OMem {
+	n := m.Len()
+	if n == 0 {
+		return OBot
+	}
+	keys := make([]int32, 0, n)
+	vals := make([]*oct.Oct, 0, n)
+	i := 0
+	m.m.Range(func(k int32, o *oct.Oct) bool {
+		for i < len(ps) && int32(ps[i]) < k {
+			i++
+		}
+		if (i < len(ps) && int32(ps[i]) == k) == keep {
+			keys = append(keys, k)
+			vals = append(vals, o)
+		}
+		return true
+	})
+	if len(keys) == n {
+		return m // nothing filtered: share the whole tree
+	}
+	return OMem{m: pmap.FromSorted(keys, vals)}
 }
 
 // String renders the state (pack IDs with their octagons).

@@ -32,9 +32,11 @@ type Result struct {
 	// DefSummary[p]/UseSummary[p] are the transitive definition/use
 	// summaries of procedure p: every abstract location p or its callees
 	// may define/use (the D*(P)/U*(P) of the interprocedural extension in
-	// Section 5).
-	DefSummary []map[ir.LocID]bool
-	UseSummary []map[ir.LocID]bool
+	// Section 5). Each summary is a sorted, interned []ir.LocID slice —
+	// identical summaries share one backing array — and must be treated as
+	// immutable; membership is ir.LocsContain.
+	DefSummary [][]ir.LocID
+	UseSummary [][]ir.LocID
 	// RetSites[p] lists the RetBind points receiving returns from p;
 	// CallSites[p] the Call points invoking p.
 	RetSites  [][]ir.PointID
@@ -45,29 +47,24 @@ type Result struct {
 	// accessed memoizes Accessed per procedure: the union of the def and
 	// use summaries never changes after Run, and Accessed sits on the
 	// localization hot path (every call boundary restricts through it).
-	accessed []map[ir.LocID]bool
+	accessed [][]ir.LocID
 }
 
 // CalleesOf returns the resolved callees of a call point.
 func (r *Result) CalleesOf(pt ir.PointID) []ir.ProcID { return r.Callees[pt] }
 
 // Accessed reports the union of the def and use summaries of p (the
-// localization set of the access-based technique). The union is computed
-// once per procedure and cached; callers must not mutate the result.
-func (r *Result) Accessed(p ir.ProcID) map[ir.LocID]bool {
+// localization set of the access-based technique) as a sorted slice. The
+// union is computed once per procedure and cached; callers must not mutate
+// the result.
+func (r *Result) Accessed(p ir.ProcID) []ir.LocID {
 	if r.accessed == nil {
-		r.accessed = make([]map[ir.LocID]bool, len(r.DefSummary))
+		r.accessed = make([][]ir.LocID, len(r.DefSummary))
 	}
 	if a := r.accessed[p]; a != nil {
 		return a
 	}
-	out := make(map[ir.LocID]bool, len(r.DefSummary[p])+len(r.UseSummary[p]))
-	for l := range r.DefSummary[p] {
-		out[l] = true
-	}
-	for l := range r.UseSummary[p] {
-		out[l] = true
-	}
+	out := ir.MergeLocs(nil, r.DefSummary[p], r.UseSummary[p])
 	r.accessed[p] = out
 	return out
 }
@@ -144,22 +141,23 @@ func RunWorkers(prog *ir.Program, workers int) *Result {
 	se.InCycle = r.CG.InCycle
 	r.buildSummaries(prog, se, workers)
 	r.buildSites(prog)
-	// Memoize the localization sets eagerly: solvers read them from
-	// multiple goroutines, so the cache must be complete before Result
-	// escapes.
-	r.accessed = make([]map[ir.LocID]bool, len(prog.Procs))
-	par.For(len(prog.Procs), workers, func(lo, hi int) {
-		for p := lo; p < hi; p++ {
-			acc := make(map[ir.LocID]bool, len(r.DefSummary[p])+len(r.UseSummary[p]))
-			for l := range r.DefSummary[p] {
-				acc[l] = true
-			}
-			for l := range r.UseSummary[p] {
-				acc[l] = true
-			}
-			r.accessed[p] = acc
-		}
-	})
+	// Intern the summaries and memoize the localization sets eagerly:
+	// solvers read them from multiple goroutines, so the cache must be
+	// complete before Result escapes, and repetitive programs (many callers
+	// of the same leaves) collapse onto a handful of shared backing arrays.
+	// Sequential on purpose — the interner map is not concurrency-safe, and
+	// first-interned-wins keeps the canonical slices deterministic.
+	it := ir.NewLocSetInterner()
+	for p := range r.DefSummary {
+		r.DefSummary[p] = it.Intern(r.DefSummary[p])
+		r.UseSummary[p] = it.Intern(r.UseSummary[p])
+	}
+	r.accessed = make([][]ir.LocID, len(prog.Procs))
+	var buf []ir.LocID
+	for p := range r.accessed {
+		buf = ir.MergeLocs(buf[:0], r.DefSummary[p], r.UseSummary[p])
+		r.accessed[p] = it.Intern(buf)
+	}
 	return r
 }
 
@@ -221,59 +219,71 @@ func step(s *sem.Sem, pt *ir.Point, cur, acc mem.Mem) mem.Mem {
 // the SCC fixpoint that follows is cheap and stays sequential.
 func (r *Result) buildSummaries(prog *ir.Program, s *sem.Sem, workers int) {
 	n := len(prog.Procs)
-	r.DefSummary = make([]map[ir.LocID]bool, n)
-	r.UseSummary = make([]map[ir.LocID]bool, n)
-	ownD := make([]map[ir.LocID]bool, n)
-	ownU := make([]map[ir.LocID]bool, n)
+	r.DefSummary = make([][]ir.LocID, n)
+	r.UseSummary = make([][]ir.LocID, n)
+	ownD := make([][]ir.LocID, n)
+	ownU := make([][]ir.LocID, n)
 	s.Callees = r.CalleesOf
 	par.For(n, workers, func(lo, hi int) {
+		var d, u []ir.LocID
 		for pi := lo; pi < hi; pi++ {
 			pr := prog.Procs[pi]
-			d, u := map[ir.LocID]bool{}, map[ir.LocID]bool{}
+			d, u = d[:0], u[:0]
 			for _, id := range pr.Points {
-				pd, pu := s.DefsUses(prog.Point(id), r.Mem)
-				for l := range pd {
-					d[l] = true
-				}
-				for l := range pu {
-					u[l] = true
-				}
+				d, u = s.DefsUsesAppend(prog.Point(id), r.Mem, d, u)
 			}
-			ownD[pr.ID], ownU[pr.ID] = d, u
+			d, u = ir.DedupLocs(d), ir.DedupLocs(u)
+			ownD[pr.ID] = append([]ir.LocID(nil), d...)
+			ownU[pr.ID] = append([]ir.LocID(nil), u...)
 		}
 	})
-	// Condensation is emitted callees-first by Tarjan, so one sweep with an
-	// inner SCC fixpoint suffices.
-	for p := 0; p < n; p++ {
-		r.DefSummary[p] = map[ir.LocID]bool{}
-		r.UseSummary[p] = map[ir.LocID]bool{}
+	r.DefSummary, r.UseSummary = SummarizeSCCs(r.CG, ownD, ownU)
+}
+
+// SummarizeSCCs closes command-local own-def/own-use sets (sorted slices,
+// indexed by procedure) transitively over the call-graph condensation and
+// returns the per-procedure summaries. The condensation is emitted
+// callees-first by Tarjan, so one sweep with an inner SCC fixpoint suffices.
+// Unions are sorted-slice merges into two alternating scratch buffers (a
+// merge may not write into a buffer it is reading from); because a summary
+// only grows, a length comparison detects change exactly. The relational
+// analysis reuses this over pack IDs.
+func SummarizeSCCs(cg *callgraph.Graph, ownD, ownU [][]ir.LocID) (defSum, useSum [][]ir.LocID) {
+	n := len(ownD)
+	defSum = make([][]ir.LocID, n)
+	useSum = make([][]ir.LocID, n)
+	var bufs [2][]ir.LocID
+	which := 0
+	unionAll := func(own []ir.LocID, p ir.ProcID, summ [][]ir.LocID) []ir.LocID {
+		cur := own
+		for _, q := range cg.Succs[p] {
+			s := summ[q]
+			if len(s) == 0 {
+				continue
+			}
+			dst := ir.MergeLocs(bufs[which][:0], cur, s)
+			bufs[which] = dst
+			cur = dst
+			which ^= 1
+		}
+		return cur
 	}
-	for _, comp := range r.CG.SCCs {
+	for _, comp := range cg.SCCs {
 		for changed := true; changed; {
 			changed = false
 			for _, p := range comp {
-				d, u := r.DefSummary[p], r.UseSummary[p]
-				before := len(d) + len(u)
-				for l := range ownD[p] {
-					d[l] = true
+				if d := unionAll(ownD[p], p, defSum); len(d) != len(defSum[p]) {
+					defSum[p] = append([]ir.LocID(nil), d...)
+					changed = true
 				}
-				for l := range ownU[p] {
-					u[l] = true
-				}
-				for _, q := range r.CG.Succs[p] {
-					for l := range r.DefSummary[q] {
-						d[l] = true
-					}
-					for l := range r.UseSummary[q] {
-						u[l] = true
-					}
-				}
-				if len(d)+len(u) != before {
+				if u := unionAll(ownU[p], p, useSum); len(u) != len(useSum[p]) {
+					useSum[p] = append([]ir.LocID(nil), u...)
 					changed = true
 				}
 			}
 		}
 	}
+	return defSum, useSum
 }
 
 func (r *Result) buildSites(prog *ir.Program) {

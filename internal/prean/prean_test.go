@@ -99,20 +99,20 @@ int main() { caller(); return 0; }
 	writeA := prog.ProcByName("writeA")
 	readB := prog.ProcByName("readB")
 	caller := prog.ProcByName("caller")
-	if !pre.DefSummary[writeA.ID][la] {
+	if !ir.LocsContain(pre.DefSummary[writeA.ID], la) {
 		t.Error("writeA def summary misses a")
 	}
-	if pre.DefSummary[writeA.ID][lb] {
+	if ir.LocsContain(pre.DefSummary[writeA.ID], lb) {
 		t.Error("writeA def summary includes b")
 	}
-	if !pre.UseSummary[readB.ID][lb] {
+	if !ir.LocsContain(pre.UseSummary[readB.ID], lb) {
 		t.Error("readB use summary misses b")
 	}
 	// Transitive closure into the caller.
-	if !pre.DefSummary[caller.ID][la] || !pre.UseSummary[caller.ID][lb] {
+	if !ir.LocsContain(pre.DefSummary[caller.ID], la) || !ir.LocsContain(pre.UseSummary[caller.ID], lb) {
 		t.Error("caller summaries not transitive")
 	}
-	if pre.Accessed(caller.ID)[lu] {
+	if ir.LocsContain(pre.Accessed(caller.ID), lu) {
 		t.Error("caller accesses untouched")
 	}
 }

@@ -1,0 +1,97 @@
+package prean
+
+import (
+	"fmt"
+	"testing"
+
+	"sparrow/internal/cgen"
+	"sparrow/internal/frontend/lower"
+	"sparrow/internal/frontend/parser"
+	"sparrow/internal/ir"
+	"sparrow/internal/sem"
+)
+
+// TestSummariesMatchMapFixpoint is the property test of the sorted-slice
+// summary pipeline: over a fuzz corpus, the interned []LocID D̂/Û summaries of
+// SummarizeSCCs must equal a naively-computed map-based transitive closure —
+// the representation the slice/CSR flattening replaced.
+func TestSummariesMatchMapFixpoint(t *testing.T) {
+	for seed := uint64(0); seed < 12; seed++ {
+		src := cgen.Generate(cgen.Fuzz(seed, 60))
+		f, err := parser.Parse(fmt.Sprintf("fuzz-%d.c", seed), src)
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v", seed, err)
+		}
+		prog, err := lower.File(f)
+		if err != nil {
+			t.Fatalf("seed %d: lower: %v", seed, err)
+		}
+		pre := Run(prog)
+
+		// Reference: per-proc own sets as maps, then a dumb
+		// iterate-until-stable closure over the call graph (no SCC
+		// condensation, no interning, no sorted merges).
+		n := len(prog.Procs)
+		defM := make([]sem.LocSet, n)
+		useM := make([]sem.LocSet, n)
+		s := sem.New(prog)
+		s.Callees = pre.CalleesOf
+		s.InCycle = pre.CG.InCycle
+		for pi := range prog.Procs {
+			defM[pi], useM[pi] = sem.LocSet{}, sem.LocSet{}
+			for _, id := range prog.Procs[pi].Points {
+				d, u := s.DefsUses(prog.Point(id), pre.Mem)
+				for l := range d {
+					defM[pi].Add(l)
+				}
+				for l := range u {
+					useM[pi].Add(l)
+				}
+			}
+		}
+		for changed := true; changed; {
+			changed = false
+			for pi := range prog.Procs {
+				for _, q := range pre.CG.Succs[pi] {
+					for l := range defM[q] {
+						if !defM[pi][l] {
+							defM[pi].Add(l)
+							changed = true
+						}
+					}
+					for l := range useM[q] {
+						if !useM[pi][l] {
+							useM[pi].Add(l)
+							changed = true
+						}
+					}
+				}
+			}
+		}
+
+		check := func(kind string, got [][]ir.LocID, want []sem.LocSet) {
+			for pi := range prog.Procs {
+				if len(got[pi]) != len(want[pi]) {
+					t.Fatalf("seed %d proc %s: %s summary has %d locs, map fixpoint %d (%v vs %v)",
+						seed, prog.Procs[pi].Name, kind, len(got[pi]), len(want[pi]), got[pi], want[pi])
+				}
+				for _, l := range got[pi] {
+					if !want[pi][l] {
+						t.Fatalf("seed %d proc %s: %s summary has spurious loc %d",
+							seed, prog.Procs[pi].Name, kind, l)
+					}
+				}
+			}
+		}
+		check("def", pre.DefSummary, defM)
+		check("use", pre.UseSummary, useM)
+
+		// Accessed must be the union, interned and sorted.
+		for pi := range prog.Procs {
+			acc := pre.Accessed(ir.ProcID(pi))
+			if want := ir.MergeLocs(nil, pre.DefSummary[pi], pre.UseSummary[pi]); !ir.EqualLocs(acc, want) {
+				t.Fatalf("seed %d proc %s: Accessed=%v, want union %v", seed, prog.Procs[pi].Name, acc, want)
+			}
+		}
+	}
+}

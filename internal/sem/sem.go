@@ -581,13 +581,30 @@ func (ls LocSet) Slice() []ir.LocID {
 // over-approximate, uses over-approximate, and every may-definition (weak
 // update target, formal, summary) is also a use.
 func (s *Sem) DefsUses(pt *ir.Point, m mem.Mem) (defs, uses LocSet) {
+	d, u := s.DefsUsesAppend(pt, m, nil, nil)
 	defs, uses = LocSet{}, LocSet{}
+	for _, l := range d {
+		defs.Add(l)
+	}
+	for _, l := range u {
+		uses.Add(l)
+	}
+	return defs, uses
+}
+
+// DefsUsesAppend is the allocation-light form of DefsUses: it appends the
+// members of D̂(c)/Û(c) to defs and uses and returns the extended slices.
+// The appended IDs may contain duplicates; callers sort and deduplicate
+// (ir.DedupLocs) once per node, which is what the def-use-graph builder and
+// the summary collection do with reusable scratch buffers.
+func (s *Sem) DefsUsesAppend(pt *ir.Point, m mem.Mem, defs, uses []ir.LocID) ([]ir.LocID, []ir.LocID) {
+	addUse := func(l ir.LocID) { uses = append(uses, l) }
 	switch c := pt.Cmd.(type) {
 	case ir.Set:
-		defs.Add(c.L)
-		s.UseOf(c.E, m, uses.Add)
+		defs = append(defs, c.L)
+		s.UseOf(c.E, m, addUse)
 		if s.IsSummaryLoc(c.L) {
-			uses.Add(c.L) // weak update uses the old value
+			uses = append(uses, c.L) // weak update uses the old value
 		}
 	case ir.Store, ir.StoreField:
 		var pe, ve ir.Expr
@@ -598,64 +615,60 @@ func (s *Sem) DefsUses(pt *ir.Point, m mem.Mem) (defs, uses LocSet) {
 			sf := c.(ir.StoreField)
 			pe, ve, field = sf.P, sf.E, sf.F
 		}
-		s.UseOf(pe, m, uses.Add)
-		s.UseOf(ve, m, uses.Add)
+		s.UseOf(pe, m, addUse)
+		s.UseOf(ve, m, addUse)
 		pv := s.Eval(pe, m)
 		targets := s.storeTargets(pv, field)
-		for _, t := range targets {
-			defs.Add(t)
-		}
+		defs = append(defs, targets...)
 		if len(targets) != 1 || s.IsSummaryLoc(targets[0]) {
-			for _, t := range targets {
-				uses.Add(t) // weak updates use old values
-			}
+			uses = append(uses, targets...) // weak updates use old values
 		}
 	case ir.Alloc:
-		defs.Add(c.L)
+		defs = append(defs, c.L)
 		al := s.Prog.Locs.Alloc(c.Site)
-		defs.Add(al)
-		uses.Add(al) // weak (summary) initialization
-		s.UseOf(c.N, m, uses.Add)
+		defs = append(defs, al)
+		uses = append(uses, al) // weak (summary) initialization
+		s.UseOf(c.N, m, addUse)
 		if s.IsSummaryLoc(c.L) {
-			uses.Add(c.L)
+			uses = append(uses, c.L)
 		}
 	case ir.Assume:
-		s.UseOf(c.E, m, uses.Add)
+		s.UseOf(c.E, m, addUse)
 		for _, l := range s.refinedVars(c.E) {
-			defs.Add(l)
-			uses.Add(l)
+			defs = append(defs, l)
+			uses = append(uses, l)
 		}
 	case ir.Call:
-		s.UseOf(c.F, m, uses.Add)
+		s.UseOf(c.F, m, addUse)
 		for _, a := range c.Args {
-			s.UseOf(a, m, uses.Add)
+			s.UseOf(a, m, addUse)
 		}
 		for _, p := range s.calleesOf(pt.ID) {
 			for _, f := range s.Prog.ProcByID(p).Formals {
-				defs.Add(f)
-				uses.Add(f) // weak binding (multiple/spurious call sites)
+				defs = append(defs, f)
+				uses = append(uses, f) // weak binding (multiple/spurious call sites)
 			}
 		}
 	case ir.RetBind:
 		if c.L != ir.None {
-			defs.Add(c.L)
+			defs = append(defs, c.L)
 			if s.IsSummaryLoc(c.L) {
-				uses.Add(c.L)
+				uses = append(uses, c.L)
 			}
 		}
 		for _, p := range s.calleesOf(c.CallPt) {
 			rl := s.Prog.ProcByID(p).RetLoc
 			if rl != ir.None {
-				uses.Add(rl)
+				uses = append(uses, rl)
 			}
 		}
 	case ir.Return:
 		pr := s.Prog.ProcByID(pt.Proc)
 		if c.E != nil && pr.RetLoc != ir.None {
-			defs.Add(pr.RetLoc)
-			s.UseOf(c.E, m, uses.Add)
+			defs = append(defs, pr.RetLoc)
+			s.UseOf(c.E, m, addUse)
 			if s.IsSummaryLoc(pr.RetLoc) {
-				uses.Add(pr.RetLoc)
+				uses = append(uses, pr.RetLoc)
 			}
 		}
 	}

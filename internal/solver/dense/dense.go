@@ -102,7 +102,7 @@ type solver struct {
 	wl   *worklist.Worklist
 
 	counts   []int32
-	accCache []map[ir.LocID]bool // per proc: accessed set (Localize only)
+	accCache [][]ir.LocID // per proc: accessed set (Localize only)
 	deadline time.Time
 }
 
@@ -128,7 +128,7 @@ func Analyze(prog *ir.Program, pre *prean.Result, opt Options) *Result {
 		counts: make([]int32, len(prog.Points)),
 	}
 	if opt.Localize {
-		sv.accCache = make([]map[ir.LocID]bool, len(prog.Procs))
+		sv.accCache = make([][]ir.LocID, len(prog.Procs))
 		for _, pr := range prog.Procs {
 			sv.accCache[pr.ID] = pre.Accessed(pr.ID)
 		}
@@ -190,7 +190,7 @@ func (sv *solver) step(pt *ir.Point) {
 			callee := sv.prog.ProcByID(p)
 			bound := sv.s.BindFormals(pt, callee, out)
 			if sv.opt.Localize {
-				bound = bound.RestrictSet(sv.accCache[p])
+				bound = bound.RestrictSorted(sv.accCache[p])
 			}
 			sv.deliver(callee.Entry, bound)
 		}
@@ -203,7 +203,7 @@ func (sv *solver) step(pt *ir.Point) {
 			// drop it. Joining the per-callee complements at the return
 			// site covers every path.
 			for _, p := range callees {
-				local := out.RemoveSet(sv.accCache[p])
+				local := out.RemoveSorted(sv.accCache[p])
 				for _, s := range pt.Succs {
 					sv.res.Bypasses++
 					sv.deliver(s, local)
@@ -214,7 +214,7 @@ func (sv *solver) step(pt *ir.Point) {
 		proc := pt.Proc
 		m := out
 		if sv.opt.Localize {
-			m = out.RestrictSet(sv.accCache[proc])
+			m = out.RestrictSorted(sv.accCache[proc])
 		}
 		for _, rs := range sv.pre.RetSites[proc] {
 			sv.deliver(rs, m)
@@ -298,14 +298,14 @@ func (sv *solver) narrow(passes int) {
 					callee := sv.prog.ProcByID(p)
 					bound := sv.s.BindFormals(pt, callee, out)
 					if sv.opt.Localize {
-						bound = bound.RestrictSet(sv.accCache[p])
+						bound = bound.RestrictSorted(sv.accCache[p])
 					}
 					push(callee.Entry, bound)
 				}
 				if sv.opt.Localize {
 					// Per-callee bypass; see step.
 					for _, p := range callees {
-						local := out.RemoveSet(sv.accCache[p])
+						local := out.RemoveSorted(sv.accCache[p])
 						for _, s := range pt.Succs {
 							push(s, local)
 						}
@@ -314,7 +314,7 @@ func (sv *solver) narrow(passes int) {
 			case ir.Exit:
 				m := out
 				if sv.opt.Localize {
-					m = out.RestrictSet(sv.accCache[pt.Proc])
+					m = out.RestrictSorted(sv.accCache[pt.Proc])
 				}
 				for _, rs := range sv.pre.RetSites[pt.Proc] {
 					push(rs, m)

@@ -366,7 +366,7 @@ int main() {
 	if res.In[touch.Entry].Has(loc) {
 		t.Errorf("localization leaked unused_global into touch: %s", res.In[touch.Entry])
 	}
-	if pre.Accessed(touch.ID)[loc] {
+	if ir.LocsContain(pre.Accessed(touch.ID), loc) {
 		t.Errorf("accessed summary of touch includes unused_global")
 	}
 	// But it is restored after the call.

@@ -68,7 +68,7 @@ type solver struct {
 	wl   *worklist.Worklist
 
 	counts   []int32
-	accCache []map[pack.ID]bool
+	accCache [][]pack.ID
 	deadline time.Time
 }
 
@@ -95,7 +95,7 @@ func Analyze(prog *ir.Program, pre *prean.Result, s *octsem.Sem, src *dug.Source
 		counts: make([]int32, len(prog.Points)),
 	}
 	if opt.Localize {
-		sv.accCache = make([]map[pack.ID]bool, len(prog.Procs))
+		sv.accCache = make([][]pack.ID, len(prog.Procs))
 		for _, pr := range prog.Procs {
 			sv.accCache[pr.ID] = octsem.Accessed(src, pr.ID)
 		}
@@ -157,7 +157,7 @@ func (sv *solver) step(pt *ir.Point) {
 			callee := sv.prog.ProcByID(p)
 			bound := sv.s.BindFormals(pt, callee, out)
 			if sv.opt.Localize {
-				bound = bound.RestrictSet(sv.accCache[p])
+				bound = bound.RestrictSorted(sv.accCache[p])
 			}
 			sv.deliver(callee.Entry, bound)
 		}
@@ -168,7 +168,7 @@ func (sv *solver) step(pt *ir.Point) {
 			// the caller's packs accessed by only some of the callees of an
 			// indirect call). See the interval solver.
 			for _, p := range callees {
-				local := out.RemoveSet(sv.accCache[p])
+				local := out.RemoveSorted(sv.accCache[p])
 				for _, s := range pt.Succs {
 					sv.res.Bypasses++
 					sv.deliver(s, local)
@@ -178,7 +178,7 @@ func (sv *solver) step(pt *ir.Point) {
 	case ir.Exit:
 		m := out
 		if sv.opt.Localize {
-			m = out.RestrictSet(sv.accCache[pt.Proc])
+			m = out.RestrictSorted(sv.accCache[pt.Proc])
 		}
 		for _, rs := range sv.pre.RetSites[pt.Proc] {
 			sv.deliver(rs, m)
@@ -259,14 +259,14 @@ func (sv *solver) narrow(passes int) {
 					callee := sv.prog.ProcByID(p)
 					bound := sv.s.BindFormals(pt, callee, out)
 					if sv.opt.Localize {
-						bound = bound.RestrictSet(sv.accCache[p])
+						bound = bound.RestrictSorted(sv.accCache[p])
 					}
 					push(callee.Entry, bound)
 				}
 				if sv.opt.Localize {
 					// Per-callee bypass; see step.
 					for _, p := range callees {
-						local := out.RemoveSet(sv.accCache[p])
+						local := out.RemoveSorted(sv.accCache[p])
 						for _, s := range pt.Succs {
 							push(s, local)
 						}
@@ -275,7 +275,7 @@ func (sv *solver) narrow(passes int) {
 			case ir.Exit:
 				m := out
 				if sv.opt.Localize {
-					m = out.RestrictSet(sv.accCache[pt.Proc])
+					m = out.RestrictSorted(sv.accCache[pt.Proc])
 				}
 				for _, rs := range sv.pre.RetSites[pt.Proc] {
 					push(rs, m)

@@ -184,6 +184,7 @@ func (sv *solver) pushOuts(n dug.NodeID, m octsem.OMem) {
 		}
 	}
 	changed := false
+	cur := sv.g.Out(n)
 	for _, l := range sv.g.Defs[n] {
 		nv := m.Get(l)
 		if nv == nil {
@@ -213,7 +214,7 @@ func (sv *solver) pushOuts(n dug.NodeID, m octsem.OMem) {
 		changed = true
 		sv.res.Joins++
 		sv.res.Out[n] = sv.res.Out[n].Set(l, joined)
-		for _, succ := range sv.g.Succs(n, l) {
+		for _, succ := range cur.Seek(l) {
 			sacc := sv.res.Acc[succ]
 			sold := sacc.Get(l)
 			if sold != nil && joined.LessEq(sold) {

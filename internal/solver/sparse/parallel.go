@@ -592,6 +592,7 @@ func (w *pworker) pushOuts(n dug.NodeID, m mem.Mem) {
 		}
 	}
 	changed := false
+	cur := st.g.Out(n)
 	for _, l := range st.g.Defs[n] {
 		nv := m.Get(l)
 		old := st.res.Out[n].Get(l)
@@ -610,7 +611,7 @@ func (w *pworker) pushOuts(n dug.NodeID, m mem.Mem) {
 			joined = wv
 		}
 		st.res.Out[n] = st.res.Out[n].Set(l, joined)
-		for _, succ := range st.g.Succs(n, l) {
+		for _, succ := range cur.Seek(l) {
 			cs := st.p.Comp[succ]
 			if cs == w.comp {
 				sacc := st.res.Acc[succ]

@@ -197,12 +197,13 @@ func (sv *solver) narrow(passes int) {
 			if !okv[i] {
 				continue
 			}
+			cur := sv.g.Out(dug.NodeID(i))
 			for _, l := range sv.g.Defs[dug.NodeID(i)] {
 				v := outs[i].Get(l)
 				if v.IsBot() {
 					continue
 				}
-				for _, succ := range sv.g.Succs(dug.NodeID(i), l) {
+				for _, succ := range cur.Seek(l) {
 					newAcc[succ] = newAcc[succ].WeakSet(l, v)
 				}
 			}
@@ -323,6 +324,7 @@ func (sv *solver) pushOuts(n dug.NodeID, m mem.Mem) {
 		}
 	}
 	changed := false
+	cur := sv.g.Out(n)
 	for _, l := range sv.g.Defs[n] {
 		nv := m.Get(l)
 		old := sv.res.Out[n].Get(l)
@@ -342,7 +344,7 @@ func (sv *solver) pushOuts(n dug.NodeID, m mem.Mem) {
 			joined = wv
 		}
 		sv.res.Out[n] = sv.res.Out[n].Set(l, joined)
-		for _, succ := range sv.g.Succs(n, l) {
+		for _, succ := range cur.Seek(l) {
 			sacc := sv.res.Acc[succ]
 			if joined.LessEq(sacc.Get(l)) {
 				continue

@@ -4,30 +4,15 @@
 // an already-queued item is a no-op.
 package worklist
 
-import "container/heap"
-
-// Worklist is a deduplicating priority queue over dense int IDs.
+// Worklist is a deduplicating priority queue over dense int IDs. The heap is
+// hand-rolled over an int32 slice: container/heap would box every element
+// into an interface value, one allocation per Add and per Take, which is the
+// hot path of every solver pop. The sift procedures mirror container/heap's
+// exactly, keeping the dequeue order among equal priorities identical.
 type Worklist struct {
 	prio   []int // priority per item ID (lower dequeues first)
 	queued []bool
-	h      intHeap
-}
-
-type intHeap struct {
-	items []int32
-	prio  []int
-}
-
-func (h *intHeap) Len() int           { return len(h.items) }
-func (h *intHeap) Less(i, j int) bool { return h.prio[h.items[i]] < h.prio[h.items[j]] }
-func (h *intHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
-func (h *intHeap) Push(x any)         { h.items = append(h.items, x.(int32)) }
-func (h *intHeap) Pop() any {
-	old := h.items
-	n := len(old)
-	x := old[n-1]
-	h.items = old[:n-1]
-	return x
+	items  []int32
 }
 
 // New returns a worklist for item IDs 0..n-1 with the given priorities
@@ -39,9 +24,41 @@ func New(n int, prio []int) *Worklist {
 			prio[i] = i
 		}
 	}
-	w := &Worklist{prio: prio, queued: make([]bool, n)}
-	w.h.prio = prio
-	return w
+	return &Worklist{prio: prio, queued: make([]bool, n)}
+}
+
+func (w *Worklist) less(i, j int) bool {
+	return w.prio[w.items[i]] < w.prio[w.items[j]]
+}
+
+func (w *Worklist) up(j int) {
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !w.less(j, i) {
+			break
+		}
+		w.items[i], w.items[j] = w.items[j], w.items[i]
+		j = i
+	}
+}
+
+func (w *Worklist) down(i0, n int) {
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && w.less(j2, j1) {
+			j = j2 // = 2*i + 2  // right child
+		}
+		if !w.less(j, i) {
+			break
+		}
+		w.items[i], w.items[j] = w.items[j], w.items[i]
+		i = j
+	}
 }
 
 // Add enqueues id if not already queued.
@@ -50,21 +67,26 @@ func (w *Worklist) Add(id int) {
 		return
 	}
 	w.queued[id] = true
-	heap.Push(&w.h, int32(id))
+	w.items = append(w.items, int32(id))
+	w.up(len(w.items) - 1)
 }
 
 // Take dequeues the highest-priority item; ok is false when empty.
 func (w *Worklist) Take() (int, bool) {
-	if len(w.h.items) == 0 {
+	if len(w.items) == 0 {
 		return 0, false
 	}
-	id := int(heap.Pop(&w.h).(int32))
+	n := len(w.items) - 1
+	w.items[0], w.items[n] = w.items[n], w.items[0]
+	w.down(0, n)
+	id := int(w.items[n])
+	w.items = w.items[:n]
 	w.queued[id] = false
 	return id, true
 }
 
 // Len returns the number of queued items.
-func (w *Worklist) Len() int { return len(w.h.items) }
+func (w *Worklist) Len() int { return len(w.items) }
 
 // Empty reports whether the worklist is empty.
-func (w *Worklist) Empty() bool { return len(w.h.items) == 0 }
+func (w *Worklist) Empty() bool { return len(w.items) == 0 }
