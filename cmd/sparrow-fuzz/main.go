@@ -1,15 +1,15 @@
 // Command sparrow-fuzz runs a differential-fuzzing campaign: N generated
 // programs, each analyzed under all six configurations (Interval/Octagon ×
 // Vanilla/Base/Sparse) plus the concrete interpreter and the parallel
-// sparse driver, checked against the four oracles of internal/fuzz
-// (soundness, precision, agreement, determinism). Violating programs are
-// delta-debugged to a minimal repro and written, with an oracle
-// transcript, to the -out directory.
+// sparse driver, checked against the five oracles of internal/fuzz
+// (soundness, precision, agreement, determinism, restriction). Violating
+// programs are delta-debugged to a minimal repro and written, with an
+// oracle transcript, to the -out directory.
 //
 // Usage:
 //
 //	sparrow-fuzz [-n N] [-seed S] [-workers W] [-stmts N] [-shrink]
-//	             [-out DIR] [-stats-json]
+//	             [-out DIR] [-stats-json] [-oracles LIST]
 //
 // The exit status is nonzero when any oracle fired (1) or the campaign
 // itself could not run (2).
@@ -57,12 +57,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	shrink := fs.Bool("shrink", true, "minimize violating programs before reporting")
 	out := fs.String("out", "testdata/fuzz", "artifact directory for repros and transcripts (\"\" = none)")
 	statsJSON := fs.Bool("stats-json", false, "print a machine-readable campaign summary (JSON) to stdout")
+	oracleSpec := fs.String("oracles", "all", "comma-separated oracle names to check (soundness, precision, agreement, determinism, restriction, or all)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() != 0 {
 		fmt.Fprintln(stderr, "usage: sparrow-fuzz [flags]")
 		fs.Usage()
+		return 2
+	}
+	oracles, err := fuzz.OraclesByName(*oracleSpec)
+	if err != nil {
+		fmt.Fprintln(stderr, "sparrow-fuzz:", err)
 		return 2
 	}
 
@@ -73,6 +79,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Stmts:   *stmts,
 		Shrink:  *shrink,
 		OutDir:  *out,
+		Oracles: oracles,
 		Log:     stderr,
 	})
 	if err != nil {

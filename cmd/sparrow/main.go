@@ -4,6 +4,7 @@
 // Usage:
 //
 //	sparrow [-domain interval|octagon] [-mode vanilla|base|sparse]
+//	        [-checkers buf,null,div,uninit|all] [-restricted]
 //	        [-duchains] [-nobypass] [-narrow N] [-timeout D] [-workers N]
 //	        [-cpuprofile f] [-memprofile f] [-globals] [-stats] [-stats-json]
 //	        file.c
@@ -18,6 +19,7 @@ import (
 	"runtime/pprof"
 
 	"sparrow"
+	"sparrow/internal/check"
 	"sparrow/internal/ir"
 	"sparrow/internal/metrics"
 )
@@ -33,6 +35,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	domain := fs.String("domain", "interval", "abstract domain: interval or octagon")
 	mode := fs.String("mode", "sparse", "fixpoint mode: vanilla, base, or sparse")
+	checkers := fs.String("checkers", "", "comma-separated checker kinds: buf, null, div, uninit, or all (\"\" = the classic three)")
+	restricted := fs.Bool("restricted", false, "also run each selected checker on its restricted def-use graph and print the restriction statistics (sparse interval only)")
 	duchains := fs.Bool("duchains", false, "use conventional def-use chains (less precise; sparse interval only)")
 	nobypass := fs.Bool("nobypass", false, "disable the chain-bypass optimization")
 	narrow := fs.Int("narrow", 0, "descending (narrowing) sweeps after the ascending fixpoint (dense and sparse interval modes)")
@@ -96,6 +100,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Workers:      *workers,
 		Metrics:      col,
 	}
+	if *checkers != "" {
+		kinds, err := check.ParseKinds(*checkers)
+		if err != nil {
+			return fail(err)
+		}
+		opt.Checkers = kinds
+	}
 	switch *domain {
 	case "interval":
 		opt.Domain = sparrow.Interval
@@ -147,6 +158,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "wrote def-use graph to %s\n", *dumpDug)
 	}
 	alarms := res.Alarms() // before the report: populates the alarm counter
+	var runs []*sparrow.CheckerRun
+	if *restricted {
+		for _, k := range opt.Kinds() {
+			cr, err := res.AnalyzeChecker(k)
+			if err != nil {
+				return fail(err)
+			}
+			runs = append(runs, cr)
+		}
+	}
 	if *statsJSON {
 		rep := res.MetricsReport()
 		rep.Program = path
@@ -181,6 +202,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if opt.Domain == sparrow.Octagon {
 			fmt.Fprintf(stdout, "packs: %d (avg non-singleton size %.1f)\n", s.PackCount, s.PackAvg)
 		}
+	}
+	for _, cr := range runs {
+		fmt.Fprintf(stdout, "restricted[%s]: locs=%d triples=%d/%d (%.1f%%) solve=%v alarms=%d\n",
+			cr.Kind.ShortName(), cr.Keep, cr.Triples, cr.FullTriples,
+			100*float64(cr.Triples)/float64(max(cr.FullTriples, 1)), cr.SolveTime, len(cr.Alarms))
 	}
 	if *globals {
 		fmt.Fprintln(stdout, "final global invariants:")

@@ -131,3 +131,29 @@ func TestAllModesExitZero(t *testing.T) {
 		}
 	}
 }
+
+// TestCheckersFlag pins the -checkers/-restricted surface: an uninit run
+// on a buggy file reports the read, prints per-checker restriction lines,
+// and bad specs or unsupported configurations exit non-zero.
+func TestCheckersFlag(t *testing.T) {
+	code, out, errb := runCLI(t, "-checkers", "all", "-restricted", "../../testdata/corpus/uninit.c")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb)
+	}
+	if !strings.Contains(out, "uninitialized-read") {
+		t.Errorf("uninit alarm missing:\n%s", out)
+	}
+	if !strings.Contains(out, "restricted[uninit]:") || !strings.Contains(out, "restricted[buf]:") {
+		t.Errorf("restriction statistics missing:\n%s", out)
+	}
+
+	if code, _, errb := runCLI(t, "-checkers", "bogus", "testdata/good.c"); code == 0 || !strings.Contains(errb, "unknown checker") {
+		t.Errorf("bad -checkers spec: exit %d, stderr %q", code, errb)
+	}
+	if code, _, errb := runCLI(t, "-checkers", "uninit", "-domain", "octagon", "testdata/good.c"); code == 0 || !strings.Contains(errb, "interval-only") {
+		t.Errorf("octagon+uninit: exit %d, stderr %q", code, errb)
+	}
+	if code, _, errb := runCLI(t, "-restricted", "-mode", "base", "testdata/good.c"); code == 0 || !strings.Contains(errb, "sparse") {
+		t.Errorf("-restricted without sparse: exit %d, stderr %q", code, errb)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -111,6 +112,9 @@ func TestCorpusGoldenAlarms(t *testing.T) {
 		"fpdispatch.c": {0, 0},
 		"switchcase.c": {0, 0},
 		"gotoloop.c":   {0, 0},
+		// uninit.c's bugs are uninitialized reads; the classic checkers
+		// (the default run pinned here) stay silent on it.
+		"uninit.c": {0, 0},
 	}
 	for name, src := range loadCorpus(t) {
 		exp, pinned := want[name]
@@ -133,6 +137,151 @@ func TestCorpusGoldenAlarms(t *testing.T) {
 		if got != exp {
 			t.Errorf("%s: alarms %+v want %+v\n%v", name, got, exp, res.Alarms())
 		}
+	}
+}
+
+// TestCorpusGoldenKinds pins the per-kind alarm counts and the restricted
+// dependency-graph sizes of the per-checker solves for three corpus
+// programs (all four checkers enabled). The triple counts are goldens:
+// update them deliberately when the graph construction changes, and note
+// that every restricted count must stay strictly below the full graph's.
+func TestCorpusGoldenKinds(t *testing.T) {
+	type kindGold struct {
+		buf, null, div, uninit int
+		// restricted ⟨from, loc, to⟩ triple counts per kind, then the
+		// full graph's count.
+		rBuf, rNull, rDiv, rUninit, full int
+	}
+	want := map[string]kindGold{
+		"uninit.c":   {0, 0, 0, 2, 13, 13, 13, 42, 44},
+		"overruns.c": {2, 1, 0, 0, 32, 32, 16, 47, 49},
+		"ringbuf.c":  {2, 0, 0, 0, 61, 61, 30, 131, 133},
+	}
+	counts := func(alarms []check.Alarm) (g kindGold) {
+		for _, a := range alarms {
+			switch a.Kind {
+			case check.BufferOverrun:
+				g.buf++
+			case check.NullDeref:
+				g.null++
+			case check.DivByZero:
+				g.div++
+			case check.UninitRead:
+				g.uninit++
+			}
+		}
+		return g
+	}
+	corpus := loadCorpus(t)
+	for name, exp := range want {
+		src, ok := corpus[name]
+		if !ok {
+			t.Fatalf("%s missing from corpus", name)
+		}
+		res, err := sparrow.AnalyzeSource(name, src, sparrow.Options{
+			Domain: sparrow.Interval, Mode: sparrow.Sparse, Checkers: check.AllKinds,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := counts(res.Alarms())
+		for _, k := range check.AllKinds {
+			run, err := res.AnalyzeChecker(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch k {
+			case check.BufferOverrun:
+				got.rBuf = run.Triples
+			case check.NullDeref:
+				got.rNull = run.Triples
+			case check.DivByZero:
+				got.rDiv = run.Triples
+			case check.UninitRead:
+				got.rUninit = run.Triples
+			}
+			got.full = run.FullTriples
+			if run.Triples >= run.FullTriples {
+				t.Errorf("%s/%v: restricted graph (%d triples) not smaller than full (%d)",
+					name, k, run.Triples, run.FullTriples)
+			}
+		}
+		if got != exp {
+			t.Errorf("%s: per-kind golden drift:\n got %+v\nwant %+v", name, got, exp)
+		}
+	}
+}
+
+// TestCorpusUninitInterp is the concrete oracle for the uninit corpus
+// program: the trapping interpreter traps on one of its planted bugs, and
+// runs a fully-initialized corpus program (matrix.c) to completion under
+// the same option.
+func TestCorpusUninitInterp(t *testing.T) {
+	corpus := loadCorpus(t)
+	run := func(name string) error {
+		t.Helper()
+		f, err := parser.Parse(name, corpus[name])
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := lower.File(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = interp.Run(prog, interp.Options{
+			MaxSteps:       200000,
+			Inputs:         []int64{-1}, // pick()'s input() <= 0 leaves r unassigned
+			TrapUninitRead: true,
+		})
+		return err
+	}
+	var trap *interp.Trap
+	if err := run("uninit.c"); !errors.As(err, &trap) || !strings.Contains(trap.Msg, "uninitialized") {
+		t.Errorf("uninit.c: err = %v, want uninitialized-read trap", err)
+	}
+	if err := run("matrix.c"); err != nil {
+		var mt *interp.Trap
+		if errors.As(err, &mt) && strings.Contains(mt.Msg, "uninitialized") {
+			t.Errorf("matrix.c: spurious uninit trap: %v", mt)
+		}
+	}
+}
+
+// TestCorpusRestrictedParity pins the per-checker sparsification contract
+// on the whole corpus: for every checker kind, the restricted solve
+// (closure → filtered DUG → sequential sparse fixpoint) reports exactly
+// the full sparse solve's alarms of that kind, on a strictly-no-larger
+// dependency graph.
+func TestCorpusRestrictedParity(t *testing.T) {
+	for name, src := range loadCorpus(t) {
+		t.Run(name, func(t *testing.T) {
+			res, err := sparrow.AnalyzeSource(name, src, sparrow.Options{
+				Domain: sparrow.Interval, Mode: sparrow.Sparse, Checkers: check.AllKinds,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			full := map[check.Kind][]string{}
+			for _, a := range res.Alarms() {
+				full[a.Kind] = append(full[a.Kind], a.String())
+			}
+			for _, k := range check.AllKinds {
+				run, err := res.AnalyzeChecker(k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var got []string
+				for _, a := range run.Alarms {
+					got = append(got, a.String())
+				}
+				if want := full[k]; !reflect.DeepEqual(got, want) {
+					t.Errorf("%v: restricted alarms %v, full %v", k, got, want)
+				}
+				if run.Triples > run.FullTriples {
+					t.Errorf("%v: restricted triples %d exceed full %d", k, run.Triples, run.FullTriples)
+				}
+			}
+		})
 	}
 }
 

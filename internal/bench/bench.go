@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"sparrow/internal/cgen"
+	"sparrow/internal/check"
 	"sparrow/internal/core"
 	"sparrow/internal/metrics"
 )
@@ -284,18 +285,41 @@ func collect(progs []Program, opt Options, withTimes bool) (*Snapshot, *TimesSna
 				runtime.ReadMemStats(&msBefore)
 			}
 			start := time.Now()
-			res, err := core.AnalyzeSource(p.Name+".c", p.Src, core.Options{
+			copt := core.Options{
 				Domain:  cfg.Domain,
 				Mode:    cfg.Mode,
 				Workers: opt.Workers,
 				Metrics: col,
-			})
+			}
+			// The sparse interval entries carry the per-checker
+			// sparsification numbers: all four checkers on the full solve,
+			// then one restricted solve per kind, filling the restr_* size
+			// counters (gated exactly like every other counter) and the
+			// per-kind solve times (report-only).
+			sparsified := cfg.Domain == core.Interval && cfg.Mode == core.Sparse
+			if sparsified {
+				copt.Checkers = check.AllKinds
+			}
+			res, err := core.AnalyzeSource(p.Name+".c", p.Src, copt)
 			if err != nil {
 				return nil, nil, fmt.Errorf("bench: %s %v/%v: %w", p.Name, cfg.Domain, cfg.Mode, err)
 			}
 			res.Alarms() // populate the alarm counter
+			restrNS := map[string]int64{}
+			if sparsified {
+				for _, k := range check.AllKinds {
+					cr, err := res.AnalyzeChecker(k)
+					if err != nil {
+						return nil, nil, fmt.Errorf("bench: %s %v: %w", p.Name, k, err)
+					}
+					restrNS["restr_"+k.ShortName()+"_solve"] = cr.SolveTime.Nanoseconds()
+				}
+			}
 			wall := time.Since(start)
 			rep := res.MetricsReport()
+			for name, ns := range restrNS {
+				rep.TimingsNS[name] = ns
+			}
 			e := Entry{
 				Program:  p.Name,
 				Domain:   rep.Domain,

@@ -11,6 +11,7 @@ package check
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"sparrow/internal/frontend/token"
 	"sparrow/internal/ir"
@@ -30,7 +31,21 @@ const (
 	NullDeref
 	// DivByZero: a division or remainder whose divisor may be zero.
 	DivByZero
+	// UninitRead: a read of a procedure-local variable that may not have
+	// been assigned on some path reaching it. Opt-in: enabling it seeds
+	// possibly-uninitialized markers at procedure entries (sem.EntryMarks),
+	// which coarsens the abstract semantics for every checker in the run.
+	UninitRead
+
+	numKinds = int(UninitRead) + 1
 )
+
+// AllKinds lists every checker kind, in report order.
+var AllKinds = []Kind{BufferOverrun, NullDeref, DivByZero, UninitRead}
+
+// DefaultKinds are the kinds Run checks — the three classic detectors.
+// UninitRead is excluded because it changes the analyzed semantics.
+var DefaultKinds = []Kind{BufferOverrun, NullDeref, DivByZero}
 
 func (k Kind) String() string {
 	switch k {
@@ -40,9 +55,63 @@ func (k Kind) String() string {
 		return "null-dereference"
 	case DivByZero:
 		return "division-by-zero"
+	case UninitRead:
+		return "uninitialized-read"
 	default:
 		return "alarm"
 	}
+}
+
+// ShortName is the flag-friendly name of the kind (-checkers buf,null,...).
+func (k Kind) ShortName() string {
+	switch k {
+	case BufferOverrun:
+		return "buf"
+	case NullDeref:
+		return "null"
+	case DivByZero:
+		return "div"
+	case UninitRead:
+		return "uninit"
+	default:
+		return "alarm"
+	}
+}
+
+// ParseKinds parses a comma-separated list of short kind names ("all"
+// selects every kind) into a deduplicated list in canonical order.
+func ParseKinds(spec string) ([]Kind, error) {
+	var want [numKinds]bool
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if name == "all" {
+			for _, k := range AllKinds {
+				want[k] = true
+			}
+			continue
+		}
+		found := false
+		for _, k := range AllKinds {
+			if name == k.ShortName() {
+				want[k] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown checker %q (want buf, null, div, uninit, or all)", name)
+		}
+	}
+	var out []Kind
+	for _, k := range AllKinds {
+		if want[k] {
+			out = append(out, k)
+		}
+	}
+	return out, nil
 }
 
 // Alarm is one report.
@@ -62,22 +131,64 @@ func (a Alarm) String() string {
 // MemAt supplies the abstract memory before a control point.
 type MemAt func(pt ir.PointID) mem.Mem
 
-// Run checks every reachable point of prog and returns the alarms sorted by
-// source position.
+// Run checks every reachable point of prog with the default checkers and
+// returns the alarms sorted by source position.
 func Run(prog *ir.Program, s *sem.Sem, reached []bool, memAt MemAt) []Alarm {
+	return RunKinds(prog, s, reached, memAt, DefaultKinds)
+}
+
+// RunKinds checks every reachable point of prog with exactly the given
+// checker kinds and returns the alarms sorted by source position. The result
+// for a kind depends only on the abstract values of the locations that kind
+// observes, so running one kind against a restricted solve and against the
+// full solve yields identical reports (the per-checker sparsification
+// contract; see internal/core's AnalyzeChecker).
+func RunKinds(prog *ir.Program, s *sem.Sem, reached []bool, memAt MemAt, kinds []Kind) []Alarm {
+	var want [numKinds]bool
+	for _, k := range kinds {
+		if int(k) < numKinds {
+			want[k] = true
+		}
+	}
 	var alarms []Alarm
 	for _, pt := range prog.Points {
 		if reached != nil && !reached[pt.ID] {
 			continue
 		}
 		m := memAt(pt.ID)
-		for _, d := range derefsOf(pt.Cmd) {
-			alarms = append(alarms, checkDeref(prog, s, pt, d, m)...)
+		if want[BufferOverrun] || want[NullDeref] {
+			for _, d := range derefsOf(pt.Cmd) {
+				for _, a := range checkDeref(prog, s, pt, d, m) {
+					if want[a.Kind] {
+						alarms = append(alarms, a)
+					}
+				}
+			}
 		}
-		for _, dv := range divisorsOf(pt.Cmd) {
-			alarms = append(alarms, checkDiv(prog, s, pt, dv, m)...)
+		if want[DivByZero] {
+			for _, dv := range divisorsOf(pt.Cmd) {
+				alarms = append(alarms, checkDiv(prog, s, pt, dv, m)...)
+			}
+		}
+		if want[UninitRead] {
+			for _, e := range varReadsOf(pt.Cmd) {
+				alarms = append(alarms, checkUninit(prog, pt, e, m)...)
+			}
 		}
 	}
+	return sortDedup(alarms)
+}
+
+// sortDedup orders the report and collapses duplicates. The duplicate key is
+// semantic — Kind plus the offending access (Off/Size compared as lattice
+// values) and message — never the control point: complementary assume pairs
+// (and other lowering duplicates) evaluate the same source-level dereference
+// at several control points and must collapse to one report, while two
+// distinct overruns at the same position (one access targeting two blocks,
+// or two offsets) must both survive. The sort places equal keys adjacently
+// and breaks the final tie on Point, so the order is total and the output
+// deterministic under an unstable sort.
+func sortDedup(alarms []Alarm) []Alarm {
 	sort.Slice(alarms, func(i, j int) bool {
 		a, b := alarms[i], alarms[j]
 		if a.Pos.Line != b.Pos.Line {
@@ -89,22 +200,47 @@ func Run(prog *ir.Program, s *sem.Sem, reached []bool, memAt MemAt) []Alarm {
 		if a.Kind != b.Kind {
 			return a.Kind < b.Kind
 		}
-		return a.Msg < b.Msg
+		if c := cmpItv(a.Off, b.Off); c != 0 {
+			return c < 0
+		}
+		if c := cmpItv(a.Size, b.Size); c != 0 {
+			return c < 0
+		}
+		if a.Msg != b.Msg {
+			return a.Msg < b.Msg
+		}
+		return a.Point < b.Point
 	})
-	// Deduplicate: complementary assume pairs (and other lowering
-	// duplicates) evaluate the same source-level dereference at several
-	// control points.
 	out := alarms[:0]
 	for i, a := range alarms {
 		if i > 0 {
 			p := alarms[i-1]
-			if p.Pos == a.Pos && p.Kind == a.Kind && p.Msg == a.Msg {
+			if p.Pos == a.Pos && p.Kind == a.Kind && p.Off.Eq(a.Off) && p.Size.Eq(a.Size) && p.Msg == a.Msg {
 				continue
 			}
 		}
 		out = append(out, a)
 	}
 	return out
+}
+
+// cmpItv totally orders intervals for report sorting: bottom first, then by
+// lower and upper bound.
+func cmpItv(a, b itv.Itv) int {
+	if a.IsBot() || b.IsBot() {
+		switch {
+		case a.IsBot() && b.IsBot():
+			return 0
+		case a.IsBot():
+			return -1
+		default:
+			return 1
+		}
+	}
+	if c := a.Lo().Cmp(b.Lo()); c != 0 {
+		return c
+	}
+	return a.Hi().Cmp(b.Hi())
 }
 
 // deref is one pointer use inside a command.
@@ -215,6 +351,84 @@ func divisorsOf(cmd ir.Cmd) []ir.Expr {
 	return out
 }
 
+// varReadsOf collects the direct variable reads of a command: every VarE
+// occurrence in its evaluated expressions. Taking an address (AddrOf) is not
+// a read.
+func varReadsOf(cmd ir.Cmd) []ir.VarE {
+	var out []ir.VarE
+	var walk func(e ir.Expr)
+	walk = func(e ir.Expr) {
+		switch e := e.(type) {
+		case ir.VarE:
+			out = append(out, e)
+		case ir.Load:
+			walk(e.P)
+		case ir.LoadField:
+			walk(e.P)
+		case ir.FieldAddr:
+			walk(e.P)
+		case ir.Bin:
+			walk(e.X)
+			walk(e.Y)
+		case ir.Neg:
+			walk(e.X)
+		case ir.Not:
+			walk(e.X)
+		}
+	}
+	switch c := cmd.(type) {
+	case ir.Set:
+		walk(c.E)
+	case ir.Store:
+		walk(c.P)
+		walk(c.E)
+	case ir.StoreField:
+		walk(c.P)
+		walk(c.E)
+	case ir.Alloc:
+		walk(c.N)
+	case ir.Assume:
+		walk(c.E)
+	case ir.Call:
+		walk(c.F)
+		for _, a := range c.Args {
+			walk(a)
+		}
+	case ir.Return:
+		if c.E != nil {
+			walk(c.E)
+		}
+	}
+	return out
+}
+
+// checkUninit reports direct reads of procedure-local variables whose
+// abstract value carries the possibly-uninitialized marker seeded at the
+// procedure entry. Only automatic (procedure-scoped) variables are flagged:
+// globals are zero-initialized in the modeled language, and the entry
+// transfer only marks locals.
+func checkUninit(prog *ir.Program, pt *ir.Point, e ir.VarE, m mem.Mem) []Alarm {
+	loc := prog.Locs.Get(e.L)
+	if loc.Kind != ir.LVar || loc.Proc == ir.None {
+		return nil
+	}
+	// Frontend temporaries ($tN) only relay already-marked source values
+	// (e.g. a hoisted call result); the source-level read is reported at
+	// the variable that produced the mark, not at the lowering artifact.
+	if strings.HasPrefix(loc.Name, "$") {
+		return nil
+	}
+	if !m.MayUninit(e.L) {
+		return nil
+	}
+	return []Alarm{{
+		Kind:  UninitRead,
+		Point: pt.ID,
+		Pos:   pt.Pos,
+		Msg:   fmt.Sprintf("variable %s may be read before initialization", prog.Locs.String(e.L)),
+	}}
+}
+
 // checkDiv reports divisors whose abstract value may be zero.
 func checkDiv(prog *ir.Program, s *sem.Sem, pt *ir.Point, divisor ir.Expr, m mem.Mem) []Alarm {
 	dv := s.Eval(divisor, m)
@@ -282,4 +496,47 @@ func checkDeref(prog *ir.Program, s *sem.Sem, pt *ir.Point, d deref, m mem.Mem) 
 		})
 	}
 	return out
+}
+
+// Checker describes one alarm kind to the per-checker sparsification layer:
+// Observed returns the abstract locations whose values the kind's checks
+// read. An analysis that computes the full fixpoint only on the backward
+// data-dependency closure of this set (plus the branch-condition locations
+// that steer reachability) reproduces this kind's report exactly — that
+// closure is prean.ObservedClosure, and the restricted graph is
+// dug.BuildRestricted.
+type Checker struct {
+	Kind Kind
+	// Observed returns the sorted, deduplicated locations the checker's
+	// guard expressions evaluate, judged against the pre-analysis memory
+	// (pointer uses resolve against pre, exactly as D̂/Û do).
+	Observed func(prog *ir.Program, s *sem.Sem, pre mem.Mem) []ir.LocID
+}
+
+// CheckerFor returns the descriptor of kind k.
+func CheckerFor(k Kind) Checker {
+	return Checker{
+		Kind: k,
+		Observed: func(prog *ir.Program, s *sem.Sem, pre mem.Mem) []ir.LocID {
+			var locs []ir.LocID
+			add := func(l ir.LocID) { locs = append(locs, l) }
+			for _, pt := range prog.Points {
+				switch k {
+				case BufferOverrun, NullDeref:
+					for _, d := range derefsOf(pt.Cmd) {
+						s.UseOf(d.ptr, pre, add)
+					}
+				case DivByZero:
+					for _, dv := range divisorsOf(pt.Cmd) {
+						s.UseOf(dv, pre, add)
+					}
+				case UninitRead:
+					for _, e := range varReadsOf(pt.Cmd) {
+						add(e.L)
+					}
+				}
+			}
+			return ir.DedupLocs(locs)
+		},
+	}
 }

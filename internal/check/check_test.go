@@ -155,6 +155,7 @@ func TestKindString(t *testing.T) {
 		BufferOverrun: "buffer-overrun",
 		NullDeref:     "null-dereference",
 		DivByZero:     "division-by-zero",
+		UninitRead:    "uninitialized-read",
 		Kind(99):      "alarm",
 	}
 	for k, want := range cases {
@@ -309,5 +310,88 @@ int main() {
 `)
 	if kinds(alarms2)[DivByZero] != 1 {
 		t.Errorf("interior-point guard: got %v", alarms2)
+	}
+}
+
+// TestSamePositionDistinctOverruns is the dedup-key regression test: one
+// dereference targeting two blocks produces two distinct overruns at the
+// same source position (same kind, different Off/Size/block), and both must
+// survive deduplication — the key is Kind plus the offending access, not
+// the position alone.
+func TestSamePositionDistinctOverruns(t *testing.T) {
+	alarms := alarmsOf(t, `
+int a[2];
+int b[4];
+int main() {
+	int *p;
+	int i;
+	i = input();
+	if (i > 0) { p = a; } else { p = b; }
+	p[9] = 1;   /* BUG x2: overruns a (size 2) and b (size 4) */
+	return 0;
+}
+`)
+	var overruns []Alarm
+	for _, al := range alarms {
+		if al.Kind == BufferOverrun {
+			overruns = append(overruns, al)
+		}
+	}
+	if len(overruns) != 2 {
+		t.Fatalf("want 2 overruns at one dereference, got %v", alarms)
+	}
+	if overruns[0].Pos != overruns[1].Pos {
+		t.Errorf("expected same position, got %v and %v", overruns[0].Pos, overruns[1].Pos)
+	}
+	if overruns[0].Size.Eq(overruns[1].Size) {
+		t.Errorf("expected distinct block sizes, got %s and %s", overruns[0].Size, overruns[1].Size)
+	}
+}
+
+func TestKindShortName(t *testing.T) {
+	cases := map[Kind]string{
+		BufferOverrun: "buf",
+		NullDeref:     "null",
+		DivByZero:     "div",
+		UninitRead:    "uninit",
+		Kind(99):      "alarm",
+	}
+	for k, want := range cases {
+		if got := k.ShortName(); got != want {
+			t.Errorf("Kind(%d).ShortName() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestParseKinds(t *testing.T) {
+	cases := []struct {
+		spec string
+		want []Kind
+		err  bool
+	}{
+		{"all", AllKinds, false},
+		{"buf,null,div", DefaultKinds, false},
+		{"uninit", []Kind{UninitRead}, false},
+		{"div, buf", []Kind{BufferOverrun, DivByZero}, false}, // canonical order, spaces ok
+		{"buf,buf,all", AllKinds, false},                      // dedup
+		{"", nil, false},
+		{"bogus", nil, true},
+	}
+	for _, c := range cases {
+		got, err := ParseKinds(c.spec)
+		if c.err != (err != nil) {
+			t.Errorf("ParseKinds(%q) error = %v, want err=%v", c.spec, err, c.err)
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("ParseKinds(%q) = %v, want %v", c.spec, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("ParseKinds(%q) = %v, want %v", c.spec, got, c.want)
+				break
+			}
+		}
 	}
 }

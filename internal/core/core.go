@@ -105,6 +105,33 @@ type Options struct {
 	// and the deterministic work counters of internal/metrics. Snapshot the
 	// run with Result.MetricsReport (or Collector.Report directly).
 	Metrics *metrics.Collector
+	// Checkers selects the alarm kinds Result.Alarms reports (nil = the
+	// classic three: buffer-overrun, null-dereference, division-by-zero).
+	// Including check.UninitRead changes the analyzed semantics — procedure
+	// entries seed possibly-uninitialized markers for their locals — and is
+	// interval-only.
+	Checkers []check.Kind
+}
+
+// kinds returns the effective checker selection.
+// Kinds returns the checker kinds the run reports: Options.Checkers, or
+// check.DefaultKinds when unset.
+func (o Options) Kinds() []check.Kind { return o.kinds() }
+
+func (o Options) kinds() []check.Kind {
+	if o.Checkers == nil {
+		return check.DefaultKinds
+	}
+	return o.Checkers
+}
+
+func hasKind(kinds []check.Kind, k check.Kind) bool {
+	for _, x := range kinds {
+		if x == k {
+			return true
+		}
+	}
+	return false
 }
 
 // Stats summarizes an analysis run (the Table 1–3 columns).
@@ -148,6 +175,11 @@ type Result struct {
 	isem  *sem.Sem
 	graph *dug.Graph // sparse only
 	col   *metrics.Collector
+	// marks is the per-procedure entry mark function when the uninit
+	// checker is enabled (nil otherwise); ctrlSeeds memoizes the
+	// branch-condition seed set of the per-checker closures.
+	marks     func(ir.ProcID) []ir.LocID
+	ctrlSeeds []ir.LocID
 
 	dres  *dense.Result
 	sres  *sparse.Result
@@ -194,7 +226,16 @@ func AnalyzeProgram(prog *ir.Program, opt Options) (*Result, error) {
 	pre := prean.RunWorkers(prog, opt.Workers)
 	stop()
 	r.pre = pre
-	r.isem = &sem.Sem{Prog: prog, Callees: pre.CalleesOf, InCycle: pre.CG.InCycle}
+	if hasKind(opt.kinds(), check.UninitRead) {
+		if opt.Domain != Interval {
+			return nil, fmt.Errorf("core: the uninitialized-read checker is interval-only")
+		}
+		if opt.DefUseChains {
+			return nil, fmt.Errorf("core: the uninitialized-read checker needs the data-dependency graph (def-use-chain mode unsupported)")
+		}
+		r.marks = entryMarksFor(prog, pre)
+	}
+	r.isem = &sem.Sem{Prog: prog, Callees: pre.CalleesOf, InCycle: pre.CG.InCycle, EntryMarks: r.marks}
 	r.Stats.PreTime = time.Since(t0)
 	opt.Metrics.Set(metrics.CtrPreanPasses, int64(pre.Passes))
 	opt.Metrics.Set(metrics.CtrIRProcs, int64(len(prog.Procs)))
@@ -291,11 +332,12 @@ func (r *Result) runInterval(opt Options) error {
 		t := time.Now()
 		stop := opt.Metrics.Phase(metrics.PhaseFix)
 		r.dres = dense.Analyze(prog, pre, dense.Options{
-			Localize: opt.Mode == Base,
-			Timeout:  opt.Timeout,
-			MaxSteps: opt.MaxSteps,
-			Narrow:   opt.Narrow,
-			Metrics:  opt.Metrics,
+			Localize:   opt.Mode == Base,
+			Timeout:    opt.Timeout,
+			MaxSteps:   opt.MaxSteps,
+			Narrow:     opt.Narrow,
+			Metrics:    opt.Metrics,
+			EntryMarks: r.marks,
 		})
 		stop()
 		r.Stats.FixTime = time.Since(t)
@@ -305,7 +347,7 @@ func (r *Result) runInterval(opt Options) error {
 	case Sparse:
 		t := time.Now()
 		stop := opt.Metrics.Phase(metrics.PhaseDUG)
-		dopt := dug.Options{Bypass: !opt.NoBypass, Workers: opt.Workers, Metrics: opt.Metrics}
+		dopt := dug.Options{Bypass: !opt.NoBypass, Workers: opt.Workers, Metrics: opt.Metrics, EntryMarks: r.marks}
 		if opt.DefUseChains {
 			r.graph = dug.BuildDefUseChains(prog, pre, dopt)
 		} else {
@@ -315,11 +357,12 @@ func (r *Result) runInterval(opt Options) error {
 		r.Stats.DepTime = r.Stats.PreTime + time.Since(t)
 		t = time.Now()
 		sopt := sparse.Options{
-			Timeout:  opt.Timeout,
-			MaxSteps: opt.MaxSteps,
-			Narrow:   opt.Narrow,
-			Workers:  opt.Workers,
-			Metrics:  opt.Metrics,
+			Timeout:    opt.Timeout,
+			MaxSteps:   opt.MaxSteps,
+			Narrow:     opt.Narrow,
+			Workers:    opt.Workers,
+			Metrics:    opt.Metrics,
+			EntryMarks: r.marks,
 		}
 		if opt.Workers >= 1 {
 			stop = opt.Metrics.Phase(metrics.PhasePartition)
@@ -570,18 +613,76 @@ func (r *Result) describeVal(v val.Val) string {
 	return out
 }
 
-// Alarms runs the buffer-overrun, null-dereference, and division-by-zero
-// checkers over the result (interval domains; octagon runs report no
-// alarms since pointer values live in the interval analysis).
+// Alarms runs the configured checkers (Options.Checkers; default
+// buffer-overrun, null-dereference, and division-by-zero) over the result
+// (interval domains; octagon runs report no alarms since pointer values
+// live in the interval analysis).
 func (r *Result) Alarms() []check.Alarm {
 	switch {
 	case r.dres != nil, r.sres != nil:
+		kinds := r.Opts.kinds()
 		stop := r.col.Phase(metrics.PhaseCheck)
-		alarms := check.Run(r.Prog, r.isem, r.reachedSlice(), r.MemAt)
+		alarms := check.RunKinds(r.Prog, r.isem, r.reachedSlice(), r.MemAt, kinds)
 		stop()
 		r.col.Set(metrics.CtrAlarms, int64(len(alarms)))
+		for _, k := range kinds {
+			if ctr, ok := alarmCounter(k); ok {
+				n := int64(0)
+				for _, a := range alarms {
+					if a.Kind == k {
+						n++
+					}
+				}
+				r.col.Set(ctr, n)
+			}
+		}
 		return alarms
 	default:
 		return nil
 	}
+}
+
+// alarmCounter maps a checker kind to its per-kind alarm-count counter.
+func alarmCounter(k check.Kind) (metrics.Counter, bool) {
+	switch k {
+	case check.BufferOverrun:
+		return metrics.CtrAlarmsBuf, true
+	case check.NullDeref:
+		return metrics.CtrAlarmsNull, true
+	case check.DivByZero:
+		return metrics.CtrAlarmsDiv, true
+	case check.UninitRead:
+		return metrics.CtrAlarmsUninit, true
+	}
+	return 0, false
+}
+
+// entryMarksFor precomputes the per-procedure possibly-uninitialized mark
+// sets of the uninit checker: every procedure-scoped variable the procedure
+// accesses (transitively, so address-escaped locals count) minus its
+// formals, which calls always bind. The sets are sorted — they filter the
+// sorted Accessed slices — as sem.Sem.EntryMarks and dug require.
+func entryMarksFor(prog *ir.Program, pre *prean.Result) func(ir.ProcID) []ir.LocID {
+	marks := make([][]ir.LocID, len(prog.Procs))
+	for _, pr := range prog.Procs {
+		var out []ir.LocID
+		for _, l := range pre.Accessed(pr.ID) {
+			loc := prog.Locs.Get(l)
+			if loc.Kind != ir.LVar || loc.Proc != pr.ID {
+				continue
+			}
+			formal := false
+			for _, f := range pr.Formals {
+				if f == l {
+					formal = true
+					break
+				}
+			}
+			if !formal {
+				out = append(out, l)
+			}
+		}
+		marks[pr.ID] = out
+	}
+	return func(p ir.ProcID) []ir.LocID { return marks[p] }
 }

@@ -62,6 +62,12 @@ type Options struct {
 	// (nodes, dependency triples, phis, spliced triples, ΣD̂/ΣÛ) — the
 	// paper's first-class sparse-representation scalability metric.
 	Metrics *metrics.Collector
+	// EntryMarks, when non-nil, lists per procedure the locations its Entry
+	// transfer marks possibly-uninitialized (sem.Sem.EntryMarks). Marked
+	// locations are genuine entry definitions, not bypassable linkage: they
+	// are kept out of the entry's pass set so the chain bypass never splices
+	// the entry out of their dependency chains.
+	EntryMarks func(p ir.ProcID) []ir.LocID
 }
 
 // Graph is the def-use graph.
@@ -214,6 +220,9 @@ type Source struct {
 	UseSummary [][]ir.LocID
 	// RetChan maps a procedure to its return-channel ID (ir.None if void).
 	RetChan func(p ir.ProcID) ir.LocID
+	// EntryMarks mirrors Options.EntryMarks in the Source's own ID space;
+	// Build copies it from the options for the interval instantiation.
+	EntryMarks func(p ir.ProcID) []ir.LocID
 }
 
 // IntervalSource adapts the non-relational pre-analysis to a Source.
@@ -312,7 +321,9 @@ type builder struct {
 // Build constructs the def-use graph of prog from the non-relational
 // pre-analysis result.
 func Build(prog *ir.Program, pre *prean.Result, opt Options) *Graph {
-	return BuildFrom(IntervalSource(prog, pre), opt)
+	src := IntervalSource(prog, pre)
+	src.EntryMarks = opt.EntryMarks
+	return BuildFrom(src, opt)
 }
 
 // BuildFrom constructs the def-use graph from an arbitrary Source.
@@ -450,6 +461,15 @@ func (b *builder) initNode(pt *ir.Point, sc *initScratch) {
 			for _, summ := range [2][]ir.LocID{b.src.UseSummary[pt.Proc], b.src.DefSummary[pt.Proc]} {
 				d = append(d, summ...)
 				p = append(p, summ...)
+			}
+			if b.src.EntryMarks != nil {
+				// Marked locations are genuine definitions of the entry
+				// transfer (possibly-uninitialized seeds), not relayed
+				// linkage: the bypass must not splice the entry out of
+				// their chains, so they leave the pass set.
+				if marks := b.src.EntryMarks(pt.Proc); len(marks) > 0 {
+					p = removeLocs(ir.DedupLocs(p), marks)
+				}
 			}
 		}
 	case ir.Exit:

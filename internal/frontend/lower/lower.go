@@ -512,7 +512,7 @@ func (p *procLowerer) initVar(v varInfo, init ast.Expr, pos token.Pos, global bo
 		if global {
 			p.emit(ir.Set{L: v.loc, E: ir.Const{V: 0}}, pos)
 		} else {
-			p.emit(ir.Set{L: v.loc, E: ir.Unknown{}}, pos)
+			p.emit(ir.Set{L: v.loc, E: ir.Indet{}}, pos)
 		}
 	}
 }

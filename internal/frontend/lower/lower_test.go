@@ -299,8 +299,8 @@ int main() {
 func TestUninitializedLocals(t *testing.T) {
 	prog := mustLower(t, "int main() { int x; return x; }")
 	dump := prog.Dump()
-	if !strings.Contains(dump, ":= unknown()") {
-		t.Errorf("uninitialized local not set to unknown:\n%s", dump)
+	if !strings.Contains(dump, ":= indet()") {
+		t.Errorf("uninitialized local not set to indeterminate:\n%s", dump)
 	}
 }
 

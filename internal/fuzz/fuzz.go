@@ -32,6 +32,7 @@ import (
 	"io"
 	"strings"
 
+	"sparrow/internal/check"
 	"sparrow/internal/core"
 	"sparrow/internal/dug"
 	"sparrow/internal/interp"
@@ -50,6 +51,7 @@ const (
 	needIntervalSparse
 	needOctagon
 	needParallel
+	needRestricted
 )
 
 // parallelWorkerCounts are the worker counts the determinism oracle compares.
@@ -66,6 +68,10 @@ type Exec struct {
 	Octagon  map[core.Mode]*core.Result
 	// Parallel holds sparse interval runs keyed by worker count.
 	Parallel map[int]*core.Result
+	// Restricted holds a sequential sparse interval run with every checker
+	// kind enabled (uninit marks included) — the base of the per-checker
+	// restriction oracle, which replays it kind by kind.
+	Restricted *core.Result
 	// AnalyzeViolations records configs that timed out (the implicit
 	// "every analyzer completes" check).
 	AnalyzeViolations []Violation
@@ -126,7 +132,7 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// StandardOracles returns the four differential oracles.
+// StandardOracles returns the five differential oracles.
 func StandardOracles() []Oracle {
 	return []Oracle{
 		{Name: "soundness", Needs: needIntervalVanilla | needIntervalBase | needIntervalSparse,
@@ -134,7 +140,40 @@ func StandardOracles() []Oracle {
 		{Name: "precision", Needs: needIntervalBase | needIntervalSparse, Check: checkPrecision},
 		{Name: "agreement", Needs: needIntervalVanilla | needIntervalBase | needOctagon, Check: checkAgreement},
 		{Name: "determinism", Needs: needParallel, Check: checkDeterminism},
+		{Name: "restriction", Needs: needRestricted, Check: checkRestriction},
 	}
+}
+
+// OraclesByName filters the standard oracle set to the named ones
+// (comma-separated; "all" or "" selects every oracle).
+func OraclesByName(spec string) ([]Oracle, error) {
+	all := StandardOracles()
+	if spec == "" || spec == "all" {
+		return all, nil
+	}
+	var out []Oracle
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		found := false
+		for _, o := range all {
+			if o.Name == name {
+				out = append(out, o)
+				found = true
+				break
+			}
+		}
+		if !found {
+			var names []string
+			for _, o := range all {
+				names = append(names, o.Name)
+			}
+			return nil, fmt.Errorf("unknown oracle %q (want %s, or all)", name, strings.Join(names, ", "))
+		}
+	}
+	return out, nil
 }
 
 func neededBy(oracles []Oracle) need {
@@ -211,6 +250,28 @@ func Execute(name, src string, needs need, opt Options) (*Exec, error) {
 			}
 			ex.Parallel[w] = res
 		}
+	}
+	if needs&needRestricted != 0 {
+		// The restriction base run enables every checker kind: the uninit
+		// marks change the abstract semantics, so it cannot share the plain
+		// sparse run. Sequential on purpose — restricted replays are
+		// sequential, and matching widening schedules is part of the
+		// exactness contract.
+		res, err := core.AnalyzeSource(name, src, core.Options{
+			Domain:   core.Interval,
+			Mode:     core.Sparse,
+			Checkers: check.AllKinds,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if res.Stats.TimedOut {
+			ex.AnalyzeViolations = append(ex.AnalyzeViolations, Violation{
+				Oracle: "analyze",
+				Detail: "interval/sparse (all checkers): timed out",
+			})
+		}
+		ex.Restricted = res
 	}
 	return ex, nil
 }
@@ -454,6 +515,58 @@ func checkDeterminism(ex *Exec) []Violation {
 		}
 	}
 	return vs
+}
+
+// checkRestriction is the per-checker sparsification oracle: for every
+// checker kind, replaying the all-checkers sparse run restricted to what
+// that kind observes (closure → filtered DUG → sequential solve) must
+// reproduce the full run's alarms of the kind bit-identically, on a graph
+// with no more dependency triples than the full one.
+func checkRestriction(ex *Exec) []Violation {
+	res := ex.Restricted
+	if res == nil {
+		return nil
+	}
+	full := map[check.Kind][]string{}
+	for _, a := range res.Alarms() {
+		full[a.Kind] = append(full[a.Kind], a.String())
+	}
+	var vs []Violation
+	for _, k := range check.AllKinds {
+		run, err := res.AnalyzeChecker(k)
+		if err != nil {
+			vs = append(vs, Violation{Oracle: "restriction", Detail: k.String() + ": " + err.Error()})
+			continue
+		}
+		var got []string
+		for _, a := range run.Alarms {
+			got = append(got, a.String())
+		}
+		if want := full[k]; !equalStrings(got, want) {
+			vs = append(vs, Violation{Oracle: "restriction",
+				Detail: fmt.Sprintf("%v: restricted alarms differ\n  restricted: %v\n  full:       %v", k, got, want)})
+		}
+		if run.Triples > run.FullTriples {
+			vs = append(vs, Violation{Oracle: "restriction",
+				Detail: fmt.Sprintf("%v: restricted triples %d exceed full %d", k, run.Triples, run.FullTriples)})
+		}
+		if len(vs) >= soundnessMaxViolations {
+			break
+		}
+	}
+	return vs
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func alarmStrings(res *core.Result) string {

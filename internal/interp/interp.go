@@ -35,6 +35,9 @@ const (
 	Int Kind = iota
 	Ptr
 	Fn
+	// Undef poisons the indeterminate content of an uninitialized local
+	// under Options.TrapUninitRead: reading a variable holding it traps.
+	Undef
 )
 
 // IntV makes an integer value.
@@ -100,6 +103,13 @@ type Options struct {
 	// no-return path as contributing nothing (bottom) to the return
 	// channel — differential soundness checks set this so the two agree.
 	TrapMissingRet bool
+	// TrapUninitRead makes reading a procedure-local variable before any
+	// assignment a trap instead of defaulting to 0. Reading an
+	// uninitialized automatic variable is undefined behavior in the
+	// modeled language; the uninitialized-read checker reports exactly
+	// these reads, and its concrete oracle runs set this so the
+	// interpreter agrees with what the checker claims can happen.
+	TrapUninitRead bool
 }
 
 // Machine executes one program.
@@ -419,9 +429,25 @@ func (m *Machine) eval(e ir.Expr, pt *ir.Point) (Value, error) {
 		return IntV(e.V), nil
 	case ir.Unknown:
 		return IntV(m.nextInput()), nil
+	case ir.Indet:
+		// The declaration of an uninitialized local. Poisoned under the
+		// uninit-trapping oracle; otherwise an arbitrary environment value,
+		// exactly as before the distinction existed.
+		if m.opt.TrapUninitRead {
+			return Value{Kind: Undef}, nil
+		}
+		return IntV(m.nextInput()), nil
 	case ir.VarE:
 		if v, ok := m.read(cell{e.L, 0}); ok {
+			if v.Kind == Undef {
+				return Value{}, &Trap{Point: pt.ID, Msg: fmt.Sprintf("read of uninitialized variable %s", m.prog.Locs.String(e.L))}
+			}
 			return v, nil
+		}
+		if m.opt.TrapUninitRead {
+			if loc := m.prog.Locs.Get(e.L); loc.Kind == ir.LVar && loc.Proc != ir.None {
+				return Value{}, &Trap{Point: pt.ID, Msg: fmt.Sprintf("read of uninitialized variable %s", m.prog.Locs.String(e.L))}
+			}
 		}
 		return IntV(0), nil // uninitialized reads as zero (within Unknown's abstraction)
 	case ir.Load:

@@ -151,6 +151,12 @@ type Const struct{ V int64 }
 // unknown external procedures and inputs).
 type Unknown struct{}
 
+// Indet is the indeterminate content of an uninitialized local variable.
+// It abstracts like Unknown (an arbitrary integer: C locals hold garbage),
+// but analyses tracking initialization may tag the resulting value, and a
+// trapping interpreter may poison it instead of drawing an input.
+type Indet struct{}
+
 // VarE reads abstract location L (a variable or a field of a known base).
 type VarE struct{ L LocID }
 
@@ -266,6 +272,7 @@ type Not struct{ X Expr }
 
 func (Const) expr()     {}
 func (Unknown) expr()   {}
+func (Indet) expr()     {}
 func (VarE) expr()      {}
 func (Load) expr()      {}
 func (LoadField) expr() {}
@@ -478,6 +485,8 @@ func (p *Program) ExprString(e Expr) string {
 		return fmt.Sprintf("%d", e.V)
 	case Unknown:
 		return "unknown()"
+	case Indet:
+		return "indet()"
 	case VarE:
 		return p.Locs.String(e.L)
 	case Load:

@@ -57,6 +57,12 @@ type Val struct {
 	I   itv.Itv
 	ptr []PtrEntry  // sorted by Loc, no duplicates
 	fns []ir.ProcID // sorted, no duplicates
+	// uninit marks values that may stem from an uninitialized read: entry
+	// transfers seed accessed locals with UninitTop, the bit rides through
+	// copies and joins (it is a may-property), and strong updates kill it.
+	// Arithmetic drops it — a computed value is no longer a *read* of the
+	// uninitialized cell, and the uninit checker flags the read itself.
+	uninit bool
 }
 
 // Bot is the bottom value.
@@ -94,6 +100,16 @@ func FromPtr(loc ir.LocID, r Region) Val {
 // FromFunc returns a function value.
 func FromFunc(f ir.ProcID) Val { return Val{fns: []ir.ProcID{f}} }
 
+// UninitTop is the entry marker of a possibly-uninitialized cell: an
+// arbitrary integer (the concrete cell holds garbage) carrying the uninit
+// bit. A top interval — not bottom — keeps conditions over uninitialized
+// variables maybe-true/maybe-false, so reachability matches the concrete
+// executions the interpreter oracle runs.
+func UninitTop() Val { return Val{I: itv.Top, uninit: true} }
+
+// MayUninit reports whether the value may stem from an uninitialized read.
+func (v Val) MayUninit() bool { return v.uninit }
+
 // Itv returns the numeric component.
 func (v Val) Itv() itv.Itv { return v.I }
 
@@ -106,11 +122,15 @@ func (v Val) Fns() []ir.ProcID { return v.fns }
 // HasPtr reports whether the value may be a pointer.
 func (v Val) HasPtr() bool { return len(v.ptr) > 0 }
 
-// IsBot reports whether v is bottom (no integer, no pointers, no functions).
-func (v Val) IsBot() bool { return v.I.IsBot() && len(v.ptr) == 0 && len(v.fns) == 0 }
+// IsBot reports whether v is bottom (no integer, no pointers, no functions,
+// no uninit mark — a marked value is observable by the uninit checker and
+// must survive joins and memory merges).
+func (v Val) IsBot() bool {
+	return v.I.IsBot() && len(v.ptr) == 0 && len(v.fns) == 0 && !v.uninit
+}
 
 // WithItv returns v with the numeric component replaced.
-func (v Val) WithItv(i itv.Itv) Val { return Val{I: i, ptr: v.ptr, fns: v.fns} }
+func (v Val) WithItv(i itv.Itv) Val { return Val{I: i, ptr: v.ptr, fns: v.fns, uninit: v.uninit} }
 
 // OnlyPtr returns v with only its pointer (and function) components.
 func (v Val) OnlyPtr() Val { return Val{ptr: v.ptr, fns: v.fns} }
@@ -128,7 +148,7 @@ func (v Val) MapPtr(f func(PtrEntry) (PtrEntry, bool)) Val {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Loc < out[j].Loc })
-	return Val{I: v.I, ptr: dedupPtr(out), fns: v.fns}
+	return Val{I: v.I, ptr: dedupPtr(out), fns: v.fns, uninit: v.uninit}
 }
 
 func dedupPtr(s []PtrEntry) []PtrEntry {
@@ -207,9 +227,10 @@ func mergeFns(a, b []ir.ProcID) []ir.ProcID {
 // Join returns the least upper bound.
 func (v Val) Join(w Val) Val {
 	return Val{
-		I:   v.I.Join(w.I),
-		ptr: mergePtr(v.ptr, w.ptr, Region.Join),
-		fns: mergeFns(v.fns, w.fns),
+		I:      v.I.Join(w.I),
+		ptr:    mergePtr(v.ptr, w.ptr, Region.Join),
+		fns:    mergeFns(v.fns, w.fns),
+		uninit: v.uninit || w.uninit,
 	}
 }
 
@@ -218,16 +239,17 @@ func (v Val) Join(w Val) Val {
 // the numeric parts widen. Regions of common targets widen pointwise.
 func (v Val) Widen(w Val) Val {
 	return Val{
-		I:   v.I.Widen(w.I),
-		ptr: mergePtr(v.ptr, w.ptr, Region.Widen),
-		fns: mergeFns(v.fns, w.fns),
+		I:      v.I.Widen(w.I),
+		ptr:    mergePtr(v.ptr, w.ptr, Region.Widen),
+		fns:    mergeFns(v.fns, w.fns),
+		uninit: v.uninit || w.uninit,
 	}
 }
 
-// Narrow returns the narrowing v Δ w on the numeric component; pointer and
-// function components keep v's (they were not widened past w).
+// Narrow returns the narrowing v Δ w on the numeric component; pointer,
+// function, and uninit components keep v's (they were not widened past w).
 func (v Val) Narrow(w Val) Val {
-	return Val{I: v.I.Narrow(w.I), ptr: v.ptr, fns: v.fns}
+	return Val{I: v.I.Narrow(w.I), ptr: v.ptr, fns: v.fns, uninit: v.uninit}
 }
 
 // JoinChanged returns v.Join(w) together with whether the join differs from
@@ -248,13 +270,15 @@ func (v Val) JoinChanged(w Val) (Val, bool) {
 // is allocated; the components are pre-checked without building the merge.
 func (v Val) WidenChanged(w Val) (Val, bool) {
 	wi := v.I.Widen(w.I)
-	if wi.Eq(w.I) && widenPtrKeeps(v.ptr, w.ptr) && fnsSubset(v.fns, w.fns) {
+	if wi.Eq(w.I) && widenPtrKeeps(v.ptr, w.ptr) && fnsSubset(v.fns, w.fns) &&
+		(!v.uninit || w.uninit) {
 		return w, false
 	}
 	return Val{
-		I:   wi,
-		ptr: mergePtr(v.ptr, w.ptr, Region.Widen),
-		fns: mergeFns(v.fns, w.fns),
+		I:      wi,
+		ptr:    mergePtr(v.ptr, w.ptr, Region.Widen),
+		fns:    mergeFns(v.fns, w.fns),
+		uninit: v.uninit || w.uninit,
 	}, true
 }
 
@@ -302,12 +326,15 @@ func (v Val) NarrowChanged(w Val) (Val, bool) {
 	if ni.Eq(v.I) {
 		return v, false
 	}
-	return Val{I: ni, ptr: v.ptr, fns: v.fns}, true
+	return Val{I: ni, ptr: v.ptr, fns: v.fns, uninit: v.uninit}, true
 }
 
 // LessEq reports the lattice order.
 func (v Val) LessEq(w Val) bool {
 	if !v.I.LessEq(w.I) {
+		return false
+	}
+	if v.uninit && !w.uninit {
 		return false
 	}
 	// v.ptr ⊆ w.ptr with region ordering.
@@ -334,7 +361,8 @@ func (v Val) LessEq(w Val) bool {
 
 // Eq reports equality.
 func (v Val) Eq(w Val) bool {
-	if !v.I.Eq(w.I) || len(v.ptr) != len(w.ptr) || len(v.fns) != len(w.fns) {
+	if !v.I.Eq(w.I) || len(v.ptr) != len(w.ptr) || len(v.fns) != len(w.fns) ||
+		v.uninit != w.uninit {
 		return false
 	}
 	for i := range v.ptr {
@@ -364,6 +392,9 @@ func (v Val) String() string {
 	}
 	for _, f := range v.fns {
 		parts = append(parts, fmt.Sprintf("fn%d", f))
+	}
+	if v.uninit {
+		parts = append(parts, "uninit")
 	}
 	return "{" + strings.Join(parts, ", ") + "}"
 }

@@ -56,6 +56,12 @@ func (m Mem) WeakSet(l ir.LocID, v val.Val) Mem {
 	})}
 }
 
+// MayUninit reports whether the value at l carries the uninitialized-read
+// marker (see val.UninitTop). Absent entries are bottom, not uninitialized:
+// the entry transfer marks exactly the accessed locals, and a location the
+// analysis never bound is dead rather than garbage.
+func (m Mem) MayUninit(l ir.LocID) bool { return m.Get(l).MayUninit() }
+
 // Len returns the number of bound locations.
 func (m Mem) Len() int { return m.m.Len() }
 

@@ -35,7 +35,7 @@ import (
 // Schema is the version of the Report wire format. Bump it when counters
 // are added, removed, or change meaning; regression snapshots carry it so
 // stale baselines fail loudly instead of comparing apples to oranges.
-const Schema = 1
+const Schema = 2
 
 // Phase identifies one timed stage of the analysis pipeline.
 type Phase uint8
@@ -49,6 +49,7 @@ const (
 	PhasePartition              // SCC condensation of the def-use graph
 	PhaseFix                    // fixpoint computation (incl. narrowing)
 	PhaseCheck                  // alarm checkers
+	PhaseRestrict               // per-checker restricted closure+graph+solve
 	NumPhases
 )
 
@@ -60,6 +61,7 @@ var phaseNames = [NumPhases]string{
 	PhasePartition: "partition",
 	PhaseFix:       "fixpoint",
 	PhaseCheck:     "check",
+	PhaseRestrict:  "restricted",
 }
 
 func (p Phase) String() string { return phaseNames[p] }
@@ -109,6 +111,30 @@ const (
 	CtrPacks           // octagon variable packs (octagon domains only)
 	CtrAlarms          // alarms reported by the checkers
 
+	// Per-checker alarm counts (the kinds actually run; zero otherwise).
+	CtrAlarmsBuf
+	CtrAlarmsNull
+	CtrAlarmsDiv
+	CtrAlarmsUninit
+
+	// Restricted (symbol-specific) def-use graphs, one group of size
+	// counters per checker kind: nodes that kept at least one D̂ or Û
+	// member, (from, loc) successor rows, and ⟨from, loc, to⟩ dependency
+	// triples. Populated by core's AnalyzeChecker; zero when per-checker
+	// solves never ran.
+	CtrRestrBufNodes
+	CtrRestrBufEdges
+	CtrRestrBufTriples
+	CtrRestrNullNodes
+	CtrRestrNullEdges
+	CtrRestrNullTriples
+	CtrRestrDivNodes
+	CtrRestrDivEdges
+	CtrRestrDivTriples
+	CtrRestrUninitNodes
+	CtrRestrUninitEdges
+	CtrRestrUninitTriples
+
 	NumCounters
 )
 
@@ -137,6 +163,24 @@ var counterNames = [NumCounters]string{
 	CtrMemTotalEntries: "mem_total_entries",
 	CtrPacks:           "packs",
 	CtrAlarms:          "alarms",
+
+	CtrAlarmsBuf:    "alarms_buf",
+	CtrAlarmsNull:   "alarms_null",
+	CtrAlarmsDiv:    "alarms_div",
+	CtrAlarmsUninit: "alarms_uninit",
+
+	CtrRestrBufNodes:      "restr_buf_nodes",
+	CtrRestrBufEdges:      "restr_buf_edges",
+	CtrRestrBufTriples:    "restr_buf_triples",
+	CtrRestrNullNodes:     "restr_null_nodes",
+	CtrRestrNullEdges:     "restr_null_edges",
+	CtrRestrNullTriples:   "restr_null_triples",
+	CtrRestrDivNodes:      "restr_div_nodes",
+	CtrRestrDivEdges:      "restr_div_edges",
+	CtrRestrDivTriples:    "restr_div_triples",
+	CtrRestrUninitNodes:   "restr_uninit_nodes",
+	CtrRestrUninitEdges:   "restr_uninit_edges",
+	CtrRestrUninitTriples: "restr_uninit_triples",
 }
 
 func (c Counter) String() string { return counterNames[c] }

@@ -30,6 +30,14 @@ type Sem struct {
 	// non-recursive, which is sound only during the flow-insensitive
 	// pre-analysis (where every update joins anyway).
 	InCycle func(ir.ProcID) bool
+	// EntryMarks, when non-nil, supplies per procedure the sorted locations
+	// its Entry transfer marks possibly-uninitialized (accessed non-formal
+	// locals; see the uninit checker). Non-summary locals are set strongly —
+	// a concrete activation starts with a fresh frame, so overwriting stale
+	// caller-side residue is sound and kills it — while summary (in-cycle)
+	// locals join the marker weakly. Nil disables marking entirely, which
+	// keeps the legacy analyses bit-identical.
+	EntryMarks func(ir.ProcID) []ir.LocID
 }
 
 // New returns a semantics evaluator for prog.
@@ -73,6 +81,15 @@ func (s *Sem) Eval(e ir.Expr, m mem.Mem) val.Val {
 	case ir.Const:
 		return val.Const(e.V)
 	case ir.Unknown:
+		return val.TopInt
+	case ir.Indet:
+		// A declaration's indeterminate content. When initialization is
+		// tracked (EntryMarks set ⇔ the uninit checker is on) the value
+		// carries the uninit tag; otherwise it is Unknown's plain top, so
+		// legacy runs are bit-identical.
+		if s.EntryMarks != nil {
+			return val.UninitTop()
+		}
 		return val.TopInt
 	case ir.VarE:
 		return m.Get(e.L)
@@ -413,7 +430,18 @@ func (s *Sem) Transfer(pt *ir.Point, m mem.Mem) (mem.Mem, bool) {
 			return m.Set(pr.RetLoc, v), true
 		}
 		return m, true
-	default: // Entry, Exit, Skip
+	case ir.Entry:
+		if s.EntryMarks != nil && s.Prog.ProcByID(pt.Proc).Entry == pt.ID {
+			for _, l := range s.EntryMarks(pt.Proc) {
+				if s.IsSummaryLoc(l) {
+					m = m.WeakSet(l, val.UninitTop())
+				} else {
+					m = m.Set(l, val.UninitTop())
+				}
+			}
+		}
+		return m, true
+	default: // Exit, Skip
 		return m, true
 	}
 }

@@ -54,6 +54,10 @@ type Options struct {
 	// on the hot path and flushes once, so instrumentation costs nothing
 	// per step.
 	Metrics *metrics.Collector
+	// EntryMarks is forwarded to the semantics (sem.Sem.EntryMarks): the
+	// per-procedure locations an Entry marks possibly-uninitialized for the
+	// uninit checker. Nil (the default) disables marking.
+	EntryMarks func(ir.ProcID) []ir.LocID
 }
 
 const (
@@ -118,7 +122,7 @@ func Analyze(prog *ir.Program, pre *prean.Result, opt Options) *Result {
 	sv := &solver{
 		prog: prog,
 		pre:  pre,
-		s:    &sem.Sem{Prog: prog, Callees: pre.CalleesOf, InCycle: pre.CG.InCycle},
+		s:    &sem.Sem{Prog: prog, Callees: pre.CalleesOf, InCycle: pre.CG.InCycle, EntryMarks: opt.EntryMarks},
 		opt:  opt,
 		info: cfg.Compute(prog, pre.CG, pre.CalleesOf),
 		res: &Result{

@@ -66,10 +66,11 @@ func AnalyzeParallel(prog *ir.Program, pre *prean.Result, g *dug.Graph, opt Opti
 			Out:     make([]mem.Mem, n),
 			Reached: make([]bool, g.PointCount),
 		},
-		counts: make([]int32, n),
+		cbase:  defOffsets(g),
 		mu:     make([]sync.Mutex, p.NumComps()),
 		seeds:  make([][]int32, p.NumComps()),
 	}
+	st.counts = make([]int32, st.cbase[n])
 	st.buildSched()
 	if opt.Timeout > 0 {
 		st.deadline = time.Now().Add(opt.Timeout)
@@ -85,7 +86,7 @@ func AnalyzeParallel(prog *ir.Program, pre *prean.Result, g *dug.Graph, opt Opti
 	for i := range pool {
 		pool[i] = &pworker{
 			st: st,
-			s:  &sem.Sem{Prog: prog, Callees: pre.CalleesOf, InCycle: pre.CG.InCycle},
+			s:  &sem.Sem{Prog: prog, Callees: pre.CalleesOf, InCycle: pre.CG.InCycle, EntryMarks: opt.EntryMarks},
 			wl: worklist.New(n, g.Prio),
 		}
 	}
@@ -123,9 +124,11 @@ type pstate struct {
 	opt  Options
 	res  *Result
 
-	// counts mirrors solver.counts; every slot is owned by the component of
-	// its node, so workers never contend on it.
+	// counts/cbase mirror solver.counts: one widening counter per (node,
+	// def location), slot cbase[n]+i for Defs[n][i]. Every slot is owned by
+	// the component of its node, so workers never contend on it.
 	counts []int32
+	cbase  []int32
 
 	// mu[c] guards seeds[c] and the cross-component writes (Acc joins, reach
 	// marks) into component c, all of which happen strictly before c runs.
@@ -585,15 +588,13 @@ func (w *pworker) propagateReach(pt *ir.Point) {
 // (and the successor is seeded iff any join changed its input).
 func (w *pworker) pushOuts(n dug.NodeID, m mem.Mem) {
 	st := w.st
-	forceWiden := int(st.counts[n]) > st.opt.WidenThreshold
-	if !forceWiden && !st.g.IsPhi(n) && int(st.counts[n]) > st.opt.EntryWidenDelay {
-		if _, isEntry := st.prog.Point(ir.PointID(n)).Cmd.(ir.Entry); isEntry {
-			forceWiden = true
-		}
+	isEntry := false
+	if !st.g.IsPhi(n) {
+		_, isEntry = st.prog.Point(ir.PointID(n)).Cmd.(ir.Entry)
 	}
-	changed := false
+	base := st.cbase[n]
 	cur := st.g.Out(n)
-	for _, l := range st.g.Defs[n] {
+	for i, l := range st.g.Defs[n] {
 		nv := m.Get(l)
 		old := st.res.Out[n].Get(l)
 		// Fused join, mirroring the sequential solver bit for bit.
@@ -601,8 +602,11 @@ func (w *pworker) pushOuts(n dug.NodeID, m mem.Mem) {
 		if !jch {
 			continue
 		}
-		changed = true
+		cnt := st.counts[base+int32(i)]
+		st.counts[base+int32(i)] = cnt + 1
 		w.joins++
+		forceWiden := int(cnt) > st.opt.WidenThreshold ||
+			(isEntry && int(cnt) > st.opt.EntryWidenDelay)
 		if st.g.Widen[n] || forceWiden {
 			wv, wch := old.WidenChanged(joined)
 			if wch {
@@ -630,8 +634,5 @@ func (w *pworker) pushOuts(n dug.NodeID, m mem.Mem) {
 			}
 			st.mu[cs].Unlock()
 		}
-	}
-	if changed {
-		st.counts[n]++
 	}
 }

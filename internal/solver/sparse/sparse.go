@@ -51,6 +51,12 @@ type Options struct {
 	// per-worker-local in AnalyzeParallel — and flushes once, so the
 	// instrumented counters stay bit-identical across worker counts.
 	Metrics *metrics.Collector
+	// EntryMarks is forwarded to the semantics (sem.Sem.EntryMarks): the
+	// per-procedure locations an Entry marks possibly-uninitialized for the
+	// uninit checker. Must match the EntryMarks the def-use graph was built
+	// with (dug.Options.EntryMarks), or entry definitions and dependency
+	// edges disagree. Nil (the default) disables marking.
+	EntryMarks func(ir.ProcID) []ir.LocID
 }
 
 const (
@@ -94,8 +100,27 @@ type solver struct {
 	res  *Result
 	wl   *worklist.Worklist
 
+	// counts are the widening safety-valve counters, one per (node, def
+	// location): slot cbase[n]+i counts the value-changing pushes of
+	// Defs[n][i]. Keying the counters by location (not by firing) makes a
+	// location's widening schedule a function of its own update history
+	// alone, which is what lets a solve restricted to a subset of the
+	// locations reproduce the full solve's widening decisions exactly (the
+	// per-checker restricted runs rely on this).
 	counts   []int32
+	cbase    []int32
 	deadline time.Time
+}
+
+// defOffsets returns the prefix sums of len(g.Defs[n]) — the slot bases of
+// the per-(node, location) widening counters.
+func defOffsets(g *dug.Graph) []int32 {
+	n := g.NumNodes()
+	off := make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		off[i+1] = off[i] + int32(len(g.Defs[i]))
+	}
+	return off
 }
 
 // Analyze runs the sparse analysis over the def-use graph g.
@@ -107,18 +132,20 @@ func Analyze(prog *ir.Program, pre *prean.Result, g *dug.Graph, opt Options) *Re
 		opt.EntryWidenDelay = defaultEntryWidenDelay
 	}
 	n := g.NumNodes()
+	cbase := defOffsets(g)
 	sv := &solver{
 		prog: prog,
 		pre:  pre,
 		g:    g,
-		s:    &sem.Sem{Prog: prog, Callees: pre.CalleesOf, InCycle: pre.CG.InCycle},
+		s:    &sem.Sem{Prog: prog, Callees: pre.CalleesOf, InCycle: pre.CG.InCycle, EntryMarks: opt.EntryMarks},
 		opt:  opt,
 		res: &Result{
 			Acc:     make([]mem.Mem, n),
 			Out:     make([]mem.Mem, n),
 			Reached: make([]bool, g.PointCount),
 		},
-		counts: make([]int32, n),
+		counts: make([]int32, cbase[n]),
+		cbase:  cbase,
 		wl:     worklist.New(n, g.Prio),
 	}
 	if opt.Timeout > 0 {
@@ -314,18 +341,13 @@ func (sv *solver) propagateReach(pt *ir.Point) {
 // widens at widening nodes, and propagates changed values to dependency
 // successors.
 func (sv *solver) pushOuts(n dug.NodeID, m mem.Mem) {
-	// The safety-valve count is per firing-with-change, not per location,
-	// so wide linkage nodes (entries defining many locations) are not
-	// forced into premature widening.
-	forceWiden := int(sv.counts[n]) > sv.opt.WidenThreshold
-	if !forceWiden && !sv.g.IsPhi(n) && int(sv.counts[n]) > sv.opt.EntryWidenDelay {
-		if _, isEntry := sv.prog.Point(ir.PointID(n)).Cmd.(ir.Entry); isEntry {
-			forceWiden = true
-		}
+	isEntry := false
+	if !sv.g.IsPhi(n) {
+		_, isEntry = sv.prog.Point(ir.PointID(n)).Cmd.(ir.Entry)
 	}
-	changed := false
+	base := sv.cbase[n]
 	cur := sv.g.Out(n)
-	for _, l := range sv.g.Defs[n] {
+	for i, l := range sv.g.Defs[n] {
 		nv := m.Get(l)
 		old := sv.res.Out[n].Get(l)
 		// Fused join: the steady-state case (nv ⊑ old) is a comparison with
@@ -334,8 +356,11 @@ func (sv *solver) pushOuts(n dug.NodeID, m mem.Mem) {
 		if !jch {
 			continue
 		}
-		changed = true
+		cnt := sv.counts[base+int32(i)]
+		sv.counts[base+int32(i)] = cnt + 1
 		sv.res.Joins++
+		forceWiden := int(cnt) > sv.opt.WidenThreshold ||
+			(isEntry && int(cnt) > sv.opt.EntryWidenDelay)
 		if sv.g.Widen[n] || forceWiden {
 			wv, wch := old.WidenChanged(joined)
 			if wch {
@@ -352,9 +377,6 @@ func (sv *solver) pushOuts(n dug.NodeID, m mem.Mem) {
 			sv.res.Acc[succ] = sacc.WeakSet(l, joined)
 			sv.wl.Add(int(succ))
 		}
-	}
-	if changed {
-		sv.counts[n]++
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"sparrow"
+	"sparrow/internal/check"
 	"sparrow/internal/metrics"
 )
 
@@ -16,8 +17,10 @@ var updateGolden = flag.Bool("update", false, "rewrite the golden metrics report
 
 // goldenPrograms are the corpus members whose full counter sections are
 // pinned: they cover the frontend features most likely to disturb the
-// counters (function-pointer dispatch, switch lowering, goto loops).
-var goldenPrograms = []string{"fpdispatch", "switchcase", "gotoloop"}
+// counters (function-pointer dispatch, switch lowering, goto loops) plus
+// the uninitialized-read program, whose golden exercises the per-kind
+// alarm and restricted-graph counters.
+var goldenPrograms = []string{"fpdispatch", "switchcase", "gotoloop", "uninit"}
 
 // goldenReport is the committed shape: configuration stamp + the complete
 // deterministic counter section. Timings and heap are omitted by design.
@@ -38,15 +41,22 @@ func collectGolden(t *testing.T, name string) goldenReport {
 	}
 	col := metrics.New()
 	res, err := sparrow.AnalyzeSource(name+".c", string(src), sparrow.Options{
-		Domain:  sparrow.Interval,
-		Mode:    sparrow.Sparse,
-		Workers: 1,
-		Metrics: col,
+		Domain:   sparrow.Interval,
+		Mode:     sparrow.Sparse,
+		Workers:  1,
+		Metrics:  col,
+		Checkers: check.AllKinds,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	res.Alarms()
+	// Per-checker restricted solves fill the restr_* size counters.
+	for _, k := range check.AllKinds {
+		if _, err := res.AnalyzeChecker(k); err != nil {
+			t.Fatal(err)
+		}
+	}
 	rep := res.MetricsReport()
 	return goldenReport{
 		Schema:   rep.Schema,

@@ -42,6 +42,10 @@ type Result = core.Result
 // Stats summarizes a run (the paper's Table 1–3 columns).
 type Stats = core.Stats
 
+// CheckerRun is the outcome of one per-checker restricted solve (see
+// Result.AnalyzeChecker).
+type CheckerRun = core.CheckerRun
+
 // Domain selects the abstract domain.
 type Domain = core.Domain
 

@@ -1,0 +1,28 @@
+/* Uninitialized-read corpus program: the BUG lines read locals that some
+ * path leaves unassigned; everything else is initialized on every path and
+ * must stay silent under the uninit checker (see corpus_test.go's per-kind
+ * golden counts and the trapping-interpreter oracle). */
+int g;
+
+int scaled(int k) {
+	int f;                       /* initialized on every path below */
+	if (k > 0) { f = 2; } else { f = 3; }
+	return k * f;
+}
+
+int pick() {
+	int r;
+	if (input() > 0) { r = 5; }
+	return r;                    /* BUG: r unassigned when input() <= 0 */
+}
+
+int main() {
+	int a;
+	int b;
+	int c;
+	a = scaled(4);
+	b = a + 1;                   /* a, b: fully initialized */
+	g = b + c;                   /* BUG: c never assigned */
+	g = g + pick();
+	return g;
+}
