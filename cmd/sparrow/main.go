@@ -6,6 +6,7 @@
 //	sparrow [-domain interval|octagon] [-mode vanilla|base|sparse]
 //	        [-checkers buf,null,div,uninit|all] [-restricted]
 //	        [-duchains] [-nobypass] [-narrow N] [-timeout D] [-workers N]
+//	        [-snapshot-in f] [-snapshot-out f]
 //	        [-cpuprofile f] [-memprofile f] [-globals] [-stats] [-stats-json]
 //	        file.c
 package main
@@ -20,6 +21,7 @@ import (
 
 	"sparrow"
 	"sparrow/internal/check"
+	"sparrow/internal/incr"
 	"sparrow/internal/ir"
 	"sparrow/internal/metrics"
 )
@@ -47,6 +49,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	globals := fs.Bool("globals", false, "print the final interval of every global variable")
 	stats := fs.Bool("stats", true, "print analysis statistics")
 	statsJSON := fs.Bool("stats-json", false, "print the machine-readable metrics report (JSON) instead of text output")
+	snapshotIn := fs.String("snapshot-in", "", "resume incrementally from this analysis snapshot (sparse interval only)")
+	snapshotOut := fs.String("snapshot-out", "", "write the analysis snapshot for later incremental re-runs to this file")
 	dumpDug := fs.String("dump-dug", "", "write the def-use graph in Graphviz dot syntax to this file (sparse modes)")
 	dumpIR := fs.Bool("dump-ir", false, "print the lowered IR")
 	if err := fs.Parse(args); err != nil {
@@ -126,9 +130,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail(fmt.Errorf("unknown mode %q", *mode))
 	}
 
+	if *snapshotIn != "" {
+		stop := col.Phase(metrics.PhaseIncr)
+		cache, err := incr.LoadFile(*snapshotIn)
+		stop()
+		if err != nil {
+			return fail(err)
+		}
+		opt.Incr = cache
+	} else if *snapshotOut != "" {
+		// Fresh cache: the solver stamps it with the widening config.
+		opt.Incr = incr.NewCache(0, 0)
+	}
+
 	res, err := sparrow.AnalyzeSource(path, string(src), opt)
 	if err != nil {
 		return fail(err)
+	}
+	if *snapshotOut != "" {
+		stop := col.Phase(metrics.PhaseIncr)
+		err := opt.Incr.SaveFile(*snapshotOut)
+		stop()
+		if err != nil {
+			return fail(err)
+		}
 	}
 	// The frontend accepts translation units without an entry point (it
 	// synthesizes an empty __start), so the analysis "succeeds" on inputs
@@ -198,6 +223,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if s.Workers > 0 {
 			fmt.Fprintf(stdout, "parallel: workers=%d components=%d maxcomp=%d islands=%d rounds=%d\n",
 				s.Workers, s.Components, s.MaxComponent, s.Islands, s.Rounds)
+		}
+		if opt.Incr != nil {
+			fmt.Fprintf(stdout, "incremental: hits=%d misses=%d resolved=%d cached=%d\n",
+				s.IncrHits, s.IncrMisses, s.IncrResolved, opt.Incr.Len())
 		}
 		if opt.Domain == sparrow.Octagon {
 			fmt.Fprintf(stdout, "packs: %d (avg non-singleton size %.1f)\n", s.PackCount, s.PackAvg)

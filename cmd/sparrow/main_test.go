@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
@@ -155,5 +157,115 @@ func TestCheckersFlag(t *testing.T) {
 	}
 	if code, _, errb := runCLI(t, "-restricted", "-mode", "base", "testdata/good.c"); code == 0 || !strings.Contains(errb, "sparse") {
 		t.Errorf("-restricted without sparse: exit %d, stderr %q", code, errb)
+	}
+}
+
+// TestSnapshotFlags drives the incremental-analysis CLI flow end to end:
+// cold solve with -snapshot-out, edit the file, warm solve with -snapshot-in,
+// and check the warm run hits the cache while producing the same analysis
+// text (everything except the timing and incremental lines) as a cold solve
+// of the edited file.
+func TestSnapshotFlags(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "snap.json")
+
+	code, out, errb := runCLI(t, "-snapshot-out", snap, "testdata/good.c")
+	if code != 0 {
+		t.Fatalf("cold: exit %d, stderr: %s", code, errb)
+	}
+	if !strings.Contains(out, "incremental: hits=") {
+		t.Errorf("cold run missing incremental stats line:\n%s", out)
+	}
+
+	// Edit: shrink the loop bound. The analysis of the edited file changes,
+	// so a stale replay would be visible in the invariants.
+	src, err := os.ReadFile("testdata/good.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	edited := strings.Replace(string(src), "i < 4", "i < 3", 1)
+	if edited == string(src) {
+		t.Fatal("edit was a no-op")
+	}
+	editedPath := filepath.Join(dir, "good_edited.c")
+	if err := os.WriteFile(editedPath, []byte(edited), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// analysisLines strips the run-dependent lines (timings, the incremental
+	// stats, file paths) so warm and cold text output can be compared.
+	analysisLines := func(s string) string {
+		var keep []string
+		for _, line := range strings.Split(s, "\n") {
+			if strings.HasPrefix(line, "times:") || strings.HasPrefix(line, "incremental:") {
+				continue
+			}
+			keep = append(keep, line)
+		}
+		return strings.Join(keep, "\n")
+	}
+
+	codeW, outW, errbW := runCLI(t, "-snapshot-in", snap, "-globals", editedPath)
+	if codeW != 0 {
+		t.Fatalf("warm: exit %d, stderr: %s", codeW, errbW)
+	}
+	codeC, outC, errbC := runCLI(t, "-globals", editedPath)
+	if codeC != 0 {
+		t.Fatalf("cold edited: exit %d, stderr: %s", codeC, errbC)
+	}
+	if got, want := analysisLines(outW), analysisLines(outC); got != want {
+		t.Errorf("warm output diverged from cold:\n--- warm ---\n%s\n--- cold ---\n%s", got, want)
+	}
+	var hits, misses, resolved, cached int
+	for _, line := range strings.Split(outW, "\n") {
+		if strings.HasPrefix(line, "incremental:") {
+			if _, err := fmt.Sscanf(line, "incremental: hits=%d misses=%d resolved=%d cached=%d",
+				&hits, &misses, &resolved, &cached); err != nil {
+				t.Fatalf("unparseable incremental line %q: %v", line, err)
+			}
+		}
+	}
+	if hits == 0 {
+		t.Errorf("warm run on a one-line edit recorded no cache hits:\n%s", outW)
+	}
+
+	// -stats-json on an incremental run must carry the incr counter group.
+	code, out, errb = runCLI(t, "-stats-json", "-snapshot-in", snap, editedPath)
+	if code != 0 {
+		t.Fatalf("warm json: exit %d, stderr: %s", code, errb)
+	}
+	var rep metrics.Report
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("stdout is not a JSON report: %v\n%s", err, out)
+	}
+	if rep.Counters["incr_components_hit"] <= 0 {
+		t.Errorf("incr counters missing from report: %v", rep.Counters)
+	}
+	if _, ok := rep.TimingsNS["incr"]; !ok {
+		t.Errorf("incr phase timing missing: %v", rep.TimingsNS)
+	}
+
+	// Error paths: unreadable snapshot, corrupt snapshot, and configurations
+	// the incremental solver rejects.
+	if code, _, errb := runCLI(t, "-snapshot-in", filepath.Join(dir, "nope.json"), "testdata/good.c"); code != 1 || !strings.Contains(errb, "no such file") {
+		t.Errorf("missing snapshot: exit %d, stderr %q", code, errb)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "corrupt.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, errb := runCLI(t, "-snapshot-in", filepath.Join(dir, "corrupt.json"), "testdata/good.c"); code != 1 || !strings.Contains(errb, "corrupt snapshot") {
+		t.Errorf("corrupt snapshot: exit %d, stderr %q", code, errb)
+	}
+	for _, args := range [][]string{
+		{"-snapshot-in", snap, "-mode", "base", "testdata/good.c"},
+		{"-snapshot-in", snap, "-domain", "octagon", "testdata/good.c"},
+		{"-snapshot-in", snap, "-duchains", "testdata/good.c"},
+		{"-snapshot-in", snap, "-workers", "0", "testdata/good.c"},
+		{"-snapshot-in", snap, "-checkers", "uninit", "testdata/good.c"},
+		{"-snapshot-in", snap, "-narrow", "2", "testdata/good.c"},
+	} {
+		if code, _, errb := runCLI(t, args...); code != 1 {
+			t.Errorf("%v: exit %d, stderr %q (want rejection)", args, code, errb)
+		}
 	}
 }

@@ -1,0 +1,179 @@
+// Seeded edit mutation: deterministic one-edit variants of a C source, the
+// "developer edits the program" half of the incremental-analysis oracle
+// (solve → snapshot → edit → warm solve must equal a cold solve of the
+// edit). The mutator is purely textual and conservative — it only touches
+// statement shapes it can prove stay parseable — so every variant runs
+// through the full pipeline without frontend errors.
+package cgen
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// EditKinds is the number of mutation kinds Mutate cycles through.
+const EditKinds = 4
+
+var (
+	// A decimal literal not preceded by an identifier character (so digits
+	// inside names like f3 or retry2 never match).
+	literalRE = regexp.MustCompile(`(^|[^A-Za-z0-9_])([0-9]+)`)
+	// The uniform function header cgen emits; bodies of two such functions
+	// are interchangeable without breaking the parse.
+	funcHeaderRE = regexp.MustCompile(`^int f[0-9]+\(int a0, int a1\) \{$`)
+)
+
+// Mutate returns a deterministic single-edit variant of src: a constant
+// tweak, a statement duplication, a statement deletion, or a function-body
+// swap, chosen by the seed. Kinds without a candidate in src fall back to the
+// next kind; as a last resort a fresh global declaration is prepended, so the
+// result always differs from src.
+func Mutate(src string, seed uint64) string {
+	r := rng{s: seed*0x9e3779b97f4a7c15 + 0x517cc1b727220a95}
+	lines := strings.Split(src, "\n")
+	for attempt, kind := 0, r.intn(EditKinds); attempt < EditKinds; attempt++ {
+		var out []string
+		switch (kind + attempt) % EditKinds {
+		case 0:
+			out = tweakConstant(lines, &r)
+		case 1:
+			out = duplicateStatement(lines, &r)
+		case 2:
+			out = deleteStatement(lines, &r)
+		case 3:
+			out = swapBodies(lines, &r)
+		}
+		if out != nil {
+			return strings.Join(out, "\n")
+		}
+	}
+	return "int __mut;\n" + src
+}
+
+// mutableStatement reports whether a line is a plain assignment statement
+// that can be duplicated or deleted without breaking the parse or removing a
+// declaration: `x = expr;` / `*p = expr;` shapes only, no control flow, no
+// braces, no labels.
+func mutableStatement(line string) bool {
+	s := strings.TrimSpace(line)
+	if !strings.HasSuffix(s, ";") || !strings.Contains(s, "=") {
+		return false
+	}
+	if strings.ContainsAny(s, "{}") || strings.Contains(s, ":") {
+		return false
+	}
+	for _, kw := range []string{"int ", "int*", "return", "goto ", "if ", "if(", "for ", "for(", "while", "switch", "break", "case "} {
+		if strings.HasPrefix(s, kw) {
+			return false
+		}
+	}
+	c := s[0]
+	return c == '*' || c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+// tweakConstant bumps one decimal literal of one statement line by one.
+func tweakConstant(lines []string, r *rng) []string {
+	var cands []int
+	for i, line := range lines {
+		s := strings.TrimSpace(line)
+		if strings.HasPrefix(s, "//") || strings.HasPrefix(s, "#") {
+			continue
+		}
+		if literalRE.MatchString(line) {
+			cands = append(cands, i)
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	i := cands[r.intn(len(cands))]
+	ms := literalRE.FindAllStringSubmatchIndex(lines[i], -1)
+	m := ms[r.intn(len(ms))]
+	lo, hi := m[4], m[5] // the literal group
+	n, err := strconv.Atoi(lines[i][lo:hi])
+	if err != nil {
+		return nil
+	}
+	out := append([]string(nil), lines...)
+	out[i] = lines[i][:lo] + strconv.Itoa(n+1) + lines[i][hi:]
+	return out
+}
+
+// duplicateStatement inserts a copy of one assignment statement after itself.
+func duplicateStatement(lines []string, r *rng) []string {
+	var cands []int
+	for i, line := range lines {
+		if mutableStatement(line) {
+			cands = append(cands, i)
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	i := cands[r.intn(len(cands))]
+	out := make([]string, 0, len(lines)+1)
+	out = append(out, lines[:i+1]...)
+	out = append(out, lines[i])
+	out = append(out, lines[i+1:]...)
+	return out
+}
+
+// deleteStatement removes one assignment statement.
+func deleteStatement(lines []string, r *rng) []string {
+	var cands []int
+	for i, line := range lines {
+		if mutableStatement(line) {
+			cands = append(cands, i)
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	i := cands[r.intn(len(cands))]
+	out := make([]string, 0, len(lines)-1)
+	out = append(out, lines[:i]...)
+	out = append(out, lines[i+1:]...)
+	return out
+}
+
+// swapBodies exchanges the bodies of two uniformly-shaped functions. Labels
+// are function-scoped and the signatures are identical, so the program stays
+// valid; the analysis, of course, changes.
+func swapBodies(lines []string, r *rng) []string {
+	type span struct{ start, end int } // body lines, exclusive of braces
+	var fns []span
+	for i := 0; i < len(lines); i++ {
+		if !funcHeaderRE.MatchString(lines[i]) {
+			continue
+		}
+		for j := i + 1; j < len(lines); j++ {
+			if lines[j] == "}" {
+				fns = append(fns, span{start: i + 1, end: j})
+				i = j
+				break
+			}
+		}
+	}
+	if len(fns) < 2 {
+		return nil
+	}
+	a := fns[r.intn(len(fns))]
+	b := fns[r.intn(len(fns))]
+	for tries := 0; a == b && tries < 4; tries++ {
+		b = fns[r.intn(len(fns))]
+	}
+	if a == b {
+		return nil
+	}
+	if b.start < a.start {
+		a, b = b, a
+	}
+	out := make([]string, 0, len(lines))
+	out = append(out, lines[:a.start]...)
+	out = append(out, lines[b.start:b.end]...)
+	out = append(out, lines[a.end:b.start]...)
+	out = append(out, lines[a.start:a.end]...)
+	out = append(out, lines[b.end:]...)
+	return out
+}

@@ -17,6 +17,7 @@ import (
 	"sparrow/internal/dug"
 	"sparrow/internal/frontend/lower"
 	"sparrow/internal/frontend/parser"
+	"sparrow/internal/incr"
 	"sparrow/internal/ir"
 	"sparrow/internal/lattice/itv"
 	"sparrow/internal/lattice/val"
@@ -111,6 +112,15 @@ type Options struct {
 	// entries seed possibly-uninitialized markers for their locals — and is
 	// interval-only.
 	Checkers []check.Kind
+	// Incr, when non-nil, runs the fixpoint through the incremental
+	// record/replay driver (internal/incr): component runs whose memo key
+	// hits the cache replay their recorded transcript, everything else runs
+	// live and is recorded into the cache — which the caller can then
+	// persist (incr.Cache.SaveFile) and reuse on an edited program. The
+	// result is bit-identical to a cold solve. Only the plain ascending
+	// sparse interval analyzer supports it; Narrow, Timeout, MaxSteps,
+	// DefUseChains and the uninitialized-read checker are rejected.
+	Incr *incr.Cache
 }
 
 // kinds returns the effective checker selection.
@@ -163,6 +173,11 @@ type Stats struct {
 	MaxComponent int // nodes in the largest component
 	Islands      int // weakly-connected islands of the condensation
 	Rounds       int // component-wave rounds until stabilization
+
+	// Incremental-solve statistics (Options.Incr only).
+	IncrHits     int // component runs replayed from the snapshot
+	IncrMisses   int // component runs executed live
+	IncrResolved int // distinct components re-solved
 }
 
 // Result is a completed analysis.
@@ -219,6 +234,20 @@ func countLines(src string) int {
 
 // AnalyzeProgram analyzes an already-lowered program.
 func AnalyzeProgram(prog *ir.Program, opt Options) (*Result, error) {
+	if opt.Incr != nil {
+		if opt.Domain != Interval || opt.Mode != Sparse {
+			return nil, fmt.Errorf("core: incremental analysis supports only the sparse interval analyzer")
+		}
+		if opt.Workers < 1 {
+			return nil, fmt.Errorf("core: incremental analysis needs the partitioned component solver (Workers >= 1)")
+		}
+		if opt.DefUseChains {
+			return nil, fmt.Errorf("core: incremental analysis is not supported in def-use-chain mode")
+		}
+		if hasKind(opt.kinds(), check.UninitRead) {
+			return nil, fmt.Errorf("core: the uninitialized-read checker is not supported incrementally (entry marks change the analyzed semantics globally)")
+		}
+	}
 	r := &Result{Prog: prog, Opts: opt, col: opt.Metrics}
 	t0 := time.Now()
 
@@ -372,7 +401,23 @@ func (r *Result) runInterval(opt Options) error {
 			opt.Metrics.Set(metrics.CtrMaxComponent, int64(p.MaxComp))
 			opt.Metrics.Set(metrics.CtrIslands, int64(p.NumIslands))
 			stop = opt.Metrics.Phase(metrics.PhaseFix)
-			r.sres = sparse.AnalyzeParallel(prog, pre, r.graph, sopt)
+			if opt.Incr != nil {
+				var istats sparse.IncrStats
+				var err error
+				r.sres, istats, err = sparse.AnalyzeIncremental(prog, pre, r.graph, sopt, opt.Incr)
+				if err != nil {
+					stop()
+					return err
+				}
+				opt.Metrics.Set(metrics.CtrIncrHits, int64(istats.Hits))
+				opt.Metrics.Set(metrics.CtrIncrMisses, int64(istats.Misses))
+				opt.Metrics.Set(metrics.CtrIncrResolved, int64(istats.Resolved))
+				r.Stats.IncrHits = istats.Hits
+				r.Stats.IncrMisses = istats.Misses
+				r.Stats.IncrResolved = istats.Resolved
+			} else {
+				r.sres = sparse.AnalyzeParallel(prog, pre, r.graph, sopt)
+			}
 			stop()
 			r.Stats.Workers = opt.Workers
 			r.Stats.Components = p.NumComps()

@@ -15,7 +15,12 @@
 //	agreement    — base alarms ⊆ vanilla alarms (access-based localization
 //	               never loses precision), and the octagon analyzers complete;
 //	determinism  — the parallel sparse driver is bit-identical across worker
-//	               counts 1/2/8, including step and round counters.
+//	               counts 1/2/8, including step and round counters;
+//	incremental  — snapshot the sparse solve, apply a deterministic one-edit
+//	               mutation (internal/cgen's Mutate), and re-solve warm from
+//	               the codec-round-tripped snapshot: alarms, final memories,
+//	               reachability, and work counters must be bit-identical to a
+//	               cold solve of the edited program.
 //
 // On a violation, a delta-debugging shrinker (shrink.go) minimizes the
 // program while the violated oracle keeps firing, and the campaign driver
@@ -29,14 +34,18 @@ package fuzz
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"strings"
 
+	"sparrow/internal/cgen"
 	"sparrow/internal/check"
 	"sparrow/internal/core"
 	"sparrow/internal/dug"
+	"sparrow/internal/incr"
 	"sparrow/internal/interp"
 	"sparrow/internal/ir"
+	"sparrow/internal/metrics"
 )
 
 // need is a bitmask of the executions an oracle reads; the runner (and
@@ -52,6 +61,7 @@ const (
 	needOctagon
 	needParallel
 	needRestricted
+	needIncremental
 )
 
 // parallelWorkerCounts are the worker counts the determinism oracle compares.
@@ -72,9 +82,22 @@ type Exec struct {
 	// kind enabled (uninit marks included) — the base of the per-checker
 	// restriction oracle, which replays it kind by kind.
 	Restricted *core.Result
+	// Incremental holds the incremental oracle's runs: the base program is
+	// solved cold into a snapshot, mutated by one deterministic edit, and the
+	// edit is solved both warm (from the codec-round-tripped snapshot) and
+	// cold for comparison.
+	Incremental *IncrExec
 	// AnalyzeViolations records configs that timed out (the implicit
 	// "every analyzer completes" check).
 	AnalyzeViolations []Violation
+}
+
+// IncrExec bundles the incremental oracle's edited-program runs. Both carry
+// metrics collectors so the oracle can compare full counter maps.
+type IncrExec struct {
+	EditedSrc string
+	Warm      *core.Result // solved against the snapshot of the base solve
+	Cold      *core.Result // solved from scratch
 }
 
 // Violation is one oracle failure.
@@ -132,7 +155,7 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// StandardOracles returns the five differential oracles.
+// StandardOracles returns the six differential oracles.
 func StandardOracles() []Oracle {
 	return []Oracle{
 		{Name: "soundness", Needs: needIntervalVanilla | needIntervalBase | needIntervalSparse,
@@ -141,6 +164,7 @@ func StandardOracles() []Oracle {
 		{Name: "agreement", Needs: needIntervalVanilla | needIntervalBase | needOctagon, Check: checkAgreement},
 		{Name: "determinism", Needs: needParallel, Check: checkDeterminism},
 		{Name: "restriction", Needs: needRestricted, Check: checkRestriction},
+		{Name: "incremental", Needs: needIncremental, Check: checkIncremental},
 	}
 }
 
@@ -273,7 +297,60 @@ func Execute(name, src string, needs need, opt Options) (*Exec, error) {
 		}
 		ex.Restricted = res
 	}
+	if needs&needIncremental != 0 {
+		ie, err := buildIncremental(name, src)
+		if err != nil {
+			return nil, err
+		}
+		ex.Incremental = ie
+	}
 	return ex, nil
+}
+
+// editSeed derives the mutation seed from the source text itself, so the
+// seed→edit map is deterministic for generated programs AND well-defined for
+// shrink candidates (which have no generation seed).
+func editSeed(src string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(src))
+	return h.Sum64()
+}
+
+// buildIncremental runs the incremental oracle's pipeline: cold solve of src
+// into a fresh snapshot, codec round-trip, deterministic one-edit mutation,
+// then a warm and a cold solve of the edit. An edit that no longer parses is
+// an error (the mutator promises parseability of generated programs).
+func buildIncremental(name, src string) (*IncrExec, error) {
+	cache := incr.NewCache(0, 0) // the solver stamps the widening config
+	if _, err := core.AnalyzeSource(name, src, core.Options{
+		Domain: core.Interval, Mode: core.Sparse, Workers: 1, Incr: cache,
+	}); err != nil {
+		return nil, err
+	}
+	data, err := cache.Encode()
+	if err != nil {
+		return nil, fmt.Errorf("incremental: encode: %w", err)
+	}
+	loaded, err := incr.Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("incremental: decode: %w", err)
+	}
+	edited := cgen.Mutate(src, editSeed(src))
+	warm, err := core.AnalyzeSource(name, edited, core.Options{
+		Domain: core.Interval, Mode: core.Sparse, Workers: 1, Incr: loaded,
+		Metrics: metrics.New(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("incremental: warm solve of the edit: %w", err)
+	}
+	cold, err := core.AnalyzeSource(name, edited, core.Options{
+		Domain: core.Interval, Mode: core.Sparse, Workers: 1,
+		Metrics: metrics.New(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("incremental: cold solve of the edit: %w", err)
+	}
+	return &IncrExec{EditedSrc: edited, Warm: warm, Cold: cold}, nil
 }
 
 // Check runs the oracle set over an already-built Exec.
@@ -552,6 +629,62 @@ func checkRestriction(ex *Exec) []Violation {
 		}
 		if len(vs) >= soundnessMaxViolations {
 			break
+		}
+	}
+	return vs
+}
+
+// incrCounterNames is the counter group the incremental solver itself emits;
+// it exists only in the warm report, so the counter comparison masks it.
+var incrCounterNames = []string{
+	metrics.CtrIncrHits.String(),
+	metrics.CtrIncrMisses.String(),
+	metrics.CtrIncrResolved.String(),
+}
+
+// checkIncremental is the from-scratch-equivalence oracle: the warm re-solve
+// of the edited program must be indistinguishable from its cold solve —
+// fixpoint memories, reachability, step/round counters (DiffSparseRuns),
+// alarm strings, and the full metrics counter map (minus the incr group,
+// which only the warm run emits).
+func checkIncremental(ex *Exec) []Violation {
+	ie := ex.Incremental
+	if ie == nil {
+		return nil
+	}
+	var vs []Violation
+	// Alarms first: rendering them populates the alarm counter in both
+	// collectors before the reports are taken.
+	warmAlarms, coldAlarms := alarmStrings(ie.Warm), alarmStrings(ie.Cold)
+	diffs, err := core.DiffSparseRuns(ie.Cold, ie.Warm, soundnessMaxViolations)
+	if err != nil {
+		return append(vs, Violation{Oracle: "incremental", Detail: err.Error()})
+	}
+	for _, d := range diffs {
+		vs = append(vs, Violation{Oracle: "incremental", Detail: "memory: warm vs cold: " + d})
+	}
+	if warmAlarms != coldAlarms {
+		vs = append(vs, Violation{Oracle: "incremental",
+			Detail: fmt.Sprintf("alarm sets differ:\n  warm: %q\n  cold: %q", warmAlarms, coldAlarms)})
+	}
+	warmCtrs := ie.Warm.MetricsReport().Counters
+	coldCtrs := ie.Cold.MetricsReport().Counters
+	for _, k := range incrCounterNames {
+		delete(warmCtrs, k)
+	}
+	for k, want := range coldCtrs {
+		if got := warmCtrs[k]; got != want {
+			vs = append(vs, Violation{Oracle: "incremental",
+				Detail: fmt.Sprintf("counter %s: warm %d vs cold %d", k, got, want)})
+			if len(vs) >= soundnessMaxViolations {
+				return vs
+			}
+		}
+	}
+	for k := range warmCtrs {
+		if _, ok := coldCtrs[k]; !ok {
+			vs = append(vs, Violation{Oracle: "incremental",
+				Detail: fmt.Sprintf("counter %s: warm-only key", k)})
 		}
 	}
 	return vs

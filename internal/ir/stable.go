@@ -1,0 +1,268 @@
+// Stable content rendering: version-portable keys for locations, procedures,
+// expressions and commands. The numeric IDs of the IR (LocID, PointID,
+// ProcID) are dense interning orders — inserting one statement shifts every
+// later ID — so anything persisted across program versions (the incremental
+// snapshot of internal/incr) must name entities symbolically instead. A key
+// survives an edit elsewhere in the program exactly when the entity itself
+// is unchanged: variables are named by owner procedure and identifier,
+// allocation sites by their per-procedure ordinal in point order, and
+// commands render with those keys in place of raw IDs.
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// StableNamer renders one program's entities with version-portable keys and
+// resolves such keys back to the program's IDs. Location keys use a prefix
+// grammar over identifier segments (identifiers contain no ':'):
+//
+//	g:<name>            global variable
+//	v:<proc>:<name>     procedure-scoped variable (locals, formals, temps)
+//	f:<base>:<name>     struct field of base location <base>
+//	r:<base>            smashed array contents of <base>
+//	m:<proc>:<ord>      allocation site: the <ord>-th malloc point of <proc>
+//	t:<proc>            return-value channel of <proc>
+//
+// Field and array keys nest (the base is itself a key); parsing splits field
+// names and alloc ordinals off the right, where no identifier segment can
+// contain the separator.
+type StableNamer struct {
+	p       *Program
+	locKeys []string
+	// allocOrd[site] is the ordinal of the allocation point among its
+	// procedure's allocation points in Proc.Points order; allocSite is the
+	// reverse map used when resolving keys.
+	allocOrd  map[PointID]int
+	allocSite map[allocRef]PointID
+}
+
+type allocRef struct {
+	proc ProcID
+	ord  int
+}
+
+// NewStableNamer returns a namer over p.
+func NewStableNamer(p *Program) *StableNamer {
+	sn := &StableNamer{
+		p:         p,
+		locKeys:   make([]string, p.Locs.Len()),
+		allocOrd:  map[PointID]int{},
+		allocSite: map[allocRef]PointID{},
+	}
+	for _, pr := range p.Procs {
+		ord := 0
+		for _, id := range pr.Points {
+			if a, ok := p.Points[id].Cmd.(Alloc); ok {
+				sn.allocOrd[a.Site] = ord
+				sn.allocSite[allocRef{proc: pr.ID, ord: ord}] = a.Site
+				ord++
+			}
+		}
+	}
+	return sn
+}
+
+// ProcKey returns the stable key of a procedure (its name; the frontend
+// rejects duplicate definitions, so names are unique).
+func (sn *StableNamer) ProcKey(id ProcID) string { return sn.p.Procs[id].Name }
+
+// LocKey returns the stable key of a location.
+func (sn *StableNamer) LocKey(id LocID) string {
+	if int(id) < len(sn.locKeys) && sn.locKeys[id] != "" {
+		return sn.locKeys[id]
+	}
+	l := sn.p.Locs.Get(id)
+	var key string
+	switch l.Kind {
+	case LVar:
+		if l.Proc == None {
+			key = "g:" + l.Name
+		} else {
+			key = "v:" + sn.p.Procs[l.Proc].Name + ":" + l.Name
+		}
+	case LFld:
+		key = "f:" + sn.LocKey(l.Base) + ":" + l.Name
+	case LArr:
+		key = "r:" + sn.LocKey(l.Base)
+	case LAlloc:
+		proc := sn.p.Points[l.Site].Proc
+		key = "m:" + sn.p.Procs[proc].Name + ":" + strconv.Itoa(sn.allocOrd[l.Site])
+	case LRet:
+		key = "t:" + sn.p.Procs[l.Proc].Name
+	default:
+		key = fmt.Sprintf("?:%d", id)
+	}
+	if int(id) < len(sn.locKeys) {
+		sn.locKeys[id] = key
+	}
+	return key
+}
+
+// ResolveLoc resolves a stable location key against the namer's program. It
+// only looks interned locations up — it never creates one — so a key whose
+// entity does not exist in this program version reports ok = false.
+func (sn *StableNamer) ResolveLoc(key string) (LocID, bool) {
+	if len(key) < 2 || key[1] != ':' {
+		return 0, false
+	}
+	rest := key[2:]
+	switch key[0] {
+	case 'g':
+		return sn.p.Locs.Lookup(Loc{Kind: LVar, Proc: None, Name: rest})
+	case 'v':
+		i := strings.IndexByte(rest, ':')
+		if i < 0 {
+			return 0, false
+		}
+		pr := sn.p.ProcByName(rest[:i])
+		if pr == nil {
+			return 0, false
+		}
+		return sn.p.Locs.Lookup(Loc{Kind: LVar, Proc: pr.ID, Name: rest[i+1:]})
+	case 'f':
+		i := strings.LastIndexByte(rest, ':')
+		if i < 0 {
+			return 0, false
+		}
+		base, ok := sn.ResolveLoc(rest[:i])
+		if !ok {
+			return 0, false
+		}
+		return sn.p.Locs.Lookup(Loc{Kind: LFld, Base: base, Name: rest[i+1:], Proc: None})
+	case 'r':
+		base, ok := sn.ResolveLoc(rest)
+		if !ok {
+			return 0, false
+		}
+		return sn.p.Locs.Lookup(Loc{Kind: LArr, Base: base, Proc: None})
+	case 'm':
+		i := strings.LastIndexByte(rest, ':')
+		if i < 0 {
+			return 0, false
+		}
+		ord, err := strconv.Atoi(rest[i+1:])
+		if err != nil {
+			return 0, false
+		}
+		pr := sn.p.ProcByName(rest[:i])
+		if pr == nil {
+			return 0, false
+		}
+		site, ok := sn.allocSite[allocRef{proc: pr.ID, ord: ord}]
+		if !ok {
+			return 0, false
+		}
+		return sn.p.Locs.Lookup(Loc{Kind: LAlloc, Site: site, Proc: None})
+	case 't':
+		pr := sn.p.ProcByName(rest)
+		if pr == nil {
+			return 0, false
+		}
+		return sn.p.Locs.Lookup(Loc{Kind: LRet, Proc: pr.ID})
+	}
+	return 0, false
+}
+
+// ResolveProc resolves a stable procedure key.
+func (sn *StableNamer) ResolveProc(key string) (ProcID, bool) {
+	pr := sn.p.ProcByName(key)
+	if pr == nil {
+		return 0, false
+	}
+	return pr.ID, true
+}
+
+// ExprKey renders an expression with stable names. It mirrors
+// Program.ExprString except that every location and procedure reference uses
+// the stable key.
+func (sn *StableNamer) ExprKey(e Expr) string {
+	switch e := e.(type) {
+	case Const:
+		return strconv.FormatInt(e.V, 10)
+	case Unknown:
+		return "unknown()"
+	case Indet:
+		return "indet()"
+	case VarE:
+		return sn.LocKey(e.L)
+	case Load:
+		return "*(" + sn.ExprKey(e.P) + ")"
+	case LoadField:
+		return "(" + sn.ExprKey(e.P) + ")->" + e.F
+	case AddrOf:
+		if e.Count > 1 {
+			return fmt.Sprintf("&%s[%d]", sn.LocKey(e.L), e.Count)
+		}
+		return "&" + sn.LocKey(e.L)
+	case FieldAddr:
+		return "&(" + sn.ExprKey(e.P) + ")->" + e.F
+	case FuncAddr:
+		return "fn:" + sn.p.Procs[e.F].Name
+	case Bin:
+		return "(" + sn.ExprKey(e.X) + " " + e.Op.String() + " " + sn.ExprKey(e.Y) + ")"
+	case Neg:
+		return "-(" + sn.ExprKey(e.X) + ")"
+	case Not:
+		return "!(" + sn.ExprKey(e.X) + ")"
+	default:
+		return fmt.Sprintf("%T", e)
+	}
+}
+
+// CmdKey renders a command with stable names. Raw point references are
+// replaced by stable content: an Alloc site renders as its per-procedure
+// ordinal, and a RetBind names the call expression it receives from instead
+// of the call's PointID (which callees it binds is a property of the call
+// graph, hashed separately by consumers).
+func (sn *StableNamer) CmdKey(c Cmd) string {
+	switch c := c.(type) {
+	case Set:
+		return sn.LocKey(c.L) + " := " + sn.ExprKey(c.E)
+	case Store:
+		return "*(" + sn.ExprKey(c.P) + ") := " + sn.ExprKey(c.E)
+	case StoreField:
+		return "(" + sn.ExprKey(c.P) + ")->" + c.F + " := " + sn.ExprKey(c.E)
+	case Alloc:
+		proc := sn.p.Points[c.Site].Proc
+		return fmt.Sprintf("%s := malloc(%s)@%s:%d",
+			sn.LocKey(c.L), sn.ExprKey(c.N), sn.p.Procs[proc].Name, sn.allocOrd[c.Site])
+	case Assume:
+		return "assume(" + sn.ExprKey(c.E) + ")"
+	case Call:
+		var b strings.Builder
+		b.WriteString("call ")
+		b.WriteString(sn.ExprKey(c.F))
+		b.WriteByte('(')
+		for i, a := range c.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(sn.ExprKey(a))
+		}
+		b.WriteByte(')')
+		return b.String()
+	case RetBind:
+		call, _ := sn.p.Points[c.CallPt].Cmd.(Call)
+		src := sn.ExprKey(call.F)
+		if c.L == None {
+			return "retbind(" + src + ")"
+		}
+		return sn.LocKey(c.L) + " := retbind(" + src + ")"
+	case Return:
+		if c.E == nil {
+			return "return"
+		}
+		return "return " + sn.ExprKey(c.E)
+	case Entry:
+		return "entry"
+	case Exit:
+		return "exit"
+	case Skip:
+		return "skip"
+	default:
+		return fmt.Sprintf("%T", c)
+	}
+}

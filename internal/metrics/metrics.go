@@ -50,6 +50,7 @@ const (
 	PhaseFix                    // fixpoint computation (incl. narrowing)
 	PhaseCheck                  // alarm checkers
 	PhaseRestrict               // per-checker restricted closure+graph+solve
+	PhaseIncr                   // incremental snapshot load/save + hashing
 	NumPhases
 )
 
@@ -62,6 +63,7 @@ var phaseNames = [NumPhases]string{
 	PhaseFix:       "fixpoint",
 	PhaseCheck:     "check",
 	PhaseRestrict:  "restricted",
+	PhaseIncr:      "incr",
 }
 
 func (p Phase) String() string { return phaseNames[p] }
@@ -135,6 +137,15 @@ const (
 	CtrRestrUninitEdges
 	CtrRestrUninitTriples
 
+	// Incremental re-analysis cache effectiveness (internal/incr): component
+	// runs replayed from the snapshot, runs executed live, and distinct
+	// components re-solved. This group is emitted only when an incremental
+	// solve ran (see Report) so the counter key set — and therefore every
+	// committed schema-2 baseline — is unchanged for ordinary runs.
+	CtrIncrHits
+	CtrIncrMisses
+	CtrIncrResolved
+
 	NumCounters
 )
 
@@ -181,6 +192,10 @@ var counterNames = [NumCounters]string{
 	CtrRestrUninitNodes:   "restr_uninit_nodes",
 	CtrRestrUninitEdges:   "restr_uninit_edges",
 	CtrRestrUninitTriples: "restr_uninit_triples",
+
+	CtrIncrHits:     "incr_components_hit",
+	CtrIncrMisses:   "incr_components_miss",
+	CtrIncrResolved: "incr_components_resolved",
 }
 
 func (c Counter) String() string { return counterNames[c] }
@@ -394,9 +409,19 @@ type Report struct {
 // Report snapshots the collector. Every catalogued counter appears (zeros
 // included) so the counter section's key set is stable across runs and
 // engine configurations; phases that never ran are omitted from timings.
+// The one exception is the incremental group (incr_components_*): like the
+// timings of phases that never ran, it is omitted unless an incremental
+// solve actually happened (any of the three is nonzero — an incremental run
+// always misses or hits at least the entry component), keeping the counter
+// key set of ordinary runs — and the committed schema-2 regression
+// baselines — byte-stable.
 func (c *Collector) Report() *Report {
 	r := &Report{Schema: Schema, Counters: make(map[string]int64, NumCounters)}
+	incrRan := c.Get(CtrIncrHits) != 0 || c.Get(CtrIncrMisses) != 0 || c.Get(CtrIncrResolved) != 0
 	for k := Counter(0); k < NumCounters; k++ {
+		if (k == CtrIncrHits || k == CtrIncrMisses || k == CtrIncrResolved) && !incrRan {
+			continue
+		}
 		r.Counters[counterNames[k]] = c.Get(k)
 	}
 	if c != nil {

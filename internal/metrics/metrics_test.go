@@ -83,7 +83,7 @@ func TestNilCollector(t *testing.T) {
 		t.Error("nil collector returned nonzero readings")
 	}
 	r := c.Report()
-	if r.Schema != Schema || len(r.Counters) != int(NumCounters) {
+	if r.Schema != Schema || len(r.Counters) != int(NumCounters)-3 {
 		t.Errorf("nil collector report malformed: %+v", r)
 	}
 }
@@ -189,15 +189,37 @@ func TestHeapSampler(t *testing.T) {
 var sink []byte
 
 // TestReportStableKeySet pins that every counter appears in the report even
-// when zero — snapshot diffs rely on a fixed key set.
+// when zero — snapshot diffs rely on a fixed key set. The one exception is
+// the incremental group, which is present exactly when an incremental solve
+// ran: omitting it otherwise keeps ordinary runs' reports (and the committed
+// schema-2 baselines) byte-stable.
 func TestReportStableKeySet(t *testing.T) {
+	incrGroup := map[Counter]bool{CtrIncrHits: true, CtrIncrMisses: true, CtrIncrResolved: true}
 	r := New().Report()
-	if len(r.Counters) != int(NumCounters) {
-		t.Fatalf("report has %d counters, catalogue has %d", len(r.Counters), NumCounters)
+	if want := int(NumCounters) - len(incrGroup); len(r.Counters) != want {
+		t.Fatalf("ordinary report has %d counters, want %d", len(r.Counters), want)
 	}
 	for k := Counter(0); k < NumCounters; k++ {
-		if _, ok := r.Counters[k.String()]; !ok {
+		_, ok := r.Counters[k.String()]
+		if incrGroup[k] {
+			if ok {
+				t.Errorf("counter %s present without an incremental solve", k)
+			}
+			continue
+		}
+		if !ok {
 			t.Errorf("counter %s missing from report", k)
+		}
+	}
+	c := New()
+	c.Set(CtrIncrMisses, 3)
+	r = c.Report()
+	if len(r.Counters) != int(NumCounters) {
+		t.Fatalf("incremental report has %d counters, catalogue has %d", len(r.Counters), NumCounters)
+	}
+	for k := range incrGroup {
+		if _, ok := r.Counters[k.String()]; !ok {
+			t.Errorf("counter %s missing from incremental report", k)
 		}
 	}
 }

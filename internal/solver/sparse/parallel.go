@@ -163,7 +163,14 @@ type pstate struct {
 // buildSched derives the augmented scheduling DAG: condensation edges plus
 // forward control-reachability edges between distinct components.
 func (st *pstate) buildSched() {
-	k := st.p.NumComps()
+	st.schedSuccs, st.schedPreds = buildSched(st.prog, st.pre, st.p)
+}
+
+// buildSched is the shared construction of the augmented scheduling DAG; the
+// incremental driver (incr.go) schedules over the identical DAG, which is
+// part of what makes its sequential schedule canonical.
+func buildSched(prog *ir.Program, pre *prean.Result, p *dug.Partition) (succs, preds [][]int32) {
+	k := p.NumComps()
 	sets := make([]map[int32]bool, k)
 	add := func(cu, cv int32) {
 		if cu >= cv {
@@ -174,37 +181,37 @@ func (st *pstate) buildSched() {
 		}
 		sets[cu][cv] = true
 	}
-	for _, pt := range st.prog.Points {
-		cu := st.p.Comp[pt.ID]
+	for _, pt := range prog.Points {
+		cu := p.Comp[pt.ID]
 		switch pt.Cmd.(type) {
 		case ir.Call:
-			callees := st.pre.CalleesOf(pt.ID)
+			callees := pre.CalleesOf(pt.ID)
 			if len(callees) == 0 {
 				for _, s := range pt.Succs {
-					add(cu, st.p.Comp[s])
+					add(cu, p.Comp[s])
 				}
 				break
 			}
-			for _, p := range callees {
-				add(cu, st.p.Comp[st.prog.ProcByID(p).Entry])
+			for _, cp := range callees {
+				add(cu, p.Comp[prog.ProcByID(cp).Entry])
 			}
 		case ir.Exit:
-			for _, rs := range st.pre.RetSites[pt.Proc] {
-				add(cu, st.p.Comp[rs])
+			for _, rs := range pre.RetSites[pt.Proc] {
+				add(cu, p.Comp[rs])
 			}
 		default:
 			for _, s := range pt.Succs {
-				add(cu, st.p.Comp[s])
+				add(cu, p.Comp[s])
 			}
 		}
 	}
-	st.schedSuccs = make([][]int32, k)
-	st.schedPreds = make([][]int32, k)
+	succs = make([][]int32, k)
+	preds = make([][]int32, k)
 	for c := 0; c < k; c++ {
-		base := st.p.Succs[c]
+		base := p.Succs[c]
 		extra := sets[c]
 		if extra == nil {
-			st.schedSuccs[c] = base
+			succs[c] = base
 			continue
 		}
 		for _, v := range base {
@@ -215,19 +222,25 @@ func (st *pstate) buildSched() {
 			out = append(out, v)
 		}
 		sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
-		st.schedSuccs[c] = out
+		succs[c] = out
 	}
 	for c := 0; c < k; c++ {
-		for _, v := range st.schedSuccs[c] {
-			st.schedPreds[v] = append(st.schedPreds[v], int32(c))
+		for _, v := range succs[c] {
+			preds[v] = append(preds[v], int32(c))
 		}
 	}
+	return succs, preds
 }
 
 // hasSchedSucc reports whether dst is a direct successor of src in the
 // augmented scheduling DAG.
 func (st *pstate) hasSchedSucc(src, dst int32) bool {
-	s := st.schedSuccs[src]
+	return schedHasSucc(st.schedSuccs, src, dst)
+}
+
+// schedHasSucc is the shared successor test over a scheduling DAG.
+func schedHasSucc(succs [][]int32, src, dst int32) bool {
+	s := succs[src]
 	i := sort.Search(len(s), func(i int) bool { return s[i] >= dst })
 	return i < len(s) && s[i] == dst
 }

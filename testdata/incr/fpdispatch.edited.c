@@ -1,0 +1,43 @@
+/* Function-pointer dispatch: one pointer reassigned from input, three
+ * handlers with distinct memory behavior. Exercises indirect-call
+ * resolution (the pre-analysis must see all three callees) and the
+ * clamped store in h_store, which stays in bounds even though acc itself
+ * is unbounded. */
+int acc;
+int buf[8];
+
+int h_add(int x) {
+	acc = acc + x;
+	return acc;
+}
+
+int h_sub(int x) {
+	acc = acc - x - 1;
+	return acc;
+}
+
+int h_store(int x) {
+	int i;
+	i = x;
+	if (i < 0) { i = 0; }
+	if (i > 7) { i = 7; }
+	buf[i] = acc;
+	return buf[i];
+}
+
+int (*op)(int);
+
+int main() {
+	int k;
+	int t;
+	acc = 0;
+	op = h_add;
+	for (k = 0; k < 40; k++) {
+		t = input();
+		if (t > 0) { op = h_add; }
+		if (t < 0) { op = h_sub; }
+		if (t == 0) { op = h_store; }
+		op(t);
+	}
+	return acc;
+}

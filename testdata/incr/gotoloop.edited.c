@@ -1,0 +1,26 @@
+/* A bounded retry loop built from a guarded backward goto — the loop has
+ * no structured header, so widening happens at the label's join point.
+ * The trace write is guarded, staying silent even after widening loses
+ * the retry bound. */
+int attempts;
+int trace[6];
+
+int acquire(int budget) {
+	int tries;
+	tries = 0;
+retry:
+	tries = tries + 1;
+	attempts = attempts + 1;
+	if (input() == 0 && tries < budget) {
+		goto retry;
+	}
+	if (tries >= 0 && tries < 6) { trace[tries] = attempts; }
+	return tries;
+}
+
+int main() {
+	int r;
+	attempts = 0;
+	r = acquire(4);
+	return r + attempts;
+}

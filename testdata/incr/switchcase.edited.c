@@ -1,0 +1,37 @@
+/* A switch-driven classifier: fall-through cases, a default arm, and a
+ * counter array indexed by the classification. The class is a join of
+ * constants, so the guarded increment is provably in bounds. */
+int counts[5];
+int total;
+
+int classify(int tag) {
+	int cls;
+	cls = 0;
+	switch (tag % 5) {
+	case 0:
+		cls = 0;
+		break;
+	case 1:
+	case 2:
+		cls = 1;
+		break;
+	case 3:
+		cls = 4;
+		break;
+	default:
+		cls = 3;
+	}
+	return cls;
+}
+
+int main() {
+	int i;
+	int c;
+	total = 0;
+	for (i = 0; i < 30; i++) {
+		c = classify(input());
+		if (c >= 0 && c < 5) { counts[c] = counts[c] + 1; }
+		total = total + 1;
+	}
+	return total;
+}
