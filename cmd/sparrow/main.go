@@ -5,19 +5,33 @@
 //
 //	sparrow [-domain interval|octagon] [-mode vanilla|base|sparse]
 //	        [-checkers buf,null,div,uninit|all] [-restricted]
-//	        [-duchains] [-nobypass] [-narrow N] [-timeout D] [-workers N]
+//	        [-duchains] [-nobypass] [-narrow N] [-workers N]
+//	        [-timeout D] [-mem-budget N[KMG]] [-no-degrade]
 //	        [-snapshot-in f] [-snapshot-out f]
 //	        [-cpuprofile f] [-memprofile f] [-globals] [-stats] [-stats-json]
 //	        file.c
+//
+// Exit codes:
+//
+//	0 — analysis completed, no alarms
+//	1 — analysis completed, alarms reported
+//	2 — usage error (bad flags or arguments)
+//	3 — analysis error (frontend problem, invalid configuration, or an
+//	    internal failure recovered into a structured error)
+//	4 — resource budget breached: the deadline or memory budget stopped the
+//	    analysis, or it completed only after degrading (see -no-degrade)
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"strings"
 
 	"sparrow"
 	"sparrow/internal/check"
@@ -26,12 +40,43 @@ import (
 	"sparrow/internal/metrics"
 )
 
+// Exit codes of the sparrow command (see the package comment).
+const (
+	exitClean  = 0
+	exitAlarms = 1
+	exitUsage  = 2
+	exitError  = 3
+	exitBudget = 4
+)
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// parseBytes parses a byte count with an optional binary K/M/G suffix
+// ("512M", "2G", "1048576"). Empty means 0 (no budget).
+func parseBytes(s string) (uint64, error) {
+	if s == "" {
+		return 0, nil
+	}
+	shift := 0
+	switch {
+	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
+		shift, s = 10, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
+		shift, s = 20, s[:len(s)-1]
+	case strings.HasSuffix(s, "G"), strings.HasSuffix(s, "g"):
+		shift, s = 30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid byte count %q (want e.g. 512M, 2G)", s)
+	}
+	return n << shift, nil
+}
+
 // run is the testable entry point: it parses args, analyzes the file, and
-// returns the process exit code (0 ok, 1 analysis/frontend error, 2 usage).
+// returns the process exit code.
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("sparrow", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -42,7 +87,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	duchains := fs.Bool("duchains", false, "use conventional def-use chains (less precise; sparse interval only)")
 	nobypass := fs.Bool("nobypass", false, "disable the chain-bypass optimization")
 	narrow := fs.Int("narrow", 0, "descending (narrowing) sweeps after the ascending fixpoint (dense and sparse interval modes)")
-	timeout := fs.Duration("timeout", 0, "analysis time budget (0 = none)")
+	timeout := fs.Duration("timeout", 0, "wall-clock deadline per analysis attempt; on breach the engine degrades (see -no-degrade) or exits 4 (0 = none)")
+	memBudget := fs.String("mem-budget", "", "soft heap budget with optional K/M/G suffix, e.g. 512M; on breach the engine degrades or exits 4 (\"\" = none)")
+	noDegrade := fs.Bool("no-degrade", false, "fail immediately (exit 4) on a deadline/memory breach instead of retrying cheaper configurations")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "worker goroutines for the parallel phases (0 = sequential code path)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -59,11 +106,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if fs.NArg() != 1 {
 		fmt.Fprintln(stderr, "usage: sparrow [flags] file.c")
 		fs.Usage()
-		return 2
+		return exitUsage
 	}
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "sparrow:", err)
-		return 1
+		return exitError
 	}
 	path := fs.Arg(0)
 	src, err := os.ReadFile(path)
@@ -95,12 +142,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}()
 	}
 
+	budget, err := parseBytes(*memBudget)
+	if err != nil {
+		fmt.Fprintln(stderr, "sparrow:", err)
+		return exitUsage
+	}
 	col := metrics.New()
 	opt := sparrow.Options{
 		NoBypass:     *nobypass,
 		DefUseChains: *duchains,
 		Narrow:       *narrow,
-		Timeout:      *timeout,
+		Deadline:     *timeout,
+		MemBudget:    budget,
+		NoDegrade:    *noDegrade,
 		Workers:      *workers,
 		Metrics:      col,
 	}
@@ -145,7 +199,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	res, err := sparrow.AnalyzeSource(path, string(src), opt)
 	if err != nil {
+		var be *sparrow.BudgetError
+		if errors.As(err, &be) {
+			fmt.Fprintln(stderr, "sparrow:", err)
+			return exitBudget
+		}
 		return fail(err)
+	}
+	if len(res.Degraded) > 0 {
+		fmt.Fprintf(stderr, "sparrow: analysis degraded under the resource budget: %s (results below are sound for the degraded configuration)\n",
+			strings.Join(res.Degraded, ", "))
 	}
 	if *snapshotOut != "" {
 		stop := col.Phase(metrics.PhaseIncr)
@@ -193,6 +256,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 			runs = append(runs, cr)
 		}
 	}
+	// Final code: budget effects (degradation, truncation) dominate the
+	// alarm signal — a caller that gets 4 knows to re-run with more budget.
+	exit := exitClean
+	if len(alarms) > 0 {
+		exit = exitAlarms
+	}
+	if len(res.Degraded) > 0 || res.Stats.TimedOut {
+		exit = exitBudget
+	}
 	if *statsJSON {
 		rep := res.MetricsReport()
 		rep.Program = path
@@ -203,20 +275,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "%s\n", b)
 		if res.Stats.TimedOut {
 			fmt.Fprintln(stderr, "sparrow: analysis timed out (partial results)")
-			return 1
 		}
-		return 0
+		return exit
 	}
 	if res.Stats.TimedOut {
 		fmt.Fprintln(stdout, "analysis timed out (partial results below)")
 	}
 	if *stats {
+		// res.Opts is the configuration that actually ran, which under a
+		// breached budget is a degradation rung below the requested one.
 		s := res.Stats
 		fmt.Fprintf(stdout, "%s/%s: LOC=%d functions=%d statements=%d blocks=%d maxSCC=%d abslocs=%d\n",
-			opt.Domain, opt.Mode, s.LOC, s.Functions, s.Statements, s.Blocks, s.MaxSCC, s.AbsLocs)
+			res.Opts.Domain, res.Opts.Mode, s.LOC, s.Functions, s.Statements, s.Blocks, s.MaxSCC, s.AbsLocs)
 		fmt.Fprintf(stdout, "times: pre=%v dep=%v fix=%v total=%v steps=%d\n",
 			s.PreTime, s.DepTime, s.FixTime, s.TotalTime, s.Steps)
-		if opt.Mode == sparrow.Sparse {
+		if res.Opts.Mode == sparrow.Sparse {
 			fmt.Fprintf(stdout, "sparse: edges=%d phis=%d avg|D̂(c)|=%.2f avg|Û(c)|=%.2f\n",
 				s.DepEdges, s.Phis, s.AvgDefs, s.AvgUses)
 		}
@@ -258,5 +331,5 @@ func run(args []string, stdout, stderr io.Writer) int {
 	} else if opt.Domain == sparrow.Interval {
 		fmt.Fprintln(stdout, "no alarms")
 	}
-	return 0
+	return exit
 }

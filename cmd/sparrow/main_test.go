@@ -44,12 +44,13 @@ func TestRunFrontendProblems(t *testing.T) {
 		want int
 		diag string
 	}{
-		{"missing-file", []string{"testdata/does-not-exist.c"}, 1, "no such file"},
-		{"parse-error", []string{"testdata/bad.c"}, 1, "bad.c"},
-		{"no-main", []string{"testdata/nomain.c"}, 1, "no main function"},
-		{"no-main-json", []string{"-stats-json", "testdata/nomain.c"}, 1, "no main function"},
-		{"bad-domain", []string{"-domain", "poly", "testdata/good.c"}, 1, "unknown domain"},
-		{"bad-mode", []string{"-mode", "turbo", "testdata/good.c"}, 1, "unknown mode"},
+		{"missing-file", []string{"testdata/does-not-exist.c"}, 3, "no such file"},
+		{"parse-error", []string{"testdata/bad.c"}, 3, "bad.c"},
+		{"no-main", []string{"testdata/nomain.c"}, 3, "no main function"},
+		{"no-main-json", []string{"-stats-json", "testdata/nomain.c"}, 3, "no main function"},
+		{"bad-domain", []string{"-domain", "poly", "testdata/good.c"}, 3, "unknown domain"},
+		{"bad-mode", []string{"-mode", "turbo", "testdata/good.c"}, 3, "unknown mode"},
+		{"bad-mem-budget", []string{"-mem-budget", "lots", "testdata/good.c"}, 2, "invalid byte count"},
 		{"no-args", nil, 2, "usage"},
 		{"extra-args", []string{"testdata/good.c", "testdata/good.c"}, 2, "usage"},
 	}
@@ -135,12 +136,13 @@ func TestAllModesExitZero(t *testing.T) {
 }
 
 // TestCheckersFlag pins the -checkers/-restricted surface: an uninit run
-// on a buggy file reports the read, prints per-checker restriction lines,
-// and bad specs or unsupported configurations exit non-zero.
+// on a buggy file reports the read (exit 1: alarms found), prints
+// per-checker restriction lines, and bad specs or unsupported
+// configurations exit non-zero.
 func TestCheckersFlag(t *testing.T) {
 	code, out, errb := runCLI(t, "-checkers", "all", "-restricted", "../../testdata/corpus/uninit.c")
-	if code != 0 {
-		t.Fatalf("exit %d, stderr: %s", code, errb)
+	if code != 1 {
+		t.Fatalf("exit %d want 1 (alarms found), stderr: %s", code, errb)
 	}
 	if !strings.Contains(out, "uninitialized-read") {
 		t.Errorf("uninit alarm missing:\n%s", out)
@@ -247,13 +249,13 @@ func TestSnapshotFlags(t *testing.T) {
 
 	// Error paths: unreadable snapshot, corrupt snapshot, and configurations
 	// the incremental solver rejects.
-	if code, _, errb := runCLI(t, "-snapshot-in", filepath.Join(dir, "nope.json"), "testdata/good.c"); code != 1 || !strings.Contains(errb, "no such file") {
+	if code, _, errb := runCLI(t, "-snapshot-in", filepath.Join(dir, "nope.json"), "testdata/good.c"); code != 3 || !strings.Contains(errb, "no such file") {
 		t.Errorf("missing snapshot: exit %d, stderr %q", code, errb)
 	}
 	if err := os.WriteFile(filepath.Join(dir, "corrupt.json"), []byte("{"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if code, _, errb := runCLI(t, "-snapshot-in", filepath.Join(dir, "corrupt.json"), "testdata/good.c"); code != 1 || !strings.Contains(errb, "corrupt snapshot") {
+	if code, _, errb := runCLI(t, "-snapshot-in", filepath.Join(dir, "corrupt.json"), "testdata/good.c"); code != 3 || !strings.Contains(errb, "corrupt snapshot") {
 		t.Errorf("corrupt snapshot: exit %d, stderr %q", code, errb)
 	}
 	for _, args := range [][]string{
@@ -264,8 +266,28 @@ func TestSnapshotFlags(t *testing.T) {
 		{"-snapshot-in", snap, "-checkers", "uninit", "testdata/good.c"},
 		{"-snapshot-in", snap, "-narrow", "2", "testdata/good.c"},
 	} {
-		if code, _, errb := runCLI(t, args...); code != 1 {
-			t.Errorf("%v: exit %d, stderr %q (want rejection)", args, code, errb)
+		if code, _, errb := runCLI(t, args...); code != 3 {
+			t.Errorf("%v: exit %d, stderr %q (want rejection, exit 3)", args, code, errb)
 		}
+	}
+}
+
+// TestBudgetFlags pins the resource-limit surface: an impossible deadline
+// exits 4 with a diagnostic (after exhausting the degradation ladder), and
+// -no-degrade fails on the first breach. A generous deadline changes
+// nothing: exit 0 and no degradation notice.
+func TestBudgetFlags(t *testing.T) {
+	code, _, errb := runCLI(t, "-timeout", "1ns", "testdata/good.c")
+	if code != 4 {
+		t.Fatalf("impossible deadline: exit %d want 4, stderr: %s", code, errb)
+	}
+	if !strings.Contains(errb, "deadline") {
+		t.Errorf("stderr %q does not mention the deadline", errb)
+	}
+	if code, _, errb := runCLI(t, "-timeout", "1ns", "-no-degrade", "testdata/good.c"); code != 4 || strings.Contains(errb, "degrading") {
+		t.Errorf("-no-degrade: exit %d, stderr %q", code, errb)
+	}
+	if code, out, errb := runCLI(t, "-timeout", "1h", "-mem-budget", "4G", "testdata/good.c"); code != 0 || errb != "" {
+		t.Errorf("generous budget: exit %d, stderr %q, stdout %q", code, errb, out)
 	}
 }

@@ -10,7 +10,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 	"time"
 
 	"sparrow/internal/check"
@@ -26,6 +28,7 @@ import (
 	"sparrow/internal/octsem"
 	"sparrow/internal/pack"
 	"sparrow/internal/prean"
+	rt "sparrow/internal/runtime"
 	"sparrow/internal/sem"
 	"sparrow/internal/solver/dense"
 	"sparrow/internal/solver/octdense"
@@ -121,6 +124,34 @@ type Options struct {
 	// sparse interval analyzer supports it; Narrow, Timeout, MaxSteps,
 	// DefUseChains and the uninitialized-read checker are rejected.
 	Incr *incr.Cache
+	// Ctx cancels the analysis cooperatively: solver worklists, the
+	// pre-analysis, and graph construction poll it at amortized checkpoints
+	// and the run returns a *BudgetError wrapping context.Canceled. nil
+	// means no cancellation.
+	Ctx context.Context
+	// Deadline bounds each analysis attempt's wall-clock time. On breach
+	// the engine walks the degradation ladder — octagon→interval, then skip
+	// narrowing, then a per-checker restricted solve — granting each rung a
+	// fresh window, and only returns a *BudgetError once every rung has
+	// breached; completed rungs are stamped in Result.Degraded. Unlike the
+	// solver-internal Timeout (which truncates the fixpoint and returns a
+	// partial result), a Deadline never yields unsound partial memories.
+	Deadline time.Duration
+	// MemBudget is a soft cap, in bytes, on sampled heap growth above the
+	// baseline at analysis start (internal/metrics heap sampler; 5ms
+	// granularity). Breaches degrade exactly like Deadline breaches.
+	MemBudget uint64
+	// NoDegrade disables the degradation ladder: the first deadline or heap
+	// breach returns a *BudgetError immediately.
+	NoDegrade bool
+	// FaultHook is the fault-injection checkpoint hook (internal/faultinject;
+	// tests only). Installing it activates the budget layer even when no
+	// limit is set.
+	FaultHook rt.Hook
+
+	// restricted marks a degradation-ladder attempt that solves only the
+	// per-checker restricted graph (set by degradeStep, never by callers).
+	restricted bool
 }
 
 // kinds returns the effective checker selection.
@@ -186,6 +217,15 @@ type Result struct {
 	Opts  Options
 	Stats Stats
 
+	// Degraded lists the degradation-ladder rungs taken before this result
+	// was produced, in order (e.g. ["octagon-to-interval"]). Empty for a
+	// full-fidelity run. A degraded result is still sound — each rung is a
+	// coarser but correct analysis — and Opts reflects the configuration
+	// that actually ran.
+	Degraded []string
+
+	bud   *rt.Budget // active budget (nil on the unbudgeted path)
+	phase string     // pipeline stage in flight, for panic attribution
 	pre   *prean.Result
 	isem  *sem.Sem
 	graph *dug.Graph // sparse only
@@ -232,36 +272,138 @@ func countLines(src string) int {
 	return n
 }
 
-// AnalyzeProgram analyzes an already-lowered program.
-func AnalyzeProgram(prog *ir.Program, opt Options) (*Result, error) {
+// validateOptions rejects invalid Options combinations up front with typed
+// *ConfigError values — the engine never silently falls back from an
+// unsupported configuration.
+func validateOptions(opt Options) error {
+	uninit := hasKind(opt.kinds(), check.UninitRead)
 	if opt.Incr != nil {
 		if opt.Domain != Interval || opt.Mode != Sparse {
-			return nil, fmt.Errorf("core: incremental analysis supports only the sparse interval analyzer")
+			return &ConfigError{Opt: "Incr+Domain/Mode", Reason: "incremental analysis supports only the sparse interval analyzer"}
 		}
 		if opt.Workers < 1 {
-			return nil, fmt.Errorf("core: incremental analysis needs the partitioned component solver (Workers >= 1)")
+			return &ConfigError{Opt: "Incr+Workers", Reason: "incremental analysis needs the partitioned component solver (Workers >= 1)"}
 		}
 		if opt.DefUseChains {
-			return nil, fmt.Errorf("core: incremental analysis is not supported in def-use-chain mode")
+			return &ConfigError{Opt: "Incr+DefUseChains", Reason: "incremental analysis is not supported in def-use-chain mode"}
 		}
-		if hasKind(opt.kinds(), check.UninitRead) {
-			return nil, fmt.Errorf("core: the uninitialized-read checker is not supported incrementally (entry marks change the analyzed semantics globally)")
+		if opt.Narrow != 0 {
+			return &ConfigError{Opt: "Incr+Narrow", Reason: "narrowing is not supported incrementally (descending sweeps are whole-graph)"}
+		}
+		if opt.Timeout != 0 || opt.MaxSteps != 0 {
+			return &ConfigError{Opt: "Incr+Timeout/MaxSteps", Reason: "solver timeouts and step budgets are not supported incrementally (truncation is schedule-dependent); use Deadline for a hard bound"}
+		}
+		if uninit {
+			return &ConfigError{Opt: "Incr+Checkers", Reason: "the uninitialized-read checker is not supported incrementally (entry marks change the analyzed semantics globally)"}
 		}
 	}
-	r := &Result{Prog: prog, Opts: opt, col: opt.Metrics}
+	if uninit {
+		if opt.Domain != Interval {
+			return &ConfigError{Opt: "Checkers+Domain", Reason: "the uninitialized-read checker is interval-only"}
+		}
+		if opt.DefUseChains {
+			return &ConfigError{Opt: "Checkers+DefUseChains", Reason: "the uninitialized-read checker needs the data-dependency graph (def-use-chain mode unsupported)"}
+		}
+	}
+	if opt.Domain == Octagon && opt.DefUseChains {
+		return &ConfigError{Opt: "Domain+DefUseChains", Reason: "def-use-chain mode is interval-only"}
+	}
+	return nil
+}
+
+// degradeStep picks the next degradation-ladder rung for a breached
+// configuration: a strictly cheaper analysis that is still sound.
+func degradeStep(opt Options) (Options, string, bool) {
+	switch {
+	case opt.Domain == Octagon:
+		opt.Domain = Interval
+		return opt, "octagon-to-interval", true
+	case opt.Narrow > 0:
+		opt.Narrow = 0
+		return opt, "skip-narrowing", true
+	case opt.Mode == Sparse && !opt.DefUseChains && !opt.restricted:
+		opt.restricted = true
+		return opt, "restricted-checkers", true
+	}
+	return opt, "", false
+}
+
+// AnalyzeProgram analyzes an already-lowered program.
+//
+// With a budget configured (Ctx, Deadline, MemBudget, or FaultHook), the
+// analysis is attempt-structured: a breach discards the attempt, degrades
+// the configuration one ladder rung (unless NoDegrade, Incr, or a
+// cancellation), and retries with a fresh budget window. Panics anywhere
+// inside an attempt — worker goroutines included — surface as
+// *AnalysisError, never as a crash.
+func AnalyzeProgram(prog *ir.Program, opt Options) (*Result, error) {
+	if err := validateOptions(opt); err != nil {
+		return nil, err
+	}
+	bud := rt.New(rt.Config{
+		Ctx:        opt.Ctx,
+		Deadline:   opt.Deadline,
+		HeapBudget: opt.MemBudget,
+		Hook:       opt.FaultHook,
+		Metrics:    opt.Metrics,
+	})
+	if bud == nil {
+		return analyzeAttempt(prog, opt, nil)
+	}
+	defer bud.Close()
+	var degraded []string
+	cur := opt
+	for {
+		bud.Reset()
+		res, err := analyzeAttempt(prog, cur, bud)
+		reason := bud.Reason()
+		if err != nil {
+			be, isBudget := err.(*BudgetError)
+			if !isBudget {
+				return nil, err // *AnalysisError or a mode error: no ladder
+			}
+			reason = be.Reason
+		} else if reason == rt.OK {
+			res.Degraded = degraded
+			return res, nil
+		}
+		if reason == rt.ReasonCanceled || cur.NoDegrade || cur.Incr != nil {
+			return nil, &BudgetError{Reason: reason, Degraded: degraded}
+		}
+		next, step, ok := degradeStep(cur)
+		if !ok {
+			return nil, &BudgetError{Reason: reason, Degraded: degraded}
+		}
+		degraded = append(degraded, step)
+		bud.DegradeStep()
+		cur = next
+	}
+}
+
+// analyzeAttempt runs one full pipeline pass under bud (nil = unbudgeted,
+// today's exact code path). It is the panic-isolation boundary: any panic
+// below here is recovered into *AnalysisError, and budget aborts from
+// phases that cannot return partial results (rt.Abort) become *BudgetError.
+func analyzeAttempt(prog *ir.Program, opt Options, bud *rt.Budget) (res *Result, err error) {
+	r := &Result{Prog: prog, Opts: opt, col: opt.Metrics, bud: bud, phase: "setup"}
+	defer func() {
+		if p := recover(); p != nil {
+			res = nil
+			if ab, ok := asAbort(p); ok {
+				err = &BudgetError{Reason: ab.Reason, Phase: ab.Phase.String()}
+				return
+			}
+			err = &AnalysisError{Phase: r.phase, Cause: p, Stack: string(debug.Stack())}
+		}
+	}()
 	t0 := time.Now()
 
+	r.phase = "prean"
 	stop := opt.Metrics.Phase(metrics.PhasePrean)
-	pre := prean.RunWorkers(prog, opt.Workers)
+	pre := prean.RunBudget(prog, opt.Workers, bud)
 	stop()
 	r.pre = pre
 	if hasKind(opt.kinds(), check.UninitRead) {
-		if opt.Domain != Interval {
-			return nil, fmt.Errorf("core: the uninitialized-read checker is interval-only")
-		}
-		if opt.DefUseChains {
-			return nil, fmt.Errorf("core: the uninitialized-read checker needs the data-dependency graph (def-use-chain mode unsupported)")
-		}
 		r.marks = entryMarksFor(prog, pre)
 	}
 	r.isem = &sem.Sem{Prog: prog, Callees: pre.CalleesOf, InCycle: pre.CG.InCycle, EntryMarks: r.marks}
@@ -284,6 +426,7 @@ func AnalyzeProgram(prog *ir.Program, opt Options) (*Result, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown domain %d", opt.Domain)
 	}
+	r.phase = "finish"
 
 	r.Stats.TotalTime = time.Since(t0)
 	r.Stats.LOC = prog.SourceLOC
@@ -358,6 +501,7 @@ func (r *Result) runInterval(opt Options) error {
 	prog, pre := r.Prog, r.pre
 	switch opt.Mode {
 	case Vanilla, Base:
+		r.phase = "fixpoint"
 		t := time.Now()
 		stop := opt.Metrics.Phase(metrics.PhaseFix)
 		r.dres = dense.Analyze(prog, pre, dense.Options{
@@ -367,6 +511,7 @@ func (r *Result) runInterval(opt Options) error {
 			Narrow:     opt.Narrow,
 			Metrics:    opt.Metrics,
 			EntryMarks: r.marks,
+			Budget:     r.bud,
 		})
 		stop()
 		r.Stats.FixTime = time.Since(t)
@@ -374,9 +519,10 @@ func (r *Result) runInterval(opt Options) error {
 		r.Stats.Steps = r.dres.Steps
 		r.Stats.TimedOut = r.dres.TimedOut
 	case Sparse:
+		r.phase = "dug_build"
 		t := time.Now()
 		stop := opt.Metrics.Phase(metrics.PhaseDUG)
-		dopt := dug.Options{Bypass: !opt.NoBypass, Workers: opt.Workers, Metrics: opt.Metrics, EntryMarks: r.marks}
+		dopt := dug.Options{Bypass: !opt.NoBypass, Workers: opt.Workers, Metrics: opt.Metrics, EntryMarks: r.marks, Budget: r.bud}
 		if opt.DefUseChains {
 			r.graph = dug.BuildDefUseChains(prog, pre, dopt)
 		} else {
@@ -385,6 +531,7 @@ func (r *Result) runInterval(opt Options) error {
 		stop()
 		r.Stats.DepTime = r.Stats.PreTime + time.Since(t)
 		t = time.Now()
+		r.phase = "fixpoint"
 		sopt := sparse.Options{
 			Timeout:    opt.Timeout,
 			MaxSteps:   opt.MaxSteps,
@@ -392,8 +539,15 @@ func (r *Result) runInterval(opt Options) error {
 			Workers:    opt.Workers,
 			Metrics:    opt.Metrics,
 			EntryMarks: r.marks,
+			Budget:     r.bud,
 		}
-		if opt.Workers >= 1 {
+		if opt.restricted {
+			// Degradation-ladder rung: solve only the per-checker restricted
+			// graph (the union of the selected checkers' observed closures).
+			// Alarms for the selected kinds are exact by the restriction
+			// contract; memories outside the kept universe are not tracked.
+			r.solveRestricted(opt, sopt)
+		} else if opt.Workers >= 1 {
 			stop = opt.Metrics.Phase(metrics.PhasePartition)
 			p := r.graph.Partition()
 			stop()
@@ -446,6 +600,7 @@ func (r *Result) runOctagon(opt Options) error {
 	if opt.DefUseChains {
 		return fmt.Errorf("core: def-use-chain mode is interval-only")
 	}
+	r.phase = "pack"
 	r.packs = pack.Build(prog, opt.PackCap)
 	osem, src := octsem.Source(prog, pre, r.packs)
 	r.osem = osem
@@ -454,6 +609,7 @@ func (r *Result) runOctagon(opt Options) error {
 	opt.Metrics.Set(metrics.CtrPacks, int64(r.packs.NumPacks()))
 	switch opt.Mode {
 	case Vanilla, Base:
+		r.phase = "fixpoint"
 		t := time.Now()
 		stop := opt.Metrics.Phase(metrics.PhaseFix)
 		r.odres = octdense.Analyze(prog, pre, osem, src, octdense.Options{
@@ -462,6 +618,7 @@ func (r *Result) runOctagon(opt Options) error {
 			MaxSteps: opt.MaxSteps,
 			Narrow:   opt.Narrow,
 			Metrics:  opt.Metrics,
+			Budget:   r.bud,
 		})
 		stop()
 		r.Stats.FixTime = time.Since(t)
@@ -469,17 +626,20 @@ func (r *Result) runOctagon(opt Options) error {
 		r.Stats.Steps = r.odres.Steps
 		r.Stats.TimedOut = r.odres.TimedOut
 	case Sparse:
+		r.phase = "dug_build"
 		t := time.Now()
 		stop := opt.Metrics.Phase(metrics.PhaseDUG)
-		r.graph = dug.BuildFrom(src, dug.Options{Bypass: !opt.NoBypass, Workers: opt.Workers, Metrics: opt.Metrics})
+		r.graph = dug.BuildFrom(src, dug.Options{Bypass: !opt.NoBypass, Workers: opt.Workers, Metrics: opt.Metrics, Budget: r.bud})
 		stop()
 		r.Stats.DepTime = r.Stats.PreTime + time.Since(t)
 		t = time.Now()
+		r.phase = "fixpoint"
 		stop = opt.Metrics.Phase(metrics.PhaseFix)
 		r.osres = octsparse.Analyze(prog, pre, osem, r.graph, octsparse.Options{
 			Timeout:  opt.Timeout,
 			MaxSteps: opt.MaxSteps,
 			Metrics:  opt.Metrics,
+			Budget:   r.bud,
 		})
 		stop()
 		r.Stats.FixTime = time.Since(t)

@@ -76,6 +76,31 @@ func restrCounters(k check.Kind) (nodes, rows, triples metrics.Counter, ok bool)
 	return 0, 0, 0, false
 }
 
+// solveRestricted is the degradation ladder's cheapest rung: instead of the
+// full sparse fixpoint, solve only the graph restricted to the union of the
+// selected checkers' observed closures (plus control seeds). Alarms for the
+// selected kinds are exact by the restriction contract; abstract memories
+// outside the kept location universe are simply not tracked, which is why
+// this runs only as a last resort before a structured timeout. The solve is
+// sequential — restricted graphs are small — and replaces r.graph/r.sres so
+// checkers and accessors see a consistent (restricted) view.
+func (r *Result) solveRestricted(opt Options, sopt sparse.Options) {
+	stop := r.col.Phase(metrics.PhaseRestrict)
+	var observed []ir.LocID
+	for _, k := range opt.kinds() {
+		observed = ir.MergeLocs(nil, observed, check.CheckerFor(k).Observed(r.Prog, r.isem, r.pre.Mem))
+	}
+	seeds := ir.MergeLocs(nil, observed, r.controlSeedsMemo())
+	keep := r.pre.ObservedClosure(r.Prog, r.isem, seeds)
+	rg := dug.BuildRestricted(r.graph, keep)
+	stop()
+	r.graph = rg
+	sopt.Workers = 0
+	stop = r.col.Phase(metrics.PhaseFix)
+	r.sres = sparse.Analyze(r.Prog, r.pre, rg, sopt)
+	stop()
+}
+
 // AnalyzeChecker reruns the sparse fixpoint restricted to what kind can
 // observe and returns that kind's alarms plus the restriction statistics.
 // It requires a completed sparse interval run (the full graph is filtered,

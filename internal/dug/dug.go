@@ -31,6 +31,7 @@ import (
 	"sparrow/internal/metrics"
 	"sparrow/internal/par"
 	"sparrow/internal/prean"
+	rt "sparrow/internal/runtime"
 	"sparrow/internal/sem"
 	"sparrow/internal/ssa"
 )
@@ -68,6 +69,11 @@ type Options struct {
 	// are kept out of the entry's pass set so the chain bypass never splices
 	// the entry out of their dependency chains.
 	EntryMarks func(p ir.ProcID) []ir.LocID
+	// Budget is the cooperative cancellation token (internal/runtime),
+	// checkpointed between build stages on the coordinating goroutine. A
+	// half-built graph is useless, so a breach aborts via rt.Abort
+	// (recovered at the core boundary). nil is free.
+	Budget *rt.Budget
 }
 
 // Graph is the def-use graph.
@@ -338,7 +344,9 @@ func BuildFrom(src *Source, opt Options) *Graph {
 		opt:  opt,
 		g:    &Graph{Prog: prog, PointCount: len(prog.Points)},
 	}
+	opt.Budget.Checkpoint(rt.PhaseDUG)
 	b.initNodes()
+	opt.Budget.Checkpoint(rt.PhaseDUG)
 	info := cfg.Compute(prog, src.CG, src.Callees)
 	// Point nodes inherit the solver widening points (loop heads, recursive
 	// entries and return sites); phis get theirs during placement. Widening
@@ -359,14 +367,19 @@ func BuildFrom(src *Source, opt Options) *Graph {
 			staged[i] = b.stageProc(prog.Procs[i], info)
 		}
 	})
+	opt.Budget.Checkpoint(rt.PhaseDUG)
 	for i, pr := range prog.Procs {
 		b.mergeProc(pr, staged[i])
 	}
+	opt.Budget.Checkpoint(rt.PhaseDUG)
 	b.linkInterproc()
+	opt.Budget.Checkpoint(rt.PhaseDUG)
 	b.buildAdjacency()
+	opt.Budget.Checkpoint(rt.PhaseDUG)
 	if opt.Bypass {
 		b.bypass()
 	}
+	opt.Budget.Checkpoint(rt.PhaseDUG)
 	b.finalize(info)
 	b.g.flushMetrics(opt.Metrics)
 	return b.g

@@ -1,0 +1,108 @@
+package faultinject
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	rt "sparrow/internal/runtime"
+)
+
+// TestSeededDeterministic pins that a schedule is a pure function of its
+// seed — campaigns must be able to replay any failure from the seed alone.
+func TestSeededDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		a, b := Seeded(seed), Seeded(seed)
+		if !reflect.DeepEqual(a.Faults(), b.Faults()) {
+			t.Fatalf("seed %d: schedules differ: %v vs %v", seed, a.Faults(), b.Faults())
+		}
+		if len(a.Faults()) < 1 || len(a.Faults()) > 2 {
+			t.Fatalf("seed %d: %d faults, want 1-2", seed, len(a.Faults()))
+		}
+	}
+	// Not all seeds collapse to one schedule.
+	distinct := map[string]bool{}
+	for seed := uint64(0); seed < 50; seed++ {
+		key := ""
+		for _, f := range Seeded(seed).Faults() {
+			key += f.String() + ";"
+		}
+		distinct[key] = true
+	}
+	if len(distinct) < 10 {
+		t.Fatalf("only %d distinct schedules over 50 seeds", len(distinct))
+	}
+}
+
+// TestPanicFiresOnceAtOrdinal checks the once-per-fault firing contract and
+// the ordinal targeting: the fault fires the first time the checkpoint
+// counter reaches At, and never again.
+func TestPanicFiresOnceAtOrdinal(t *testing.T) {
+	p := NewPlan(Fault{Kind: Panic, Phase: rt.PhaseFix, At: 2})
+	hook := p.Hook()
+	hook(rt.PhaseFix, 1)   // below the ordinal
+	hook(rt.PhasePrean, 2) // wrong phase
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("fault did not fire at its checkpoint")
+			}
+			if !strings.Contains(r.(string), "injected panic at fix checkpoint 2") {
+				t.Fatalf("unexpected panic message %v", r)
+			}
+		}()
+		hook(rt.PhaseFix, 2)
+	}()
+	hook(rt.PhaseFix, 3) // must not re-fire
+	if !p.AnyFired() || !p.FiredKind(Panic) || len(p.Fired()) != 1 {
+		t.Errorf("firing state wrong: fired=%v", p.Fired())
+	}
+}
+
+// TestCancelInertWithoutBinding checks that a Cancel fault without a bound
+// context stays unfired (the oracle then expects a fault-free run), and
+// cancels exactly the bound context once bound.
+func TestCancelInertWithoutBinding(t *testing.T) {
+	p := NewPlan(Fault{Kind: Cancel, Phase: rt.PhaseFix, At: 1})
+	hook := p.Hook()
+	hook(rt.PhaseFix, 1)
+	if p.AnyFired() {
+		t.Fatal("unbound cancel fault reported as fired")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	p.BindCancel(cancel)
+	hook(rt.PhaseFix, 2) // n >= At still satisfied
+	if !p.FiredKind(Cancel) {
+		t.Fatal("bound cancel fault did not fire")
+	}
+	select {
+	case <-ctx.Done():
+	default:
+		t.Fatal("bound context was not canceled")
+	}
+}
+
+// TestSlowAndAllocSpike checks the non-aborting kinds fire once and that
+// Release drops the retained ballast.
+func TestSlowAndAllocSpike(t *testing.T) {
+	p := NewPlan(
+		Fault{Kind: Slow, Phase: rt.PhasePrean, At: 1, Delay: time.Millisecond},
+		Fault{Kind: AllocSpike, Phase: rt.PhaseDUG, At: 1, Bytes: 1 << 20},
+	)
+	hook := p.Hook()
+	hook(rt.PhasePrean, 1)
+	hook(rt.PhaseDUG, 1)
+	if !p.FiredKind(Slow) || !p.FiredKind(AllocSpike) {
+		t.Fatalf("fired = %v, want both kinds", p.Fired())
+	}
+	if len(p.ballast) != 1 || len(p.ballast[0]) != 1<<20 {
+		t.Fatalf("ballast not retained: %d blocks", len(p.ballast))
+	}
+	p.Release()
+	if p.ballast != nil {
+		t.Fatal("Release kept ballast")
+	}
+}

@@ -1,7 +1,7 @@
 // Package fuzz is the differential-testing subsystem: it generates
 // randomized C programs (internal/cgen's fuzz mode), runs each through all
 // six analyzer configurations (Interval/Octagon × Vanilla/Base/Sparse) plus
-// the concrete interpreter and the parallel sparse driver, and checks four
+// the concrete interpreter and the parallel sparse driver, and checks seven
 // oracles over the results:
 //
 //	soundness    — every concretely observed value lies inside the vanilla
@@ -20,7 +20,15 @@
 //	               mutation (internal/cgen's Mutate), and re-solve warm from
 //	               the codec-round-tripped snapshot: alarms, final memories,
 //	               reachability, and work counters must be bit-identical to a
-//	               cold solve of the edited program.
+//	               cold solve of the edited program;
+//	faults       — re-run the sparse solve under a seed-derived fault
+//	               schedule (internal/faultinject: injected panics, stalls,
+//	               allocation spikes, cancellation). A fired panic must
+//	               surface as *core.AnalysisError, a fired cancellation as a
+//	               *core.BudgetError unwrapping to context.Canceled; benign
+//	               or unfired faults must leave the run bit-identical to the
+//	               fault-free baseline; and (sequential campaigns) no
+//	               goroutine may outlive the analysis.
 //
 // On a violation, a delta-debugging shrinker (shrink.go) minimizes the
 // program while the violated oracle keeps firing, and the campaign driver
@@ -32,6 +40,7 @@
 package fuzz
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -42,9 +51,11 @@ import (
 	"sparrow/internal/check"
 	"sparrow/internal/core"
 	"sparrow/internal/dug"
+	"sparrow/internal/faultinject"
 	"sparrow/internal/incr"
 	"sparrow/internal/interp"
 	"sparrow/internal/ir"
+	"sparrow/internal/leakcheck"
 	"sparrow/internal/metrics"
 )
 
@@ -62,6 +73,7 @@ const (
 	needParallel
 	needRestricted
 	needIncremental
+	needFaults
 )
 
 // parallelWorkerCounts are the worker counts the determinism oracle compares.
@@ -87,6 +99,9 @@ type Exec struct {
 	// edit is solved both warm (from the codec-round-tripped snapshot) and
 	// cold for comparison.
 	Incremental *IncrExec
+	// Faults holds the fault oracle's runs: a fault-free baseline and the
+	// same solve under a seed-derived fault schedule.
+	Faults *FaultExec
 	// AnalyzeViolations records configs that timed out (the implicit
 	// "every analyzer completes" check).
 	AnalyzeViolations []Violation
@@ -98,6 +113,25 @@ type IncrExec struct {
 	EditedSrc string
 	Warm      *core.Result // solved against the snapshot of the base solve
 	Cold      *core.Result // solved from scratch
+}
+
+// FaultExec holds the fault oracle's two runs of the sparse interval solve:
+// a fault-free Baseline and a run under a seed-derived fault schedule. The
+// faulted run carries no deadline or heap budget, so only a fired panic or
+// cancellation may produce an error; stalls and allocation spikes must be
+// invisible.
+type FaultExec struct {
+	Plan     *faultinject.Plan
+	Res      *core.Result // nil when Err != nil
+	Err      error
+	Baseline *core.Result
+
+	// Goroutine-leak accounting for the faulted run; populated only in
+	// sequential campaigns (concurrent sibling programs would alias counts).
+	LeakChecked           bool
+	LeakOK                bool
+	LeakBefore, LeakAfter int
+	LeakDump              string
 }
 
 // Violation is one oracle failure.
@@ -155,7 +189,7 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// StandardOracles returns the six differential oracles.
+// StandardOracles returns the seven differential oracles.
 func StandardOracles() []Oracle {
 	return []Oracle{
 		{Name: "soundness", Needs: needIntervalVanilla | needIntervalBase | needIntervalSparse,
@@ -165,6 +199,7 @@ func StandardOracles() []Oracle {
 		{Name: "determinism", Needs: needParallel, Check: checkDeterminism},
 		{Name: "restriction", Needs: needRestricted, Check: checkRestriction},
 		{Name: "incremental", Needs: needIncremental, Check: checkIncremental},
+		{Name: "faults", Needs: needFaults, Check: checkFaults},
 	}
 }
 
@@ -304,6 +339,13 @@ func Execute(name, src string, needs need, opt Options) (*Exec, error) {
 		}
 		ex.Incremental = ie
 	}
+	if needs&needFaults != 0 {
+		fe, err := buildFaults(name, src, opt.Workers <= 1)
+		if err != nil {
+			return nil, err
+		}
+		ex.Faults = fe
+	}
 	return ex, nil
 }
 
@@ -351,6 +393,46 @@ func buildIncremental(name, src string) (*IncrExec, error) {
 		return nil, fmt.Errorf("incremental: cold solve of the edit: %w", err)
 	}
 	return &IncrExec{EditedSrc: edited, Warm: warm, Cold: cold}, nil
+}
+
+// faultSeed derives the fault-schedule seed from the source text, shifted
+// away from editSeed so the incremental and fault oracles never correlate.
+func faultSeed(src string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(src))
+	h.Write([]byte("\x00faults"))
+	return h.Sum64()
+}
+
+// buildFaults runs the fault oracle's pipeline: a fault-free baseline solve,
+// then the same solve under a seeded fault schedule with cancellation bound
+// to the run's context. The error reports an invalid program (baseline
+// failure) — faulted-run errors are the oracle's subject and land in Err.
+func buildFaults(name, src string, leakCheck bool) (*FaultExec, error) {
+	opts := core.Options{Domain: core.Interval, Mode: core.Sparse, Workers: 2}
+	baseline, err := core.AnalyzeSource(name, src, opts)
+	if err != nil {
+		return nil, err
+	}
+	fe := &FaultExec{
+		Plan:     faultinject.Seeded(faultSeed(src)),
+		Baseline: baseline,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	fe.Plan.BindCancel(cancel)
+	defer fe.Plan.Release()
+	faulted := opts
+	faulted.Ctx = ctx
+	faulted.FaultHook = fe.Plan.Hook()
+	run := func() { fe.Res, fe.Err = core.AnalyzeSource(name, src, faulted) }
+	if leakCheck {
+		fe.LeakChecked = true
+		fe.LeakOK, fe.LeakBefore, fe.LeakAfter, fe.LeakDump = leakcheck.Check(run)
+	} else {
+		run()
+	}
+	return fe, nil
 }
 
 // Check runs the oracle set over an already-built Exec.
@@ -686,6 +768,71 @@ func checkIncremental(ex *Exec) []Violation {
 			vs = append(vs, Violation{Oracle: "incremental",
 				Detail: fmt.Sprintf("counter %s: warm-only key", k)})
 		}
+	}
+	return vs
+}
+
+// checkFaults verifies the fault-isolation contract: every outcome of the
+// faulted run must be explained by the faults that actually fired. A fired
+// panic must surface as a structured *core.AnalysisError, a fired
+// cancellation as a *core.BudgetError unwrapping to context.Canceled, and a
+// run where neither fired must be bit-identical to the fault-free baseline —
+// stalls and allocation spikes carry no budget here, so they may never leak
+// into results. Leaked goroutines are a violation regardless of outcome.
+func checkFaults(ex *Exec) []Violation {
+	fe := ex.Faults
+	if fe == nil {
+		return nil
+	}
+	var vs []Violation
+	report := func(format string, args ...any) {
+		vs = append(vs, Violation{Oracle: "faults", Detail: fmt.Sprintf(format, args...)})
+	}
+	sched := fmt.Sprintf("schedule %v, fired %v", fe.Plan.Faults(), fe.Plan.Fired())
+	if fe.LeakChecked && !fe.LeakOK {
+		report("goroutines leaked (%d before, %d after) under %s\n%s",
+			fe.LeakBefore, fe.LeakAfter, sched, fe.LeakDump)
+	}
+	panicFired := fe.Plan.FiredKind(faultinject.Panic)
+	cancelFired := fe.Plan.FiredKind(faultinject.Cancel)
+	switch err := fe.Err.(type) {
+	case nil:
+		if panicFired {
+			report("injected panic was swallowed: run returned a result under %s", sched)
+		}
+		if cancelFired {
+			report("cancellation was ignored: run returned a result under %s", sched)
+		}
+		if panicFired || cancelFired {
+			break
+		}
+		if len(fe.Res.Degraded) != 0 {
+			report("run degraded %v with no budget configured under %s", fe.Res.Degraded, sched)
+		}
+		diffs, derr := core.DiffSparseRuns(fe.Baseline, fe.Res, soundnessMaxViolations)
+		if derr != nil {
+			report("diff vs baseline: %v", derr)
+			break
+		}
+		for _, d := range diffs {
+			report("benign faults perturbed the fixpoint under %s: %s", sched, d)
+		}
+		if base, faulted := alarmStrings(fe.Baseline), alarmStrings(fe.Res); base != faulted {
+			report("benign faults changed the alarms under %s:\n  baseline: %q\n  faulted:  %q",
+				sched, base, faulted)
+		}
+	case *core.AnalysisError:
+		if !panicFired {
+			report("*AnalysisError with no injected panic under %s: %v", sched, err)
+		}
+	case *core.BudgetError:
+		if !cancelFired {
+			report("*BudgetError with no injected cancellation under %s: %v", sched, err)
+		} else if !errors.Is(err, context.Canceled) {
+			report("canceled run's error does not unwrap to context.Canceled under %s: %v", sched, err)
+		}
+	default:
+		report("unstructured error under %s: %v", sched, fe.Err)
 	}
 	return vs
 }

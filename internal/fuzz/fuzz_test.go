@@ -22,16 +22,19 @@ var repoTestdata = filepath.Join("..", "..", "testdata", "fuzz")
 // the concrete interpreter, and the parallel driver, with zero tolerated
 // violations. CI runs the same campaign under -race via cmd/sparrow-fuzz.
 func TestDifferentialShort(t *testing.T) {
-	// The campaign must include the incremental re-analysis oracle: the
-	// default oracle set is the contract here, not an implementation detail.
-	found := false
-	for _, o := range StandardOracles() {
-		if o.Name == "incremental" {
-			found = true
+	// The campaign must include the incremental re-analysis and fault
+	// oracles: the default oracle set is the contract here, not an
+	// implementation detail.
+	for _, name := range []string{"incremental", "faults"} {
+		found := false
+		for _, o := range StandardOracles() {
+			if o.Name == name {
+				found = true
+			}
 		}
-	}
-	if !found {
-		t.Fatal("standard oracle set lacks the incremental oracle")
+		if !found {
+			t.Fatalf("standard oracle set lacks the %s oracle", name)
+		}
 	}
 	n := 200
 	if testing.Short() {

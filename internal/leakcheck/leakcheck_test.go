@@ -1,0 +1,57 @@
+package leakcheck
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCheckCleanBlock(t *testing.T) {
+	ok, before, after, dump := Check(func() {
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func() { defer wg.Done() }()
+		}
+		wg.Wait()
+	})
+	if !ok {
+		t.Fatalf("clean block reported as leaking: %d -> %d\n%s", before, after, dump)
+	}
+	if dump != "" {
+		t.Fatalf("clean block produced a dump")
+	}
+}
+
+func TestCheckDetectsLeak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rides out the full settle patience")
+	}
+	release := make(chan struct{})
+	started := make(chan struct{})
+	ok, before, after, dump := Check(func() {
+		go func() {
+			close(started)
+			<-release
+		}()
+		<-started
+	})
+	// Unblock the goroutine regardless of the verdict so it does not
+	// contaminate later tests in the package.
+	close(release)
+	if ok {
+		t.Fatalf("stranded goroutine not detected (%d -> %d)", before, after)
+	}
+	if after <= before {
+		t.Fatalf("after=%d not above before=%d", after, before)
+	}
+	if !strings.Contains(dump, "goroutine") {
+		t.Fatalf("dump missing goroutine profile:\n%s", dump)
+	}
+	// The detector's patience loop must itself terminate promptly once the
+	// leak is released.
+	if n := Settle(before, 2*time.Second); n > before {
+		t.Fatalf("released goroutine never reaped: %d > %d", n, before)
+	}
+}

@@ -51,6 +51,7 @@ const (
 	PhaseCheck                  // alarm checkers
 	PhaseRestrict               // per-checker restricted closure+graph+solve
 	PhaseIncr                   // incremental snapshot load/save + hashing
+	PhaseRuntime                // budget checkpoint polls (deadline/heap/cancel checks)
 	NumPhases
 )
 
@@ -64,6 +65,7 @@ var phaseNames = [NumPhases]string{
 	PhaseCheck:     "check",
 	PhaseRestrict:  "restricted",
 	PhaseIncr:      "incr",
+	PhaseRuntime:   "runtime",
 }
 
 func (p Phase) String() string { return phaseNames[p] }
@@ -146,6 +148,15 @@ const (
 	CtrIncrMisses
 	CtrIncrResolved
 
+	// Fault-tolerant runtime (internal/runtime): cooperative checkpoint
+	// polls, budget breaches (deadline/heap/cancel), and degradation-ladder
+	// rungs taken. Like the incremental group, emitted only when a budget
+	// was active (checkpoints > 0) so budget-free runs — and the committed
+	// schema-2 baselines — keep their counter key set.
+	CtrRuntimeCheckpoints
+	CtrRuntimeBreaches
+	CtrRuntimeDegradeSteps
+
 	NumCounters
 )
 
@@ -196,6 +207,10 @@ var counterNames = [NumCounters]string{
 	CtrIncrHits:     "incr_components_hit",
 	CtrIncrMisses:   "incr_components_miss",
 	CtrIncrResolved: "incr_components_resolved",
+
+	CtrRuntimeCheckpoints:  "runtime_checkpoints",
+	CtrRuntimeBreaches:     "runtime_breaches",
+	CtrRuntimeDegradeSteps: "runtime_degraded_steps",
 }
 
 func (c Counter) String() string { return counterNames[c] }
@@ -409,17 +424,23 @@ type Report struct {
 // Report snapshots the collector. Every catalogued counter appears (zeros
 // included) so the counter section's key set is stable across runs and
 // engine configurations; phases that never ran are omitted from timings.
-// The one exception is the incremental group (incr_components_*): like the
-// timings of phases that never ran, it is omitted unless an incremental
-// solve actually happened (any of the three is nonzero — an incremental run
-// always misses or hits at least the entry component), keeping the counter
-// key set of ordinary runs — and the committed schema-2 regression
-// baselines — byte-stable.
+// Two exceptions: the incremental group (incr_components_*) is omitted
+// unless an incremental solve actually happened (any of the three is
+// nonzero — an incremental run always misses or hits at least the entry
+// component), and the runtime group (runtime_*) is omitted unless a budget
+// was active (a budgeted run always polls at least one checkpoint). Both
+// keep the counter key set of ordinary runs — and the committed schema-2
+// regression baselines — byte-stable.
 func (c *Collector) Report() *Report {
 	r := &Report{Schema: Schema, Counters: make(map[string]int64, NumCounters)}
 	incrRan := c.Get(CtrIncrHits) != 0 || c.Get(CtrIncrMisses) != 0 || c.Get(CtrIncrResolved) != 0
+	budgetRan := c.Get(CtrRuntimeCheckpoints) != 0 || c.Get(CtrRuntimeBreaches) != 0 ||
+		c.Get(CtrRuntimeDegradeSteps) != 0
 	for k := Counter(0); k < NumCounters; k++ {
 		if (k == CtrIncrHits || k == CtrIncrMisses || k == CtrIncrResolved) && !incrRan {
+			continue
+		}
+		if (k == CtrRuntimeCheckpoints || k == CtrRuntimeBreaches || k == CtrRuntimeDegradeSteps) && !budgetRan {
 			continue
 		}
 		r.Counters[counterNames[k]] = c.Get(k)

@@ -83,7 +83,9 @@ func TestNilCollector(t *testing.T) {
 		t.Error("nil collector returned nonzero readings")
 	}
 	r := c.Report()
-	if r.Schema != Schema || len(r.Counters) != int(NumCounters)-3 {
+	// Both conditional groups (incremental, runtime) are absent on a nil
+	// collector.
+	if r.Schema != Schema || len(r.Counters) != int(NumCounters)-6 {
 		t.Errorf("nil collector report malformed: %+v", r)
 	}
 }
@@ -195,15 +197,16 @@ var sink []byte
 // schema-2 baselines) byte-stable.
 func TestReportStableKeySet(t *testing.T) {
 	incrGroup := map[Counter]bool{CtrIncrHits: true, CtrIncrMisses: true, CtrIncrResolved: true}
+	rtGroup := map[Counter]bool{CtrRuntimeCheckpoints: true, CtrRuntimeBreaches: true, CtrRuntimeDegradeSteps: true}
 	r := New().Report()
-	if want := int(NumCounters) - len(incrGroup); len(r.Counters) != want {
+	if want := int(NumCounters) - len(incrGroup) - len(rtGroup); len(r.Counters) != want {
 		t.Fatalf("ordinary report has %d counters, want %d", len(r.Counters), want)
 	}
 	for k := Counter(0); k < NumCounters; k++ {
 		_, ok := r.Counters[k.String()]
-		if incrGroup[k] {
+		if incrGroup[k] || rtGroup[k] {
 			if ok {
-				t.Errorf("counter %s present without an incremental solve", k)
+				t.Errorf("conditional counter %s present without its trigger", k)
 			}
 			continue
 		}
@@ -213,13 +216,19 @@ func TestReportStableKeySet(t *testing.T) {
 	}
 	c := New()
 	c.Set(CtrIncrMisses, 3)
+	c.Set(CtrRuntimeCheckpoints, 7)
 	r = c.Report()
 	if len(r.Counters) != int(NumCounters) {
-		t.Fatalf("incremental report has %d counters, catalogue has %d", len(r.Counters), NumCounters)
+		t.Fatalf("full report has %d counters, catalogue has %d", len(r.Counters), NumCounters)
 	}
 	for k := range incrGroup {
 		if _, ok := r.Counters[k.String()]; !ok {
 			t.Errorf("counter %s missing from incremental report", k)
+		}
+	}
+	for k := range rtGroup {
+		if _, ok := r.Counters[k.String()]; !ok {
+			t.Errorf("counter %s missing from budgeted report", k)
 		}
 	}
 }

@@ -7,7 +7,12 @@
 // index ranges produce identical results for any worker count.
 package par
 
-import "sync"
+import (
+	"fmt"
+	"runtime/debug"
+	"strings"
+	"sync"
+)
 
 // Workers normalizes a worker-count option: values below 1 become 1.
 func Workers(w int) int {
@@ -17,15 +22,51 @@ func Workers(w int) int {
 	return w
 }
 
+// WorkerPanic is one worker goroutine's recovered panic with the stack
+// captured at the recovery point on that goroutine.
+type WorkerPanic struct {
+	Value any
+	Stack []byte
+}
+
+// PanicError joins every worker panic from one fork-join region, ordered by
+// chunk index (deterministic for a fixed chunk shape). par.For panics with
+// *PanicError when any chunk panics, so no worker's stack is lost; the core
+// analysis boundary recovers it into an AnalysisError carrying all stacks.
+type PanicError struct {
+	Panics []WorkerPanic
+}
+
+func (e *PanicError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d worker panic(s)", len(e.Panics))
+	for i, p := range e.Panics {
+		fmt.Fprintf(&b, "\n[worker panic %d] %v\n%s", i, p.Value, p.Stack)
+	}
+	return b.String()
+}
+
+// Unwrap1 returns the first panic value (the deterministic representative
+// older callers re-inspected when only one panic was preserved).
+func (e *PanicError) Unwrap1() any {
+	if len(e.Panics) == 0 {
+		return nil
+	}
+	return e.Panics[0].Value
+}
+
 // For splits [0, n) into contiguous chunks and runs fn(lo, hi) on each chunk
 // across at most workers goroutines, blocking until all chunks complete. fn
 // must only write state disjoint between chunks (e.g. per-index slots).
 // workers <= 1 (or small n) degenerates to a plain sequential call.
 //
-// A panic inside fn is caught on its goroutine and re-raised on the calling
-// goroutine after every chunk has finished, so callers observe the same
-// control flow as the sequential path (the lowest-chunk panic wins when
-// several chunks panic, keeping the re-raised value deterministic).
+// A panic inside fn is caught on its goroutine — with its stack — and
+// re-raised on the calling goroutine after every chunk has finished, so
+// callers observe the same control flow as the sequential path. When several
+// chunks panic, all of them are preserved: the re-raised value is a
+// *PanicError joining every worker's panic and stack in chunk order (still
+// deterministic for a fixed (n, workers) shape). The sequential degenerate
+// path lets panics propagate untouched.
 func For(n, workers int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
@@ -40,7 +81,7 @@ func For(n, workers int, fn func(lo, hi int)) {
 	}
 	chunk := (n + workers - 1) / workers
 	nchunks := (n + chunk - 1) / chunk
-	panics := make([]any, nchunks)
+	panics := make([]WorkerPanic, nchunks)
 	var wg sync.WaitGroup
 	for i, lo := 0, 0; lo < n; i, lo = i+1, lo+chunk {
 		hi := lo + chunk
@@ -50,14 +91,22 @@ func For(n, workers int, fn func(lo, hi int)) {
 		wg.Add(1)
 		go func(i, lo, hi int) {
 			defer wg.Done()
-			defer func() { panics[i] = recover() }()
+			defer func() {
+				if p := recover(); p != nil {
+					panics[i] = WorkerPanic{Value: p, Stack: debug.Stack()}
+				}
+			}()
 			fn(lo, hi)
 		}(i, lo, hi)
 	}
 	wg.Wait()
+	var joined []WorkerPanic
 	for _, p := range panics {
-		if p != nil {
-			panic(p)
+		if p.Value != nil {
+			joined = append(joined, p)
 		}
+	}
+	if joined != nil {
+		panic(&PanicError{Panics: joined})
 	}
 }

@@ -85,7 +85,8 @@ func TestForZeroN(t *testing.T) {
 }
 
 // TestForPanicPropagates checks a panic on a worker goroutine reaches the
-// caller (instead of crashing the process), on both code paths.
+// caller (instead of crashing the process), on both code paths: raw on the
+// sequential path, wrapped in *PanicError on the parallel one.
 func TestForPanicPropagates(t *testing.T) {
 	for _, w := range []int{1, 4} {
 		func() {
@@ -94,6 +95,9 @@ func TestForPanicPropagates(t *testing.T) {
 				if r == nil {
 					t.Errorf("w=%d: panic did not propagate", w)
 					return
+				}
+				if pe, ok := r.(*PanicError); ok {
+					r = pe.Unwrap1()
 				}
 				if s, ok := r.(string); !ok || s != "boom" {
 					t.Errorf("w=%d: recovered %v want \"boom\"", w, r)
@@ -109,18 +113,46 @@ func TestForPanicPropagates(t *testing.T) {
 }
 
 // TestForPanicDeterministic checks that when several chunks panic, the
-// re-raised value is the lowest chunk's (schedule-independent).
+// re-raised *PanicError joins all of them in chunk order
+// (schedule-independent), with the lowest chunk's value first.
 func TestForPanicDeterministic(t *testing.T) {
 	for trial := 0; trial < 20; trial++ {
 		func() {
 			defer func() {
-				if r := recover(); r != 0 {
-					t.Fatalf("recovered chunk %v want 0", r)
+				pe, ok := recover().(*PanicError)
+				if !ok {
+					t.Fatalf("recovered value is not *PanicError")
+				}
+				if len(pe.Panics) != 8 {
+					t.Fatalf("joined %d panics want 8", len(pe.Panics))
+				}
+				for i, wp := range pe.Panics {
+					if wp.Value != i {
+						t.Fatalf("panic %d has value %v want %d", i, wp.Value, i)
+					}
+					if len(wp.Stack) == 0 {
+						t.Fatalf("panic %d lost its stack", i)
+					}
+				}
+				if pe.Unwrap1() != 0 {
+					t.Fatalf("Unwrap1 = %v want 0", pe.Unwrap1())
 				}
 			}()
 			For(8, 8, func(lo, hi int) { panic(lo) })
 		}()
 	}
+}
+
+// TestForSequentialPanicUntouched checks that the workers==1 in-place path
+// re-raises the original value, not a wrapper: single-threaded callers keep
+// ordinary panic semantics.
+func TestForSequentialPanicUntouched(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "raw" {
+			t.Fatalf("recovered %v want raw", r)
+		}
+	}()
+	For(4, 1, func(lo, hi int) { panic("raw") })
 }
 
 // TestForPanicStillCompletesOtherChunks checks that a panicking chunk does

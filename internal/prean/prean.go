@@ -18,6 +18,7 @@ import (
 	"sparrow/internal/lattice/val"
 	"sparrow/internal/mem"
 	"sparrow/internal/par"
+	rt "sparrow/internal/runtime"
 	"sparrow/internal/sem"
 )
 
@@ -83,22 +84,38 @@ func Run(prog *ir.Program) *Result { return RunWorkers(prog, 1) }
 // result is identical for every worker count: parallel chunks write only
 // disjoint per-point/per-procedure slots.
 func RunWorkers(prog *ir.Program, workers int) *Result {
+	return RunBudget(prog, workers, nil)
+}
+
+// RunBudget is RunWorkers under a cooperative budget: bud is checkpointed
+// between global-invariant passes, in-pass every few thousand points, and
+// between the post-fixpoint stages, always on the coordinating goroutine.
+// A pre-analysis cannot produce a partial result, so a breach aborts via
+// rt.Abort (recovered at the core boundary). bud == nil is RunWorkers.
+func RunBudget(prog *ir.Program, workers int, bud *rt.Budget) *Result {
 	s := sem.New(prog)
 	g := mem.Bot
 	pass := 0
 	for {
 		pass++
+		bud.Checkpoint(rt.PhasePrean)
 		next := g
 		// Alternate sweep direction: argument values flow down the call
 		// graph and return values flow up, so a fixed direction propagates
 		// long call chains one level per pass (quadratic overall);
 		// alternating sweeps cover both directions in two passes.
 		if pass%2 == 1 {
-			for _, pt := range prog.Points {
+			for i, pt := range prog.Points {
+				if bud != nil && i%2048 == 2047 {
+					bud.Checkpoint(rt.PhasePrean)
+				}
 				next = step(s, pt, next, next)
 			}
 		} else {
 			for i := len(prog.Points) - 1; i >= 0; i-- {
+				if bud != nil && i%2048 == 2047 {
+					bud.Checkpoint(rt.PhasePrean)
+				}
 				next = step(s, prog.Points[i], next, next)
 			}
 		}
@@ -110,6 +127,7 @@ func RunWorkers(prog *ir.Program, workers int) *Result {
 		}
 		g = next
 	}
+	bud.Checkpoint(rt.PhasePrean)
 
 	r := &Result{
 		Mem:     g,
@@ -136,10 +154,12 @@ func RunWorkers(prog *ir.Program, workers int) *Result {
 	for i, pt := range calls {
 		r.Callees[pt.ID] = resolved[i]
 	}
+	bud.Checkpoint(rt.PhasePrean)
 	r.CG = callgraph.Build(prog, r.CalleesOf)
 	r.Passes = pass
 	se.InCycle = r.CG.InCycle
 	r.buildSummaries(prog, se, workers)
+	bud.Checkpoint(rt.PhasePrean)
 	r.buildSites(prog)
 	// Intern the summaries and memoize the localization sets eagerly:
 	// solvers read them from multiple goroutines, so the cache must be

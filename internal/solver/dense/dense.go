@@ -21,6 +21,7 @@ import (
 	"sparrow/internal/mem"
 	"sparrow/internal/metrics"
 	"sparrow/internal/prean"
+	rt "sparrow/internal/runtime"
 	"sparrow/internal/sem"
 	"sparrow/internal/worklist"
 )
@@ -58,6 +59,10 @@ type Options struct {
 	// per-procedure locations an Entry marks possibly-uninitialized for the
 	// uninit checker. Nil (the default) disables marking.
 	EntryMarks func(ir.ProcID) []ir.LocID
+	// Budget is the cooperative cancellation token (internal/runtime),
+	// polled at the same amortized stride as the Timeout check; a breach
+	// stops the solver like a timeout (TimedOut set). nil is free.
+	Budget *rt.Budget
 }
 
 const (
@@ -166,9 +171,15 @@ func (sv *solver) run() {
 			sv.res.TimedOut = true
 			return
 		}
-		if sv.opt.Timeout > 0 && sv.res.Steps%256 == 0 && time.Now().After(sv.deadline) {
-			sv.res.TimedOut = true
-			return
+		if (sv.opt.Timeout > 0 || sv.opt.Budget != nil) && sv.res.Steps%256 == 0 {
+			if sv.opt.Timeout > 0 && time.Now().After(sv.deadline) {
+				sv.res.TimedOut = true
+				return
+			}
+			if sv.opt.Budget.Poll(rt.PhaseFix) != rt.OK {
+				sv.res.TimedOut = true
+				return
+			}
 		}
 		sv.step(sv.prog.Point(ir.PointID(id)))
 	}
@@ -272,6 +283,10 @@ func (sv *solver) deliver(target ir.PointID, m mem.Mem) {
 // the sweeps and iteration stops early at stability.
 func (sv *solver) narrow(passes int) {
 	for i := 0; i < passes; i++ {
+		if sv.opt.Budget != nil && sv.opt.Budget.Poll(rt.PhaseFix) != rt.OK {
+			sv.res.TimedOut = true
+			return
+		}
 		stable := true
 		next := make([]mem.Mem, len(sv.prog.Points))
 		reached := make([]bool, len(sv.prog.Points))

@@ -14,6 +14,7 @@ import (
 	"sparrow/internal/octsem"
 	"sparrow/internal/pack"
 	"sparrow/internal/prean"
+	rt "sparrow/internal/runtime"
 	"sparrow/internal/worklist"
 )
 
@@ -30,6 +31,10 @@ type Options struct {
 	// value-changing joins, effective widenings, localization bypasses)
 	// when Analyze returns.
 	Metrics *metrics.Collector
+	// Budget is the cooperative cancellation token (internal/runtime),
+	// polled at the Timeout stride; a breach stops the solver like a
+	// timeout (TimedOut set). nil is free.
+	Budget *rt.Budget
 }
 
 const (
@@ -131,9 +136,15 @@ func (sv *solver) run() {
 			sv.res.TimedOut = true
 			return
 		}
-		if sv.opt.Timeout > 0 && sv.res.Steps%64 == 0 && time.Now().After(sv.deadline) {
-			sv.res.TimedOut = true
-			return
+		if (sv.opt.Timeout > 0 || sv.opt.Budget != nil) && sv.res.Steps%64 == 0 {
+			if sv.opt.Timeout > 0 && time.Now().After(sv.deadline) {
+				sv.res.TimedOut = true
+				return
+			}
+			if sv.opt.Budget.Poll(rt.PhaseFix) != rt.OK {
+				sv.res.TimedOut = true
+				return
+			}
 		}
 		sv.step(sv.prog.Point(ir.PointID(id)))
 	}
@@ -228,6 +239,10 @@ func (sv *solver) deliver(target ir.PointID, m octsem.OMem) {
 // narrow runs Jacobi descending sweeps (see the interval solver).
 func (sv *solver) narrow(passes int) {
 	for i := 0; i < passes; i++ {
+		if sv.opt.Budget != nil && sv.opt.Budget.Poll(rt.PhaseFix) != rt.OK {
+			sv.res.TimedOut = true
+			return
+		}
 		stable := true
 		next := make([]octsem.OMem, len(sv.prog.Points))
 		reached := make([]bool, len(sv.prog.Points))

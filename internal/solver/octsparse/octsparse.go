@@ -12,6 +12,7 @@ import (
 	"sparrow/internal/octsem"
 	"sparrow/internal/pack"
 	"sparrow/internal/prean"
+	rt "sparrow/internal/runtime"
 	"sparrow/internal/worklist"
 )
 
@@ -25,6 +26,10 @@ type Options struct {
 	// Metrics, when non-nil, receives the solver's work counters (pops,
 	// value-changing joins, effective widenings) when Analyze returns.
 	Metrics *metrics.Collector
+	// Budget is the cooperative cancellation token (internal/runtime),
+	// polled at the Timeout stride; a breach stops the solver like a
+	// timeout (TimedOut set). nil is free.
+	Budget *rt.Budget
 }
 
 const (
@@ -101,9 +106,15 @@ func Analyze(prog *ir.Program, pre *prean.Result, s *octsem.Sem, g *dug.Graph, o
 			sv.res.TimedOut = true
 			break
 		}
-		if sv.opt.Timeout > 0 && sv.res.Steps%64 == 0 && time.Now().After(sv.deadline) {
-			sv.res.TimedOut = true
-			break
+		if (sv.opt.Timeout > 0 || sv.opt.Budget != nil) && sv.res.Steps%64 == 0 {
+			if sv.opt.Timeout > 0 && time.Now().After(sv.deadline) {
+				sv.res.TimedOut = true
+				break
+			}
+			if sv.opt.Budget.Poll(rt.PhaseFix) != rt.OK {
+				sv.res.TimedOut = true
+				break
+			}
 		}
 		sv.fire(dug.NodeID(id))
 	}

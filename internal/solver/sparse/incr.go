@@ -39,6 +39,7 @@ import (
 	"sparrow/internal/lattice/val"
 	"sparrow/internal/mem"
 	"sparrow/internal/prean"
+	rt "sparrow/internal/runtime"
 	"sparrow/internal/sem"
 	"sparrow/internal/worklist"
 )
@@ -313,6 +314,11 @@ func (d *idriver) runRound() {
 // pending inputs, advance the chain, and either replay the cached transcript
 // or run live and record one.
 func (d *idriver) runComponent(c int32) {
+	// Checkpoint per component: a breach aborts via rt.Abort before the
+	// component's transcript is recorded, so the cache never holds a
+	// truncated run (incremental solves never degrade — core turns the
+	// abort into a BudgetError directly).
+	d.opt.Budget.Checkpoint(rt.PhaseIncr)
 	seeds := d.seeds[c]
 	d.seeds[c] = nil
 	if len(seeds) == 0 {
@@ -425,6 +431,9 @@ func (d *idriver) runLive(c int32, seeds []int32, key string) {
 			break
 		}
 		local++
+		if d.opt.Budget != nil && local%256 == 0 {
+			d.opt.Budget.Checkpoint(rt.PhaseIncr)
+		}
 		d.fire(dug.NodeID(id))
 	}
 	d.rec = nil

@@ -27,6 +27,7 @@
 package sparse
 
 import (
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -37,6 +38,7 @@ import (
 	"sparrow/internal/mem"
 	"sparrow/internal/par"
 	"sparrow/internal/prean"
+	rt "sparrow/internal/runtime"
 	"sparrow/internal/sem"
 	"sparrow/internal/worklist"
 )
@@ -91,7 +93,7 @@ func AnalyzeParallel(prog *ir.Program, pre *prean.Result, g *dug.Graph, opt Opti
 		}
 	}
 
-	for st.anySeeds() && !st.timedOut.Load() {
+	for st.anySeeds() && !st.timedOut.Load() && !st.aborted.Load() {
 		st.res.Rounds++
 		st.runRound(pool)
 		// Round barrier (single-threaded): apply the buffered reach marks in
@@ -99,6 +101,9 @@ func AnalyzeParallel(prog *ir.Program, pre *prean.Result, g *dug.Graph, opt Opti
 		sort.Slice(st.deferred, func(i, j int) bool { return st.deferred[i] < st.deferred[j] })
 		st.applyMarks(st.deferred)
 		st.deferred = st.deferred[:0]
+	}
+	if st.aborted.Load() {
+		panic(&par.PanicError{Panics: st.panics})
 	}
 
 	st.res.Steps += int(st.steps.Load())
@@ -158,6 +163,14 @@ type pstate struct {
 	joins     atomic.Int64
 	timedOut  atomic.Bool
 	deadline  time.Time
+
+	// aborted is set when a worker panicked: remaining components are skipped
+	// (scheduler bookkeeping still runs so the round drains) and the joined
+	// panics re-raise after the pool exits. Distinct from timedOut, whose
+	// truncated state is still returned as a partial result.
+	aborted  atomic.Bool
+	panicsMu sync.Mutex
+	panics   []par.WorkerPanic
 }
 
 // buildSched derives the augmented scheduling DAG: condensation edges plus
@@ -361,7 +374,24 @@ func (st *pstate) runRound(pool []*pworker) {
 		go func(w *pworker) {
 			defer wg.Done()
 			for c := range ready {
-				w.runComponent(c)
+				// Isolate worker panics: the component's scheduler
+				// bookkeeping must run regardless, or the remaining workers
+				// block on ready forever. The panic (all of them, if several
+				// workers trip) re-raises on the coordinator after the pool
+				// drains.
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							st.aborted.Store(true)
+							st.panicsMu.Lock()
+							st.panics = append(st.panics, par.WorkerPanic{Value: r, Stack: debug.Stack()})
+							st.panicsMu.Unlock()
+						}
+					}()
+					if !st.aborted.Load() {
+						w.runComponent(c)
+					}
+				}()
 				for _, s := range st.schedSuccs[c] {
 					if atomic.AddInt32(&st.indeg[s], -1) == 0 {
 						ready <- s
@@ -493,9 +523,15 @@ func (w *pworker) runComponent(c int32) {
 			st.timedOut.Store(true)
 			continue
 		}
-		if st.opt.Timeout > 0 && local%256 == 0 && time.Now().After(st.deadline) {
-			st.timedOut.Store(true)
-			continue
+		if (st.opt.Timeout > 0 || st.opt.Budget != nil) && local%256 == 0 {
+			if st.opt.Timeout > 0 && time.Now().After(st.deadline) {
+				st.timedOut.Store(true)
+				continue
+			}
+			if st.opt.Budget.Poll(rt.PhaseFix) != rt.OK {
+				st.timedOut.Store(true)
+				continue
+			}
 		}
 		w.fire(dug.NodeID(id))
 	}

@@ -18,6 +18,7 @@ import (
 	"sparrow/internal/mem"
 	"sparrow/internal/metrics"
 	"sparrow/internal/prean"
+	rt "sparrow/internal/runtime"
 	"sparrow/internal/sem"
 	"sparrow/internal/worklist"
 )
@@ -57,6 +58,13 @@ type Options struct {
 	// with (dug.Options.EntryMarks), or entry definitions and dependency
 	// edges disagree. Nil (the default) disables marking.
 	EntryMarks func(ir.ProcID) []ir.LocID
+	// Budget is the cooperative cancellation token (internal/runtime),
+	// polled at the same amortized stride as the Timeout check. On breach
+	// the solver stops exactly like a timeout (TimedOut set, partial
+	// result); the core boundary inspects the budget to tell them apart.
+	// nil (the default) is free: the hot loop pays one pointer comparison
+	// per stride window.
+	Budget *rt.Budget
 }
 
 const (
@@ -164,9 +172,15 @@ func Analyze(prog *ir.Program, pre *prean.Result, g *dug.Graph, opt Options) *Re
 			sv.res.TimedOut = true
 			break
 		}
-		if sv.opt.Timeout > 0 && sv.res.Steps%256 == 0 && time.Now().After(sv.deadline) {
-			sv.res.TimedOut = true
-			break
+		if (sv.opt.Timeout > 0 || sv.opt.Budget != nil) && sv.res.Steps%256 == 0 {
+			if sv.opt.Timeout > 0 && time.Now().After(sv.deadline) {
+				sv.res.TimedOut = true
+				break
+			}
+			if sv.opt.Budget.Poll(rt.PhaseFix) != rt.OK {
+				sv.res.TimedOut = true
+				break
+			}
 		}
 		sv.fire(dug.NodeID(id))
 	}
@@ -213,6 +227,10 @@ func (sv *solver) outOf(n dug.NodeID) (mem.Mem, bool) {
 func (sv *solver) narrow(passes int) {
 	n := sv.g.NumNodes()
 	for pass := 0; pass < passes; pass++ {
+		if sv.opt.Budget != nil && sv.opt.Budget.Poll(rt.PhaseFix) != rt.OK {
+			sv.res.TimedOut = true
+			return
+		}
 		outs := make([]mem.Mem, n)
 		okv := make([]bool, n)
 		for i := 0; i < n; i++ {

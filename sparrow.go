@@ -46,6 +46,19 @@ type Stats = core.Stats
 // Result.AnalyzeChecker).
 type CheckerRun = core.CheckerRun
 
+// ConfigError reports an invalid Options combination, rejected before any
+// analysis work starts.
+type ConfigError = core.ConfigError
+
+// AnalysisError wraps a panic recovered from inside the analysis (worker
+// goroutines included) with the pipeline phase and the captured stacks.
+type AnalysisError = core.AnalysisError
+
+// BudgetError reports that the deadline, heap budget, or context
+// cancellation stopped the analysis after every degradation rung (if any)
+// was exhausted. It unwraps to context.DeadlineExceeded or context.Canceled.
+type BudgetError = core.BudgetError
+
 // Domain selects the abstract domain.
 type Domain = core.Domain
 
