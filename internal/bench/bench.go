@@ -307,12 +307,26 @@ func collect(progs []Program, opt Options, withTimes bool) (*Snapshot, *TimesSna
 			res.Alarms() // populate the alarm counter
 			restrNS := map[string]int64{}
 			if sparsified {
-				for _, k := range check.AllKinds {
-					cr, err := res.AnalyzeChecker(k)
+				// At Workers>1 the per-kind restricted pipelines fan out
+				// (core.AnalyzeCheckers); runs and their counters are
+				// bit-identical either way, only the report-only solve
+				// times move.
+				if opt.Workers > 1 {
+					crs, err := res.AnalyzeCheckers(check.AllKinds, opt.Workers)
 					if err != nil {
-						return nil, nil, fmt.Errorf("bench: %s %v: %w", p.Name, k, err)
+						return nil, nil, fmt.Errorf("bench: %s checkers: %w", p.Name, err)
 					}
-					restrNS["restr_"+k.ShortName()+"_solve"] = cr.SolveTime.Nanoseconds()
+					for _, cr := range crs {
+						restrNS["restr_"+cr.Kind.ShortName()+"_solve"] = cr.SolveTime.Nanoseconds()
+					}
+				} else {
+					for _, k := range check.AllKinds {
+						cr, err := res.AnalyzeChecker(k)
+						if err != nil {
+							return nil, nil, fmt.Errorf("bench: %s %v: %w", p.Name, k, err)
+						}
+						restrNS["restr_"+k.ShortName()+"_solve"] = cr.SolveTime.Nanoseconds()
+					}
 				}
 			}
 			wall := time.Since(start)

@@ -634,14 +634,36 @@ func (r *Result) runOctagon(opt Options) error {
 		r.Stats.DepTime = r.Stats.PreTime + time.Since(t)
 		t = time.Now()
 		r.phase = "fixpoint"
-		stop = opt.Metrics.Phase(metrics.PhaseFix)
-		r.osres = octsparse.Analyze(prog, pre, osem, r.graph, octsparse.Options{
+		oopt := octsparse.Options{
 			Timeout:  opt.Timeout,
 			MaxSteps: opt.MaxSteps,
 			Metrics:  opt.Metrics,
 			Budget:   r.bud,
-		})
-		stop()
+			Workers:  opt.Workers,
+		}
+		if opt.Workers >= 1 {
+			// Partitioned component scheduler, mirroring the interval path:
+			// workers=1 is the canonical sequential wave schedule, higher
+			// counts reproduce it bit for bit.
+			stop = opt.Metrics.Phase(metrics.PhasePartition)
+			p := r.graph.Partition()
+			stop()
+			opt.Metrics.Set(metrics.CtrComponents, int64(p.NumComps()))
+			opt.Metrics.Set(metrics.CtrMaxComponent, int64(p.MaxComp))
+			opt.Metrics.Set(metrics.CtrIslands, int64(p.NumIslands))
+			stop = opt.Metrics.Phase(metrics.PhaseFix)
+			r.osres = octsparse.AnalyzeParallel(prog, pre, osem, r.graph, oopt)
+			stop()
+			r.Stats.Workers = opt.Workers
+			r.Stats.Components = p.NumComps()
+			r.Stats.MaxComponent = p.MaxComp
+			r.Stats.Islands = p.NumIslands
+			r.Stats.Rounds = r.osres.Rounds
+		} else {
+			stop = opt.Metrics.Phase(metrics.PhaseFix)
+			r.osres = octsparse.Analyze(prog, pre, osem, r.graph, oopt)
+			stop()
+		}
 		r.Stats.FixTime = time.Since(t)
 		r.Stats.Steps = r.osres.Steps
 		r.Stats.TimedOut = r.osres.TimedOut

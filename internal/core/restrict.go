@@ -23,6 +23,7 @@ import (
 	"sparrow/internal/ir"
 	"sparrow/internal/mem"
 	"sparrow/internal/metrics"
+	"sparrow/internal/par"
 	"sparrow/internal/solver/sparse"
 )
 
@@ -101,6 +102,45 @@ func (r *Result) solveRestricted(opt Options, sopt sparse.Options) {
 	stop()
 }
 
+// AnalyzeCheckers runs AnalyzeChecker for every kind, fanning the restricted
+// pipelines out over at most workers goroutines (one per checker — the
+// pipelines are independent: each builds its own restricted graph and solves
+// it with its own worklist). The control-seed set is computed once before
+// the fan-out. Results are ordered like kinds and each is bit-identical to a
+// sequential AnalyzeChecker call for that kind; only wall times vary with
+// the worker count. A panic inside a pipeline re-raises as *par.PanicError
+// (the fork-join contract).
+func (r *Result) AnalyzeCheckers(kinds []check.Kind, workers int) ([]*CheckerRun, error) {
+	if err := r.checkerPrecondition(); err != nil {
+		return nil, err
+	}
+	r.controlSeedsMemo()
+	runs := make([]*CheckerRun, len(kinds))
+	errs := make([]error, len(kinds))
+	par.For(len(kinds), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			runs[i], errs[i] = r.AnalyzeChecker(kinds[i])
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return runs, nil
+}
+
+// checkerPrecondition is the shared AnalyzeChecker(s) entry guard.
+func (r *Result) checkerPrecondition() error {
+	if r.Opts.Domain != Interval || r.Opts.Mode != Sparse || r.graph == nil || r.sres == nil {
+		return fmt.Errorf("core: AnalyzeChecker requires a completed sparse interval run")
+	}
+	if r.Opts.DefUseChains {
+		return fmt.Errorf("core: AnalyzeChecker needs the data-dependency graph (def-use-chain mode unsupported)")
+	}
+	return nil
+}
+
 // AnalyzeChecker reruns the sparse fixpoint restricted to what kind can
 // observe and returns that kind's alarms plus the restriction statistics.
 // It requires a completed sparse interval run (the full graph is filtered,
@@ -112,11 +152,8 @@ func (r *Result) solveRestricted(opt Options, sopt sparse.Options) {
 // numbers, and only the restr_* size counters and the restricted phase
 // time are recorded.
 func (r *Result) AnalyzeChecker(kind check.Kind) (*CheckerRun, error) {
-	if r.Opts.Domain != Interval || r.Opts.Mode != Sparse || r.graph == nil || r.sres == nil {
-		return nil, fmt.Errorf("core: AnalyzeChecker requires a completed sparse interval run")
-	}
-	if r.Opts.DefUseChains {
-		return nil, fmt.Errorf("core: AnalyzeChecker needs the data-dependency graph (def-use-chain mode unsupported)")
+	if err := r.checkerPrecondition(); err != nil {
+		return nil, err
 	}
 	stop := r.col.Phase(metrics.PhaseRestrict)
 	defer stop()

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"sparrow/internal/cgen"
+	"sparrow/internal/check"
+)
+
+// TestAnalyzeCheckersMatchesSequential pins the fan-out contract: running
+// every checker's restricted pipeline concurrently yields runs bit-identical
+// to the sequential per-kind calls (alarms, restriction statistics, steps).
+func TestAnalyzeCheckersMatchesSequential(t *testing.T) {
+	srcs := map[string]string{"demo.c": demo}
+	for seed := uint64(31); seed < 34; seed++ {
+		srcs[fmt.Sprintf("gen%d.c", seed)] = cgen.Generate(cgen.Default(seed, 120))
+	}
+	for name, src := range srcs {
+		res, err := AnalyzeSource(name, src, Options{
+			Domain: Interval, Mode: Sparse, Checkers: check.AllKinds,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq := make([]*CheckerRun, len(check.AllKinds))
+		for i, k := range check.AllKinds {
+			if seq[i], err = res.AnalyzeChecker(k); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, workers := range []int{2, 4} {
+			runs, err := res.AnalyzeCheckers(check.AllKinds, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, run := range runs {
+				want := seq[i]
+				if run.Kind != want.Kind || run.Keep != want.Keep ||
+					run.Nodes != want.Nodes || run.Rows != want.Rows ||
+					run.Triples != want.Triples || run.Steps != want.Steps {
+					t.Errorf("%s workers=%d %v: stats (keep %d nodes %d rows %d triples %d steps %d) vs sequential (%d %d %d %d %d)",
+						name, workers, run.Kind, run.Keep, run.Nodes, run.Rows, run.Triples, run.Steps,
+						want.Keep, want.Nodes, want.Rows, want.Triples, want.Steps)
+				}
+				var got, exp []string
+				for _, a := range run.Alarms {
+					got = append(got, a.String())
+				}
+				for _, a := range want.Alarms {
+					exp = append(exp, a.String())
+				}
+				if !reflect.DeepEqual(got, exp) {
+					t.Errorf("%s workers=%d %v: alarms %v vs sequential %v", name, workers, run.Kind, got, exp)
+				}
+			}
+		}
+	}
+}
+
+// TestAnalyzeCheckersPrecondition mirrors AnalyzeChecker's guard.
+func TestAnalyzeCheckersPrecondition(t *testing.T) {
+	res, err := AnalyzeSource("demo.c", demo, Options{Domain: Interval, Mode: Base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.AnalyzeCheckers(check.AllKinds, 4); err == nil {
+		t.Fatal("AnalyzeCheckers on a non-sparse run: want error")
+	}
+}

@@ -76,8 +76,9 @@ const (
 	needFaults
 )
 
-// parallelWorkerCounts are the worker counts the determinism oracle compares.
-var parallelWorkerCounts = []int{1, 2, 8}
+// parallelWorkerCounts are the worker counts the determinism oracle
+// compares; 4 is the count CI's multi-core scaling gate runs at.
+var parallelWorkerCounts = []int{1, 2, 4, 8}
 
 // Exec bundles the analysis runs of one program.
 type Exec struct {

@@ -12,6 +12,7 @@ import (
 	"runtime/debug"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Workers normalizes a worker-count option: values below 1 become 1.
@@ -55,10 +56,21 @@ func (e *PanicError) Unwrap1() any {
 	return e.Panics[0].Value
 }
 
+// forOversub is the chunk oversubscription factor: For carves [0, n) into up
+// to workers*forOversub chunks so a straggler chunk (one giant SCC next to
+// many islands) cannot idle the remaining workers for the whole region.
+const forOversub = 8
+
 // For splits [0, n) into contiguous chunks and runs fn(lo, hi) on each chunk
 // across at most workers goroutines, blocking until all chunks complete. fn
 // must only write state disjoint between chunks (e.g. per-index slots).
 // workers <= 1 (or small n) degenerates to a plain sequential call.
+//
+// Chunk boundaries are static — they depend only on (n, workers), never on
+// timing — but chunk *assignment* is dynamic: workers claim the next chunk
+// off a shared atomic index, so imbalanced chunk costs rebalance instead of
+// stalling behind a pre-assigned range. Callers that write disjoint index
+// slots therefore still produce identical results for any worker count.
 //
 // A panic inside fn is caught on its goroutine — with its stack — and
 // re-raised on the calling goroutine after every chunk has finished, so
@@ -79,25 +91,35 @@ func For(n, workers int, fn func(lo, hi int)) {
 		fn(0, n)
 		return
 	}
-	chunk := (n + workers - 1) / workers
+	chunk := (n + workers*forOversub - 1) / (workers * forOversub)
 	nchunks := (n + chunk - 1) / chunk
 	panics := make([]WorkerPanic, nchunks)
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for i, lo := 0, 0; lo < n; i, lo = i+1, lo+chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(i, lo, hi int) {
+		go func() {
 			defer wg.Done()
-			defer func() {
-				if p := recover(); p != nil {
-					panics[i] = WorkerPanic{Value: p, Stack: debug.Stack()}
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= nchunks {
+					return
 				}
-			}()
-			fn(lo, hi)
-		}(i, lo, hi)
+				lo := i * chunk
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				func() {
+					defer func() {
+						if p := recover(); p != nil {
+							panics[i] = WorkerPanic{Value: p, Stack: debug.Stack()}
+						}
+					}()
+					fn(lo, hi)
+				}()
+			}
+		}()
 	}
 	wg.Wait()
 	var joined []WorkerPanic

@@ -1,6 +1,7 @@
 package par
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -38,19 +39,38 @@ func TestForCoversEveryIndexOnce(t *testing.T) {
 	}
 }
 
-// TestForChunkCount checks that no more than workers chunks are created (so
-// worker counts really bound the goroutine fan-out).
+// TestForChunkCount checks the dynamic-chunking shape contract: chunk count
+// is bounded by workers*forOversub (bounded scheduling overhead) and the
+// boundaries depend only on (n, workers) — two runs with the same shape see
+// the identical chunk set regardless of which worker claims which chunk.
 func TestForChunkCount(t *testing.T) {
-	for _, n := range []int{1, 5, 16, 100} {
+	for _, n := range []int{1, 5, 16, 100, 1000} {
 		for _, w := range []int{1, 2, 4, 9} {
-			var chunks int32
-			For(n, w, func(lo, hi int) { atomic.AddInt32(&chunks, 1) })
-			max := int32(w)
-			if n < w {
-				max = int32(n)
+			collect := func() map[[2]int]bool {
+				var mu sync.Mutex
+				set := make(map[[2]int]bool)
+				For(n, w, func(lo, hi int) {
+					mu.Lock()
+					set[[2]int{lo, hi}] = true
+					mu.Unlock()
+				})
+				return set
 			}
-			if chunks > max || chunks < 1 {
-				t.Errorf("n=%d w=%d: %d chunks (want 1..%d)", n, w, chunks, max)
+			a, b := collect(), collect()
+			max := w * forOversub
+			if n < max {
+				max = n
+			}
+			if len(a) > max || len(a) < 1 {
+				t.Errorf("n=%d w=%d: %d chunks (want 1..%d)", n, w, len(a), max)
+			}
+			if len(a) != len(b) {
+				t.Fatalf("n=%d w=%d: chunk shape not deterministic (%d vs %d chunks)", n, w, len(a), len(b))
+			}
+			for c := range a {
+				if !b[c] {
+					t.Fatalf("n=%d w=%d: chunk %v present in one run only", n, w, c)
+				}
 			}
 		}
 	}
@@ -76,6 +96,28 @@ func TestForSequentialDegenerate(t *testing.T) {
 	For(1, 8, func(lo, hi int) { calls++ })
 	if calls != 1 {
 		t.Errorf("n=1 w=8: fn called %d times want 1", calls)
+	}
+}
+
+// TestForBoundsWorkerFanOut checks that dynamic chunk claiming still runs at
+// most `workers` chunks concurrently: oversubscribed chunks share goroutines,
+// they do not multiply them.
+func TestForBoundsWorkerFanOut(t *testing.T) {
+	for _, w := range []int{2, 4} {
+		var cur, max atomic.Int32
+		For(1000, w, func(lo, hi int) {
+			c := cur.Add(1)
+			for {
+				m := max.Load()
+				if c <= m || max.CompareAndSwap(m, c) {
+					break
+				}
+			}
+			cur.Add(-1)
+		})
+		if got := max.Load(); got > int32(w) {
+			t.Errorf("w=%d: observed %d concurrent chunks", w, got)
+		}
 	}
 }
 

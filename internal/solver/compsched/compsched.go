@@ -1,0 +1,459 @@
+// Package compsched is the pipelined component-task scheduler shared by the
+// parallel sparse solvers (interval and octagon). It replaces the
+// bulk-synchronous round loop — solve every seeded component, stop the world,
+// apply deferred reachability marks, repeat — with a task graph in which a
+// component run becomes ready the moment the runs it actually depends on have
+// committed, while reproducing the round schedule bit for bit.
+//
+// # Logical schedule
+//
+// The engine still thinks in waves. Wave w solves the active set A_w: the
+// closure of the seeded components under scheduling-DAG successors, exactly
+// the set the old round scheduler activated. After wave w a barrier task
+// applies the backward (deferred) reachability marks and seeds wave w+1. The
+// observable schedule — which components consume which seed buckets, in which
+// wave — is identical to the round scheduler's, so every counter (rounds,
+// pops, joins, widenings) and every memory is bit-identical for any worker
+// count. What changed is purely physical: the barrier no longer stops the
+// world, and wave w+1 starts while wave-w stragglers are still running.
+//
+// # Commit ordering
+//
+// All edges in the scheduling DAG point from lower to higher component IDs
+// (the condensation numbering is topological and forward reach edges are the
+// only augmentation), so creating wave tasks in ascending component order
+// makes every dependency refer to an already-created task; the task graph is
+// acyclic by construction. A run task for component c depends on the latest
+// pending run of each scheduling neighbor:
+//
+//   - every predecessor p of c — c must consume its seed bucket only after
+//     all pushes from runs scheduled before it have committed (this covers
+//     both same-wave predecessors and earlier-wave stragglers);
+//   - c itself — runs of one component are totally ordered;
+//   - every successor s of c — c's pushes into s must not land while an
+//     earlier-wave run of s has not consumed its bucket, otherwise that run
+//     would observe seeds from the future and the schedule would diverge.
+//
+// The barrier task for wave w depends only on the wave-w runs of components
+// that can emit deferred marks (cfg.Defers — a static property of the reach
+// edges), not on the whole wave. While crawling the deferred-mark closure it
+// additionally blocks, per point, until the point's component has no pending
+// run that could still write into it (the writers count below); this pushes
+// the remaining synchronization from "whole wave" down to "the components
+// the crawl actually touches".
+//
+// # Execution
+//
+// Ready tasks are distributed over per-worker deques: a worker pushes tasks
+// it unblocks onto its own deque and pops LIFO (the successor it just fed is
+// cache-warm), stealing FIFO from other workers when its own deque drains.
+// Task placement affects only timing, never results. Panics inside Run or
+// Barrier are recovered per task and reported through OnPanic; bookkeeping
+// always runs, so a panicking component can never deadlock the pool — the
+// remaining tasks drain (the kernel is expected to turn Run into a no-op
+// once it has recorded an abort) and Run returns normally.
+package compsched
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// Config describes one scheduled fixpoint run. Succs/Preds are the scheduling
+// DAG over components (ascending, deduplicated adjacency — see BuildSched);
+// Defers marks components that can emit deferred (backward) reachability
+// marks, a static property computed by Deferring.
+type Config struct {
+	NumComps int
+	Succs    [][]int32
+	Preds    [][]int32
+	Defers   []bool
+
+	// Workers is the pool size. With a single worker the engine degenerates
+	// to the bulk-synchronous schedule (the barrier waits for the whole
+	// wave), which keeps the per-point crawl wait from deadlocking.
+	Workers int
+
+	// Run solves one component: consume its seed bucket, drain its worklist.
+	// worker identifies the calling pool slot (stable per goroutine), so the
+	// kernel can keep per-worker scratch without locking.
+	Run func(worker int, c int32)
+
+	// Barrier applies the deferred reachability marks accumulated during the
+	// wave and returns the components it seeded (any order, duplicates
+	// allowed); returning an empty slice ends the run once pending tasks
+	// drain. wait(c) blocks until no pending run can still write into
+	// component c; the kernel must call it before reading or writing
+	// component state during the crawl.
+	Barrier func(wait func(c int32)) []int32
+
+	// Empty, when non-nil, reports that running component c right now would
+	// be a state no-op (its seed bucket is empty, so the kernel would fire
+	// nothing). It is called with the engine lock held, only for a task all
+	// of whose commit dependencies have completed — at that instant no
+	// pending run and no barrier crawl can still write into c (any future
+	// writer's task would itself depend on this one), so the kernel may read
+	// the bucket without its own lock. Empty runs complete inline in the
+	// scheduler, which collapses the no-op bulk of wide waves (most wave
+	// members exist only in case a predecessor seeds them) into a cascade
+	// under one lock acquisition instead of a dispatch round trip each.
+	Empty func(c int32) bool
+
+	// OnPanic observes a recovered panic from Run or Barrier together with
+	// the stack captured on the panicking goroutine. May be called from
+	// multiple workers; the engine keeps draining afterwards.
+	OnPanic func(v any, stack []byte)
+}
+
+// task is one node of the commit graph: a component run, or the wave barrier
+// (comp == -1).
+type task struct {
+	comp    int32
+	ndeps   int32
+	done    bool
+	queued  bool // dispatched to a deque (guards double-dispatch from startWave)
+	waiters []*task
+}
+
+type engine struct {
+	cfg Config
+
+	mu sync.Mutex
+	// taskCond wakes workers sleeping in take (new ready tasks, or
+	// termination); commitCond wakes the barrier crawl sleeping in
+	// waitCommitted (a writers count dropped). Splitting the two keeps a
+	// completion that releases nothing from waking anyone.
+	taskCond   *sync.Cond
+	commitCond *sync.Cond
+
+	// lastPending[c] is the most recently created run task of component c
+	// (nil or done when no run is pending). Runs of one component chain on
+	// each other, so depending on the latest implies all earlier ones.
+	lastPending []*task
+
+	// writers[c] counts pending run tasks that may still write into
+	// component c: its own runs plus runs of its scheduling predecessors.
+	// The barrier crawl blocks per point until writers of the point's
+	// component reach zero.
+	writers []int32
+
+	deques  [][]*task // per-worker ready stacks; all under mu
+	pending int       // created, not yet completed tasks
+	rounds  int
+	closure []int32 // scratch for wave closure
+	inA     []bool  // scratch: membership in the wave being built
+	fanIn   []int32 // scratch: same-wave waiter counts per component
+	dstack  []*task // scratch for the inline-completion cascade
+}
+
+// Run executes the scheduled fixpoint: an initial wave seeded with
+// initialSeeds (component IDs, any order, duplicates allowed), then one wave
+// per non-empty Barrier result. Returns the number of waves executed.
+func Run(cfg Config, initialSeeds []int32) (rounds int) {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	e := &engine{
+		cfg:         cfg,
+		lastPending: make([]*task, cfg.NumComps),
+		writers:     make([]int32, cfg.NumComps),
+		deques:      make([][]*task, cfg.Workers),
+		inA:         make([]bool, cfg.NumComps),
+		fanIn:       make([]int32, cfg.NumComps),
+	}
+	e.taskCond = sync.NewCond(&e.mu)
+	e.commitCond = sync.NewCond(&e.mu)
+
+	e.mu.Lock()
+	e.startWave(initialSeeds)
+	if e.pending == 0 {
+		e.mu.Unlock()
+		return 0
+	}
+	e.mu.Unlock()
+
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			e.workerLoop(w)
+		}(w)
+	}
+	wg.Wait()
+	return e.rounds
+}
+
+// startWave closes seedComps under scheduling successors and creates the
+// wave's run tasks (ascending component order) plus its barrier task. Caller
+// holds e.mu.
+func (e *engine) startWave(seedComps []int32) {
+	A := e.closure[:0]
+	minC, maxC := int32(0), int32(-1)
+	add := func(c int32) {
+		e.inA[c] = true
+		A = append(A, c)
+		if maxC < 0 {
+			minC, maxC = c, c
+		} else if c < minC {
+			minC = c
+		} else if c > maxC {
+			maxC = c
+		}
+	}
+	for _, c := range seedComps {
+		if !e.inA[c] {
+			add(c)
+		}
+	}
+	for i := 0; i < len(A); i++ {
+		for _, s := range e.cfg.Succs[A[i]] {
+			if !e.inA[s] {
+				add(s)
+			}
+		}
+	}
+	if len(A) == 0 {
+		return
+	}
+	// Rebuild A in ascending order from the membership bitmap — cheaper
+	// than sorting at typical wave densities.
+	n := 0
+	for c := minC; c <= maxC; c++ {
+		if e.inA[c] {
+			A[n] = c
+			n++
+		}
+	}
+	e.rounds++
+
+	// Same-wave dependency edges (predecessor in the wave → this task) are
+	// the bulk of all waiter registrations; count them first so every wave
+	// task's waiter list can be carved from a single backing array. Straggler
+	// edges (pending runs of earlier waves) are rare and append beyond the
+	// carved capacity, which reallocates that one list.
+	edges := 0
+	for _, c := range A {
+		for _, p := range e.cfg.Preds[c] {
+			if e.inA[p] {
+				e.fanIn[p]++
+				edges++
+			}
+		}
+	}
+
+	// One task slab and one waiter backing per wave: task churn is the
+	// scheduler's dominant allocation.
+	slab := make([]task, len(A)+1)
+	backing := make([]*task, edges)
+	off := 0
+	wave := make([]*task, 0, len(A))
+	for i, c := range A {
+		t := &slab[i]
+		t.comp = c
+		t.waiters = backing[off:off:off+int(e.fanIn[c])]
+		off += int(e.fanIn[c])
+		e.fanIn[c] = 0
+		depOn := func(x int32) {
+			if lp := e.lastPending[x]; lp != nil && !lp.done {
+				lp.waiters = append(lp.waiters, t)
+				t.ndeps++
+			}
+		}
+		for _, p := range e.cfg.Preds[c] {
+			depOn(p)
+		}
+		depOn(c)
+		for _, s := range e.cfg.Succs[c] {
+			depOn(s)
+		}
+		e.lastPending[c] = t
+		e.writers[c]++
+		for _, s := range e.cfg.Succs[c] {
+			e.writers[s]++
+		}
+		e.pending++
+		wave = append(wave, t)
+	}
+
+	b := &slab[len(A)]
+	b.comp = -1
+	for i, c := range A {
+		if e.cfg.Workers <= 1 || e.cfg.Defers[c] {
+			t := wave[i]
+			if !t.done {
+				t.waiters = append(t.waiters, b)
+				b.ndeps++
+			}
+		}
+	}
+	e.pending++
+
+	// Reset the membership scratch and stash the closure buffer for reuse.
+	for _, c := range A {
+		e.inA[c] = false
+	}
+	e.closure = A[:0]
+
+	// Enqueue initially-ready tasks round-robin so the wave spreads across
+	// the pool instead of landing on the barrier worker's deque.
+	i := 0
+	anyInline := false
+	for _, t := range wave {
+		if t.ndeps == 0 && !t.done && !t.queued {
+			pushed, inlined := e.dispatch(i%len(e.deques), t)
+			i += pushed
+			anyInline = anyInline || inlined
+		}
+	}
+	if b.ndeps == 0 && !b.queued {
+		pushed, _ := e.dispatch(i%len(e.deques), b)
+		i += pushed
+	}
+	if anyInline {
+		e.commitCond.Broadcast()
+	}
+	e.taskCond.Broadcast()
+}
+
+// dispatch delivers a ready task: a component run the kernel proves empty
+// completes inline, cascading through any waiters the completion releases;
+// everything else is pushed onto deque w. Returns the number of tasks pushed
+// and whether any run completed inline (the caller owes a commitCond
+// broadcast — writers counts moved). Caller holds e.mu.
+func (e *engine) dispatch(w int, t *task) (pushed int, inlined bool) {
+	stack := append(e.dstack[:0], t)
+	for len(stack) > 0 {
+		t := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if t.comp >= 0 && e.cfg.Empty != nil && e.cfg.Empty(t.comp) {
+			inlined = true
+			t.done = true
+			for _, wt := range t.waiters {
+				wt.ndeps--
+				if wt.ndeps == 0 {
+					stack = append(stack, wt)
+				}
+			}
+			t.waiters = nil
+			e.writers[t.comp]--
+			for _, s := range e.cfg.Succs[t.comp] {
+				e.writers[s]--
+			}
+			e.pending--
+			continue
+		}
+		t.queued = true
+		e.deques[w] = append(e.deques[w], t)
+		pushed++
+	}
+	e.dstack = stack[:0]
+	return pushed, inlined
+}
+
+func (e *engine) workerLoop(w int) {
+	var t *task
+	var seeds []int32
+	for {
+		if t = e.next(w, t, seeds); t == nil {
+			return
+		}
+		seeds = nil
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					stack := debug.Stack()
+					if e.cfg.OnPanic != nil {
+						e.cfg.OnPanic(r, stack)
+					}
+				}
+			}()
+			if t.comp >= 0 {
+				e.cfg.Run(w, t.comp)
+			} else {
+				seeds = e.cfg.Barrier(e.waitCommitted)
+			}
+		}()
+	}
+}
+
+// next is the fused completion/dispatch step — one mutex acquisition per
+// task, the scheduler's dominant cost at fine component granularity. It
+// commits prev (when non-nil): marks it done, releases its waiters onto the
+// worker's own deque, updates the writers counts, and — for a barrier —
+// starts the next wave from its seeds. It then pops a ready task: LIFO from
+// the worker's own deque (the successor just fed is cache-warm), else
+// FIFO-steal from the other deques. Returns nil when every task has
+// completed.
+func (e *engine) next(w int, prev *task, barrierSeeds []int32) *task {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if prev != nil {
+		prev.done = true
+		pushed := 0
+		inlined := false
+		for _, wt := range prev.waiters {
+			wt.ndeps--
+			if wt.ndeps == 0 {
+				p, inl := e.dispatch(w, wt)
+				pushed += p
+				inlined = inlined || inl
+			}
+		}
+		prev.waiters = nil
+		if prev.comp >= 0 {
+			e.writers[prev.comp]--
+			for _, s := range e.cfg.Succs[prev.comp] {
+				e.writers[s]--
+			}
+			inlined = true
+		} else if len(barrierSeeds) > 0 {
+			e.startWave(barrierSeeds)
+		}
+		e.pending--
+		// Only the barrier crawl sleeps on commitCond; with no waiter the
+		// broadcast is a cheap no-op.
+		if inlined {
+			e.commitCond.Broadcast()
+		}
+		// This worker pops its own deque next, so a single pushed task
+		// needs no wakeup; sleepers only matter when there is surplus to
+		// steal or the run is over.
+		if pushed > 1 || e.pending == 0 {
+			e.taskCond.Broadcast()
+		}
+		if e.pending == 0 {
+			e.commitCond.Broadcast()
+		}
+	}
+	for {
+		if d := e.deques[w]; len(d) > 0 {
+			t := d[len(d)-1]
+			e.deques[w] = d[:len(d)-1]
+			return t
+		}
+		for i := 1; i < len(e.deques); i++ {
+			v := (w + i) % len(e.deques)
+			if d := e.deques[v]; len(d) > 0 {
+				t := d[0]
+				copy(d, d[1:])
+				e.deques[v] = d[:len(d)-1]
+				return t
+			}
+		}
+		if e.pending == 0 {
+			return nil
+		}
+		e.taskCond.Wait()
+	}
+}
+
+// waitCommitted blocks until component c has no pending run that could still
+// write into it. Passed to Barrier as the per-point crawl gate.
+func (e *engine) waitCommitted(c int32) {
+	e.mu.Lock()
+	for e.writers[c] > 0 {
+		e.commitCond.Wait()
+	}
+	e.mu.Unlock()
+}

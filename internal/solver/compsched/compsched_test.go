@@ -1,0 +1,322 @@
+package compsched
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"sparrow/internal/leakcheck"
+)
+
+// simDAG is a random scheduling DAG over k components with edges low→high
+// plus, for deferring components, one backward "reach" target.
+type simDAG struct {
+	k      int
+	succs  [][]int32
+	preds  [][]int32
+	defers []bool
+	back   []int32 // back[c] = backward target for deferring c, else -1
+}
+
+func randDAG(rng *rand.Rand, k int) *simDAG {
+	d := &simDAG{k: k, succs: make([][]int32, k), preds: make([][]int32, k),
+		defers: make([]bool, k), back: make([]int32, k)}
+	for c := 0; c < k; c++ {
+		d.back[c] = -1
+		set := map[int32]bool{}
+		for e := 0; e < rng.Intn(3); e++ {
+			s := int32(c + 1 + rng.Intn(k-c))
+			if int(s) < k {
+				set[s] = true
+			}
+		}
+		for s := range set {
+			d.succs[c] = append(d.succs[c], s)
+		}
+		sort.Slice(d.succs[c], func(a, b int) bool { return d.succs[c][a] < d.succs[c][b] })
+		if c > 0 && rng.Intn(4) == 0 {
+			d.defers[c] = true
+			d.back[c] = int32(rng.Intn(c))
+		}
+	}
+	for c := 0; c < k; c++ {
+		for _, s := range d.succs[c] {
+			d.preds[s] = append(d.preds[s], int32(c))
+		}
+	}
+	return d
+}
+
+// simKernel emulates the solver kernels' seed-bucket protocol on token
+// values: a run consumes its bucket and pushes tok-1 to every scheduling
+// successor; deferring components additionally send tok-1 along their
+// backward edge via the deferred buffer. Every consume event is recorded per
+// component, so two executions can be compared run by run.
+type simKernel struct {
+	d     *simDAG
+	mu    []sync.Mutex
+	seeds [][]int
+	defMu sync.Mutex
+	defs  []int // deferred tokens, interleaved (target, tok) pairs
+
+	traceMu sync.Mutex
+	trace   map[int32][][]int // per-comp sequence of consumed token sets
+
+	rounds int
+	sleep  bool
+}
+
+func newSimKernel(d *simDAG, sleep bool) *simKernel {
+	return &simKernel{d: d, mu: make([]sync.Mutex, d.k),
+		seeds: make([][]int, d.k), trace: map[int32][][]int{}, sleep: sleep}
+}
+
+func (s *simKernel) push(c int32, tok int) {
+	s.mu[c].Lock()
+	s.seeds[c] = append(s.seeds[c], tok)
+	s.mu[c].Unlock()
+}
+
+func (s *simKernel) run(worker int, c int32) {
+	s.mu[c].Lock()
+	toks := s.seeds[c]
+	s.seeds[c] = nil
+	s.mu[c].Unlock()
+	if len(toks) == 0 {
+		return
+	}
+	sort.Ints(toks)
+	s.traceMu.Lock()
+	s.trace[c] = append(s.trace[c], append([]int(nil), toks...))
+	s.traceMu.Unlock()
+	if s.sleep && worker%2 == 0 {
+		time.Sleep(time.Duration(c%3) * 100 * time.Microsecond)
+	}
+	for _, tok := range toks {
+		if tok <= 0 {
+			continue
+		}
+		for _, succ := range s.d.succs[c] {
+			s.push(succ, tok-1)
+		}
+		if s.d.back[c] >= 0 {
+			s.defMu.Lock()
+			s.defs = append(s.defs, int(s.d.back[c]), tok-1)
+			s.defMu.Unlock()
+		}
+	}
+}
+
+func (s *simKernel) barrier(wait func(c int32)) []int32 {
+	s.defMu.Lock()
+	defs := s.defs
+	s.defs = nil
+	s.defMu.Unlock()
+	if len(defs) == 0 {
+		return nil
+	}
+	// Canonical order: sort the (target, tok) pairs.
+	type pair struct{ c, tok int }
+	pairs := make([]pair, 0, len(defs)/2)
+	for i := 0; i < len(defs); i += 2 {
+		pairs = append(pairs, pair{defs[i], defs[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].c != pairs[j].c {
+			return pairs[i].c < pairs[j].c
+		}
+		return pairs[i].tok < pairs[j].tok
+	})
+	var seeded []int32
+	for _, p := range pairs {
+		if wait != nil {
+			wait(int32(p.c))
+		}
+		s.mu[int32(p.c)].Lock()
+		if len(s.seeds[p.c]) == 0 {
+			seeded = append(seeded, int32(p.c))
+		}
+		s.seeds[p.c] = append(s.seeds[p.c], p.tok)
+		s.mu[int32(p.c)].Unlock()
+	}
+	return seeded
+}
+
+// runReference executes the canonical bulk-synchronous wave loop the engine
+// must reproduce: solve the closure of the seeded components in ascending
+// order, apply deferred tokens, repeat.
+func runReference(d *simDAG, initial map[int32][]int) (*simKernel, int) {
+	s := newSimKernel(d, false)
+	for c, toks := range initial {
+		for _, t := range toks {
+			s.push(c, t)
+		}
+	}
+	rounds := 0
+	for {
+		var seeded []int32
+		for c := 0; c < d.k; c++ {
+			if len(s.seeds[c]) > 0 {
+				seeded = append(seeded, int32(c))
+			}
+		}
+		if len(seeded) == 0 {
+			break
+		}
+		rounds++
+		inA := make([]bool, d.k)
+		A := append([]int32(nil), seeded...)
+		for _, c := range A {
+			inA[c] = true
+		}
+		for i := 0; i < len(A); i++ {
+			for _, succ := range d.succs[A[i]] {
+				if !inA[succ] {
+					inA[succ] = true
+					A = append(A, succ)
+				}
+			}
+		}
+		sort.Slice(A, func(i, j int) bool { return A[i] < A[j] })
+		for _, c := range A {
+			s.run(0, c)
+		}
+		s.barrier(nil)
+	}
+	return s, rounds
+}
+
+func seedsFor(rng *rand.Rand, d *simDAG) map[int32][]int {
+	initial := map[int32][]int{}
+	for i := 0; i < 1+rng.Intn(3); i++ {
+		initial[int32(rng.Intn(d.k))] = []int{3 + rng.Intn(5)}
+	}
+	return initial
+}
+
+// TestEngineMatchesReference checks trace equivalence on random DAGs: for
+// every worker count, each component consumes exactly the same sequence of
+// token sets as the bulk-synchronous reference, and the round count matches.
+func TestEngineMatchesReference(t *testing.T) {
+	for trial := 0; trial < 25; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		d := randDAG(rng, 4+rng.Intn(40))
+		initial := seedsFor(rng, d)
+		ref, refRounds := runReference(d, initial)
+		for _, workers := range []int{1, 2, 3, 8} {
+			for _, useEmpty := range []bool{false, true} {
+				s := newSimKernel(d, workers > 1)
+				var init []int32
+				for c, toks := range initial {
+					for _, tok := range toks {
+						s.push(c, tok)
+					}
+					init = append(init, c)
+				}
+				cfg := Config{
+					NumComps: d.k, Succs: d.succs, Preds: d.preds, Defers: d.defers,
+					Workers: workers, Run: s.run, Barrier: s.barrier,
+				}
+				if useEmpty {
+					// Lock-free read, per the Empty contract: the engine asks
+					// only once every potential writer has committed.
+					cfg.Empty = func(c int32) bool { return len(s.seeds[c]) == 0 }
+				}
+				rounds := Run(cfg, init)
+				if rounds != refRounds {
+					t.Fatalf("trial %d workers %d empty %v: rounds %d want %d", trial, workers, useEmpty, rounds, refRounds)
+				}
+				if !reflect.DeepEqual(s.trace, ref.trace) {
+					t.Fatalf("trial %d workers %d empty %v: trace diverged\n got %v\nwant %v", trial, workers, useEmpty, s.trace, ref.trace)
+				}
+				for c := range s.seeds {
+					if len(s.seeds[c]) != 0 {
+						t.Fatalf("trial %d workers %d empty %v: leftover seeds in comp %d", trial, workers, useEmpty, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEngineEmptySeeds checks that an empty initial seed set returns zero
+// rounds without spawning workers.
+func TestEngineEmptySeeds(t *testing.T) {
+	d := randDAG(rand.New(rand.NewSource(7)), 10)
+	s := newSimKernel(d, false)
+	rounds := Run(Config{NumComps: d.k, Succs: d.succs, Preds: d.preds,
+		Defers: d.defers, Workers: 4, Run: s.run, Barrier: s.barrier}, nil)
+	if rounds != 0 {
+		t.Fatalf("rounds = %d want 0", rounds)
+	}
+}
+
+// TestEnginePanicIsolation checks that a panicking component run reaches
+// OnPanic with a stack, the task graph still drains (Run returns), and no
+// worker goroutines leak.
+func TestEnginePanicIsolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	d := randDAG(rng, 30)
+	for _, workers := range []int{1, 2, 8} {
+		var mu sync.Mutex
+		var panics []any
+		s := newSimKernel(d, false)
+		boom := func(worker int, c int32) {
+			if c == 7 {
+				panic(fmt.Sprintf("boom-%d", c))
+			}
+			s.run(worker, c)
+		}
+		ok, _, _, dump := leakcheck.Check(func() {
+			Run(Config{
+				NumComps: d.k, Succs: d.succs, Preds: d.preds, Defers: d.defers,
+				Workers: workers, Run: boom, Barrier: s.barrier,
+				OnPanic: func(v any, stack []byte) {
+					if len(stack) == 0 {
+						t.Error("panic lost its stack")
+					}
+					mu.Lock()
+					panics = append(panics, v)
+					mu.Unlock()
+				},
+			}, []int32{0, 5, 7})
+		})
+		if !ok {
+			t.Fatalf("workers %d: leaked goroutines:\n%s", workers, dump)
+		}
+		mu.Lock()
+		n := len(panics)
+		mu.Unlock()
+		if n == 0 {
+			t.Fatalf("workers %d: OnPanic never called", workers)
+		}
+	}
+}
+
+// TestEngineBarrierPanic checks that a panic inside the Barrier callback is
+// isolated too: no new wave starts, the engine drains and returns.
+func TestEngineBarrierPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	d := randDAG(rng, 20)
+	// Force at least one deferrer so a barrier has work.
+	d.defers[10] = true
+	d.back[10] = 2
+	s := newSimKernel(d, false)
+	var called bool
+	rounds := Run(Config{
+		NumComps: d.k, Succs: d.succs, Preds: d.preds, Defers: d.defers,
+		Workers: 4, Run: s.run,
+		Barrier: func(wait func(c int32)) []int32 { panic("barrier-boom") },
+		OnPanic: func(v any, stack []byte) { called = true },
+	}, []int32{10})
+	if !called {
+		t.Fatal("OnPanic never called for barrier panic")
+	}
+	if rounds != 1 {
+		t.Fatalf("rounds = %d want 1", rounds)
+	}
+}

@@ -1,0 +1,123 @@
+package compsched
+
+import (
+	"sort"
+
+	"sparrow/internal/dug"
+	"sparrow/internal/ir"
+	"sparrow/internal/prean"
+)
+
+// BuildSched derives the augmented scheduling DAG over a partition's
+// components: the condensation edges plus every topologically *forward*
+// control-reachability edge (CFG successor, call→entry, exit→retsite whose
+// target component is numbered higher). The component numbering is
+// topological over dependency edges, so adding forward edges keeps it
+// acyclic. Marks landing in a scheduling successor are applied before that
+// component starts; only backward reach edges (loops, recursion returns)
+// defer to the wave barrier.
+//
+// Both sparse solvers and the incremental driver schedule over the DAG this
+// function builds — sharing the construction is part of what makes the
+// sequential replay schedule canonical.
+func BuildSched(prog *ir.Program, pre *prean.Result, p *dug.Partition) (succs, preds [][]int32) {
+	k := p.NumComps()
+	sets := make([]map[int32]bool, k)
+	add := func(cu, cv int32) {
+		if cu >= cv {
+			return
+		}
+		if sets[cu] == nil {
+			sets[cu] = map[int32]bool{}
+		}
+		sets[cu][cv] = true
+	}
+	for _, pt := range prog.Points {
+		cu := p.Comp[pt.ID]
+		reachTargets(prog, pre, pt, func(t ir.PointID) {
+			add(cu, p.Comp[t])
+		})
+	}
+	succs = make([][]int32, k)
+	preds = make([][]int32, k)
+	for c := 0; c < k; c++ {
+		base := p.Succs[c]
+		extra := sets[c]
+		if extra == nil {
+			succs[c] = base
+			continue
+		}
+		for _, v := range base {
+			extra[v] = true
+		}
+		out := make([]int32, 0, len(extra))
+		for v := range extra {
+			out = append(out, v)
+		}
+		sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+		succs[c] = out
+	}
+	for c := 0; c < k; c++ {
+		for _, v := range succs[c] {
+			preds[v] = append(preds[v], int32(c))
+		}
+	}
+	return succs, preds
+}
+
+// Deferring computes the static deferral set for Config.Defers: component c
+// defers iff some point in c has a control-reachability target in a
+// lower-numbered component. Every forward reach target is a scheduling
+// successor by BuildSched's construction and same-component targets feed the
+// local worklist, so these are exactly the components whose runs can append
+// to the deferred-mark buffer — the only runs a wave barrier must wait for.
+func Deferring(prog *ir.Program, pre *prean.Result, p *dug.Partition) []bool {
+	defers := make([]bool, p.NumComps())
+	for _, pt := range prog.Points {
+		cu := p.Comp[pt.ID]
+		if defers[cu] {
+			continue
+		}
+		reachTargets(prog, pre, pt, func(t ir.PointID) {
+			if p.Comp[t] < cu {
+				defers[cu] = true
+			}
+		})
+	}
+	return defers
+}
+
+// reachTargets visits the control-reachability targets of one point: callee
+// entries for resolved calls, return sites for exits, plain CFG successors
+// otherwise (including calls with no resolved callee).
+func reachTargets(prog *ir.Program, pre *prean.Result, pt *ir.Point, visit func(ir.PointID)) {
+	switch pt.Cmd.(type) {
+	case ir.Call:
+		callees := pre.CalleesOf(pt.ID)
+		if len(callees) == 0 {
+			for _, s := range pt.Succs {
+				visit(s)
+			}
+			return
+		}
+		for _, cp := range callees {
+			visit(prog.ProcByID(cp).Entry)
+		}
+	case ir.Exit:
+		for _, rs := range pre.RetSites[pt.Proc] {
+			visit(rs)
+		}
+	default:
+		for _, s := range pt.Succs {
+			visit(s)
+		}
+	}
+}
+
+// HasSucc reports whether dst is a direct successor of src in a scheduling
+// DAG built by BuildSched (adjacency is sorted ascending).
+func HasSucc(succs [][]int32, src, dst int32) bool {
+	s := succs[src]
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= dst })
+	return i < len(s) && s[i] == dst
+}

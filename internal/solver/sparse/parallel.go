@@ -4,7 +4,7 @@
 // predecessors. The driver schedules components over that DAG: a worker pool
 // solves independent components concurrently, each worker running the
 // existing priority-worklist transfer loop on its component slice, and a
-// component starts only when every predecessor has stabilized.
+// component starts only when every run that can write into it has committed.
 //
 // Control reachability is the one signal that does not follow dependency
 // edges (call→entry, exit→retsite, and plain CFG successors). The scheduling
@@ -12,22 +12,26 @@
 // edge (component numbering is topological, so forward edges can never
 // create a cycle): marks that land in a scheduling successor are applied
 // before that component starts, while backward marks — loop back edges and
-// recursive returns — are buffered and applied at a single-threaded round
-// barrier, where they are additionally closed transitively through
-// non-assume points (only ir.Assume can block reachability, so the closure
-// is exact). The wave repeats until no deferred marks remain (reachability
-// is monotone over a finite point set, so the rounds terminate).
+// recursive returns — are buffered and applied by a wave-barrier task, where
+// they are additionally closed transitively through non-assume points (only
+// ir.Assume can block reachability, so the closure is exact). Waves repeat
+// until no deferred marks remain (reachability is monotone over a finite
+// point set, so the rounds terminate).
 //
-// The schedule is canonical — seeds are applied in sorted node order, a
-// component sees exactly the stabilized state of its predecessors, and
-// whether a mark is immediate or deferred depends only on the static DAG —
-// so the result is identical for every worker count. Per-component solver
+// Scheduling is pipelined through internal/solver/compsched: a component's
+// wave-w run becomes ready as soon as its scheduling neighbors' pending runs
+// commit, the barrier waits only for the components that can actually defer
+// marks, and wave w+1 overlaps wave-w stragglers. The logical schedule — the
+// wave each seed bucket is consumed in — is exactly the old bulk-synchronous
+// round schedule (see the compsched package comment for the commit-ordering
+// argument), seeds are applied in sorted node order, and whether a mark is
+// immediate or deferred depends only on the static DAG — so the result, and
+// every counter, is identical for every worker count. Per-component solver
 // memories are disjoint by the partition's construction (each node belongs
 // to exactly one component; verified when the partition is built).
 package sparse
 
 import (
-	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -40,6 +44,7 @@ import (
 	"sparrow/internal/prean"
 	rt "sparrow/internal/runtime"
 	"sparrow/internal/sem"
+	"sparrow/internal/solver/compsched"
 	"sparrow/internal/worklist"
 )
 
@@ -68,9 +73,9 @@ func AnalyzeParallel(prog *ir.Program, pre *prean.Result, g *dug.Graph, opt Opti
 			Out:     make([]mem.Mem, n),
 			Reached: make([]bool, g.PointCount),
 		},
-		cbase:  defOffsets(g),
-		mu:     make([]sync.Mutex, p.NumComps()),
-		seeds:  make([][]int32, p.NumComps()),
+		cbase: defOffsets(g),
+		mu:    make([]sync.Mutex, p.NumComps()),
+		seeds: make([][]int32, p.NumComps()),
 	}
 	st.counts = make([]int32, st.cbase[n])
 	st.buildSched()
@@ -93,14 +98,41 @@ func AnalyzeParallel(prog *ir.Program, pre *prean.Result, g *dug.Graph, opt Opti
 		}
 	}
 
-	for st.anySeeds() && !st.timedOut.Load() && !st.aborted.Load() {
-		st.res.Rounds++
-		st.runRound(pool)
-		// Round barrier (single-threaded): apply the buffered reach marks in
-		// sorted order, seeding their components for the next wave.
-		sort.Slice(st.deferred, func(i, j int) bool { return st.deferred[i] < st.deferred[j] })
-		st.applyMarks(st.deferred)
-		st.deferred = st.deferred[:0]
+	if workers == 1 {
+		// Single worker: the canonical sequential wave loop. This is the
+		// schedule every other configuration must reproduce bit for bit.
+		for st.anySeeds() && !st.timedOut.Load() && !st.aborted.Load() {
+			st.res.Rounds++
+			st.runRoundSeq(pool[0])
+			sort.Slice(st.deferred, func(i, j int) bool { return st.deferred[i] < st.deferred[j] })
+			st.applyMarks(st.deferred)
+			st.deferred = st.deferred[:0]
+		}
+	} else {
+		st.res.Rounds = compsched.Run(compsched.Config{
+			NumComps: p.NumComps(),
+			Succs:    st.schedSuccs,
+			Preds:    st.schedPreds,
+			Defers:   compsched.Deferring(prog, pre, p),
+			Workers:  workers,
+			Run: func(worker int, c int32) {
+				if !st.aborted.Load() {
+					pool[worker].runComponent(c)
+				}
+			},
+			// A component with an empty seed bucket fires nothing; the
+			// engine completes such runs inline. Safe without st.mu[c]: the
+			// engine only asks once every run that could still push into c
+			// has committed.
+			Empty:   func(c int32) bool { return len(st.seeds[c]) == 0 },
+			Barrier: st.barrier,
+			OnPanic: func(v any, stack []byte) {
+				st.aborted.Store(true)
+				st.panicsMu.Lock()
+				st.panics = append(st.panics, par.WorkerPanic{Value: v, Stack: stack})
+				st.panicsMu.Unlock()
+			},
+		}, st.seededComps())
 	}
 	if st.aborted.Load() {
 		panic(&par.PanicError{Panics: st.panics})
@@ -153,10 +185,8 @@ type pstate struct {
 	schedSuccs [][]int32
 	schedPreds [][]int32
 
-	// Round-scoped scratch: the active flag and restricted indegree of each
-	// component (cleared per round for the visited entries only).
-	active []bool
-	indeg  []int32
+	// pendingSeq is the single-worker round loop's on-heap flag scratch.
+	pendingSeq []bool
 
 	steps     atomic.Int64
 	widenings atomic.Int64
@@ -165,9 +195,9 @@ type pstate struct {
 	deadline  time.Time
 
 	// aborted is set when a worker panicked: remaining components are skipped
-	// (scheduler bookkeeping still runs so the round drains) and the joined
-	// panics re-raise after the pool exits. Distinct from timedOut, whose
-	// truncated state is still returned as a partial result.
+	// (scheduler bookkeeping still runs so the task graph drains) and the
+	// joined panics re-raise after the pool exits. Distinct from timedOut,
+	// whose truncated state is still returned as a partial result.
 	aborted  atomic.Bool
 	panicsMu sync.Mutex
 	panics   []par.WorkerPanic
@@ -183,66 +213,7 @@ func (st *pstate) buildSched() {
 // incremental driver (incr.go) schedules over the identical DAG, which is
 // part of what makes its sequential schedule canonical.
 func buildSched(prog *ir.Program, pre *prean.Result, p *dug.Partition) (succs, preds [][]int32) {
-	k := p.NumComps()
-	sets := make([]map[int32]bool, k)
-	add := func(cu, cv int32) {
-		if cu >= cv {
-			return
-		}
-		if sets[cu] == nil {
-			sets[cu] = map[int32]bool{}
-		}
-		sets[cu][cv] = true
-	}
-	for _, pt := range prog.Points {
-		cu := p.Comp[pt.ID]
-		switch pt.Cmd.(type) {
-		case ir.Call:
-			callees := pre.CalleesOf(pt.ID)
-			if len(callees) == 0 {
-				for _, s := range pt.Succs {
-					add(cu, p.Comp[s])
-				}
-				break
-			}
-			for _, cp := range callees {
-				add(cu, p.Comp[prog.ProcByID(cp).Entry])
-			}
-		case ir.Exit:
-			for _, rs := range pre.RetSites[pt.Proc] {
-				add(cu, p.Comp[rs])
-			}
-		default:
-			for _, s := range pt.Succs {
-				add(cu, p.Comp[s])
-			}
-		}
-	}
-	succs = make([][]int32, k)
-	preds = make([][]int32, k)
-	for c := 0; c < k; c++ {
-		base := p.Succs[c]
-		extra := sets[c]
-		if extra == nil {
-			succs[c] = base
-			continue
-		}
-		for _, v := range base {
-			extra[v] = true
-		}
-		out := make([]int32, 0, len(extra))
-		for v := range extra {
-			out = append(out, v)
-		}
-		sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
-		succs[c] = out
-	}
-	for c := 0; c < k; c++ {
-		for _, v := range succs[c] {
-			preds[v] = append(preds[v], int32(c))
-		}
-	}
-	return succs, preds
+	return compsched.BuildSched(prog, pre, p)
 }
 
 // hasSchedSucc reports whether dst is a direct successor of src in the
@@ -253,9 +224,31 @@ func (st *pstate) hasSchedSucc(src, dst int32) bool {
 
 // schedHasSucc is the shared successor test over a scheduling DAG.
 func schedHasSucc(succs [][]int32, src, dst int32) bool {
-	s := succs[src]
-	i := sort.Search(len(s), func(i int) bool { return s[i] >= dst })
-	return i < len(s) && s[i] == dst
+	return compsched.HasSucc(succs, src, dst)
+}
+
+// barrier is the wave-barrier callback for the pipelined scheduler: it takes
+// the deferred reach marks accumulated during the wave, applies them in
+// sorted order (the canonical barrier order), and returns the components the
+// closure seeded. wait gates every point on its component having committed,
+// which is what lets the crawl run while wave stragglers are still solving.
+func (st *pstate) barrier(wait func(c int32)) []int32 {
+	if st.aborted.Load() {
+		return nil // state is discarded by the re-raised panic
+	}
+	st.deferredMu.Lock()
+	queue := st.deferred
+	st.deferred = nil
+	st.deferredMu.Unlock()
+	if len(queue) == 0 {
+		return nil
+	}
+	sort.Slice(queue, func(i, j int) bool { return queue[i] < queue[j] })
+	seeded := st.applyMarksWait(queue, wait)
+	if st.timedOut.Load() {
+		return nil // marks applied (partial-state parity), but no next wave
+	}
+	return seeded
 }
 
 // applyMarks sets the given points reachable, seeds their components, and
@@ -264,10 +257,17 @@ func schedHasSucc(succs [][]int32, src, dst int32) bool {
 // fires (sem.Transfer fails only on refuted assumes), so marking their
 // control successors eagerly reaches the same final set the firing would —
 // without spending a round per control step. Assumes stop the closure: their
-// propagation waits for the value fixpoint to decide refutation. Runs
-// single-threaded (initialization and round barriers); the closure order is
-// deterministic given a deterministically-ordered queue.
+// propagation waits for the value fixpoint to decide refutation. The closure
+// order is deterministic given a deterministically-ordered queue.
 func (st *pstate) applyMarks(queue []ir.PointID) {
+	st.applyMarksWait(queue, nil)
+}
+
+// applyMarksWait is applyMarks with a per-point commit gate (nil when the
+// caller runs with nothing else in flight) and returns the components it
+// seeded, in first-seeded order without duplicates.
+func (st *pstate) applyMarksWait(queue []ir.PointID, wait func(c int32)) []int32 {
+	var seededComps []int32
 	q := append([]ir.PointID(nil), queue...)
 	push := func(t ir.PointID) {
 		if !st.res.Reached[t] {
@@ -276,11 +276,18 @@ func (st *pstate) applyMarks(queue []ir.PointID) {
 	}
 	for i := 0; i < len(q); i++ {
 		t := q[i]
+		c := st.p.Comp[t]
+		if wait != nil {
+			wait(c)
+		}
 		if st.res.Reached[t] {
 			continue
 		}
 		st.res.Reached[t] = true
-		st.seeds[st.p.Comp[t]] = append(st.seeds[st.p.Comp[t]], int32(t))
+		if len(st.seeds[c]) == 0 {
+			seededComps = append(seededComps, c)
+		}
+		st.seeds[c] = append(st.seeds[c], int32(t))
 		pt := st.prog.Point(t)
 		switch pt.Cmd.(type) {
 		case ir.Assume:
@@ -307,6 +314,7 @@ func (st *pstate) applyMarks(queue []ir.PointID) {
 			}
 		}
 	}
+	return seededComps
 }
 
 func (st *pstate) anySeeds() bool {
@@ -318,96 +326,16 @@ func (st *pstate) anySeeds() bool {
 	return false
 }
 
-// runRound solves every seeded component once, in scheduling-DAG order: a
-// component is handed to the pool when all its active predecessors
-// completed. Scheduling is restricted to the sub-DAG reachable from the
-// seeded components — only those can receive work during the round — so a
-// round that reaches a handful of new points costs proportionally to that
-// sub-DAG, not to the whole condensation. The active set is closed under
-// scheduling successors, which is what makes the restriction sound: every
-// component an active one can push into is itself active.
-func (st *pstate) runRound(pool []*pworker) {
-	if len(pool) == 1 {
-		st.runRoundSeq(pool[0])
-		return
-	}
-	if st.active == nil {
-		st.active = make([]bool, st.p.NumComps())
-		st.indeg = make([]int32, st.p.NumComps())
-	}
-	var act []int32
+// seededComps lists the components with a non-empty seed bucket, ascending.
+// Used to seed the pipelined scheduler's first wave.
+func (st *pstate) seededComps() []int32 {
+	var out []int32
 	for c := range st.seeds {
 		if len(st.seeds[c]) > 0 {
-			st.active[c] = true
-			act = append(act, int32(c))
+			out = append(out, int32(c))
 		}
 	}
-	for i := 0; i < len(act); i++ {
-		for _, s := range st.schedSuccs[act[i]] {
-			if !st.active[s] {
-				st.active[s] = true
-				act = append(act, s)
-			}
-		}
-	}
-	for _, c := range act {
-		d := int32(0)
-		for _, q := range st.schedPreds[c] {
-			if st.active[q] {
-				d++
-			}
-		}
-		st.indeg[c] = d
-	}
-
-	ready := make(chan int32, len(act))
-	for _, c := range act {
-		if st.indeg[c] == 0 {
-			ready <- c
-		}
-	}
-	total := int32(len(act))
-	var completed atomic.Int32
-	var wg sync.WaitGroup
-	for _, w := range pool {
-		wg.Add(1)
-		go func(w *pworker) {
-			defer wg.Done()
-			for c := range ready {
-				// Isolate worker panics: the component's scheduler
-				// bookkeeping must run regardless, or the remaining workers
-				// block on ready forever. The panic (all of them, if several
-				// workers trip) re-raises on the coordinator after the pool
-				// drains.
-				func() {
-					defer func() {
-						if r := recover(); r != nil {
-							st.aborted.Store(true)
-							st.panicsMu.Lock()
-							st.panics = append(st.panics, par.WorkerPanic{Value: r, Stack: debug.Stack()})
-							st.panicsMu.Unlock()
-						}
-					}()
-					if !st.aborted.Load() {
-						w.runComponent(c)
-					}
-				}()
-				for _, s := range st.schedSuccs[c] {
-					if atomic.AddInt32(&st.indeg[s], -1) == 0 {
-						ready <- s
-					}
-				}
-				if completed.Add(1) == total {
-					close(ready)
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-
-	for _, c := range act {
-		st.active[c] = false
-	}
+	return out
 }
 
 // runRoundSeq is the one-worker round: a min-heap over pending (seeded)
@@ -416,14 +344,13 @@ func (st *pstate) runRound(pool []*pworker) {
 // scheduling successors), so once the minimum pending component runs, no
 // lower component can become pending again this round; the schedule visits
 // exactly the components with work, never the empty ones, and sees the same
-// stabilized-predecessor state as the parallel indegree scheduler (which is
+// stabilized-predecessor state as the pipelined task scheduler (which is
 // what keeps the result identical across worker counts).
 func (st *pstate) runRoundSeq(w *pworker) {
-	if st.active == nil {
-		st.active = make([]bool, st.p.NumComps())
-		st.indeg = make([]int32, st.p.NumComps())
+	if st.pendingSeq == nil {
+		st.pendingSeq = make([]bool, st.p.NumComps())
 	}
-	pending := st.active // reused as the on-heap flag
+	pending := st.pendingSeq
 	var heap []int32
 	push := func(c int32) {
 		if pending[c] {
@@ -575,8 +502,8 @@ func (w *pworker) fire(n dug.NodeID) {
 
 // mark records reachability of t. Inside the running component it feeds the
 // local worklist; in a scheduling-DAG successor (which provably has not
-// started this round) it is applied under that component's lock; anywhere
-// else — a backward reach edge — it is deferred to the round barrier. The
+// started its next run) it is applied under that component's lock; anywhere
+// else — a backward reach edge — it is deferred to the wave barrier. The
 // immediate/deferred split depends only on the static scheduling DAG, never
 // on timing.
 func (w *pworker) mark(t ir.PointID) {
@@ -630,11 +557,12 @@ func (w *pworker) propagateReach(pt *ir.Point) {
 
 // pushOuts mirrors solver.pushOuts. Dependency edges that leave the
 // component are condensation edges by construction, so the target is a
-// direct DAG successor that has not run yet this round: the join is staged
-// into its Acc under its lock. Concurrent predecessors interleave their
-// joins in arbitrary order, but joins are commutative, so the value each
-// successor node observes when its component finally runs is deterministic
-// (and the successor is seeded iff any join changed its input).
+// direct DAG successor whose next run has provably not started: the join is
+// staged into its Acc under its lock. Concurrent predecessors interleave
+// their joins in arbitrary order, but joins are commutative, so the value
+// each successor node observes when its component finally runs is
+// deterministic (and the successor is seeded iff any join changed its
+// input).
 func (w *pworker) pushOuts(n dug.NodeID, m mem.Mem) {
 	st := w.st
 	isEntry := false

@@ -1,0 +1,43 @@
+package sparse
+
+import (
+	"testing"
+
+	"sparrow/internal/cgen"
+	"sparrow/internal/dug"
+	"sparrow/internal/frontend/lower"
+	"sparrow/internal/frontend/parser"
+	"sparrow/internal/prean"
+)
+
+func benchPipeline(b *testing.B) (*pipeline, dug.Options) {
+	b.Helper()
+	src := cgen.Generate(cgen.Default(43, 1000))
+	f, err := parser.Parse("gen.c", src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := lower.File(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pre := prean.Run(prog)
+	dopt := dug.Options{Bypass: true}
+	g := dug.Build(prog, pre, dopt)
+	return &pipeline{prog: prog, pre: pre, g: g}, dopt
+}
+
+// BenchmarkGen1000Workers measures the component scheduler's overhead on the
+// generated 1000-statement program at 1 and 4 workers (1 worker takes the
+// canonical sequential path; 4 exercises the pipelined engine).
+func BenchmarkGen1000Workers(b *testing.B) {
+	for _, w := range []int{1, 4} {
+		b.Run(map[int]string{1: "w1", 4: "w4"}[w], func(b *testing.B) {
+			p, _ := benchPipeline(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				AnalyzeParallel(p.prog, p.pre, p.g, Options{Workers: w})
+			}
+		})
+	}
+}
